@@ -1,0 +1,175 @@
+// Experiment X4 (extension): the §5 application studies, quantified.
+//
+// The paper's motivating applications are workloads whose *important*
+// outputs depend only loosely on exact database state:
+//
+//   * reservations — grant a seat when even the LARGEST possible value
+//     of "seats taken" is below capacity;
+//   * electronic funds transfer — authorise a purchase when even the
+//     SMALLEST possible balance covers it.
+//
+// This bench runs both against a cluster where a failure has stranded an
+// update to the critical counter, under the polyvalue policy and the
+// blocking policy, and reports how many requests during the outage got
+// immediate definite answers. With polyvalues most answers stay definite
+// (the alternatives agree); with blocking the item is simply unavailable.
+#include <cstdio>
+
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+namespace {
+
+EngineConfig MakeConfig(InDoubtPolicy policy) {
+  EngineConfig config;
+  config.prepare_timeout = 0.3;
+  config.ready_timeout = 0.3;
+  config.wait_timeout = 0.08;
+  config.inquiry_interval = 0.25;
+  config.policy = policy;
+  return config;
+}
+
+SimCluster::Options Options(InDoubtPolicy policy) {
+  SimCluster::Options options;
+  options.site_count = 3;
+  options.engine = MakeConfig(policy);
+  options.min_delay = 0.01;
+  options.max_delay = 0.01;
+  return options;
+}
+
+struct AppResult {
+  int granted = 0;
+  int denied = 0;
+  int aborted = 0;   // could not run (blocked item)
+  int uncertain = 0; // ran, but the answer itself was uncertain
+};
+
+// Strands an increment of `counter` (held at site 1) coordinated by
+// site 0, leaving the counter in-doubt between `base` and `base+delta`.
+void StrandCounterUpdate(SimCluster* cluster, const ItemKey& counter,
+                         int64_t delta) {
+  TxnSpec spec;
+  spec.ReadWrite(counter, cluster->site_id(1));
+  spec.Logic([counter, delta](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes[counter] = Value::Int(reads.IntAt(counter) + delta);
+    return e;
+  });
+  cluster->Submit(0, std::move(spec), [](const TxnResult&) {});
+  cluster->sim().At(cluster->sim().now() + 0.035,
+                    [cluster] { cluster->CrashSite(0); });
+  cluster->RunFor(0.5);  // past the wait timeout
+}
+
+// Reservations: grant while max-possible seats_taken < capacity.
+AppResult RunReservations(InDoubtPolicy policy, int requests,
+                          int64_t capacity) {
+  SimCluster cluster(Options(policy));
+  cluster.Load(1, "seats_taken", Value::Int(40));
+  StrandCounterUpdate(&cluster, "seats_taken", 1);
+
+  AppResult result;
+  for (int i = 0; i < requests; ++i) {
+    TxnSpec spec;
+    spec.ReadWrite("seats_taken", cluster.site_id(1));
+    spec.Logic([capacity](const TxnReads& reads) {
+      const int64_t taken = reads.IntAt("seats_taken");
+      if (taken >= capacity) {
+        TxnEffect deny;
+        deny.output = Value::Bool(false);
+        return deny;  // definite denial, no write
+      }
+      TxnEffect grant;
+      grant.writes["seats_taken"] = Value::Int(taken + 1);
+      grant.output = Value::Bool(true);
+      return grant;
+    });
+    const auto r = cluster.SubmitAndRun(2, std::move(spec));
+    cluster.RunFor(0.1);
+    if (!r.has_value() || !r->committed()) {
+      ++result.aborted;
+      continue;
+    }
+    if (!r->output.is_certain()) {
+      ++result.uncertain;
+    } else if (r->output.certain_value() == Value::Bool(true)) {
+      ++result.granted;
+    } else {
+      ++result.denied;
+    }
+  }
+  return result;
+}
+
+// EFT authorisation: approve while min-possible balance covers amount.
+AppResult RunEft(InDoubtPolicy policy, int requests, int64_t amount) {
+  SimCluster cluster(Options(policy));
+  cluster.Load(1, "balance", Value::Int(10000));
+  StrandCounterUpdate(&cluster, "balance", -120);  // in-doubt debit
+
+  AppResult result;
+  for (int i = 0; i < requests; ++i) {
+    TxnSpec spec;
+    spec.ReadWrite("balance", cluster.site_id(1));
+    spec.Logic([amount](const TxnReads& reads) {
+      const int64_t balance = reads.IntAt("balance");
+      if (balance < amount) {
+        TxnEffect deny;
+        deny.output = Value::Bool(false);
+        return deny;
+      }
+      TxnEffect approve;
+      approve.writes["balance"] = Value::Int(balance - amount);
+      approve.output = Value::Bool(true);
+      return approve;
+    });
+    const auto r = cluster.SubmitAndRun(2, std::move(spec));
+    cluster.RunFor(0.1);
+    if (!r.has_value() || !r->committed()) {
+      ++result.aborted;
+    } else if (!r->output.is_certain()) {
+      ++result.uncertain;
+    } else if (r->output.certain_value() == Value::Bool(true)) {
+      ++result.granted;
+    } else {
+      ++result.denied;
+    }
+  }
+  return result;
+}
+
+void PrintRow(const char* app, const char* policy, const AppResult& r) {
+  std::printf("%-14s %-11s | %-8d %-8d %-10d %-10d\n", app, policy,
+              r.granted, r.denied, r.uncertain, r.aborted);
+}
+
+}  // namespace
+}  // namespace polyvalue
+
+int main() {
+  using namespace polyvalue;
+  std::printf("§5 applications during an in-doubt failure "
+              "(coordinator down, counter stranded)\n\n");
+  std::printf("%-14s %-11s | %-8s %-8s %-10s %-10s\n", "application",
+              "policy", "granted", "denied", "uncertain", "unavailable");
+  std::printf("%.*s\n", 70,
+              "-----------------------------------------------------------"
+              "-----------");
+  PrintRow("reservations", "polyvalue",
+           RunReservations(InDoubtPolicy::kPolyvalue, 30, 100));
+  PrintRow("reservations", "block",
+           RunReservations(InDoubtPolicy::kBlock, 30, 100));
+  PrintRow("eft-authorise", "polyvalue",
+           RunEft(InDoubtPolicy::kPolyvalue, 30, 50));
+  PrintRow("eft-authorise", "block",
+           RunEft(InDoubtPolicy::kBlock, 30, 50));
+  std::printf(
+      "\nExpected shape: under the polyvalue policy every request gets an\n"
+      "immediate definite answer (all alternatives agree: plenty of seats\n"
+      "/ funds), even though the counter itself is uncertain. Under\n"
+      "blocking, the counter is locked for the whole outage and every\n"
+      "request dies ('unavailable'). This is §5 of the paper, measured.\n");
+  return 0;
+}

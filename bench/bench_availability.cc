@@ -1,0 +1,107 @@
+// Experiment X1 (extension): availability during failures.
+//
+// The paper argues (§1, §2, §5) that polyvalues let processing continue
+// through the in-doubt window that blocks classic 2PC, at no cost to
+// eventual consistency — and that the §2.3 "arbitrary decision"
+// alternative is fast but unsound. This bench quantifies all three with
+// an identical failure schedule: a coordinator site crashes mid-traffic
+// and stays down for an outage of swept length.
+//
+// Series reported per policy and outage length:
+//   * commit rate during the outage (offered-load normalised),
+//   * mean latency of completed transactions during the outage,
+//   * polyvalue installs / uncertain client outputs,
+//   * post-heal audit: residual uncertainty and conservation drift
+//     (nonzero drift = atomicity violation).
+#include <cstdio>
+
+#include "src/baseline/workload.h"
+
+namespace polyvalue {
+namespace {
+
+WorkloadParams BaseParams(InDoubtPolicy policy, double outage) {
+  WorkloadParams p;
+  p.sites = 4;
+  p.accounts_per_site = 24;
+  p.initial_balance = 1000;
+  p.txn_rate = 80;
+  p.duration = 40;
+  p.settle_time = 30;
+  p.crash_site = 0;
+  p.crash_time = 4;
+  p.recover_time = 4 + outage;
+  // The crash site flaps: every crash instant is a fresh chance to catch
+  // transactions in the in-doubt window, so the measured effect is the
+  // expectation rather than one coin flip.
+  p.crash_cycles = static_cast<int>(30.0 / (outage + 1.0));
+  p.up_gap = 1.0;
+  p.seed = 1234;
+  p.min_delay = 0.01;
+  p.max_delay = 0.02;
+  p.engine.prepare_timeout = 0.3;
+  p.engine.ready_timeout = 0.3;
+  p.engine.wait_timeout = 0.1;
+  p.engine.inquiry_interval = 0.25;
+  p.engine.policy = policy;
+  return p;
+}
+
+void RunSweep() {
+  std::printf("Availability under coordinator failure: polyvalues vs "
+              "blocking 2PC vs relaxed\n");
+  std::printf("(4 sites, 80 txn/s offered, crash at t=5s, outage length "
+              "swept; seed fixed)\n\n");
+  std::printf("%-8s %-11s | %-9s %-9s %-9s | %-8s %-9s %-10s %-7s\n",
+              "outage", "policy", "out.subm", "out.comm", "commit%",
+              "lat(ms)", "poly-inst", "uncertain", "drift");
+  std::printf("%.*s\n", 96,
+              "-----------------------------------------------------------"
+              "---------------------------------------------");
+  for (double outage : {2.0, 5.0, 10.0}) {
+    for (InDoubtPolicy policy :
+         {InDoubtPolicy::kPolyvalue, InDoubtPolicy::kBlock,
+          InDoubtPolicy::kArbitrary}) {
+      const WorkloadReport r =
+          RunTransferWorkload(BaseParams(policy, outage));
+      const double commit_pct =
+          r.outage_submitted == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(r.outage_committed) /
+                    static_cast<double>(r.outage_submitted);
+      char drift[24];
+      if (r.conservation_drift == INT64_MAX) {
+        std::snprintf(drift, sizeof(drift), "UNRESOLVED");
+      } else {
+        std::snprintf(drift, sizeof(drift), "%lld",
+                      static_cast<long long>(r.conservation_drift));
+      }
+      std::printf("%-8.0f %-11s | %-9llu %-9llu %-9.1f | %-8.1f %-9llu "
+                  "%-10llu %-7s\n",
+                  outage, InDoubtPolicyName(policy),
+                  static_cast<unsigned long long>(r.outage_submitted),
+                  static_cast<unsigned long long>(r.outage_committed),
+                  commit_pct, r.outage_latency.mean() * 1e3,
+                  static_cast<unsigned long long>(r.polyvalue_installs),
+                  static_cast<unsigned long long>(r.uncertain_outputs),
+                  drift);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected shape (the paper's argument, quantified):\n"
+              "  * polyvalue >= block on outage commit rate — blocked "
+              "items abort later txns;\n"
+              "  * arbitrary matches polyvalue on availability but shows "
+              "nonzero drift\n    (atomicity violations) once outages are "
+              "long enough;\n"
+              "  * polyvalue and block always end with drift = 0 and no "
+              "residual uncertainty.\n");
+}
+
+}  // namespace
+}  // namespace polyvalue
+
+int main() {
+  polyvalue::RunSweep();
+  return 0;
+}

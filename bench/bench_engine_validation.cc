@@ -1,0 +1,73 @@
+// Experiment X8 (extension): Table 2 re-run against the REAL engine.
+//
+// The paper validates its model with an abstract simulation; we validate
+// it with the full protocol stack in the loop — 2PC, wait timeouts,
+// per-transaction outcome-message loss (Exp(1/R) outages via a transport
+// filter), polyvalue installs, polytransactions, inquiry-based recovery.
+// Rows mirror Table 2's parameter spirit scaled to an engine-tractable
+// database (I = 400 spread over 8 sites).
+#include <cstdio>
+
+#include "src/baseline/engine_validation.h"
+
+namespace polyvalue {
+namespace {
+
+struct Row {
+  double u, f, r, y, d;
+};
+
+constexpr Row kRows[] = {
+    {10, 0.03, 0.05, 0, 1},  // baseline
+    {20, 0.03, 0.05, 0, 1},  // U x2
+    {10, 0.06, 0.05, 0, 1},  // F x2
+    {10, 0.03, 0.10, 0, 1},  // R x2 (faster heal)
+    {10, 0.03, 0.05, 0, 3},  // D = 3 (more propagation)
+    {10, 0.03, 0.05, 1, 1},  // Y = 1 (overwrites clear uncertainty)
+};
+
+}  // namespace
+}  // namespace polyvalue
+
+int main() {
+  using namespace polyvalue;
+  std::printf("Model vs REAL ENGINE: uncertain-item counts under "
+              "per-transaction failures\n");
+  std::printf("(8 sites, I=2000, 50 s warmup + 600 s measured, full "
+              "protocol stack in the loop)\n\n");
+  std::printf("%-4s %-6s %-6s %-3s %-3s | %-9s %-9s %-9s | %-8s %-8s\n",
+              "U", "F", "R", "Y", "D", "model P", "engine P", "ratio",
+              "strands", "polytxns");
+  std::printf("%.*s\n", 78,
+              "-----------------------------------------------------------"
+              "--------------------");
+  for (const Row& row : kRows) {
+    EngineValidationParams p;
+    p.updates_per_second = row.u;
+    p.failure_probability = row.f;
+    p.recovery_rate = row.r;
+    p.overwrite_probability = row.y;
+    p.dependency_degree = row.d;
+    p.seed = 2025;
+    p.warmup_seconds = 50;
+    p.measure_seconds = 600;
+    const EngineValidationReport report = RunEngineValidation(p);
+    const double ratio = report.model_prediction > 0
+                             ? report.avg_uncertain_items /
+                                   report.model_prediction
+                             : 0;
+    std::printf("%-4.0f %-6.2f %-6.2f %-3.0f %-3.0f | %-9.2f %-9.2f "
+                "%-9.2f | %-8llu %-8llu\n",
+                row.u, row.f, row.r, row.y, row.d,
+                report.model_prediction, report.avg_uncertain_items, ratio,
+                static_cast<unsigned long long>(report.stranded),
+                static_cast<unsigned long long>(report.polytxns));
+  }
+  std::printf(
+      "\nExpected shape: ratio ≈ 0.8–1.0 across the sweep — the 1979 "
+      "model predicts\nthe behaviour of this real implementation, not "
+      "just of the abstract\nsimulation, and the real engine (like the "
+      "paper's own simulation) comes in\nslightly BELOW the first-order "
+      "prediction.\n");
+  return 0;
+}

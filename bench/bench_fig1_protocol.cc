@@ -1,0 +1,174 @@
+// Regenerates Figure 1 of the paper: the update-protocol state diagram.
+//
+// Figure 1 is a three-state participant machine (idle, compute, wait)
+// with six transitions. We regenerate it by *driving* the real engine
+// through every edge on the deterministic cluster, recording which edges
+// were exercised, and printing the machine as a transition table. A
+// latency section reports the virtual-time cost of the commit path and of
+// the in-doubt path (wait-timeout -> polyvalue install).
+#include <cstdio>
+#include <optional>
+
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+namespace {
+
+EngineConfig FastConfig() {
+  EngineConfig config;
+  config.prepare_timeout = 0.25;
+  config.ready_timeout = 0.25;
+  config.wait_timeout = 0.05;
+  config.inquiry_interval = 0.2;
+  return config;
+}
+
+SimCluster::Options Options() {
+  SimCluster::Options options;
+  options.site_count = 3;
+  options.engine = FastConfig();
+  options.min_delay = 0.01;
+  options.max_delay = 0.01;
+  return options;
+}
+
+TxnSpec WriteTxn(const ItemKey& key, SiteId site, int64_t delta) {
+  TxnSpec spec;
+  spec.ReadWrite(key, site);
+  spec.Logic([key, delta](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes[key] = Value::Int(reads.IntAt(key) + delta);
+    return e;
+  });
+  return spec;
+}
+
+struct Edge {
+  const char* from;
+  const char* trigger;
+  const char* to;
+  const char* action;
+  bool exercised;
+};
+
+// Edge 1+2+3: idle -> compute (PREPARE), compute -> wait (WRITE_REQ:
+// results computed promptly, READY sent), wait -> idle (COMPLETE:
+// install). Measures the commit path latency.
+double ExerciseCommitPath(bool* ok) {
+  SimCluster cluster(Options());
+  cluster.Load(1, "x", Value::Int(0));
+  const double start = cluster.sim().now();
+  const auto result = cluster.SubmitAndRun(0, WriteTxn("x", SiteId(2), 1));
+  const double latency = cluster.sim().now() - start;
+  cluster.RunFor(1.0);
+  *ok = result.has_value() && result->committed() &&
+        cluster.site(1).Peek("x").value().certain_value() == Value::Int(1);
+  return latency;
+}
+
+// Edge 4: wait -> idle via ABORT (discard results).
+bool ExerciseAbortEdge() {
+  SimCluster cluster(Options());
+  cluster.Load(1, "x", Value::Int(0));
+  TxnSpec spec;
+  spec.ReadWrite("x", SiteId(2));
+  // Also involve a second site that refuses (missing item) so the
+  // coordinator aborts after site 1 computed.
+  spec.Read("ghost", SiteId(3));
+  spec.Logic([](const TxnReads&) { return TxnEffect{}; });
+  const auto result = cluster.SubmitAndRun(0, std::move(spec));
+  cluster.RunFor(1.0);
+  return result.has_value() && !result->committed() &&
+         cluster.site(1).Peek("x").value().certain_value() ==
+             Value::Int(0) &&
+         cluster.site(1).store().locked_count() == 0;
+}
+
+// Edge 5: compute -> idle (failure before results / abort in compute).
+bool ExerciseComputeDiscardEdge() {
+  SimCluster cluster(Options());
+  cluster.Load(1, "x", Value::Int(0));
+  TxnSpec spec = WriteTxn("x", SiteId(2), 1);
+  cluster.Submit(0, std::move(spec), [](const TxnResult&) {});
+  // Crash the coordinator immediately after PREPARE goes out: site 1
+  // enters compute, never gets WRITE_REQ, and must discard + unlock.
+  cluster.sim().At(0.015, [&cluster] { cluster.CrashSite(0); });
+  cluster.RunFor(2.0);  // compute-phase timeout = prepare+ready = 0.5 s
+  return cluster.site(1).store().locked_count() == 0 &&
+         cluster.site(1).Peek("x").value().is_certain();
+}
+
+// Edge 6: wait -> idle via the wait timeout — the polyvalue edge.
+double ExercisePolyvalueEdge(bool* ok) {
+  SimCluster cluster(Options());
+  cluster.Load(1, "x", Value::Int(0));
+  cluster.Submit(0, WriteTxn("x", SiteId(2), 1), [](const TxnResult&) {});
+  cluster.sim().At(0.035, [&cluster] { cluster.CrashSite(0); });
+  const double start = cluster.sim().now();
+  // Run until the item becomes uncertain.
+  double installed_at = -1;
+  while (cluster.sim().now() < 5.0) {
+    if (!cluster.sim().Step()) {
+      break;
+    }
+    if (installed_at < 0 &&
+        !cluster.site(1).Peek("x").value().is_certain()) {
+      installed_at = cluster.sim().now();
+    }
+  }
+  *ok = installed_at > 0 &&
+        cluster.site(1).store().locked_count() == 0;
+  return installed_at - start;
+}
+
+}  // namespace
+}  // namespace polyvalue
+
+int main() {
+  using namespace polyvalue;
+
+  bool commit_ok = false;
+  const double commit_latency = ExerciseCommitPath(&commit_ok);
+  const bool abort_ok = ExerciseAbortEdge();
+  const bool discard_ok = ExerciseComputeDiscardEdge();
+  bool poly_ok = false;
+  const double poly_latency = ExercisePolyvalueEdge(&poly_ok);
+
+  Edge edges[] = {
+      {"idle", "PREPARE received", "compute",
+       "lock items, compute results", commit_ok},
+      {"compute", "results computed promptly (WRITE_REQ)", "wait",
+       "send READY to coordinator", commit_ok},
+      {"compute", "failure prevents prompt computation / ABORT", "idle",
+       "discard computation", discard_ok && abort_ok},
+      {"wait", "COMPLETE received", "idle", "install results", commit_ok},
+      {"wait", "ABORT received", "idle", "discard results", abort_ok},
+      {"wait", "neither received promptly (timeout)", "idle",
+       "install POLYVALUES for updated items", poly_ok},
+  };
+
+  std::printf("Figure 1: The Update Protocol States — regenerated from "
+              "the running engine\n\n");
+  std::printf("%-9s %-45s %-9s %s\n", "state", "trigger", "next", "action");
+  std::printf("%.*s\n", 100,
+              "-----------------------------------------------------------"
+              "---------------------------------------------");
+  bool all = true;
+  for (const Edge& edge : edges) {
+    std::printf("%-9s %-45s %-9s %s %s\n", edge.from, edge.trigger, edge.to,
+                edge.action, edge.exercised ? "[exercised OK]" : "[FAILED]");
+    all &= edge.exercised;
+  }
+
+  std::printf("\nPath latencies (virtual time, 10 ms links, wait timeout "
+              "50 ms):\n");
+  std::printf("  commit path  (idle->compute->wait->idle): %5.0f ms\n",
+              commit_latency * 1e3);
+  std::printf("  in-doubt path (… wait --timeout--> idle + polyvalue "
+              "install): %5.0f ms\n",
+              poly_latency * 1e3);
+  std::printf("\n%s\n", all ? "All six Figure-1 edges exercised by the real "
+                              "protocol engine."
+                            : "SOME EDGES FAILED — see above.");
+  return all ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Ablation: the in-doubt window length (wait_timeout).
+//
+// §6 notes the polyvalue mechanism "can be combined with other atomic
+// distributed update protocols to decrease the chance that polyvalues
+// will be created." The engine's wait_timeout is exactly that dial: it
+// is how long a participant behaves like blocking 2PC before switching
+// to polyvalues.
+//
+//   wait_timeout -> 0     : polyvalues on the slightest hiccup
+//                           (max availability, max polyvalue churn);
+//   wait_timeout -> inf   : classic blocking 2PC.
+//
+// The sweep reports, for a fixed flapping-coordinator schedule, how the
+// choice trades lock-hold time against polyvalue creation — the
+// combined-protocol design space the conclusion sketches.
+#include <cstdio>
+
+#include "src/baseline/workload.h"
+
+namespace polyvalue {
+namespace {
+
+WorkloadParams BaseParams(double wait_timeout) {
+  WorkloadParams p;
+  p.sites = 4;
+  p.accounts_per_site = 24;
+  p.initial_balance = 1000;
+  p.txn_rate = 80;
+  p.duration = 40;
+  p.settle_time = 30;
+  p.crash_site = 0;
+  p.crash_time = 4;
+  p.recover_time = 6;  // 2 s outages
+  p.crash_cycles = 10;
+  p.up_gap = 1.0;
+  p.seed = 4321;
+  p.min_delay = 0.01;
+  p.max_delay = 0.02;
+  p.engine.prepare_timeout = 0.3;
+  p.engine.ready_timeout = 0.3;
+  p.engine.wait_timeout = wait_timeout;
+  p.engine.inquiry_interval = 0.25;
+  p.engine.policy = InDoubtPolicy::kPolyvalue;
+  return p;
+}
+
+}  // namespace
+}  // namespace polyvalue
+
+int main() {
+  using namespace polyvalue;
+  std::printf("Ablation: in-doubt window length (wait_timeout) under a "
+              "flapping coordinator\n");
+  std::printf("(polyvalue policy throughout; wait_timeout -> inf "
+              "degenerates to blocking 2PC)\n\n");
+  std::printf("%-12s | %-9s %-9s | %-9s %-10s %-7s\n", "window (s)",
+              "out.comm", "commit%", "poly-inst", "uncertain", "drift");
+  std::printf("%.*s\n", 66,
+              "-----------------------------------------------------------"
+              "-------");
+  for (double window : {0.05, 0.1, 0.2, 0.5, 1.0, 3.0}) {
+    const WorkloadReport r = RunTransferWorkload(BaseParams(window));
+    const double commit_pct =
+        r.outage_submitted == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(r.outage_committed) /
+                  static_cast<double>(r.outage_submitted);
+    std::printf("%-12.2f | %-9llu %-9.1f | %-9llu %-10llu %-7lld\n", window,
+                static_cast<unsigned long long>(r.outage_committed),
+                commit_pct,
+                static_cast<unsigned long long>(r.polyvalue_installs),
+                static_cast<unsigned long long>(r.uncertain_outputs),
+                static_cast<long long>(r.conservation_drift));
+  }
+  std::printf(
+      "\nExpected shape: shorter windows create more polyvalues and commit\n"
+      "at least as much during outages; longer windows converge on the\n"
+      "blocking baseline (fewer installs, availability paid in lock-hold\n"
+      "time). Drift is always 0 — the dial trades performance, never\n"
+      "correctness. This is the §6 'combine with other protocols' space.\n");
+  return 0;
+}

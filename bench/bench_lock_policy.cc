@@ -1,0 +1,107 @@
+// Ablation: lock-conflict policy under contention (no-wait vs wait-die).
+//
+// The engine resolves PREPARE lock conflicts either by immediate refusal
+// (kNoWait — the simplest deadlock-free discipline) or by wait-die
+// queuing (kWaitDie — older transactions wait for younger holders,
+// younger ones die; waits only point old→young so deadlock remains
+// impossible). This bench sweeps contention (transactions per second
+// against a small hot set, with simulated computation widening the lock
+// hold time) and reports goodput under each policy.
+#include <cstdio>
+#include <string>
+
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+namespace {
+
+struct Outcome {
+  int committed = 0;
+  int aborted = 0;
+  uint64_t waits = 0;
+  uint64_t resumes = 0;
+};
+
+Outcome Run(LockWaitPolicy policy, double rate, int hot_items) {
+  SimCluster::Options options;
+  options.site_count = 3;
+  options.engine.lock_wait = policy;
+  options.engine.prepare_timeout = 3.0;
+  options.engine.ready_timeout = 3.0;
+  options.engine.execution_delay = 0.05;  // 50 ms of computation per txn
+  options.engine.enable_local_fast_path = false;
+  options.min_delay = 0.005;
+  options.max_delay = 0.005;
+  options.seed = 9;
+  SimCluster cluster(options);
+  for (int a = 0; a < hot_items; ++a) {
+    cluster.Load(1, "acct" + std::to_string(a), Value::Int(1000));
+  }
+  Rng rng(1234);
+  Outcome outcome;
+  std::function<void()> pump = [&] {
+    if (cluster.sim().now() > 30.0) {
+      return;
+    }
+    cluster.sim().After(rng.NextExponential(1.0 / rate), [&] {
+      pump();
+      const int from = rng.NextBelow(hot_items);
+      int to = rng.NextBelow(hot_items);
+      if (to == from) {
+        to = (to + 1) % hot_items;
+      }
+      TxnSpec spec;
+      const ItemKey from_key = "acct" + std::to_string(from);
+      const ItemKey to_key = "acct" + std::to_string(to);
+      spec.ReadWrite(from_key, cluster.site_id(1));
+      spec.ReadWrite(to_key, cluster.site_id(1));
+      spec.Logic([from_key, to_key](const TxnReads& reads) {
+        TxnEffect e;
+        e.writes[from_key] = Value::Int(reads.IntAt(from_key) - 1);
+        e.writes[to_key] = Value::Int(reads.IntAt(to_key) + 1);
+        return e;
+      });
+      cluster.Submit(rng.NextBelow(3), std::move(spec),
+                     [&outcome](const TxnResult& r) {
+                       r.committed() ? ++outcome.committed
+                                     : ++outcome.aborted;
+                     });
+    });
+  };
+  pump();
+  cluster.RunFor(60.0);
+  const EngineMetrics m = cluster.TotalMetrics();
+  outcome.waits = m.lock_waits;
+  outcome.resumes = m.lock_wait_resumes;
+  return outcome;
+}
+
+}  // namespace
+}  // namespace polyvalue
+
+int main() {
+  using namespace polyvalue;
+  std::printf("Lock-conflict policy under contention (8 hot items, 50 ms "
+              "computation,\n30 s offered load; no client retries — raw "
+              "first-attempt goodput)\n\n");
+  std::printf("%-8s | %-22s | %-30s\n", "", "no-wait", "wait-die");
+  std::printf("%-8s | %-10s %-10s | %-10s %-10s %-8s\n", "txn/s",
+              "commit", "abort", "commit", "abort", "waits");
+  std::printf("%.*s\n", 66,
+              "-----------------------------------------------------------"
+              "-------");
+  for (double rate : {5.0, 10.0, 20.0, 40.0}) {
+    const Outcome no_wait = Run(LockWaitPolicy::kNoWait, rate, 8);
+    const Outcome wait_die = Run(LockWaitPolicy::kWaitDie, rate, 8);
+    std::printf("%-8.0f | %-10d %-10d | %-10d %-10d %-8llu\n", rate,
+                no_wait.committed, no_wait.aborted, wait_die.committed,
+                wait_die.aborted,
+                static_cast<unsigned long long>(wait_die.waits));
+  }
+  std::printf(
+      "\nExpected shape: as contention rises, wait-die converts a slice "
+      "of the\nno-wait aborts into successful (delayed) commits — the "
+      "classic goodput\nwin of ordered waiting, with deadlock-freedom "
+      "preserved by construction.\n");
+  return 0;
+}

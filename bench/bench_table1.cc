@@ -1,0 +1,76 @@
+// Regenerates Table 1 of the paper: "Typical Predictions of the Number
+// of Polyvalues in a Database" — the steady-state P for a grid of
+// (U, F, I, R, Y, D) parameter settings, from the §4.1 closed form
+//     P = U·F·I / (I·R + U·Y − U·D).
+//
+// Output: one row per parameter set with the paper's printed value (where
+// the archival scan is legible) next to ours. See EXPERIMENTS.md for the
+// row-by-row comparison.
+#include <cmath>
+#include <cstdio>
+
+#include "src/model/analytic.h"
+
+namespace polyvalue {
+namespace {
+
+void PrintTable1() {
+  std::printf("Table 1: Typical Predictions of the Number of Polyvalues "
+              "in a Database\n");
+  std::printf("%-4s %-7s %-10s %-7s %-3s %-3s | %-9s %-9s %s\n", "U", "F",
+              "I", "R", "Y", "D", "paper P", "model P", "note");
+  std::printf("%.*s\n", 78,
+              "-----------------------------------------------------------"
+              "--------------------");
+  for (const Table1Row& row : Table1Rows()) {
+    const Prediction pred = Predict(row.params);
+    char paper[16];
+    if (std::isnan(row.paper_value)) {
+      std::snprintf(paper, sizeof(paper), "   —");
+    } else {
+      std::snprintf(paper, sizeof(paper), "%7.2f", row.paper_value);
+    }
+    char model[16];
+    if (!pred.stable) {
+      std::snprintf(model, sizeof(model), "   inf*");
+    } else {
+      std::snprintf(model, sizeof(model), "%7.2f", pred.steady_state);
+    }
+    std::printf("%-4.0f %-7.4f %-10.0f %-7.4f %-3.0f %-3.0f | %-9s %-9s %s\n",
+                row.params.updates_per_second,
+                row.params.failure_probability, row.params.items,
+                row.params.recovery_rate, row.params.overwrite_probability,
+                row.params.dependency_degree, paper, model, row.note);
+  }
+  std::printf("\n(*) IR + UY − UD <= 0: the first-order model diverges; the "
+              "paper notes such\n    parameter choices are outside the "
+              "region where one would operate the system.\n");
+}
+
+void PrintTransientDemo() {
+  // The decay the paper's solution predicts after a burst of failures.
+  ModelParams p;
+  p.updates_per_second = 10;
+  p.failure_probability = 1e-4;
+  p.items = 1e6;
+  p.recovery_rate = 1e-3;
+  p.overwrite_probability = 0;
+  p.dependency_degree = 1;
+  const Prediction pred = Predict(p);
+  std::printf("\nTransient P(t) after a burst leaves P(0) = 100 "
+              "(typical parameters, P_inf = %.2f):\n",
+              pred.steady_state);
+  std::printf("%-10s %-10s\n", "t (s)", "P(t)");
+  for (double t : {0.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0}) {
+    std::printf("%-10.0f %-10.2f\n", t, TransientP(p, 100.0, t));
+  }
+}
+
+}  // namespace
+}  // namespace polyvalue
+
+int main() {
+  polyvalue::PrintTable1();
+  polyvalue::PrintTransientDemo();
+  return 0;
+}

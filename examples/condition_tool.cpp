@@ -1,0 +1,139 @@
+// Condition calculator: explore the paper's condition algebra from the
+// command line.
+//
+// Usage:
+//   condition_tool 'T1·¬T2 + T3'                 # canonicalise (Blake form)
+//   condition_tool 'T1&T2 + T1&!T2'              # consensus collapses to T1
+//   condition_tool 'T1 + !T1'                    # tautology -> true
+//   condition_tool --implies 'T1&T2' 'T1'        # implication check
+//   condition_tool --disjoint 'T1' '!T1'         # disjointness check
+//   condition_tool --assume T1=commit 'T1·T2 + ¬T1·T3'   # §3.3 reduction
+//
+// ASCII operators are accepted: & or * for AND, ! or ~ for NOT, + for OR.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/condition/bdd.h"
+#include "src/condition/parser.h"
+
+using namespace polyvalue;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void Describe(const Condition& c) {
+  std::printf("canonical (Blake) form : %s\n", c.ToString().c_str());
+  std::printf("terms                  : %zu\n", c.terms().size());
+  const std::vector<TxnId> vars = c.Variables();
+  std::printf("transactions           : ");
+  if (vars.empty()) {
+    std::printf("(none)\n");
+  } else {
+    for (size_t i = 0; i < vars.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", ToString(vars[i]).c_str());
+    }
+    std::printf("\n");
+  }
+  if (!vars.empty()) {
+    std::printf("satisfying outcomes    : %llu / %llu\n",
+                static_cast<unsigned long long>(c.CountModels(vars)),
+                static_cast<unsigned long long>(1ULL << vars.size()));
+  }
+  std::printf("tautology              : %s\n",
+              c.IsTautology() ? "yes" : "no");
+  std::printf("unsatisfiable          : %s\n", c.is_false() ? "yes" : "no");
+  // Cross-check against the BDD oracle.
+  BddManager bdd;
+  const BddRef compiled = bdd.FromCondition(c);
+  std::printf("BDD nodes              : %zu (oracle agrees: %s)\n",
+              bdd.node_count() - 2,
+              bdd.FromCondition(bdd.ToCondition(compiled)) == compiled
+                  ? "yes"
+                  : "NO — bug!");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s [--implies A B | --disjoint A B | "
+                 "--assume Tn=commit|abort EXPR | EXPR]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const std::string mode = argv[1];
+  if (mode == "--implies" || mode == "--disjoint") {
+    if (argc != 4) {
+      std::fprintf(stderr, "%s needs two expressions\n", mode.c_str());
+      return 2;
+    }
+    const Result<Condition> a = ParseCondition(argv[2]);
+    if (!a.ok()) {
+      return Fail(a.status());
+    }
+    const Result<Condition> b = ParseCondition(argv[3]);
+    if (!b.ok()) {
+      return Fail(b.status());
+    }
+    if (mode == "--implies") {
+      std::printf("(%s) implies (%s): %s\n", a->ToString().c_str(),
+                  b->ToString().c_str(),
+                  a->Implies(b.value()) ? "yes" : "no");
+    } else {
+      std::printf("(%s) disjoint with (%s): %s\n", a->ToString().c_str(),
+                  b->ToString().c_str(),
+                  a->DisjointWith(b.value()) ? "yes" : "no");
+    }
+    return 0;
+  }
+
+  if (mode == "--assume") {
+    if (argc != 4) {
+      std::fprintf(stderr, "--assume needs Tn=commit|abort and EXPR\n");
+      return 2;
+    }
+    const std::string assignment = argv[2];
+    const size_t eq = assignment.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad assignment '%s'\n", assignment.c_str());
+      return 2;
+    }
+    const Result<Condition> var =
+        ParseCondition(assignment.substr(0, eq));
+    if (!var.ok() || var->Variables().size() != 1) {
+      std::fprintf(stderr, "bad transaction in '%s'\n", assignment.c_str());
+      return 2;
+    }
+    const std::string verdict = assignment.substr(eq + 1);
+    const bool committed = verdict == "commit" || verdict == "true";
+    if (!committed && verdict != "abort" && verdict != "false") {
+      std::fprintf(stderr, "verdict must be commit|abort\n");
+      return 2;
+    }
+    const Result<Condition> expr = ParseCondition(argv[3]);
+    if (!expr.ok()) {
+      return Fail(expr.status());
+    }
+    const Condition reduced =
+        expr->Assume(var->Variables().front(), committed);
+    std::printf("%s with %s %s:\n  %s\n", expr->ToString().c_str(),
+                ToString(var->Variables().front()).c_str(),
+                committed ? "committed" : "aborted",
+                reduced.ToString().c_str());
+    return 0;
+  }
+
+  const Result<Condition> c = ParseCondition(argv[1]);
+  if (!c.ok()) {
+    return Fail(c.status());
+  }
+  Describe(c.value());
+  return 0;
+}

@@ -1,0 +1,115 @@
+// §5 worked example: electronic funds transfer / credit authorisation.
+//
+// "Such transactions depend very loosely on the state of the database in
+//  that the important effect depends only on the fact that the relevant
+//  accounts contain enough funds, not on exactly how much."
+//
+// A card network authorises purchases against an account whose balance
+// is uncertain (an in-doubt debit is outstanding). Authorisations check
+// the WORST-CASE balance, so customers are served promptly and the bank
+// never over-extends — whichever way the stranded debit resolves.
+//
+// Build & run:  ./build/examples/funds_transfer
+#include <cstdio>
+
+#include "src/system/cluster.h"
+
+using namespace polyvalue;
+
+namespace {
+
+TxnSpec Purchase(const ItemKey& account, SiteId site, int64_t amount) {
+  TxnSpec spec;
+  spec.ReadWrite(account, site);
+  spec.Logic([account, amount](const TxnReads& reads) {
+    const int64_t balance = reads.IntAt(account);
+    if (balance < amount) {
+      TxnEffect declined;
+      declined.output = Value::Str("DECLINED");
+      return declined;
+    }
+    TxnEffect approved;
+    approved.writes[account] = Value::Int(balance - amount);
+    approved.output = Value::Str("APPROVED");
+    return approved;
+  });
+  return spec;
+}
+
+TxnSpec Debit(const ItemKey& account, SiteId site, int64_t amount) {
+  TxnSpec spec;
+  spec.ReadWrite(account, site);
+  spec.Logic([account, amount](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes[account] = Value::Int(reads.IntAt(account) - amount);
+    return e;
+  });
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  SimCluster::Options options;
+  options.site_count = 3;
+  options.engine.wait_timeout = 0.05;
+  options.engine.inquiry_interval = 0.2;
+  options.min_delay = 0.01;
+  options.max_delay = 0.01;
+  SimCluster cluster(options);
+  const SiteId bank = cluster.site_id(1);
+
+  cluster.Load(1, "acct/carol", Value::Int(500));
+  std::printf("carol's account: 500\n\n");
+
+  // A 150-unit debit (say, a cheque clearing against another bank) is
+  // stranded by a coordinator failure.
+  std::printf("a 150-unit debit is stranded by a failure...\n");
+  cluster.Submit(0, Debit("acct/carol", bank, 150), [](const TxnResult&) {});
+  cluster.sim().At(0.035, [&cluster] { cluster.CrashSite(0); });
+  cluster.RunFor(0.3);
+  const PolyValue balance = cluster.site(1).Peek("acct/carol").value();
+  std::printf("balance is now %s — worst case %s, best case %s\n\n",
+              balance.ToString().c_str(),
+              balance.MinPossible().value().ToString().c_str(),
+              balance.MaxPossible().value().ToString().c_str());
+
+  // Purchases keep flowing during the outage.
+  struct Tx {
+    const char* what;
+    int64_t amount;
+  };
+  const Tx purchases[] = {{"coffee", 4},
+                          {"groceries", 61},
+                          {"bicycle", 210},
+                          {"rent", 400}};
+  std::printf("%-12s %-8s %-38s %s\n", "purchase", "amount",
+              "balance before", "card network says");
+  for (const Tx& tx : purchases) {
+    const std::string before =
+        cluster.site(1).Peek("acct/carol").value().ToString();
+    const auto result =
+        cluster.SubmitAndRun(2, Purchase("acct/carol", bank, tx.amount));
+    cluster.RunFor(0.2);
+    std::string verdict = "unavailable";
+    if (result.has_value() && result->committed()) {
+      verdict = result->output.is_certain()
+                    ? result->output.certain_value().string_value()
+                    : "UNCERTAIN — hold for resolution (" +
+                          result->output.ToString() + ")";
+    }
+    std::printf("%-12s %-8lld %-38s %s\n", tx.what,
+                static_cast<long long>(tx.amount), before.c_str(),
+                verdict.c_str());
+  }
+
+  // Resolve: the failed coordinator returns; presumed abort cancels the
+  // stranded debit and the account snaps back to a definite balance.
+  std::printf("\nthe failed bank site recovers...\n");
+  cluster.RecoverSite(0);
+  cluster.RunFor(2.0);
+  std::printf("final balance: %s (all approved purchases applied; the "
+              "stranded debit aborted)\n",
+              cluster.site(1).Peek("acct/carol").value().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,217 @@
+// Interactive cluster REPL: drive a simulated polyvalue cluster by hand.
+//
+//   $ ./build/examples/polyvalue_repl [site_count]
+//   poly> load 1 alice 100          # put item on site 1
+//   poly> transfer 0 alice bob 30   # coordinator 0 moves 30 alice->bob
+//   poly> crash 0                   # crash a site
+//   poly> run 0.5                   # advance virtual time 0.5 s
+//   poly> peek alice                # show an item (polyvalues and all)
+//   poly> stats                     # per-site summary
+//   poly> await alice                # §3.4: print alice once certain
+//   poly> recover 0
+//   poly> help / quit
+//
+// Reads commands from stdin; a scripted session can be piped in (the
+// repository's tests do exactly that).
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/system/cluster.h"
+
+using namespace polyvalue;
+
+namespace {
+
+class Repl {
+ public:
+  explicit Repl(size_t sites) : cluster_(MakeOptions(sites)) {}
+
+  static SimCluster::Options MakeOptions(size_t sites) {
+    SimCluster::Options options;
+    options.site_count = sites;
+    options.engine.wait_timeout = 0.05;
+    options.engine.inquiry_interval = 0.2;
+    options.min_delay = 0.01;
+    options.max_delay = 0.01;
+    return options;
+  }
+
+  int Run(std::istream& in, bool interactive) {
+    std::string line;
+    while (true) {
+      if (interactive) {
+        std::printf("poly[t=%.2fs]> ", cluster_.sim().now());
+        std::fflush(stdout);
+      }
+      if (!std::getline(in, line)) {
+        break;
+      }
+      if (!Dispatch(line)) {
+        break;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  bool Dispatch(const std::string& line) {
+    std::istringstream iss(line);
+    std::string cmd;
+    if (!(iss >> cmd) || cmd[0] == '#') {
+      return true;
+    }
+    if (cmd == "quit" || cmd == "exit") {
+      return false;
+    }
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "load") {
+      size_t site;
+      std::string key;
+      int64_t value;
+      if (iss >> site >> key >> value && site < cluster_.size()) {
+        cluster_.Load(site, key, Value::Int(value));
+        owner_[key] = site;
+        std::printf("loaded %s=%lld at site %zu\n", key.c_str(),
+                    static_cast<long long>(value), site);
+      } else {
+        std::printf("usage: load <site> <key> <int>\n");
+      }
+    } else if (cmd == "peek") {
+      std::string key;
+      if (!(iss >> key)) {
+        std::printf("usage: peek <key>\n");
+        return true;
+      }
+      auto it = owner_.find(key);
+      if (it == owner_.end()) {
+        std::printf("unknown item '%s'\n", key.c_str());
+        return true;
+      }
+      const auto value = cluster_.site(it->second).Peek(key);
+      std::printf("%s = %s\n", key.c_str(),
+                  value.ok() ? value.value().ToString().c_str()
+                             : value.status().ToString().c_str());
+    } else if (cmd == "await") {
+      std::string key;
+      if (!(iss >> key) || !owner_.count(key)) {
+        std::printf("usage: await <key>\n");
+        return true;
+      }
+      Site& site = cluster_.site(owner_[key]);
+      const auto value = site.Peek(key);
+      if (!value.ok()) {
+        std::printf("%s\n", value.status().ToString().c_str());
+        return true;
+      }
+      site.AwaitCertain(value.value(), [key](const Value& v) {
+        std::printf("  [await %s -> %s]\n", key.c_str(),
+                    v.ToString().c_str());
+      });
+      if (!value.value().is_certain()) {
+        std::printf("withheld until its transactions resolve (§3.4); "
+                    "'run' + 'recover' to trigger\n");
+      }
+    } else if (cmd == "transfer") {
+      size_t coordinator;
+      std::string from, to;
+      int64_t amount;
+      if (!(iss >> coordinator >> from >> to >> amount) ||
+          coordinator >= cluster_.size() || !owner_.count(from) ||
+          !owner_.count(to)) {
+        std::printf("usage: transfer <coord_site> <from> <to> <amount>\n");
+        return true;
+      }
+      TxnSpec spec;
+      spec.ReadWrite(from, cluster_.site_id(owner_[from]));
+      spec.ReadWrite(to, cluster_.site_id(owner_[to]));
+      spec.Logic([from, to, amount](const TxnReads& reads) {
+        const int64_t have = reads.IntAt(from);
+        if (have < amount) {
+          return TxnEffect::Abort("insufficient funds");
+        }
+        TxnEffect e;
+        e.writes[from] = Value::Int(have - amount);
+        e.writes[to] = Value::Int(reads.IntAt(to) + amount);
+        return e;
+      });
+      const TxnId txn = cluster_.Submit(
+          coordinator, std::move(spec), [](const TxnResult& r) {
+            std::printf("  [%s %s%s]\n", ToString(r.id).c_str(),
+                        r.committed() ? "committed" : "aborted",
+                        r.abort_reason.empty()
+                            ? ""
+                            : (": " + r.abort_reason).c_str());
+          });
+      std::printf("submitted %s (run time to see it settle)\n",
+                  ToString(txn).c_str());
+    } else if (cmd == "run") {
+      double seconds = 1.0;
+      iss >> seconds;
+      cluster_.RunFor(seconds);
+      std::printf("advanced to t=%.2fs\n", cluster_.sim().now());
+    } else if (cmd == "crash") {
+      size_t site;
+      if (iss >> site && site < cluster_.size()) {
+        cluster_.CrashSite(site);
+        std::printf("site %zu down\n", site);
+      }
+    } else if (cmd == "recover") {
+      size_t site;
+      if (iss >> site && site < cluster_.size()) {
+        cluster_.RecoverSite(site);
+        std::printf("site %zu up\n", site);
+      }
+    } else if (cmd == "stats") {
+      for (size_t s = 0; s < cluster_.size(); ++s) {
+        const Site::Stats stats = cluster_.site(s).GetStats();
+        std::printf(
+            "site %zu%s: items=%zu uncertain=%zu locks=%zu tracked=%zu "
+            "committed=%llu aborted=%llu poly-installs=%llu\n", s,
+            cluster_.site(s).crashed() ? " (DOWN)" : "", stats.items,
+            stats.uncertain_items, stats.locked_items,
+            stats.tracked_transactions,
+            static_cast<unsigned long long>(stats.engine.txns_committed),
+            static_cast<unsigned long long>(stats.engine.txns_aborted),
+            static_cast<unsigned long long>(
+                stats.engine.polyvalue_installs));
+      }
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  void Help() {
+    std::printf(
+        "commands:\n"
+        "  load <site> <key> <int>            seed an item\n"
+        "  transfer <coord> <from> <to> <amt> submit a transfer\n"
+        "  peek <key>                         show an item's (poly)value\n"
+        "  run [seconds]                      advance virtual time\n"
+        "  await <key>                        deliver value once certain\n"
+        "  crash <site> / recover <site>      failure injection\n"
+        "  stats                              per-site summary\n"
+        "  quit\n");
+  }
+
+  SimCluster cluster_;
+  std::unordered_map<std::string, size_t> owner_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t sites = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3;
+  Repl repl(sites == 0 ? 3 : sites);
+  const bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::printf("polyvalue cluster REPL — %zu sites (try 'help')\n",
+                sites);
+  }
+  return repl.Run(std::cin, interactive);
+}

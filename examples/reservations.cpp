@@ -1,0 +1,104 @@
+// §5 worked example: an airline reservation system.
+//
+// "If the number of reservations granted is a polyvalue, then a new
+//  reservation can be granted so long as the largest value in that
+//  polyvalue is less than the number of available seats."
+//
+// A booking desk keeps selling seats while the seat counter is uncertain
+// (a failure stranded an earlier booking): every alternative agrees
+// there is room, so each sale gets an immediate, definite YES. Only when
+// the plane approaches full do answers turn uncertain — and the desk can
+// then choose to wait or to quote the uncertainty to the customer
+// (§3.4's two options).
+//
+// Build & run:  ./build/examples/reservations
+#include <cstdio>
+
+#include "src/system/cluster.h"
+
+using namespace polyvalue;
+
+namespace {
+
+constexpr int64_t kCapacity = 100;
+
+TxnSpec BookSeat(SiteId counter_site) {
+  TxnSpec spec;
+  spec.ReadWrite("flight42/seats_taken", counter_site);
+  spec.Logic([](const TxnReads& reads) {
+    const int64_t taken = reads.IntAt("flight42/seats_taken");
+    if (taken >= kCapacity) {
+      TxnEffect sold_out;
+      sold_out.output = Value::Bool(false);
+      return sold_out;
+    }
+    TxnEffect grant;
+    grant.writes["flight42/seats_taken"] = Value::Int(taken + 1);
+    grant.output = Value::Bool(true);
+    return grant;
+  });
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  SimCluster::Options options;
+  options.site_count = 3;
+  options.engine.wait_timeout = 0.05;
+  options.engine.inquiry_interval = 0.2;
+  options.min_delay = 0.01;
+  options.max_delay = 0.01;
+  SimCluster cluster(options);
+  const SiteId counter_site = cluster.site_id(1);
+
+  cluster.Load(1, "flight42/seats_taken", Value::Int(95));
+  std::printf("flight 42: capacity %lld, seats taken 95\n\n",
+              static_cast<long long>(kCapacity));
+
+  // A booking is stranded by a coordinator failure: the counter becomes
+  // the polyvalue {96 if T; 95 if ¬T}.
+  std::printf("a booking gets stranded by a site failure...\n");
+  cluster.Submit(0, BookSeat(counter_site), [](const TxnResult&) {});
+  cluster.sim().At(0.035, [&cluster] { cluster.CrashSite(0); });
+  cluster.RunFor(0.3);
+  std::printf("seat counter is now: %s\n\n",
+              cluster.site(1)
+                  .Peek("flight42/seats_taken")
+                  .value()
+                  .ToString()
+                  .c_str());
+
+  // The desk keeps selling.
+  std::printf("%-6s %-34s %s\n", "sale", "counter before", "answer");
+  for (int sale = 1; sale <= 6; ++sale) {
+    const std::string before =
+        cluster.site(1).Peek("flight42/seats_taken").value().ToString();
+    const auto result = cluster.SubmitAndRun(2, BookSeat(counter_site));
+    cluster.RunFor(0.2);
+    std::string answer;
+    if (!result.has_value() || !result->committed()) {
+      answer = "UNAVAILABLE";
+    } else if (result->output.is_certain()) {
+      answer = result->output.certain_value().bool_value()
+                   ? "GRANTED (definite)"
+                   : "SOLD OUT (definite)";
+    } else {
+      answer = "UNCERTAIN: " + result->output.ToString();
+    }
+    std::printf("%-6d %-34s %s\n", sale, before.c_str(), answer.c_str());
+  }
+
+  // Recover the failed site: the stranded booking resolves (presumed
+  // abort) and the counter collapses to a simple value.
+  std::printf("\nrecovering the failed site...\n");
+  cluster.RecoverSite(0);
+  cluster.RunFor(2.0);
+  std::printf("seat counter after recovery: %s (certain again)\n",
+              cluster.site(1)
+                  .Peek("flight42/seats_taken")
+                  .value()
+                  .ToString()
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Running the full stack over real TCP sockets.
+//
+// Three sites, each with its own epoll-driven loopback endpoint, a
+// write-ahead log on disk, and the same engine the simulator drives —
+// demonstrating that the protocol implementation is a real networked
+// system, not simulator-only code. Performs a distributed transfer, then
+// restarts one site from its WAL and shows the data survived.
+//
+// Build & run:  ./build/examples/tcp_cluster
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "src/net/tcp_transport.h"
+#include "src/system/site.h"
+
+using namespace polyvalue;
+
+int main() {
+  TcpTransport transport;
+  ThreadScheduler scheduler;
+
+  const std::string wal_dir = "/tmp/polyvalue_tcp_demo";
+  (void)std::system(("rm -rf " + wal_dir + " && mkdir -p " + wal_dir).c_str());
+
+  auto make_site = [&](int index) {
+    Site::Options options;
+    options.engine.prepare_timeout = 2.0;
+    options.engine.ready_timeout = 2.0;
+    options.engine.wait_timeout = 0.5;
+    options.engine.inquiry_interval = 0.2;
+    options.wal_path = wal_dir + "/site" + std::to_string(index) + ".wal";
+    return std::make_unique<Site>(SiteId(index), &transport, &scheduler,
+                                  options);
+  };
+
+  auto s1 = make_site(1);
+  auto s2 = make_site(2);
+  auto s3 = make_site(3);
+  for (Site* site : {s1.get(), s2.get(), s3.get()}) {
+    const Status started = site->Start();
+    if (!started.ok()) {
+      std::printf("site failed to start: %s\n", started.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("three sites listening on 127.0.0.1 ports %u / %u / %u\n",
+              transport.PortOf(SiteId(1)), transport.PortOf(SiteId(2)),
+              transport.PortOf(SiteId(3)));
+
+  // Seed data durably (through transactions so the WAL records it).
+  auto run = [&](Site* coordinator, TxnSpec spec) {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<TxnResult> result;
+    coordinator->Submit(std::move(spec), [&](const TxnResult& r) {
+      std::lock_guard<std::mutex> lock(mu);
+      result = r;
+      cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(10),
+                [&result] { return result.has_value(); });
+    return result;
+  };
+
+  TxnSpec seed;
+  seed.Write("alice", SiteId(2));
+  seed.Write("bob", SiteId(3));
+  seed.Logic([](const TxnReads&) {
+    TxnEffect e;
+    e.writes["alice"] = Value::Int(100);
+    e.writes["bob"] = Value::Int(50);
+    return e;
+  });
+  auto seeded = run(s1.get(), std::move(seed));
+  std::printf("seeded accounts: %s\n",
+              seeded.has_value() && seeded->committed() ? "ok" : "FAILED");
+
+  TxnSpec transfer;
+  transfer.ReadWrite("alice", SiteId(2));
+  transfer.ReadWrite("bob", SiteId(3));
+  transfer.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes["alice"] = Value::Int(reads.IntAt("alice") - 30);
+    e.writes["bob"] = Value::Int(reads.IntAt("bob") + 30);
+    return e;
+  });
+  auto moved = run(s1.get(), std::move(transfer));
+  std::printf("transfer over TCP: %s\n",
+              moved.has_value() && moved->committed() ? "COMMITTED"
+                                                      : "FAILED");
+  // Allow COMPLETEs to land.
+  for (int i = 0; i < 100; ++i) {
+    const auto alice = s2->Peek("alice");
+    if (alice.ok() && alice.value().is_certain() &&
+        alice.value().certain_value() == Value::Int(70)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::printf("alice = %s, bob = %s\n",
+              s2->Peek("alice").value().ToString().c_str(),
+              s3->Peek("bob").value().ToString().c_str());
+
+  // Restart site 2 from its WAL: the balance must survive.
+  std::printf("\nrestarting site 2 from its write-ahead log...\n");
+  s2.reset();
+  s2 = make_site(2);
+  if (!s2->Start().ok()) {
+    std::printf("restart failed\n");
+    return 1;
+  }
+  s2->engine().Recover();
+  std::printf("alice after restart = %s (recovered from %s)\n",
+              s2->Peek("alice").value().ToString().c_str(),
+              (wal_dir + "/site2.wal").c_str());
+
+  std::printf("\ntotal frames over TCP this run: %llu sent, %llu "
+              "delivered\n",
+              static_cast<unsigned long long>(transport.packets_sent()),
+              static_cast<unsigned long long>(transport.packets_delivered()));
+  return 0;
+}

@@ -1,0 +1,209 @@
+#include "src/baseline/engine_validation.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/strings.h"
+#include "src/txn/messages.h"
+
+namespace polyvalue {
+
+namespace {
+
+ItemKey KeyOf(uint64_t item) { return StrCat("i", item); }
+
+}  // namespace
+
+EngineValidationReport RunEngineValidation(
+    const EngineValidationParams& params) {
+  SimCluster::Options options;
+  options.site_count = params.sites;
+  options.seed = params.seed;
+  options.min_delay = 0.002;
+  options.max_delay = 0.004;
+  options.engine.prepare_timeout = 0.2;
+  options.engine.ready_timeout = 0.2;
+  // Short in-doubt window so a stranded transaction becomes a polyvalue
+  // promptly (the paper's model counts an item uncertain from the moment
+  // of the failure).
+  options.engine.wait_timeout = 0.05;
+  // Inquiry much faster than recovery: the outage length is governed by
+  // the injected Exp(1/R), not by polling granularity.
+  options.engine.inquiry_interval =
+      std::min(0.5, 0.1 / params.recovery_rate);
+  // Every update must run the distributed protocol (strandable).
+  options.engine.enable_local_fast_path = false;
+  SimCluster cluster(options);
+
+  // Load the database.
+  for (uint64_t item = 0; item < params.items; ++item) {
+    cluster.Load(item % params.sites, KeyOf(item), Value::Int(0));
+  }
+
+  // --- per-transaction failure injection -----------------------------
+  // First time a COMPLETE/ABORT for txn passes the filter gate, decide
+  // (pseudo-randomly, from the txn id) whether this transaction fails;
+  // failed transactions get a recovery deadline Exp(1/R) in the future,
+  // and every outcome-bearing message for them is dropped until then.
+  struct Strand {
+    double recover_at;
+  };
+  std::unordered_map<uint64_t, Strand> strands;
+  std::unordered_set<uint64_t> evaluated;
+  uint64_t stranded_count = 0;
+  Rng fault_rng(params.seed ^ 0x5deece66dULL);
+  Simulator& sim = cluster.sim();
+
+  cluster.transport().set_filter([&](const Packet& packet) {
+    // Cheap peek: only decode protocol messages once (tag + txn live at
+    // the head of the encoding).
+    const Result<Message> msg = Message::Decode(packet.payload);
+    if (!msg.ok()) {
+      return true;
+    }
+    const MsgType type = msg->type;
+    if (type != MsgType::kComplete && type != MsgType::kAbort &&
+        type != MsgType::kOutcomeReply && type != MsgType::kOutcomeNotify) {
+      return true;
+    }
+    const uint64_t txn = msg->txn.value();
+    // Only COMMIT decisions can strand an update into a polyvalue (an
+    // aborted transaction installs nothing); evaluating F on commits
+    // keeps the injected failure rate aligned with the model's F.
+    if (type == MsgType::kComplete && evaluated.insert(txn).second) {
+      if (fault_rng.NextBool(params.failure_probability)) {
+        ++stranded_count;
+        strands[txn] = {sim.now() +
+                        fault_rng.NextExponential(1.0 /
+                                                  params.recovery_rate)};
+      }
+    }
+    auto it = strands.find(txn);
+    if (it != strands.end() && sim.now() < it->second.recover_at) {
+      return false;  // outcome unreachable: the failure is outstanding
+    }
+    return true;
+  });
+
+  // --- workload -------------------------------------------------------
+  EngineValidationReport report;
+  Rng workload_rng(params.seed * 2654435761ULL + 1);
+  const double horizon = params.warmup_seconds + params.measure_seconds;
+
+  std::function<void()> pump = [&] {
+    if (sim.now() > horizon) {
+      return;
+    }
+    sim.After(workload_rng.NextExponential(1.0 /
+                                           params.updates_per_second),
+              [&] {
+                pump();
+                // Target item + d extra read items.
+                const uint64_t target =
+                    workload_rng.NextBelow(params.items);
+                const double draw = workload_rng.NextExponential(
+                    std::max(params.dependency_degree, 1e-9));
+                uint64_t d = params.dependency_degree <= 0.0
+                                 ? 0
+                                 : static_cast<uint64_t>(draw);
+                if (params.dependency_degree > 0.0 &&
+                    workload_rng.NextBool(
+                        draw - static_cast<double>(
+                                   static_cast<uint64_t>(draw)))) {
+                  ++d;
+                }
+                const bool overwrite = workload_rng.NextBool(
+                    params.overwrite_probability);
+                const int64_t salt = workload_rng.NextInt(1, 1000);
+
+                TxnSpec spec;
+                const ItemKey target_key = KeyOf(target);
+                spec.Write(target_key,
+                           cluster.site_id(target % params.sites));
+                if (!overwrite) {
+                  spec.Read(target_key,
+                            cluster.site_id(target % params.sites));
+                }
+                std::vector<ItemKey> dep_keys;
+                for (uint64_t k = 0; k < d; ++k) {
+                  const uint64_t dep = workload_rng.NextBelow(params.items);
+                  if (dep == target) {
+                    continue;
+                  }
+                  const ItemKey key = KeyOf(dep);
+                  spec.Read(key, cluster.site_id(dep % params.sites));
+                  dep_keys.push_back(key);
+                }
+                spec.Logic([target_key, dep_keys, overwrite,
+                            salt](const TxnReads& reads) {
+                  int64_t acc = salt;
+                  for (const ItemKey& key : dep_keys) {
+                    acc += reads.IntAt(key);
+                  }
+                  if (!overwrite) {
+                    acc += reads.IntAt(target_key);
+                  }
+                  TxnEffect e;
+                  e.writes[target_key] = Value::Int(acc % 1000000);
+                  return e;
+                });
+
+                ++report.submitted;
+                const size_t coordinator =
+                    workload_rng.NextBelow(params.sites);
+                cluster.Submit(coordinator, std::move(spec),
+                               [&report](const TxnResult& r) {
+                                 if (r.committed()) {
+                                   ++report.committed;
+                                 } else {
+                                   ++report.aborted;
+                                 }
+                               });
+              });
+  };
+  pump();
+
+  // --- P(t) sampling ---------------------------------------------------
+  double sample_sum = 0;
+  uint64_t sample_count = 0;
+  std::function<void()> sample = [&] {
+    if (sim.now() > horizon) {
+      return;
+    }
+    if (sim.now() >= params.warmup_seconds) {
+      const double p =
+          static_cast<double>(cluster.TotalUncertainItems());
+      sample_sum += p;
+      ++sample_count;
+      report.peak_uncertain_items =
+          std::max(report.peak_uncertain_items, p);
+    }
+    sim.After(params.sample_interval, sample);
+  };
+  sample();
+
+  cluster.RunFor(horizon + 1.0);
+
+  report.avg_uncertain_items =
+      sample_count == 0 ? 0.0 : sample_sum / sample_count;
+  report.stranded = stranded_count;
+  const EngineMetrics metrics = cluster.TotalMetrics();
+  report.polyvalue_installs = metrics.polyvalue_installs;
+  report.polytxns = metrics.polytxns;
+  report.effective_update_rate =
+      static_cast<double>(report.committed) /
+      (params.warmup_seconds + params.measure_seconds);
+
+  ModelParams model;
+  model.updates_per_second = report.effective_update_rate;
+  model.failure_probability = params.failure_probability;
+  model.items = static_cast<double>(params.items);
+  model.recovery_rate = params.recovery_rate;
+  model.overwrite_probability = params.overwrite_probability;
+  model.dependency_degree = params.dependency_degree;
+  const Prediction pred = Predict(model);
+  report.model_prediction = pred.stable ? pred.steady_state : -1;
+  return report;
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,61 @@
+// End-to-end validation of the §4.1 model against the REAL engine.
+//
+// The paper validates its polyvalue-count model with an abstract
+// simulation (§4.2, our src/sim). This harness goes further: it drives
+// the actual protocol stack — two-phase commit, wait timeouts, polyvalue
+// installs, polytransactions, outcome inquiry — under a workload shaped
+// exactly like the paper's (U updates/s, each writing one random item and
+// reading d ~ Exp(D) others, self-dependency with probability 1−Y), with
+// per-transaction failures injected by dropping the transaction's
+// COMPLETE/outcome messages for an Exp(1/R) recovery period (a targeted
+// SimTransport filter — whole-site crashes cannot express independent
+// per-update failures).
+//
+// If the implementation is faithful, the measured average number of
+// uncertain items matches P = UFI/(IR + UY − UD) — the same comparison
+// as Table 2, but with every layer of the real system in the loop.
+#ifndef SRC_BASELINE_ENGINE_VALIDATION_H_
+#define SRC_BASELINE_ENGINE_VALIDATION_H_
+
+#include <cstdint>
+
+#include "src/model/analytic.h"
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+
+struct EngineValidationParams {
+  size_t sites = 8;
+  uint64_t items = 2000;               // I, spread round-robin over sites
+  double updates_per_second = 10;      // U (offered)
+  double failure_probability = 0.01;   // F (per-txn outcome-message loss)
+  double recovery_rate = 0.05;         // R (1/mean outage per failed txn)
+  double dependency_degree = 1;        // D (extra read items, exp. mean)
+  double overwrite_probability = 0;    // Y (new value ignores old value)
+  double warmup_seconds = 30;
+  double measure_seconds = 120;
+  double sample_interval = 0.25;       // P(t) sampling cadence
+  uint64_t seed = 1;
+};
+
+struct EngineValidationReport {
+  double avg_uncertain_items = 0;  // measured P
+  double peak_uncertain_items = 0;
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t stranded = 0;           // txns whose outcome messages were cut
+  uint64_t polyvalue_installs = 0;
+  uint64_t polytxns = 0;
+  // Effective parameters measured from the run, and the model evaluated
+  // at them.
+  double effective_update_rate = 0;  // committed updates per second
+  double model_prediction = 0;
+};
+
+EngineValidationReport RunEngineValidation(
+    const EngineValidationParams& params);
+
+}  // namespace polyvalue
+
+#endif  // SRC_BASELINE_ENGINE_VALIDATION_H_

@@ -1,0 +1,213 @@
+#include "src/baseline/workload.h"
+
+#include <sstream>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace polyvalue {
+
+namespace {
+
+ItemKey AccountKey(size_t site, size_t index) {
+  return StrCat("acct/", site, "/", index);
+}
+
+// A transfer: move `amount` from one account to another if funds allow.
+TxnSpec MakeTransfer(const ItemKey& from_key, SiteId from_site,
+                     const ItemKey& to_key, SiteId to_site, int64_t amount) {
+  TxnSpec spec;
+  spec.ReadWrite(from_key, from_site);
+  spec.ReadWrite(to_key, to_site);
+  spec.Logic([from_key, to_key, amount](const TxnReads& reads) {
+    const int64_t from_balance = reads.IntAt(from_key);
+    if (from_balance < amount) {
+      return TxnEffect::Abort("insufficient funds");
+    }
+    TxnEffect effect;
+    effect.writes[from_key] = Value::Int(from_balance - amount);
+    effect.writes[to_key] = Value::Int(reads.IntAt(to_key) + amount);
+    effect.output = Value::Bool(true);
+    return effect;
+  });
+  return spec;
+}
+
+}  // namespace
+
+std::string WorkloadReport::Summary() const {
+  std::ostringstream oss;
+  oss << "submitted=" << submitted << " committed=" << committed
+      << " aborted=" << aborted << " no_response=" << no_response
+      << " | outage: submitted=" << outage_submitted
+      << " committed=" << outage_committed
+      << " aborted=" << outage_aborted
+      << " | uncertain_outputs=" << uncertain_outputs
+      << " poly_installs=" << polyvalue_installs
+      << " drift=" << conservation_drift
+      << " certain=" << (all_items_certain ? "yes" : "NO");
+  return oss.str();
+}
+
+WorkloadReport RunTransferWorkload(const WorkloadParams& params) {
+  SimCluster::Options options;
+  options.site_count = params.sites;
+  options.engine = params.engine;
+  options.seed = params.seed;
+  options.min_delay = params.min_delay;
+  options.max_delay = params.max_delay;
+  SimCluster cluster(options);
+
+  // Seed accounts.
+  for (size_t s = 0; s < params.sites; ++s) {
+    for (size_t a = 0; a < params.accounts_per_site; ++a) {
+      cluster.Load(s, AccountKey(s, a), Value::Int(params.initial_balance));
+    }
+  }
+  const int64_t initial_total =
+      params.initial_balance *
+      static_cast<int64_t>(params.sites * params.accounts_per_site);
+
+  WorkloadReport report;
+  Rng workload_rng(params.seed ^ 0x9e3779b97f4a7c15ULL);
+  Simulator& sim = cluster.sim();
+
+  // Failure schedule: crash_cycles crash/recover cycles.
+  const double outage_length = params.recover_time - params.crash_time;
+  std::vector<std::pair<double, double>> outages;
+  for (int cycle = 0; cycle < params.crash_cycles; ++cycle) {
+    const double down_at =
+        params.crash_time + cycle * (outage_length + params.up_gap);
+    const double up_at = down_at + outage_length;
+    outages.emplace_back(down_at, up_at);
+    sim.At(down_at, [&cluster, &params] {
+      cluster.CrashSite(params.crash_site);
+    });
+    if (up_at < params.duration + params.settle_time) {
+      sim.At(up_at, [&cluster, &params] {
+        cluster.RecoverSite(params.crash_site);
+      });
+    }
+  }
+  auto in_any_outage = [&outages](double t) {
+    for (const auto& [down, up] : outages) {
+      if (t >= down && t < up) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Offered load: exponential interarrivals until `duration`.
+  uint64_t outstanding = 0;
+  std::function<void()> schedule_next = [&]() {
+    const double gap = workload_rng.NextExponential(1.0 / params.txn_rate);
+    const double at = sim.now() + gap;
+    if (at > params.duration) {
+      return;
+    }
+    sim.At(at, [&]() {
+      schedule_next();
+      const bool in_outage = in_any_outage(sim.now());
+      // Pick coordinator among alive sites (clients notice a dead node).
+      size_t coordinator =
+          workload_rng.NextBelow(params.sites);
+      if (cluster.site(coordinator).crashed()) {
+        ++report.rejected_down;
+        coordinator = (coordinator + 1) % params.sites;
+        if (cluster.site(coordinator).crashed()) {
+          return;
+        }
+      }
+      // Pick two distinct accounts.
+      const size_t from_site = workload_rng.NextBelow(params.sites);
+      size_t to_site = from_site;
+      if (workload_rng.NextBool(params.cross_site_fraction)) {
+        while (to_site == from_site && params.sites > 1) {
+          to_site = workload_rng.NextBelow(params.sites);
+        }
+      }
+      const size_t from_acct =
+          workload_rng.NextBelow(params.accounts_per_site);
+      size_t to_acct = workload_rng.NextBelow(params.accounts_per_site);
+      if (from_site == to_site && to_acct == from_acct) {
+        to_acct = (to_acct + 1) % params.accounts_per_site;
+      }
+      const int64_t amount =
+          static_cast<int64_t>(workload_rng.NextInt(1, 20));
+
+      ++report.submitted;
+      if (in_outage) {
+        ++report.outage_submitted;
+      }
+      const double submit_time = sim.now();
+      ++outstanding;
+      cluster.Submit(
+          coordinator,
+          MakeTransfer(AccountKey(from_site, from_acct),
+                       cluster.site_id(from_site),
+                       AccountKey(to_site, to_acct),
+                       cluster.site_id(to_site), amount),
+          [&, submit_time, in_outage](const TxnResult& r) {
+            --outstanding;
+            const double latency = sim.now() - submit_time;
+            report.latency.Add(latency);
+            if (in_outage) {
+              report.outage_latency.Add(latency);
+            }
+            if (r.committed()) {
+              ++report.committed;
+              if (in_outage) {
+                ++report.outage_committed;
+              }
+              if (!r.output.is_certain()) {
+                ++report.uncertain_outputs;
+              }
+            } else {
+              ++report.aborted;
+              if (in_outage) {
+                ++report.outage_aborted;
+              }
+            }
+          });
+    });
+  };
+  schedule_next();
+
+  // Run offered load plus the settle window (everything heals at the
+  // start of settling so uncertainty can drain).
+  cluster.RunFor(params.duration);
+  for (size_t s = 0; s < params.sites; ++s) {
+    if (cluster.site(s).crashed()) {
+      cluster.RecoverSite(s);
+    }
+  }
+  cluster.faults().HealAll();
+  cluster.RunFor(params.settle_time);
+
+  // Audit.
+  report.no_response = outstanding;
+  report.final_uncertain_items = cluster.TotalUncertainItems();
+  report.all_items_certain = report.final_uncertain_items == 0;
+  int64_t final_total = 0;
+  bool totals_exact = true;
+  for (size_t s = 0; s < params.sites; ++s) {
+    cluster.site(s).store().ForEach(
+        [&](const ItemKey& key, const PolyValue& value) {
+          (void)key;
+          if (value.is_certain() && value.certain_value().is_int()) {
+            final_total += value.certain_value().int_value();
+          } else {
+            totals_exact = false;
+          }
+        });
+  }
+  report.conservation_drift =
+      totals_exact ? final_total - initial_total : INT64_MAX;
+  report.metrics = cluster.TotalMetrics();
+  report.polyvalue_installs = report.metrics.polyvalue_installs;
+  return report;
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,91 @@
+// Failure-injection workload harness.
+//
+// Drives a SimCluster with a funds-transfer workload while crashing and
+// recovering a coordinator site, then audits the outcome. This is the
+// machinery behind the availability benches (experiment X1 in DESIGN.md):
+// the same schedule runs under each in-doubt policy —
+//
+//   kPolyvalue : the paper's mechanism,
+//   kBlock     : classic blocking 2PC (§2.2),
+//   kArbitrary : relaxed consistency (§2.3),
+//
+// and the report quantifies what the paper argues qualitatively: commit
+// throughput while a failure is outstanding, item availability, and (for
+// kArbitrary) atomicity violations via a conservation audit — transfers
+// preserve total balance, so any drift is a violation.
+#ifndef SRC_BASELINE_WORKLOAD_H_
+#define SRC_BASELINE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/stats.h"
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+
+struct WorkloadParams {
+  size_t sites = 4;
+  size_t accounts_per_site = 32;
+  int64_t initial_balance = 1000;
+  double txn_rate = 40;       // submissions per second, cluster-wide
+  double duration = 30;       // seconds of offered load
+  double settle_time = 30;    // quiescence window after healing
+  uint64_t seed = 7;
+  EngineConfig engine;
+
+  // Failure schedule: `crash_site` goes down while coordinating traffic.
+  // With crash_cycles > 1 the site flaps: it crashes at crash_time, stays
+  // down for (recover_time - crash_time), comes back for `up_gap`
+  // seconds, and repeats — each crash instant is another chance to catch
+  // transactions in the in-doubt window.
+  size_t crash_site = 0;
+  double crash_time = 8;
+  double recover_time = 20;   // > duration disables recovery mid-run
+  int crash_cycles = 1;
+  double up_gap = 1.0;
+
+  // Fraction of transfers that cross sites (both-local otherwise).
+  double cross_site_fraction = 0.75;
+
+  // One-way link latency range (seconds). Longer links widen the
+  // vulnerable window between READY and COMPLETE, making coordinator
+  // crashes strand more participants.
+  double min_delay = 0.005;
+  double max_delay = 0.015;
+};
+
+struct WorkloadReport {
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t rejected_down = 0;     // submissions refused (site down)
+  uint64_t no_response = 0;       // callback never fired (orphaned)
+
+  // Activity inside the [crash, recover] window.
+  uint64_t outage_submitted = 0;
+  uint64_t outage_committed = 0;
+  uint64_t outage_aborted = 0;
+
+  RunningStat latency;            // seconds, completed txns
+  RunningStat outage_latency;
+
+  uint64_t uncertain_outputs = 0;
+  uint64_t polyvalue_installs = 0;
+  uint64_t final_uncertain_items = 0;  // after settle: should be 0
+
+  // Conservation audit: initial total minus final total balance. Nonzero
+  // means atomicity was violated (expected only under kArbitrary).
+  int64_t conservation_drift = 0;
+  bool all_items_certain = false;
+
+  EngineMetrics metrics;
+
+  std::string Summary() const;
+};
+
+WorkloadReport RunTransferWorkload(const WorkloadParams& params);
+
+}  // namespace polyvalue
+
+#endif  // SRC_BASELINE_WORKLOAD_H_

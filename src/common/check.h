@@ -1,0 +1,45 @@
+// CHECK-style invariant macros.
+//
+// These abort the process with a diagnostic when an internal invariant is
+// violated. They are used for programming errors only; anticipated runtime
+// failures (site down, transaction aborted, ...) travel through Status.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace polyvalue {
+
+[[noreturn]] void CheckFailure(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+}  // namespace polyvalue
+
+#define POLYV_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::polyvalue::CheckFailure(__FILE__, __LINE__, #cond, "");        \
+    }                                                                  \
+  } while (0)
+
+#define POLYV_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream _polyv_oss;                                   \
+      _polyv_oss << msg; /* NOLINT */                                  \
+      ::polyvalue::CheckFailure(__FILE__, __LINE__, #cond,             \
+                                _polyv_oss.str());                     \
+    }                                                                  \
+  } while (0)
+
+#define POLYV_CHECK_EQ(a, b) POLYV_CHECK_MSG((a) == (b), "expected equality")
+#define POLYV_CHECK_NE(a, b) POLYV_CHECK_MSG((a) != (b), "expected inequality")
+#define POLYV_CHECK_LT(a, b) POLYV_CHECK_MSG((a) < (b), "expected <")
+#define POLYV_CHECK_LE(a, b) POLYV_CHECK_MSG((a) <= (b), "expected <=")
+#define POLYV_CHECK_GT(a, b) POLYV_CHECK_MSG((a) > (b), "expected >")
+#define POLYV_CHECK_GE(a, b) POLYV_CHECK_MSG((a) >= (b), "expected >=")
+
+#endif  // SRC_COMMON_CHECK_H_

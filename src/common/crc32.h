@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial), table-driven. Used to detect torn or
+// corrupt write-ahead-log records on recovery.
+#ifndef SRC_COMMON_CRC32_H_
+#define SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace polyvalue {
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(const std::string& s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace polyvalue
+
+#endif  // SRC_COMMON_CRC32_H_

@@ -1,0 +1,60 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+
+namespace polyvalue {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::Get() {
+  static Logger* instance = new Logger();
+  return *instance;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capture_) {
+    captured_ += LogLevelName(level);
+    captured_ += ' ';
+    captured_ += message;
+    captured_ += '\n';
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
+  }
+}
+
+void Logger::set_capture(bool capture) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capture_ = capture;
+  if (!capture) {
+    captured_.clear();
+  }
+}
+
+std::string Logger::TakeCaptured() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.swap(captured_);
+  return out;
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,85 @@
+// Minimal leveled logger.
+//
+// Sites and protocol state machines log through this sink; tests can
+// capture output or silence it entirely. Thread-safe.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace polyvalue {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* LogLevelName(LogLevel level);
+
+// Process-wide logging configuration.
+class Logger {
+ public:
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Writes one formatted line; no-op when below the current level.
+  void Write(LogLevel level, const std::string& message);
+
+  // Redirect output into an internal buffer (for tests). Passing false
+  // restores stderr output and returns the captured text.
+  void set_capture(bool capture);
+  std::string TakeCaptured();
+
+ private:
+  Logger() = default;
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+  bool capture_ = false;
+  std::string captured_;
+};
+
+namespace internal {
+
+// Builds a log line with stream syntax then hands it to the Logger on
+// destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Get().Write(level_, oss_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+
+}  // namespace internal
+
+}  // namespace polyvalue
+
+#define POLYV_LOG(level_enum)                                            \
+  if (static_cast<int>(::polyvalue::Logger::Get().level()) <=            \
+      static_cast<int>(::polyvalue::LogLevel::level_enum))               \
+  ::polyvalue::internal::LogLine(::polyvalue::LogLevel::level_enum)
+
+#define POLYV_TRACE POLYV_LOG(kTrace)
+#define POLYV_DEBUG POLYV_LOG(kDebug)
+#define POLYV_INFO POLYV_LOG(kInfo)
+#define POLYV_WARN POLYV_LOG(kWarn)
+#define POLYV_ERROR POLYV_LOG(kError)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,80 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace polyvalue {
+
+double Rng::NextExponential(double mean) {
+  POLYV_CHECK_GT(mean, 0.0);
+  // Inversion; guard against log(0).
+  double u = NextDouble();
+  while (u <= 0.0) {
+    u = NextDouble();
+  }
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::NextExponentialCount(double mean) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(NextExponential(mean));
+}
+
+uint64_t Rng::NextPoisson(double mean) {
+  POLYV_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double product = NextDouble();
+    while (product > limit) {
+      ++k;
+      product *= NextDouble();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction is adequate for the
+  // large-mean regime the simulators use (arrivals per tick).
+  // Box-Muller for the normal draw.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) {
+    u1 = NextDouble();
+  }
+  const double u2 = NextDouble();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  const double sample = mean + std::sqrt(mean) * z + 0.5;
+  if (sample < 0.0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(sample);
+}
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t n, uint64_t k) {
+  POLYV_CHECK_LE(k, n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) {
+    return out;
+  }
+  // Floyd's algorithm: k iterations, O(k) expected set operations.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(k * 2);
+  for (uint64_t j = n - k; j < n; ++j) {
+    const uint64_t t = NextBelow(j + 1);
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace polyvalue

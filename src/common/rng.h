@@ -1,0 +1,117 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in the library — the §4.2 simulation, failure
+// injection, workload generators — draws from Rng so that a fixed seed
+// reproduces a run bit-for-bit. The core generator is xoshiro256**,
+// seeded through SplitMix64 (the recommended pairing from Blackman &
+// Vigna); distributions are implemented directly so results do not
+// depend on the standard library's unspecified algorithms.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace polyvalue {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256** deterministic generator with direct distribution sampling.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) {
+      word = sm.Next();
+    }
+  }
+
+  // Uniform on [0, 2^64).
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform on [0, bound). bound must be positive. Uses rejection to avoid
+  // modulo bias.
+  uint64_t NextBelow(uint64_t bound) {
+    POLYV_CHECK_GT(bound, 0u);
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = NextUint64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer on [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    POLYV_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform on [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial.
+  bool NextBool(double p_true) {
+    return NextDouble() < p_true;
+  }
+
+  // Exponential with the given mean (mean = 1 / rate). mean must be > 0.
+  double NextExponential(double mean);
+
+  // Geometric-like integer draw: floor of an exponential with given mean.
+  // Used by the §4.2 simulation to pick the read-set size d ~ Exp(D).
+  uint64_t NextExponentialCount(double mean);
+
+  // Poisson with the given mean (inversion for small means, PTRS otherwise).
+  uint64_t NextPoisson(double mean);
+
+  // Samples k distinct values from [0, n). k <= n. Order unspecified.
+  std::vector<uint64_t> SampleDistinct(uint64_t n, uint64_t k);
+
+  // Forks an independent stream (for per-site generators).
+  Rng Fork() { return Rng(NextUint64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,142 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace polyvalue {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  const double new_mean =
+      mean_ + delta * static_cast<double>(other.count_) / total;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = new_mean;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double RunningStat::variance() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::sample_variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStat::ToString() const {
+  std::ostringstream oss;
+  oss << "n=" << count_ << " mean=" << mean() << " sd=" << stddev()
+      << " min=" << min() << " max=" << max();
+  return oss.str();
+}
+
+void TimeWeightedStat::Observe(double now, double level) {
+  if (!started_) {
+    started_ = true;
+    start_time_ = now;
+    last_time_ = now;
+    return;
+  }
+  POLYV_CHECK_GE(now, last_time_);
+  weighted_sum_ += level * (now - last_time_);
+  last_time_ = now;
+}
+
+void TimeWeightedStat::Reset(double now) {
+  started_ = true;
+  start_time_ = now;
+  last_time_ = now;
+  weighted_sum_ = 0.0;
+}
+
+double TimeWeightedStat::average() const {
+  const double span = last_time_ - start_time_;
+  if (span <= 0.0) {
+    return 0.0;
+  }
+  return weighted_sum_ / span;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      buckets_(buckets + 2, 0) {
+  POLYV_CHECK_LT(lo, hi);
+  POLYV_CHECK_GT(buckets, 0u);
+}
+
+void Histogram::Add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++buckets_.front();
+  } else if (x >= hi_) {
+    ++buckets_.back();
+  } else {
+    const size_t idx = 1 + static_cast<size_t>((x - lo_) / width_);
+    ++buckets_[std::min(idx, buckets_.size() - 2)];
+  }
+}
+
+double Histogram::Percentile(double p) const {
+  POLYV_CHECK_GE(p, 0.0);
+  POLYV_CHECK_LE(p, 100.0);
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += static_cast<double>(buckets_[i]);
+    if (cumulative >= target) {
+      if (i == 0) {
+        return lo_;
+      }
+      if (i == buckets_.size() - 1) {
+        return hi_;
+      }
+      return lo_ + (static_cast<double>(i - 1) + 0.5) * width_;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream oss;
+  oss << "hist[" << lo_ << "," << hi_ << ") n=" << count_;
+  return oss.str();
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,79 @@
+// Statistics accumulators used by the simulators and benches.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace polyvalue {
+
+// Welford single-pass mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;      // population variance
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// A time-weighted average of a step function: the §4 simulation needs the
+// average *number* of polyvalues over time, which means integrating the
+// count against elapsed time, not averaging per-event samples.
+class TimeWeightedStat {
+ public:
+  // Records that the tracked quantity had value `level` from the previous
+  // observation time up to `now`.
+  void Observe(double now, double level);
+  void Reset(double now);
+
+  double average() const;
+  double elapsed() const { return last_time_ - start_time_; }
+
+ private:
+  bool started_ = false;
+  double start_time_ = 0.0;
+  double last_time_ = 0.0;
+  double weighted_sum_ = 0.0;
+};
+
+// Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  uint64_t count() const { return count_; }
+  double Percentile(double p) const;  // p in [0, 100]
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> buckets_;  // [underflow, b0..bn-1, overflow]
+  uint64_t count_ = 0;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,49 @@
+// Small string helpers used across the library.
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace polyvalue {
+
+// Concatenates stream-formattable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+  }
+}
+
+// Joins elements with a separator, using operator<< for formatting.
+template <typename Container>
+std::string StrJoin(const Container& container, const std::string& sep) {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& element : container) {
+    if (!first) {
+      oss << sep;
+    }
+    first = false;
+    oss << element;
+  }
+  return oss.str();
+}
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> StrSplit(const std::string& text, char sep);
+
+// True if `text` begins with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+// Formats a double trimming trailing zeros ("2.00" -> "2", "1.10" -> "1.1").
+std::string FormatDouble(double value, int max_decimals = 6);
+
+}  // namespace polyvalue
+
+#endif  // SRC_COMMON_STRINGS_H_

@@ -1,0 +1,219 @@
+#include "src/condition/bdd.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace polyvalue {
+
+namespace {
+constexpr uint64_t kTerminalVar = ~0ULL;  // sorts after every real variable
+}  // namespace
+
+BddManager::BddManager() {
+  nodes_.push_back({kTerminalVar, 0, 0});  // FALSE
+  nodes_.push_back({kTerminalVar, 1, 1});  // TRUE
+}
+
+BddRef BddManager::MakeNode(uint64_t var, BddRef lo, BddRef hi) {
+  if (lo == hi) {
+    return lo;  // reduction rule
+  }
+  const NodeKey key{var, lo, hi};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) {
+    return it->second;
+  }
+  const BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::Var(TxnId txn) {
+  POLYV_CHECK(txn.valid());
+  return MakeNode(txn.value(), kFalse, kTrue);
+}
+
+uint64_t BddManager::TopVar(BddRef a, BddRef b) const {
+  return std::min(nodes_[a].var, nodes_[b].var);
+}
+
+bool BddManager::ApplyTerminal(uint8_t op, BddRef a, BddRef b, BddRef* out) {
+  switch (op) {
+    case 0:  // and
+      if (a == kFalse || b == kFalse) {
+        *out = kFalse;
+        return true;
+      }
+      if (a == kTrue) {
+        *out = b;
+        return true;
+      }
+      if (b == kTrue) {
+        *out = a;
+        return true;
+      }
+      if (a == b) {
+        *out = a;
+        return true;
+      }
+      return false;
+    case 1:  // or
+      if (a == kTrue || b == kTrue) {
+        *out = kTrue;
+        return true;
+      }
+      if (a == kFalse) {
+        *out = b;
+        return true;
+      }
+      if (b == kFalse) {
+        *out = a;
+        return true;
+      }
+      if (a == b) {
+        *out = a;
+        return true;
+      }
+      return false;
+    case 2:  // xor
+      if (a == b) {
+        *out = kFalse;
+        return true;
+      }
+      if (a == kFalse) {
+        *out = b;
+        return true;
+      }
+      if (b == kFalse) {
+        *out = a;
+        return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+BddRef BddManager::Apply(uint8_t op, BddRef a, BddRef b) {
+  BddRef terminal;
+  if (ApplyTerminal(op, a, b, &terminal)) {
+    return terminal;
+  }
+  // Commutative ops: normalise operand order for better cache hits.
+  if (a > b) {
+    std::swap(a, b);
+  }
+  const OpKey key{op, a, b};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  const uint64_t var = TopVar(a, b);
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  const BddRef a_lo = (na.var == var) ? na.lo : a;
+  const BddRef a_hi = (na.var == var) ? na.hi : a;
+  const BddRef b_lo = (nb.var == var) ? nb.lo : b;
+  const BddRef b_hi = (nb.var == var) ? nb.hi : b;
+  const BddRef lo = Apply(op, a_lo, b_lo);
+  const BddRef hi = Apply(op, a_hi, b_hi);
+  const BddRef result = MakeNode(var, lo, hi);
+  cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::And(BddRef a, BddRef b) { return Apply(0, a, b); }
+BddRef BddManager::Or(BddRef a, BddRef b) { return Apply(1, a, b); }
+BddRef BddManager::Xor(BddRef a, BddRef b) { return Apply(2, a, b); }
+
+BddRef BddManager::Not(BddRef a) { return Xor(a, kTrue); }
+
+BddRef BddManager::Ite(BddRef f, BddRef g, BddRef h) {
+  return Or(And(f, g), And(Not(f), h));
+}
+
+BddRef BddManager::Restrict(BddRef f, TxnId txn, bool value) {
+  if (f <= kTrue) {
+    return f;
+  }
+  const Node node = nodes_[f];
+  if (node.var > txn.value()) {
+    return f;  // var below txn in the order: txn does not occur
+  }
+  if (node.var == txn.value()) {
+    return value ? node.hi : node.lo;
+  }
+  const BddRef lo = Restrict(node.lo, txn, value);
+  const BddRef hi = Restrict(node.hi, txn, value);
+  return MakeNode(node.var, lo, hi);
+}
+
+BddRef BddManager::FromCondition(const Condition& c) {
+  BddRef acc = kFalse;
+  for (const Term& term : c.terms()) {
+    BddRef product = kTrue;
+    for (const Literal& lit : term.literals()) {
+      const BddRef v = Var(lit.txn);
+      product = And(product, lit.positive ? v : Not(v));
+    }
+    acc = Or(acc, product);
+  }
+  return acc;
+}
+
+uint64_t BddManager::CountModels(BddRef f,
+                                 const std::vector<TxnId>& variables) {
+  std::vector<TxnId> sorted = variables;
+  std::sort(sorted.begin(), sorted.end());
+  std::unordered_map<BddRef, uint64_t> memo;
+
+  // Counts models of node `ref` over sorted[i..]; the node's variable must
+  // be >= sorted[i].
+  std::function<uint64_t(BddRef, size_t)> count = [&](BddRef ref,
+                                                      size_t i) -> uint64_t {
+    if (i == sorted.size()) {
+      POLYV_CHECK_MSG(ref <= kTrue, "variable list does not cover BDD");
+      return ref == kTrue ? 1 : 0;
+    }
+    const Node& node = nodes_[ref];
+    if (ref <= kTrue || node.var > sorted[i].value()) {
+      // Variable sorted[i] is free here: both branches count.
+      return 2 * count(ref, i + 1);
+    }
+    POLYV_CHECK_EQ(node.var, sorted[i].value());
+    return count(node.lo, i + 1) + count(node.hi, i + 1);
+  };
+  return count(f, 0);
+}
+
+Condition BddManager::ToCondition(BddRef f) {
+  if (f == kFalse) {
+    return Condition::False();
+  }
+  if (f == kTrue) {
+    return Condition::True();
+  }
+  std::vector<Term> terms;
+  std::vector<Literal> path;
+  std::function<void(BddRef)> walk = [&](BddRef ref) {
+    if (ref == kFalse) {
+      return;
+    }
+    if (ref == kTrue) {
+      terms.push_back(Term::Of(path));
+      return;
+    }
+    const Node node = nodes_[ref];
+    path.push_back({TxnId(node.var), false});
+    walk(node.lo);
+    path.back().positive = true;
+    walk(node.hi);
+    path.pop_back();
+  };
+  walk(f);
+  return Condition::Of(std::move(terms));
+}
+
+}  // namespace polyvalue

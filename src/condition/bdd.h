@@ -1,0 +1,116 @@
+// Reduced ordered binary decision diagrams over transaction identifiers.
+//
+// The SOP Condition class is the representation the paper prescribes, but
+// SOP-with-absorption is not canonical under equivalence. BddManager gives
+// exact, hash-consed semantics: two equivalent formulas always map to the
+// same node. The transaction engine uses it for fast completeness /
+// disjointness validation of installed polyvalues, and the test suite uses
+// it as an independent oracle against the SOP algebra.
+//
+// Variable order is TxnId value order. Nodes are interned in a unique
+// table; And/Or/Not/Ite results are memoised in an apply cache. Nodes are
+// never freed (managers are short-lived, scoped to one validation pass or
+// one test).
+#ifndef SRC_CONDITION_BDD_H_
+#define SRC_CONDITION_BDD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/condition/condition.h"
+
+namespace polyvalue {
+
+// Index of a node inside a BddManager. 0 = FALSE, 1 = TRUE.
+using BddRef = uint32_t;
+
+class BddManager {
+ public:
+  BddManager();
+
+  static constexpr BddRef kFalse = 0;
+  static constexpr BddRef kTrue = 1;
+
+  // The variable "txn committed".
+  BddRef Var(TxnId txn);
+
+  BddRef And(BddRef a, BddRef b);
+  BddRef Or(BddRef a, BddRef b);
+  BddRef Not(BddRef a);
+  BddRef Xor(BddRef a, BddRef b);
+  // if-then-else, the universal connective.
+  BddRef Ite(BddRef f, BddRef g, BddRef h);
+
+  // Restricts variable `txn` to a constant.
+  BddRef Restrict(BddRef f, TxnId txn, bool value);
+
+  // Compiles a SOP condition.
+  BddRef FromCondition(const Condition& c);
+
+  bool IsTautology(BddRef f) const { return f == kTrue; }
+  bool IsContradiction(BddRef f) const { return f == kFalse; }
+
+  // Number of satisfying assignments over exactly the variables in
+  // `variables` (each BDD variable used by f must appear in the list).
+  uint64_t CountModels(BddRef f, const std::vector<TxnId>& variables);
+
+  // Decompiles back to a (non-canonical) SOP condition, one term per
+  // satisfying path. Used in tests for round-trip checks.
+  Condition ToCondition(BddRef f);
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    uint64_t var;  // TxnId value; irrelevant for terminals
+    BddRef lo;     // var = false branch
+    BddRef hi;     // var = true branch
+  };
+
+  struct NodeKey {
+    uint64_t var;
+    BddRef lo;
+    BddRef hi;
+    bool operator==(const NodeKey& other) const {
+      return var == other.var && lo == other.lo && hi == other.hi;
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const {
+      size_t h = std::hash<uint64_t>()(k.var);
+      h = h * 1000003u ^ k.lo;
+      h = h * 1000003u ^ k.hi;
+      return h;
+    }
+  };
+
+  struct OpKey {
+    uint8_t op;  // 0=and 1=or 2=xor
+    BddRef a;
+    BddRef b;
+    bool operator==(const OpKey& other) const {
+      return op == other.op && a == other.a && b == other.b;
+    }
+  };
+  struct OpKeyHash {
+    size_t operator()(const OpKey& k) const {
+      return (static_cast<size_t>(k.op) << 60) ^
+             (static_cast<size_t>(k.a) * 2654435761u) ^ k.b;
+    }
+  };
+
+  BddRef MakeNode(uint64_t var, BddRef lo, BddRef hi);
+  BddRef Apply(uint8_t op, BddRef a, BddRef b);
+  static bool ApplyTerminal(uint8_t op, BddRef a, BddRef b, BddRef* out);
+  uint64_t TopVar(BddRef a, BddRef b) const;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
+  std::unordered_map<OpKey, BddRef, OpKeyHash> cache_;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_CONDITION_BDD_H_

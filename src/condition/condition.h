@@ -1,0 +1,203 @@
+// Boolean conditions over transaction identifiers (§3 of the paper).
+//
+// Every polyvalue pair ⟨v, c⟩ carries a condition c: a predicate whose
+// variables are transaction identifiers, true exactly when v is the
+// current value. The paper prescribes reduction to sum-of-products form
+// (§3.1, simplification rule 3); Condition keeps that normal form
+// canonicalised at all times:
+//
+//   * a Term is a conjunction of literals (T or ¬T), sorted by id, with
+//     no repeated transaction (a contradictory term T·¬T is dropped at
+//     construction);
+//   * a Condition is a set of Terms, sorted, deduplicated, and absorbed
+//     (a term that is a superset of another term's literals is redundant
+//     and removed);
+//   * TRUE is the single empty term; FALSE is the empty term set.
+//
+// Canonical SOP with absorption is not a decision procedure for
+// equivalence (x + ¬x stays as two terms), so the semantic queries —
+// IsTautology / Implies / EquivalentTo / DisjointWith — are answered
+// exactly by Shannon expansion over the (small) variable set. The BDD
+// engine in bdd.h provides an independent oracle used by the tests.
+#ifndef SRC_CONDITION_CONDITION_H_
+#define SRC_CONDITION_CONDITION_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace polyvalue {
+
+// One literal: a transaction identifier, possibly negated. "T7" means
+// transaction 7 committed; "¬T7" means it aborted.
+struct Literal {
+  TxnId txn;
+  bool positive = true;
+
+  friend bool operator==(const Literal& a, const Literal& b) {
+    return a.txn == b.txn && a.positive == b.positive;
+  }
+  friend bool operator<(const Literal& a, const Literal& b) {
+    if (a.txn != b.txn) {
+      return a.txn < b.txn;
+    }
+    return a.positive < b.positive;
+  }
+};
+
+// A conjunction of literals over distinct transactions.
+class Term {
+ public:
+  // The empty term, i.e. TRUE.
+  Term() = default;
+
+  // Builds a term from literals. Returns a contradictory marker (see
+  // is_contradiction) if some transaction appears with both polarities.
+  static Term Of(std::vector<Literal> literals);
+
+  // Singleton terms.
+  static Term Committed(TxnId txn) { return Of({{txn, true}}); }
+  static Term Aborted(TxnId txn) { return Of({{txn, false}}); }
+
+  bool is_true() const { return !contradiction_ && literals_.empty(); }
+  bool is_contradiction() const { return contradiction_; }
+  const std::vector<Literal>& literals() const { return literals_; }
+  size_t size() const { return literals_.size(); }
+
+  // Conjunction of two terms (may be contradictory).
+  static Term And(const Term& a, const Term& b);
+
+  // Polarity of `txn` in this term, or nullopt-like: 0 = absent,
+  // +1 = positive, -1 = negative.
+  int PolarityOf(TxnId txn) const;
+
+  // Substitutes an outcome for `txn`: committed=true removes a positive
+  // literal / contradicts a negative one, and vice versa.
+  // Returns the reduced term.
+  Term Assume(TxnId txn, bool committed) const;
+
+  // True if this term's literal set is a subset of other's (so this term
+  // absorbs other: this OR other == this).
+  bool Subsumes(const Term& other) const;
+
+  // Evaluates under a complete assignment (missing variables default to
+  // the map's absence meaning "don't care": only literals present in the
+  // term are consulted; every one must be satisfied).
+  bool Evaluate(const std::unordered_map<TxnId, bool>& outcomes) const;
+
+  bool operator==(const Term& other) const {
+    return contradiction_ == other.contradiction_ &&
+           literals_ == other.literals_;
+  }
+  bool operator<(const Term& other) const;
+
+  std::string ToString() const;
+  size_t Hash() const;
+
+ private:
+  std::vector<Literal> literals_;  // sorted by txn id, distinct txns
+  bool contradiction_ = false;
+};
+
+// Canonical sum-of-products condition.
+class Condition {
+ public:
+  // FALSE (no terms).
+  Condition() = default;
+
+  static Condition True() { return Condition({Term()}); }
+  static Condition False() { return Condition(); }
+
+  // Atomic conditions: "T committed" / "T aborted".
+  static Condition Committed(TxnId txn) {
+    return Condition({Term::Committed(txn)});
+  }
+  static Condition Aborted(TxnId txn) {
+    return Condition({Term::Aborted(txn)});
+  }
+
+  // Builds from arbitrary terms (canonicalises).
+  static Condition Of(std::vector<Term> terms);
+
+  bool is_true() const {
+    return terms_.size() == 1 && terms_[0].is_true();
+  }
+  bool is_false() const { return terms_.empty(); }
+  const std::vector<Term>& terms() const { return terms_; }
+
+  // Structural connectives (canonicalising).
+  static Condition And(const Condition& a, const Condition& b);
+  static Condition Or(const Condition& a, const Condition& b);
+  static Condition Not(const Condition& a);
+
+  // Substitutes the now-known outcome of `txn` and re-simplifies: this is
+  // the §3.3 reduction step applied when a failure is recovered.
+  Condition Assume(TxnId txn, bool committed) const;
+
+  // All transactions mentioned (sorted ascending).
+  std::vector<TxnId> Variables() const;
+
+  // True if no transaction identifier appears (condition is TRUE or FALSE).
+  bool IsGround() const { return Variables().empty(); }
+
+  // Evaluates under a complete assignment of outcomes. Transactions not in
+  // the map are treated as a CHECK failure — the caller must supply every
+  // variable.
+  bool Evaluate(const std::unordered_map<TxnId, bool>& outcomes) const;
+
+  // --- Exact semantic queries (Shannon expansion) ---
+  bool IsTautology() const;
+  bool Implies(const Condition& other) const;
+  bool EquivalentTo(const Condition& other) const;
+  // a ∧ b unsatisfiable?
+  bool DisjointWith(const Condition& other) const;
+
+  // Number of satisfying assignments over the union variable set of size
+  // `total_vars` (used by tests; total_vars >= |Variables()|).
+  uint64_t CountModels(const std::vector<TxnId>& variables) const;
+
+  bool operator==(const Condition& other) const {
+    return terms_ == other.terms_;
+  }
+  bool operator!=(const Condition& other) const { return !(*this == other); }
+
+  // "T1·¬T2 + T3", "true", "false".
+  std::string ToString() const;
+  size_t Hash() const;
+
+ private:
+  explicit Condition(std::vector<Term> terms) : terms_(std::move(terms)) {
+    Canonicalize();
+  }
+
+  void Canonicalize();
+
+  std::vector<Term> terms_;  // sorted, absorbed; empty == FALSE
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Condition& c) {
+  return os << c.ToString();
+}
+
+// Verifies the paper's §3 invariant on a set of conditions: they must be
+// *complete* (their disjunction is a tautology) and *disjoint* (pairwise
+// unsatisfiable conjunctions). Exact.
+bool ConditionsCompleteAndDisjoint(const std::vector<Condition>& conditions);
+
+}  // namespace polyvalue
+
+namespace std {
+template <>
+struct hash<polyvalue::Condition> {
+  size_t operator()(const polyvalue::Condition& c) const noexcept {
+    return c.Hash();
+  }
+};
+}  // namespace std
+
+#endif  // SRC_CONDITION_CONDITION_H_

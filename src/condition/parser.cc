@@ -1,0 +1,146 @@
+#include "src/condition/parser.h"
+
+#include <cctype>
+
+#include "src/common/ids.h"
+#include "src/common/strings.h"
+
+namespace polyvalue {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Condition> Parse() {
+    SkipSpace();
+    if (Consume("true")) {
+      SkipSpace();
+      POLYV_RETURN_IF_ERROR(ExpectEnd());
+      return Condition::True();
+    }
+    if (Consume("false")) {
+      SkipSpace();
+      POLYV_RETURN_IF_ERROR(ExpectEnd());
+      return Condition::False();
+    }
+    std::vector<Term> terms;
+    for (;;) {
+      POLYV_ASSIGN_OR_RETURN(Term term, ParseTerm());
+      terms.push_back(std::move(term));
+      SkipSpace();
+      if (!ConsumeChar('+')) {
+        break;
+      }
+    }
+    POLYV_RETURN_IF_ERROR(ExpectEnd());
+    return Condition::Of(std::move(terms));
+  }
+
+ private:
+  Result<Term> ParseTerm() {
+    std::vector<Literal> literals;
+    for (;;) {
+      POLYV_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+      literals.push_back(lit);
+      SkipSpace();
+      if (!ConsumeChar('&') && !ConsumeChar('*') && !Consume("·")) {
+        break;
+      }
+    }
+    return Term::Of(std::move(literals));
+  }
+
+  Result<Literal> ParseLiteral() {
+    SkipSpace();
+    bool positive = true;
+    if (ConsumeChar('!') || ConsumeChar('~') || Consume("¬")) {
+      positive = false;
+      SkipSpace();
+    }
+    if (!ConsumeChar('T')) {
+      return ParseError("expected 'T'");
+    }
+    POLYV_ASSIGN_OR_RETURN(uint64_t first, ParseNumber());
+    uint64_t id = first;
+    if (ConsumeChar('.')) {
+      POLYV_ASSIGN_OR_RETURN(uint64_t seq, ParseNumber());
+      if (first >= (1ULL << (64 - kTxnSiteShift)) ||
+          seq >= (1ULL << kTxnSiteShift)) {
+        return ParseError("site.seq out of range");
+      }
+      id = (first << kTxnSiteShift) | seq;
+    }
+    if (id == TxnId::kInvalid) {
+      return ParseError("invalid transaction id");
+    }
+    return Literal{TxnId(id), positive};
+  }
+
+  Result<uint64_t> ParseNumber() {
+    if (pos_ >= text_.size() || !std::isdigit(Peek())) {
+      return ParseError("expected digits");
+    }
+    uint64_t value = 0;
+    while (pos_ < text_.size() && std::isdigit(Peek())) {
+      const uint64_t digit = static_cast<uint64_t>(Peek() - '0');
+      if (value > (UINT64_MAX - digit) / 10) {
+        return ParseError("number overflow");
+      }
+      value = value * 10 + digit;
+      ++pos_;
+    }
+    return value;
+  }
+
+  Status ExpectEnd() {
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError(
+          StrCat("trailing input at offset ", pos_, " in '", text_, "'"));
+    }
+    return OkStatus();
+  }
+
+  Status ParseError(const std::string& what) {
+    return InvalidArgumentError(
+        StrCat(what, " at offset ", pos_, " in '", text_, "'"));
+  }
+
+  char Peek() const { return text_[pos_]; }
+
+  bool ConsumeChar(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Consume(const std::string& token) {
+    if (text_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Condition> ParseCondition(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,26 @@
+// Text form parser for conditions.
+//
+// Accepts the same grammar the printer emits, plus ASCII conveniences:
+//
+//   condition := 'true' | 'false' | term ('+' term)*
+//   term      := literal (('·' | '&' | '*') literal)*
+//   literal   := ('¬' | '!' | '~')? txn
+//   txn       := 'T' digits ['.' digits]      (site.seq or raw id)
+//
+// Whitespace is free. Parsing canonicalises, so
+// ParseCondition(c.ToString()) == c for every condition c.
+#ifndef SRC_CONDITION_PARSER_H_
+#define SRC_CONDITION_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/condition/condition.h"
+
+namespace polyvalue {
+
+Result<Condition> ParseCondition(const std::string& text);
+
+}  // namespace polyvalue
+
+#endif  // SRC_CONDITION_PARSER_H_

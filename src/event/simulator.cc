@@ -1,0 +1,76 @@
+#include "src/event/simulator.h"
+
+namespace polyvalue {
+
+Simulator::EventId Simulator::At(SimTime when, Action action) {
+  POLYV_CHECK_MSG(when >= now_, "scheduling into the past: " << when
+                                << " < " << now_);
+  const EventId id = next_id_++;
+  queue_.push({when, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  ++live_events_;
+  return id;
+}
+
+Simulator::EventId Simulator::After(SimTime delay, Action action) {
+  POLYV_CHECK_GE(delay, 0.0);
+  return At(now_ + delay, std::move(action));
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = actions_.find(id);
+  if (it == actions_.end()) {
+    return false;
+  }
+  actions_.erase(it);
+  --live_events_;
+  return true;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    auto it = actions_.find(entry.id);
+    if (it == actions_.end()) {
+      continue;  // cancelled
+    }
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    --live_events_;
+    now_ = entry.when;
+    ++events_processed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty()) {
+    // Skip cancelled heads without advancing time.
+    const Entry& head = queue_.top();
+    if (actions_.find(head.id) == actions_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (head.when > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void Simulator::RunAll(uint64_t max_events) {
+  uint64_t executed = 0;
+  while (Step()) {
+    POLYV_CHECK_MSG(++executed <= max_events,
+                    "simulator exceeded event budget (" << max_events
+                    << ") — livelock?");
+  }
+}
+
+}  // namespace polyvalue

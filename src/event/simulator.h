@@ -1,0 +1,85 @@
+// Discrete-event simulation kernel.
+//
+// Both analysis tracks of the paper run on this kernel: the cluster
+// simulation that drives the protocol state machines through failures,
+// and the §4.2 stochastic polyvalue birth/death simulation. Time is a
+// double in seconds (matching the paper's parameter units: updates per
+// second, failures recovered per second). Events at equal times fire in
+// scheduling order, so a run is a pure function of (program, seed).
+#ifndef SRC_EVENT_SIMULATOR_H_
+#define SRC_EVENT_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace polyvalue {
+
+using SimTime = double;
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  // Token that identifies a scheduled event so it can be cancelled.
+  using EventId = uint64_t;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `action` at absolute time `when` (>= now).
+  EventId At(SimTime when, Action action);
+
+  // Schedules `action` `delay` seconds from now.
+  EventId After(SimTime delay, Action action);
+
+  // Cancels a pending event. Returns false if it already fired or was
+  // already cancelled. Cancellation is O(1) (lazy: the queue entry stays
+  // but becomes a no-op).
+  bool Cancel(EventId id);
+
+  // Runs the next event. Returns false when the queue is empty.
+  bool Step();
+
+  // Runs events until the queue empties or the next event is after
+  // `deadline`; time advances to `deadline` at most.
+  void RunUntil(SimTime deadline);
+
+  // Runs everything; CHECK-fails after `max_events` as a runaway guard.
+  void RunAll(uint64_t max_events = 100'000'000);
+
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending() const { return live_events_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;  // FIFO tie-break for equal times
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  size_t live_events_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // id -> action; erased on fire/cancel. Entries without a mapping are
+  // cancelled.
+  std::unordered_map<EventId, Action> actions_;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_EVENT_SIMULATOR_H_

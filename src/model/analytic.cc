@@ -1,0 +1,83 @@
+#include "src/model/analytic.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace polyvalue {
+
+std::string ModelParams::ToString() const {
+  std::ostringstream oss;
+  oss << "U=" << updates_per_second << " F=" << failure_probability
+      << " I=" << items << " R=" << recovery_rate
+      << " Y=" << overwrite_probability << " D=" << dependency_degree;
+  return oss.str();
+}
+
+Prediction Predict(const ModelParams& p) {
+  Prediction out;
+  const double denominator = p.items * p.recovery_rate +
+                             p.updates_per_second * p.overwrite_probability -
+                             p.updates_per_second * p.dependency_degree;
+  out.decay_rate = denominator / p.items;
+  out.stable = denominator > 0;
+  if (!out.stable) {
+    out.steady_state = std::numeric_limits<double>::infinity();
+    out.saturation = 1.0;
+    return out;
+  }
+  out.steady_state =
+      p.updates_per_second * p.failure_probability * p.items / denominator;
+  out.saturation = out.steady_state / p.items;
+  return out;
+}
+
+double TransientP(const ModelParams& params, double p0, double t) {
+  const Prediction pred = Predict(params);
+  if (!pred.stable) {
+    // P'(t) = UF - kP with k <= 0: solve directly.
+    const double k = pred.decay_rate;
+    const double uf =
+        params.updates_per_second * params.failure_probability;
+    if (k == 0) {
+      return p0 + uf * t;
+    }
+    return (uf / k) + (p0 - uf / k) * std::exp(-k * t);
+  }
+  return pred.steady_state +
+         (p0 - pred.steady_state) * std::exp(-pred.decay_rate * t);
+}
+
+std::vector<Table1Row> Table1Rows() {
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  std::vector<Table1Row> rows;
+  auto add = [&rows](double u, double f, double i, double r, double y,
+                     double d, double paper, const char* note) {
+    ModelParams p;
+    p.updates_per_second = u;
+    p.failure_probability = f;
+    p.items = i;
+    p.recovery_rate = r;
+    p.overwrite_probability = y;
+    p.dependency_degree = d;
+    rows.push_back({p, paper, note});
+  };
+  // First row: the paper's "typical database".
+  add(10, 1e-4, 1e6, 1e-3, 0, 1, 1.01, "typical database");
+  // Remaining rows vary individual parameters (reconstructed grid; the
+  // archival scan of Table 1 is partially illegible — rows whose printed
+  // P could not be read carry NaN and are reported computed-only).
+  add(100, 1e-4, 1e6, 1e-3, 0, 1, 11.11, "U x10");
+  add(10, 1e-4, 1e5, 1e-3, 0, 1, 1.11, "I /10");
+  add(10, 1e-4, 1e5, 1e-3, 0, 5, 2.00, "I /10, D=5");
+  add(10, 1e-4, 1e5, 1e-3, 1, 1, 1.00, "I /10, Y=1");
+  add(10, 1e-4, 2e4, 1e-3, 0, 1, 2.00, "I /50");
+  add(10, 1e-3, 1e6, 1e-3, 0, 1, 10.10, "F x10");
+  add(10, 5e-3, 1e6, 1e-3, 0, 1, 50.50, "F x50");
+  add(10, 1e-4, 1e6, 1e-4, 0, 1, 11.11, "R /10 (print: 11.00)");
+  add(10, 1e-4, 1e6, 1e-3, 0, 10, kNaN, "D=10 (scan illegible)");
+  add(10, 1e-4, 1e6, 1e-4, 0, 10, kNaN, "R /10, D=10: near-critical");
+  return rows;
+}
+
+}  // namespace polyvalue

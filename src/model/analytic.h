@@ -1,0 +1,71 @@
+// The §4.1 birth–death model of polyvalue counts.
+//
+// With parameters
+//   U  updates per second
+//   F  probability an update fails (creating a polyvalue)
+//   I  items in the database
+//   R  proportion of outstanding failures recovered per second
+//   Y  probability an update's new value ignores the previous value
+//   D  mean number of items a new value depends on
+//
+// the paper's first-order balance is
+//
+//   P'(t) = U·F + U·D·P/I − U·Y·P/I − R·P  =  U·F − k·P,
+//   k = (I·R + U·Y − U·D) / I,
+//
+// giving the steady state  P∞ = U·F·I / (I·R + U·Y − U·D)  and the
+// transient  P(t) = P∞ + (P0 − P∞)·e^{−k·t}.  The solution is only
+// meaningful while P ≪ I and k > 0; Prediction reports both caveats
+// instead of hiding them (§4.1 discusses exactly this).
+#ifndef SRC_MODEL_ANALYTIC_H_
+#define SRC_MODEL_ANALYTIC_H_
+
+#include <string>
+#include <vector>
+
+namespace polyvalue {
+
+struct ModelParams {
+  double updates_per_second = 10;     // U
+  double failure_probability = 1e-4;  // F
+  double items = 1e6;                 // I
+  double recovery_rate = 1e-3;        // R
+  double overwrite_probability = 0;   // Y
+  double dependency_degree = 1;       // D
+
+  std::string ToString() const;
+};
+
+struct Prediction {
+  // Steady-state expected polyvalue count (infinity when unstable).
+  double steady_state = 0;
+  // Exponential decay rate k; 1/k is the time constant.
+  double decay_rate = 0;
+  // k > 0: perturbations shrink back to the steady state.
+  bool stable = false;
+  // steady_state / I — the model is only trustworthy when this is small.
+  double saturation = 0;
+};
+
+// Evaluates the closed-form model.
+Prediction Predict(const ModelParams& params);
+
+// P(t) from initial count p0 (uses the transient solution; for an
+// unstable system this grows without bound, as the paper warns).
+double TransientP(const ModelParams& params, double p0, double t);
+
+// One row of Table 1: parameters plus the paper's printed P where the
+// archival copy is legible (NaN where it is not; see EXPERIMENTS.md).
+struct Table1Row {
+  ModelParams params;
+  double paper_value;  // NaN = illegible in the source scan
+  const char* note;
+};
+
+// The Table 1 parameter grid (first row = "typical database", remaining
+// rows vary one parameter each, reconstructed from the paper).
+std::vector<Table1Row> Table1Rows();
+
+}  // namespace polyvalue
+
+#endif  // SRC_MODEL_ANALYTIC_H_

@@ -1,0 +1,166 @@
+#include "src/net/mem_transport.h"
+
+#include "src/common/strings.h"
+
+namespace polyvalue {
+
+MemTransport::MemTransport(FaultPlan* faults, uint64_t seed)
+    : faults_(faults), send_rng_(seed) {}
+
+MemTransport::~MemTransport() {
+  std::unordered_map<SiteId, std::unique_ptr<Mailbox>> boxes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    boxes.swap(mailboxes_);
+  }
+  for (auto& [site, box] : boxes) {
+    {
+      std::lock_guard<std::mutex> lock(box->mu);
+      box->stopping = true;
+    }
+    box->cv.notify_all();
+    if (box->dispatcher.joinable()) {
+      box->dispatcher.join();
+    }
+  }
+}
+
+Status MemTransport::Register(SiteId site, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mailboxes_.count(site)) {
+    return AlreadyExistsError(StrCat("site ", site, " already registered"));
+  }
+  auto box = std::make_unique<Mailbox>();
+  box->handler = std::move(handler);
+  Mailbox* raw = box.get();
+  box->dispatcher = std::thread([this, raw] { DispatchLoop(raw); });
+  mailboxes_.emplace(site, std::move(box));
+  return OkStatus();
+}
+
+Status MemTransport::Unregister(SiteId site) {
+  std::unique_ptr<Mailbox> box;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = mailboxes_.find(site);
+    if (it == mailboxes_.end()) {
+      return NotFoundError(StrCat("site ", site, " not registered"));
+    }
+    box = std::move(it->second);
+    mailboxes_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->stopping = true;
+  }
+  box->cv.notify_all();
+  if (box->dispatcher.joinable()) {
+    box->dispatcher.join();
+  }
+  return OkStatus();
+}
+
+Status MemTransport::Send(Packet packet) {
+  std::chrono::microseconds delay(0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++packets_sent_;
+    if (mailboxes_.find(packet.from) == mailboxes_.end()) {
+      return InvalidArgumentError(
+          StrCat("sender ", packet.from, " not registered"));
+    }
+    if (faults_ != nullptr) {
+      if (!faults_->ShouldDeliver(packet.from, packet.to, &send_rng_)) {
+        return OkStatus();  // dropped
+      }
+      delay = std::chrono::microseconds(
+          static_cast<int64_t>(faults_->SampleDelay(&send_rng_) * 1e6));
+    }
+  }
+  std::lock_guard<std::mutex> outer(mu_);
+  auto it = mailboxes_.find(packet.to);
+  if (it == mailboxes_.end()) {
+    return OkStatus();  // receiver does not exist: drop
+  }
+  Mailbox* box = it->second.get();
+  {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->queue.push(
+        {std::chrono::steady_clock::now() + delay, next_seq_++,
+         std::move(packet)});
+  }
+  box->cv.notify_one();
+  return OkStatus();
+}
+
+void MemTransport::DispatchLoop(Mailbox* box) {
+  std::unique_lock<std::mutex> lock(box->mu);
+  for (;;) {
+    if (box->stopping) {
+      return;
+    }
+    if (box->queue.empty()) {
+      box->cv.wait(lock, [box] { return box->stopping || !box->queue.empty(); });
+      continue;
+    }
+    const SteadyTime deadline = box->queue.top().deliver_at;
+    if (std::chrono::steady_clock::now() < deadline) {
+      box->cv.wait_until(lock, deadline);
+      continue;
+    }
+    Packet packet = std::move(const_cast<Timed&>(box->queue.top()).packet);
+    box->queue.pop();
+    // Re-check receiver liveness at delivery time.
+    if (faults_ != nullptr && faults_->IsSiteDown(packet.to)) {
+      continue;
+    }
+    box->idle = false;
+    lock.unlock();
+    box->handler(std::move(packet));
+    {
+      std::lock_guard<std::mutex> stats(stats_mu_);
+      ++packets_delivered_;
+    }
+    lock.lock();
+    box->idle = true;
+    box->cv.notify_all();  // wake Flush waiters
+  }
+}
+
+void MemTransport::Flush() {
+  for (;;) {
+    std::vector<Mailbox*> boxes;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      boxes.reserve(mailboxes_.size());
+      for (auto& [site, box] : mailboxes_) {
+        boxes.push_back(box.get());
+      }
+    }
+    bool all_idle = true;
+    for (Mailbox* box : boxes) {
+      std::unique_lock<std::mutex> lock(box->mu);
+      if (!box->queue.empty() || !box->idle) {
+        all_idle = false;
+        // Wait for this mailbox to drain (with a poll fallback for
+        // delayed packets).
+        box->cv.wait_for(lock, std::chrono::milliseconds(1));
+      }
+    }
+    if (all_idle) {
+      return;
+    }
+  }
+}
+
+uint64_t MemTransport::packets_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return packets_sent_;
+}
+
+uint64_t MemTransport::packets_delivered() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return packets_delivered_;
+}
+
+}  // namespace polyvalue

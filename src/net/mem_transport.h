@@ -1,0 +1,85 @@
+// Threaded in-memory transport.
+//
+// Each registered site owns a mailbox and a dispatcher thread; Send
+// applies the FaultPlan, stamps a delivery deadline (steady-clock now +
+// sampled delay) and enqueues. The dispatcher sleeps until the earliest
+// deadline and invokes the handler off the sender's thread — the engine
+// above must therefore be thread-safe, which the integration tests verify.
+#ifndef SRC_NET_MEM_TRANSPORT_H_
+#define SRC_NET_MEM_TRANSPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+
+#include "src/net/transport.h"
+
+namespace polyvalue {
+
+class MemTransport : public Transport {
+ public:
+  // faults may be null (perfect network). The plan and rng seed are
+  // captured at construction; each mailbox forks its own rng stream.
+  explicit MemTransport(FaultPlan* faults = nullptr, uint64_t seed = 1);
+  ~MemTransport() override;
+
+  MemTransport(const MemTransport&) = delete;
+  MemTransport& operator=(const MemTransport&) = delete;
+
+  Status Register(SiteId site, Handler handler) override;
+  Status Unregister(SiteId site) override;
+  Status Send(Packet packet) override;
+
+  // Blocks until every queued packet has been delivered or dropped.
+  void Flush();
+
+  uint64_t packets_sent() const;
+  uint64_t packets_delivered() const;
+
+ private:
+  using SteadyTime = std::chrono::steady_clock::time_point;
+
+  struct Timed {
+    SteadyTime deliver_at;
+    uint64_t seq;
+    Packet packet;
+  };
+  struct Later {
+    bool operator()(const Timed& a, const Timed& b) const {
+      if (a.deliver_at != b.deliver_at) {
+        return a.deliver_at > b.deliver_at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::priority_queue<Timed, std::vector<Timed>, Later> queue;
+    Handler handler;
+    bool stopping = false;
+    bool idle = true;  // no packet currently being handled
+    std::thread dispatcher;
+  };
+
+  void DispatchLoop(Mailbox* box);
+
+  FaultPlan* faults_;
+  Rng send_rng_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<SiteId, std::unique_ptr<Mailbox>> mailboxes_;
+  uint64_t next_seq_ = 0;
+  uint64_t packets_sent_ = 0;
+  mutable std::mutex stats_mu_;
+  uint64_t packets_delivered_ = 0;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_NET_MEM_TRANSPORT_H_

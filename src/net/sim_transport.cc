@@ -1,0 +1,55 @@
+#include "src/net/sim_transport.h"
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace polyvalue {
+
+Status SimTransport::Register(SiteId site, Handler handler) {
+  auto [it, inserted] = handlers_.emplace(site, std::move(handler));
+  (void)it;
+  if (!inserted) {
+    return AlreadyExistsError(StrCat("site ", site, " already registered"));
+  }
+  return OkStatus();
+}
+
+Status SimTransport::Unregister(SiteId site) {
+  if (handlers_.erase(site) == 0) {
+    return NotFoundError(StrCat("site ", site, " not registered"));
+  }
+  return OkStatus();
+}
+
+Status SimTransport::Send(Packet packet) {
+  if (handlers_.find(packet.from) == handlers_.end()) {
+    return InvalidArgumentError(
+        StrCat("sender ", packet.from, " not registered"));
+  }
+  ++packets_sent_;
+  bytes_sent_ += packet.payload.size();
+  if (!faults_->ShouldDeliver(packet.from, packet.to, rng_)) {
+    POLYV_TRACE << "drop " << packet.from << "->" << packet.to;
+    return OkStatus();  // silently dropped: that is the failure model
+  }
+  if (filter_ != nullptr && !filter_(packet)) {
+    POLYV_TRACE << "filtered " << packet.from << "->" << packet.to;
+    return OkStatus();
+  }
+  const double delay = faults_->SampleDelay(rng_);
+  sim_->After(delay, [this, packet = std::move(packet)]() mutable {
+    // Re-check the receiver at delivery time.
+    if (faults_->IsSiteDown(packet.to)) {
+      return;
+    }
+    auto it = handlers_.find(packet.to);
+    if (it == handlers_.end()) {
+      return;  // receiver vanished while in flight
+    }
+    ++packets_delivered_;
+    it->second(std::move(packet));
+  });
+  return OkStatus();
+}
+
+}  // namespace polyvalue

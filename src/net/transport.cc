@@ -1,0 +1,104 @@
+#include "src/net/transport.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace polyvalue {
+
+std::pair<uint64_t, uint64_t> FaultPlan::LinkKey(SiteId a, SiteId b) {
+  uint64_t x = a.value();
+  uint64_t y = b.value();
+  if (x > y) {
+    std::swap(x, y);
+  }
+  return {x, y};
+}
+
+void FaultPlan::SetSiteDown(SiteId site, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down) {
+    down_sites_.insert(site.value());
+  } else {
+    down_sites_.erase(site.value());
+  }
+}
+
+bool FaultPlan::IsSiteDown(SiteId site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return down_sites_.count(site.value()) > 0;
+}
+
+void FaultPlan::SetLinkDown(SiteId a, SiteId b, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down) {
+    down_links_.insert(LinkKey(a, b));
+  } else {
+    down_links_.erase(LinkKey(a, b));
+  }
+}
+
+void FaultPlan::Partition(const std::vector<SiteId>& side_a,
+                          const std::vector<SiteId>& side_b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SiteId a : side_a) {
+    for (SiteId b : side_b) {
+      down_links_.insert(LinkKey(a, b));
+    }
+  }
+}
+
+void FaultPlan::HealLinks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  down_links_.clear();
+}
+
+void FaultPlan::HealAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  down_links_.clear();
+  down_sites_.clear();
+}
+
+void FaultPlan::SetDropProbability(double p) {
+  POLYV_CHECK_GE(p, 0.0);
+  POLYV_CHECK_LE(p, 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_probability_ = p;
+}
+
+void FaultPlan::SetDelayRange(double min_seconds, double max_seconds) {
+  POLYV_CHECK_GE(min_seconds, 0.0);
+  POLYV_CHECK_LE(min_seconds, max_seconds);
+  std::lock_guard<std::mutex> lock(mu_);
+  delay_min_ = min_seconds;
+  delay_max_ = max_seconds;
+}
+
+bool FaultPlan::ShouldDeliver(SiteId from, SiteId to, Rng* rng) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_sites_.count(from.value()) || down_sites_.count(to.value())) {
+    return false;
+  }
+  if (down_links_.count(LinkKey(from, to))) {
+    return false;
+  }
+  if (drop_probability_ > 0.0 && rng->NextBool(drop_probability_)) {
+    return false;
+  }
+  return true;
+}
+
+double FaultPlan::SampleDelay(Rng* rng) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (delay_max_ <= delay_min_) {
+    return delay_min_;
+  }
+  return delay_min_ + rng->NextDouble() * (delay_max_ - delay_min_);
+}
+
+double FaultPlan::min_delay() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delay_min_;
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,107 @@
+// Message transport abstraction.
+//
+// Protocol state machines never touch a socket: they hand byte payloads
+// to a Transport and receive them through a registered handler. Three
+// implementations ship:
+//
+//   * SimTransport  — deterministic, on the discrete-event Simulator;
+//                     the workhorse for tests and the availability benches.
+//   * MemTransport  — real threads + in-memory mailboxes, for exercising
+//                     the engine under true concurrency.
+//   * TcpTransport  — TCP loopback with length-prefixed frames (epoll),
+//                     proving the stack runs over an actual network edge.
+//
+// Failure injection (site crashes, link partitions, message drops and
+// delays) is expressed through a FaultPlan shared by the sim and mem
+// transports — the same schedule object drives both.
+#ifndef SRC_NET_TRANSPORT_H_
+#define SRC_NET_TRANSPORT_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace polyvalue {
+
+struct Packet {
+  SiteId from;
+  SiteId to;
+  std::string payload;
+};
+
+class Transport {
+ public:
+  using Handler = std::function<void(Packet)>;
+
+  virtual ~Transport() = default;
+
+  // Attaches a delivery handler for `site`. The handler may be invoked on
+  // an internal thread (mem/tcp) or inside simulator steps (sim).
+  virtual Status Register(SiteId site, Handler handler) = 0;
+  virtual Status Unregister(SiteId site) = 0;
+
+  // Queues a packet. Asynchronous, best-effort: loss is a legitimate
+  // outcome (that is what the protocol tolerates), so Send only fails on
+  // caller errors (unregistered sender).
+  virtual Status Send(Packet packet) = 0;
+};
+
+// Mutable failure schedule consulted on every delivery. Thread-safe.
+class FaultPlan {
+ public:
+  // Marks a site crashed: nothing is delivered to it, nothing it sends
+  // leaves.
+  void SetSiteDown(SiteId site, bool down);
+  bool IsSiteDown(SiteId site) const;
+
+  // Cuts the (symmetric) link between two sites.
+  void SetLinkDown(SiteId a, SiteId b, bool down);
+
+  // Splits the network into two halves; traffic crossing halves is cut.
+  void Partition(const std::vector<SiteId>& side_a,
+                 const std::vector<SiteId>& side_b);
+  // Restores every cut link (sites marked down stay down).
+  void HealLinks();
+  // Restores everything.
+  void HealAll();
+
+  // Uniform random drop probability applied to every packet.
+  void SetDropProbability(double p);
+
+  // Per-packet latency sampled uniformly from [min, max] seconds.
+  void SetDelayRange(double min_seconds, double max_seconds);
+
+  // Decision point: should a packet sent now be delivered?
+  bool ShouldDeliver(SiteId from, SiteId to, Rng* rng) const;
+  double SampleDelay(Rng* rng) const;
+
+  double min_delay() const;
+
+ private:
+  static std::pair<uint64_t, uint64_t> LinkKey(SiteId a, SiteId b);
+
+  mutable std::mutex mu_;
+  std::unordered_set<uint64_t> down_sites_;
+  struct PairHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+      return std::hash<uint64_t>()(p.first) * 1000003u ^
+             std::hash<uint64_t>()(p.second);
+    }
+  };
+  std::unordered_set<std::pair<uint64_t, uint64_t>, PairHash> down_links_;
+  double drop_probability_ = 0.0;
+  double delay_min_ = 0.001;  // 1 ms default one-way latency
+  double delay_max_ = 0.003;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_NET_TRANSPORT_H_

@@ -1,0 +1,92 @@
+#include "src/poly/poly_ops.h"
+
+namespace polyvalue {
+
+Result<PolyValue> ApplyUnary(
+    const PolyValue& input,
+    const std::function<Result<Value>(const Value&)>& fn) {
+  std::vector<PolyPair> out;
+  out.reserve(input.pairs().size());
+  for (const PolyPair& p : input.pairs()) {
+    POLYV_ASSIGN_OR_RETURN(Value v, fn(p.value));
+    out.push_back({std::move(v), p.condition});
+  }
+  return PolyValue::Of(std::move(out));
+}
+
+Result<PolyValue> ApplyBinary(
+    const PolyValue& lhs, const PolyValue& rhs,
+    const std::function<Result<Value>(const Value&, const Value&)>& fn) {
+  std::vector<PolyPair> out;
+  out.reserve(lhs.pairs().size() * rhs.pairs().size());
+  for (const PolyPair& a : lhs.pairs()) {
+    for (const PolyPair& b : rhs.pairs()) {
+      Condition joint = Condition::And(a.condition, b.condition);
+      if (joint.is_false()) {
+        continue;  // unreachable combination: prune before computing
+      }
+      POLYV_ASSIGN_OR_RETURN(Value v, fn(a.value, b.value));
+      out.push_back({std::move(v), std::move(joint)});
+    }
+  }
+  return PolyValue::Of(std::move(out));
+}
+
+Result<PolyValue> PolyAdd(const PolyValue& a, const PolyValue& b) {
+  return ApplyBinary(a, b, [](const Value& x, const Value& y) {
+    return Add(x, y);
+  });
+}
+
+Result<PolyValue> PolySub(const PolyValue& a, const PolyValue& b) {
+  return ApplyBinary(a, b, [](const Value& x, const Value& y) {
+    return Sub(x, y);
+  });
+}
+
+Result<PolyValue> PolyMul(const PolyValue& a, const PolyValue& b) {
+  return ApplyBinary(a, b, [](const Value& x, const Value& y) {
+    return Mul(x, y);
+  });
+}
+
+Result<PolyValue> PolyDiv(const PolyValue& a, const PolyValue& b) {
+  return ApplyBinary(a, b, [](const Value& x, const Value& y) {
+    return Div(x, y);
+  });
+}
+
+Result<PolyValue> PolyLess(const PolyValue& a, const PolyValue& b) {
+  return ApplyBinary(a, b, [](const Value& x, const Value& y) -> Result<Value> {
+    POLYV_ASSIGN_OR_RETURN(bool lt, Less(x, y));
+    return Value::Bool(lt);
+  });
+}
+
+Result<PolyValue> PolyGreaterEq(const PolyValue& a, const PolyValue& b) {
+  return ApplyBinary(a, b, [](const Value& x, const Value& y) -> Result<Value> {
+    POLYV_ASSIGN_OR_RETURN(bool ge, GreaterEq(x, y));
+    return Value::Bool(ge);
+  });
+}
+
+Result<bool> DecideUniform(const PolyValue& boolean_poly) {
+  bool first = true;
+  bool decision = false;
+  for (const PolyPair& p : boolean_poly.pairs()) {
+    POLYV_ASSIGN_OR_RETURN(bool b, p.value.AsBool());
+    if (first) {
+      decision = b;
+      first = false;
+    } else if (b != decision) {
+      return UncertainError("alternatives disagree: " +
+                            boolean_poly.ToString());
+    }
+  }
+  if (first) {
+    return InternalError("empty polyvalue");
+  }
+  return decision;
+}
+
+}  // namespace polyvalue

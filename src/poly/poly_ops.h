@@ -1,0 +1,51 @@
+// Lifted operations over polyvalues (§3.2 in miniature).
+//
+// A full polytransaction forks alternative executions of arbitrary user
+// logic (see src/txn/polytxn.h). For straight-line expressions these
+// lifted combinators are equivalent and much cheaper: they enumerate the
+// cross-product of input alternatives, AND the conditions, prune
+// logically-false combinations, and merge equal results — exactly the
+// alternative-transaction rules, specialised to one operator.
+#ifndef SRC_POLY_POLY_OPS_H_
+#define SRC_POLY_POLY_OPS_H_
+
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/poly/polyvalue.h"
+
+namespace polyvalue {
+
+// Applies a fallible unary function to every alternative. Fails if the
+// function fails on any reachable alternative.
+Result<PolyValue> ApplyUnary(
+    const PolyValue& input,
+    const std::function<Result<Value>(const Value&)>& fn);
+
+// Applies a fallible binary function over the cross-product of
+// alternatives. Combinations whose ANDed condition is false are pruned
+// *before* the function runs (the §3.2 efficiency rule), so e.g. dividing
+// by an alternative that is zero only under an impossible condition
+// succeeds.
+Result<PolyValue> ApplyBinary(
+    const PolyValue& lhs, const PolyValue& rhs,
+    const std::function<Result<Value>(const Value&, const Value&)>& fn);
+
+// Arithmetic conveniences.
+Result<PolyValue> PolyAdd(const PolyValue& a, const PolyValue& b);
+Result<PolyValue> PolySub(const PolyValue& a, const PolyValue& b);
+Result<PolyValue> PolyMul(const PolyValue& a, const PolyValue& b);
+Result<PolyValue> PolyDiv(const PolyValue& a, const PolyValue& b);
+
+// Lifted comparison: a polyvalue of booleans.
+Result<PolyValue> PolyLess(const PolyValue& a, const PolyValue& b);
+Result<PolyValue> PolyGreaterEq(const PolyValue& a, const PolyValue& b);
+
+// Three-valued test of a lifted boolean: returns true/false when every
+// alternative agrees, or kUncertain when alternatives differ — the §3.4
+// distinction between certain and uncertain external outputs.
+Result<bool> DecideUniform(const PolyValue& boolean_poly);
+
+}  // namespace polyvalue
+
+#endif  // SRC_POLY_POLY_OPS_H_

@@ -1,0 +1,179 @@
+#include "src/sim/poly_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace polyvalue {
+
+PolySim::PolySim(const PolySimParams& params)
+    : params_(params), rng_(params.seed) {
+  POLYV_CHECK_GT(params_.updates_per_second, 0.0);
+  POLYV_CHECK_GT(params_.items, 0u);
+  ScheduleNextUpdate();
+}
+
+void PolySim::ScheduleNextUpdate() {
+  const double gap = rng_.NextExponential(1.0 / params_.updates_per_second);
+  sim_.After(gap, [this] {
+    RunUpdate();
+    ScheduleNextUpdate();
+  });
+}
+
+uint64_t PolySim::DrawDependencyCount(double mean) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  const double x = rng_.NextExponential(mean);
+  const uint64_t base = static_cast<uint64_t>(x);
+  // Probabilistic rounding keeps E[d] = mean exactly (a plain floor of an
+  // exponential would bias d low by ~0.42·mean and skew the comparison
+  // against the analytic model).
+  return base + (rng_.NextBool(x - static_cast<double>(base)) ? 1 : 0);
+}
+
+uint64_t PolySim::PickItem() {
+  if (params_.hotspot_access_probability > 0.0 &&
+      params_.hotspot_fraction > 0.0 &&
+      rng_.NextBool(params_.hotspot_access_probability)) {
+    const uint64_t hot = std::max<uint64_t>(
+        1, static_cast<uint64_t>(params_.hotspot_fraction *
+                                 static_cast<double>(params_.items)));
+    return rng_.NextBelow(hot);
+  }
+  return rng_.NextBelow(params_.items);
+}
+
+void PolySim::RunUpdate() {
+  Observe();  // close the interval at the pre-event level
+  ++counters_.updates;
+  const uint64_t target = PickItem();
+  const uint64_t txn = next_txn_++;
+
+  if (rng_.NextBool(params_.failure_probability)) {
+    // The update's transaction is suspended by a failure: the target item
+    // becomes a polyvalue {⟨new, T⟩, ⟨old, ¬T⟩} tagged with T. Any tags
+    // the item carried before remain — both branches embed the old value.
+    ++counters_.failures;
+    tagged_items_[target].insert(txn);
+    txn_items_[txn].insert(target);
+    const double recovery_in =
+        rng_.NextExponential(1.0 / params_.recovery_rate);
+    sim_.After(recovery_in, [this, txn] { RecoverTxn(txn); });
+    TrackPeak();
+    return;
+  }
+
+  // Successful update: gather the tags of the d items the new value
+  // depends on.
+  const uint64_t d = DrawDependencyCount(params_.dependency_degree);
+  std::unordered_set<uint64_t> inherited;
+  for (uint64_t i = 0; i < d; ++i) {
+    const uint64_t source = PickItem();
+    auto it = tagged_items_.find(source);
+    if (it != tagged_items_.end()) {
+      inherited.insert(it->second.begin(), it->second.end());
+    }
+  }
+  const bool keeps_previous = !rng_.NextBool(params_.overwrite_probability);
+  auto target_it = tagged_items_.find(target);
+  if (keeps_previous && target_it != tagged_items_.end()) {
+    inherited.insert(target_it->second.begin(), target_it->second.end());
+  }
+
+  if (inherited.empty()) {
+    // New value is certain. If the item used to be uncertain, the simple
+    // overwrite erases its uncertainty (the model's U·Y·P/I death term).
+    if (target_it != tagged_items_.end()) {
+      ++counters_.overwrites;
+      for (uint64_t tag : target_it->second) {
+        auto txn_it = txn_items_.find(tag);
+        if (txn_it != txn_items_.end()) {
+          txn_it->second.erase(target);
+        }
+      }
+      tagged_items_.erase(target_it);
+    }
+    return;
+  }
+
+  // Polytransaction: the written item now depends on every inherited tag
+  // (the model's U·D·P/I birth term).
+  ++counters_.propagations;
+  // Replace the old tag set (tags kept via keeps_previous are already in
+  // `inherited`).
+  if (target_it != tagged_items_.end()) {
+    for (uint64_t tag : target_it->second) {
+      if (inherited.count(tag) == 0) {
+        auto txn_it = txn_items_.find(tag);
+        if (txn_it != txn_items_.end()) {
+          txn_it->second.erase(target);
+        }
+      }
+    }
+  }
+  for (uint64_t tag : inherited) {
+    txn_items_[tag].insert(target);
+  }
+  tagged_items_[target] = std::move(inherited);
+  TrackPeak();
+}
+
+void PolySim::RecoverTxn(uint64_t txn) {
+  Observe();
+  ++counters_.recoveries;
+  auto it = txn_items_.find(txn);
+  if (it == txn_items_.end()) {
+    return;
+  }
+  for (uint64_t item : it->second) {
+    auto item_it = tagged_items_.find(item);
+    if (item_it == tagged_items_.end()) {
+      continue;
+    }
+    item_it->second.erase(txn);
+    if (item_it->second.empty()) {
+      tagged_items_.erase(item_it);
+    }
+  }
+  txn_items_.erase(it);
+}
+
+void PolySim::Observe() {
+  p_stat_.Observe(sim_.now(), static_cast<double>(tagged_items_.size()));
+}
+
+void PolySim::TrackPeak() {
+  counters_.peak_polyvalues =
+      std::max(counters_.peak_polyvalues,
+               static_cast<double>(tagged_items_.size()));
+}
+
+void PolySim::AdvanceTo(double until) {
+  sim_.RunUntil(until);
+  p_stat_.Observe(sim_.now(), static_cast<double>(tagged_items_.size()));
+}
+
+void PolySim::StartMeasurement() {
+  p_stat_.Reset(sim_.now());
+  counters_.peak_polyvalues = static_cast<double>(tagged_items_.size());
+}
+
+PolySimStats PolySim::Stats() {
+  PolySimStats out = counters_;
+  out.average_polyvalues = p_stat_.average();
+  out.final_polyvalues = static_cast<double>(tagged_items_.size());
+  return out;
+}
+
+PolySimStats RunPolySim(const PolySimParams& params) {
+  PolySim sim(params);
+  sim.AdvanceTo(params.warmup_seconds);
+  sim.StartMeasurement();
+  sim.AdvanceTo(params.warmup_seconds + params.measure_seconds);
+  return sim.Stats();
+}
+
+}  // namespace polyvalue

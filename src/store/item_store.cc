@@ -1,0 +1,170 @@
+#include "src/store/item_store.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace polyvalue {
+
+Result<PolyValue> ItemStore::Read(const ItemKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = items_.find(key);
+  if (it != items_.end()) {
+    return it->second;
+  }
+  if (default_factory_ != nullptr) {
+    return default_factory_(key);
+  }
+  return NotFoundError(StrCat("item '", key, "' does not exist"));
+}
+
+void ItemStore::Write(const ItemKey& key, PolyValue value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  items_.insert_or_assign(key, std::move(value));
+}
+
+bool ItemStore::Contains(const ItemKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.count(key) > 0;
+}
+
+size_t ItemStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+size_t ItemStore::UncertainCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, value] : items_) {
+    if (!value.is_certain()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<ItemKey> ItemStore::UncertainKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ItemKey> keys;
+  for (const auto& [key, value] : items_) {
+    if (!value.is_certain()) {
+      keys.push_back(key);
+    }
+  }
+  return keys;
+}
+
+void ItemStore::ForEach(
+    const std::function<void(const ItemKey&, const PolyValue&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, value] : items_) {
+    fn(key, value);
+  }
+}
+
+Status ItemStore::Lock(const ItemKey& key, TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = locks_.find(key);
+  if (it != locks_.end()) {
+    if (it->second == txn) {
+      return OkStatus();  // re-entrant
+    }
+    return AbortedError(StrCat("item '", key, "' locked by ", it->second));
+  }
+  locks_.emplace(key, txn);
+  held_[txn].push_back(key);
+  return OkStatus();
+}
+
+ItemStore::LockAttempt ItemStore::LockOrQueue(const ItemKey& key,
+                                              TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = locks_.find(key);
+  if (it == locks_.end()) {
+    locks_.emplace(key, txn);
+    held_[txn].push_back(key);
+    return LockAttempt::kGranted;
+  }
+  if (it->second == txn) {
+    return LockAttempt::kGranted;  // re-entrant
+  }
+  // Wait-die: only an older transaction may wait for a younger holder.
+  if (!(txn < it->second)) {
+    return LockAttempt::kRefused;
+  }
+  std::vector<TxnId>& queue = waiters_[key];
+  if (std::find(queue.begin(), queue.end(), txn) == queue.end()) {
+    queue.insert(
+        std::upper_bound(queue.begin(), queue.end(), txn), txn);
+  }
+  return LockAttempt::kQueued;
+}
+
+std::vector<ItemStore::Grant> ItemStore::UnlockAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Grant> grants;
+  auto it = held_.find(txn);
+  if (it != held_.end()) {
+    for (const ItemKey& key : it->second) {
+      auto lock_it = locks_.find(key);
+      if (lock_it == locks_.end() || lock_it->second != txn) {
+        continue;
+      }
+      locks_.erase(lock_it);
+      // Hand the item to its eldest waiter, if any.
+      auto queue_it = waiters_.find(key);
+      if (queue_it != waiters_.end() && !queue_it->second.empty()) {
+        const TxnId next = queue_it->second.front();
+        queue_it->second.erase(queue_it->second.begin());
+        if (queue_it->second.empty()) {
+          waiters_.erase(queue_it);
+        }
+        locks_.emplace(key, next);
+        held_[next].push_back(key);
+        grants.push_back({next, key});
+      }
+    }
+    held_.erase(it);
+  }
+  // Drop any waits the departing transaction still had queued.
+  for (auto queue_it = waiters_.begin(); queue_it != waiters_.end();) {
+    auto& queue = queue_it->second;
+    queue.erase(std::remove(queue.begin(), queue.end(), txn), queue.end());
+    if (queue.empty()) {
+      queue_it = waiters_.erase(queue_it);
+    } else {
+      ++queue_it;
+    }
+  }
+  return grants;
+}
+
+void ItemStore::CancelWaits(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto queue_it = waiters_.begin(); queue_it != waiters_.end();) {
+    auto& queue = queue_it->second;
+    queue.erase(std::remove(queue.begin(), queue.end(), txn), queue.end());
+    if (queue.empty()) {
+      queue_it = waiters_.erase(queue_it);
+    } else {
+      ++queue_it;
+    }
+  }
+}
+
+std::optional<TxnId> ItemStore::LockHolder(const ItemKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = locks_.find(key);
+  if (it == locks_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+size_t ItemStore::locked_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locks_.size();
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,108 @@
+// Per-site item storage with two-phase locking.
+//
+// A site's database: a map from item keys to polyvalues (a certain item
+// is simply the degenerate single-pair polyvalue). Items are created on
+// first write; reads of unknown keys fail with NOT_FOUND unless the store
+// was configured with a default value factory.
+//
+// Locking implements strict two-phase locking at item granularity —
+// enough to serialise transactions *within* a site; cross-site atomicity
+// is the commit protocol's job. Crucially, installing a polyvalue
+// RELEASES the lock: that is the paper's entire point. A blocked 2PC
+// participant would hold the lock through the in-doubt window; a
+// polyvalue participant records the uncertainty in the data itself and
+// lets the next transaction in.
+#ifndef SRC_STORE_ITEM_STORE_H_
+#define SRC_STORE_ITEM_STORE_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/poly/polyvalue.h"
+
+namespace polyvalue {
+
+class ItemStore {
+ public:
+  ItemStore() = default;
+
+  // Optional factory invoked for reads of missing keys (examples use it to
+  // model "accounts start at 0"). Null disables auto-creation.
+  using DefaultFactory = std::function<PolyValue(const ItemKey&)>;
+  explicit ItemStore(DefaultFactory default_factory)
+      : default_factory_(std::move(default_factory)) {}
+
+  // --- data plane ---
+
+  // Reads the current (poly)value of an item.
+  Result<PolyValue> Read(const ItemKey& key) const;
+
+  // Unconditional write (used by initial loading and by the engine once a
+  // transaction's fate is decided).
+  void Write(const ItemKey& key, PolyValue value);
+
+  bool Contains(const ItemKey& key) const;
+  size_t size() const;
+
+  // Number of items currently holding an uncertain polyvalue. This is the
+  // P(t) the paper's §4 analysis tracks.
+  size_t UncertainCount() const;
+
+  // Keys of uncertain items (sorted, for deterministic iteration).
+  std::vector<ItemKey> UncertainKeys() const;
+
+  // Applies `fn` to every (key, value) pair under the store lock.
+  void ForEach(
+      const std::function<void(const ItemKey&, const PolyValue&)>& fn) const;
+
+  // --- lock plane (strict 2PL, exclusive item locks) ---
+
+  // Acquires `key` for `txn`. Fails with ABORTED on conflict (the engine
+  // uses immediate-abort rather than deadlock-prone waiting). Re-entrant
+  // for the same transaction.
+  Status Lock(const ItemKey& key, TxnId txn);
+
+  // Wait-die variant: on conflict, an OLDER requester (smaller txn id —
+  // ids grow over time) is queued behind the holder instead of refused;
+  // a younger requester still "dies" (kRefused). Deadlock-free: waits
+  // only ever point from older to younger, so no cycles form.
+  enum class LockAttempt { kGranted, kQueued, kRefused };
+  LockAttempt LockOrQueue(const ItemKey& key, TxnId txn);
+
+  // Releases every lock held by `txn`, granting each freed item to its
+  // eldest waiter. Returns the (txn, key) grants made, so the engine can
+  // resume parked work. Also removes `txn` from any wait queues.
+  struct Grant {
+    TxnId txn;
+    ItemKey key;
+  };
+  std::vector<Grant> UnlockAll(TxnId txn);
+
+  // Abandons `txn`'s queued (not yet granted) waits without touching the
+  // locks it already holds.
+  void CancelWaits(TxnId txn);
+
+  // The transaction currently holding `key`, if any.
+  std::optional<TxnId> LockHolder(const ItemKey& key) const;
+  size_t locked_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<ItemKey, PolyValue> items_;
+  std::unordered_map<ItemKey, TxnId> locks_;
+  std::unordered_map<TxnId, std::vector<ItemKey>> held_;
+  // Per-item wait queues (wait-die), kept sorted eldest-first.
+  std::unordered_map<ItemKey, std::vector<TxnId>> waiters_;
+  DefaultFactory default_factory_;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_STORE_ITEM_STORE_H_

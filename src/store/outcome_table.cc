@@ -1,0 +1,95 @@
+#include "src/store/outcome_table.h"
+
+#include <algorithm>
+
+namespace polyvalue {
+
+void OutcomeTable::RecordDependentItem(TxnId txn, const ItemKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_[txn].dependent_items.insert(key);
+}
+
+void OutcomeTable::RecordDownstreamSite(TxnId txn, SiteId site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_[txn].downstream_sites.insert(site);
+}
+
+void OutcomeTable::ForgetDependentItem(TxnId txn, const ItemKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(txn);
+  if (it == pending_.end()) {
+    return;
+  }
+  it->second.dependent_items.erase(key);
+  // Keep the entry even if empty: we may still owe downstream
+  // notifications, and the outcome itself is still unknown.
+}
+
+OutcomeTable::Resolution OutcomeTable::LearnOutcome(TxnId txn,
+                                                    bool committed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Resolution res;
+  res.committed = committed;
+  auto resolved_it = resolved_.find(txn);
+  if (resolved_it != resolved_.end()) {
+    res.already_known = true;
+    res.committed = resolved_it->second;
+    return res;
+  }
+  auto it = pending_.find(txn);
+  if (it != pending_.end()) {
+    res.items_to_reduce.assign(it->second.dependent_items.begin(),
+                               it->second.dependent_items.end());
+    res.sites_to_notify.assign(it->second.downstream_sites.begin(),
+                               it->second.downstream_sites.end());
+    pending_.erase(it);
+  }
+  resolved_.emplace(txn, committed);
+  resolved_order_.push_back(txn);
+  while (resolved_order_.size() > resolved_capacity_) {
+    resolved_.erase(resolved_order_.front());
+    resolved_order_.pop_front();
+  }
+  return res;
+}
+
+bool OutcomeTable::IsTracking(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.count(txn) > 0;
+}
+
+std::optional<bool> OutcomeTable::KnownOutcome(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = resolved_.find(txn);
+  if (it == resolved_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<TxnId> OutcomeTable::UnknownTransactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxnId> out;
+  out.reserve(pending_.size());
+  for (const auto& [txn, entry] : pending_) {
+    out.push_back(txn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t OutcomeTable::tracked_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+std::optional<OutcomeTable::Entry> OutcomeTable::EntryFor(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(txn);
+  if (it == pending_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,85 @@
+// The §3.3 outcome table.
+//
+// Each site records, for every transaction T whose outcome it does not
+// yet know:
+//   * the local items holding polyvalues that depend on T, and
+//   * the downstream sites to which polyvalues depending on T were sent
+//     (by polytransaction result shipping).
+//
+// When the site learns T's outcome it (1) reduces the listed local items,
+// (2) forwards the outcome to each listed downstream site, and then (3)
+// deletes the entry — "once this is done, that site can forget the
+// outcome of T". A bounded recently-resolved cache answers duplicate
+// notifications without re-propagating them.
+#ifndef SRC_STORE_OUTCOME_TABLE_H_
+#define SRC_STORE_OUTCOME_TABLE_H_
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace polyvalue {
+
+class OutcomeTable {
+ public:
+  struct Entry {
+    std::set<ItemKey> dependent_items;
+    std::set<SiteId> downstream_sites;
+  };
+
+  // What LearnOutcome hands back for the caller to act on.
+  struct Resolution {
+    bool already_known = false;
+    bool committed = false;
+    std::vector<ItemKey> items_to_reduce;
+    std::vector<SiteId> sites_to_notify;
+  };
+
+  explicit OutcomeTable(size_t resolved_cache_capacity = 4096)
+      : resolved_capacity_(resolved_cache_capacity) {}
+
+  // Registers that local item `key` now depends on unknown-outcome `txn`.
+  void RecordDependentItem(TxnId txn, const ItemKey& key);
+
+  // Registers that a polyvalue depending on `txn` was shipped to `site`.
+  void RecordDownstreamSite(TxnId txn, SiteId site);
+
+  // Deregisters an item (e.g. it was overwritten with a simple value, so
+  // its uncertainty is moot — the paper's UY term).
+  void ForgetDependentItem(TxnId txn, const ItemKey& key);
+
+  // Processes a learned outcome: returns the cleanup work and deletes the
+  // entry. Idempotent — a second call reports already_known with no work.
+  Resolution LearnOutcome(TxnId txn, bool committed);
+
+  // True if this site is currently tracking `txn` as unknown.
+  bool IsTracking(TxnId txn) const;
+
+  // The cached outcome of a recently resolved transaction, if still held.
+  std::optional<bool> KnownOutcome(TxnId txn) const;
+
+  // Transactions currently tracked as unknown (sorted).
+  std::vector<TxnId> UnknownTransactions() const;
+
+  size_t tracked_count() const;
+
+  // Introspection for tests.
+  std::optional<Entry> EntryFor(TxnId txn) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<TxnId, Entry> pending_;
+  // Bounded FIFO cache of resolved outcomes.
+  std::unordered_map<TxnId, bool> resolved_;
+  std::deque<TxnId> resolved_order_;
+  size_t resolved_capacity_;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_STORE_OUTCOME_TABLE_H_

@@ -1,0 +1,43 @@
+#include "src/store/recovery.h"
+
+namespace polyvalue {
+
+Status RecoverSiteState(const std::vector<WalRecord>& records,
+                        ItemStore* items, OutcomeTable* outcomes) {
+  for (const WalRecord& record : records) {
+    switch (record.type) {
+      case WalRecordType::kWrite:
+        items->Write(record.key, record.value);
+        break;
+      case WalRecordType::kOutcome:
+        // Re-learning is idempotent; cleanup work was either done before
+        // the crash (later records reflect it) or will be redone by the
+        // caller walking the rebuilt outcome table.
+        outcomes->LearnOutcome(record.txn, record.committed);
+        break;
+      case WalRecordType::kTrackItem:
+        outcomes->RecordDependentItem(record.txn, record.key);
+        break;
+      case WalRecordType::kTrackSite:
+        outcomes->RecordDownstreamSite(record.txn, record.site);
+        break;
+      case WalRecordType::kUntrackItem:
+        outcomes->ForgetDependentItem(record.txn, record.key);
+        break;
+      case WalRecordType::kPrepared:
+      case WalRecordType::kPreparedResolved:
+        // Engine-level records: consumed by TxnEngine::RestoreDurableState.
+        break;
+      case WalRecordType::kForgetTxn: {
+        // Entry removal is modelled by LearnOutcome in the table; a
+        // standalone forget record only appears for entries that were
+        // fully propagated, so dropping it is safe. (Reserved for future
+        // compaction.)
+        break;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace polyvalue

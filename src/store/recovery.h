@@ -1,0 +1,22 @@
+// Site state reconstruction from a replayed WAL.
+#ifndef SRC_STORE_RECOVERY_H_
+#define SRC_STORE_RECOVERY_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/item_store.h"
+#include "src/store/outcome_table.h"
+#include "src/store/wal.h"
+
+namespace polyvalue {
+
+// Applies `records` in order, rebuilding the item store and outcome table
+// exactly as they stood at the last intact log record. The targets should
+// be freshly constructed.
+Status RecoverSiteState(const std::vector<WalRecord>& records,
+                        ItemStore* items, OutcomeTable* outcomes);
+
+}  // namespace polyvalue
+
+#endif  // SRC_STORE_RECOVERY_H_

@@ -1,0 +1,225 @@
+#include "src/store/snapshot.h"
+
+#include <cstdio>
+
+#include "src/common/crc32.h"
+#include "src/common/strings.h"
+#include "src/net/codec.h"
+#include "src/net/wire.h"
+
+namespace polyvalue {
+
+namespace {
+constexpr char kMagic[] = "PVSNAP01";
+constexpr size_t kMagicLen = 8;
+constexpr uint64_t kSaneCount = 1ULL << 24;
+}  // namespace
+
+std::string SiteSnapshot::Encode() const {
+  ByteWriter w;
+  w.PutVarint(items.size());
+  for (const auto& [key, value] : items) {
+    w.PutString(key);
+    EncodePolyValue(value, &w);
+  }
+  w.PutVarint(pending.size());
+  for (const PendingTxn& p : pending) {
+    w.PutVarint(p.txn.value());
+    w.PutVarint(p.dependent_items.size());
+    for (const ItemKey& key : p.dependent_items) {
+      w.PutString(key);
+    }
+    w.PutVarint(p.downstream_sites.size());
+    for (SiteId site : p.downstream_sites) {
+      w.PutVarint(site.value());
+    }
+  }
+  w.PutVarint(prepared.size());
+  for (const PreparedTxn& p : prepared) {
+    w.PutVarint(p.txn.value());
+    w.PutVarint(p.coordinator.value());
+    w.PutVarint(p.writes.size());
+    for (const auto& [key, value] : p.writes) {
+      w.PutString(key);
+      EncodePolyValue(value, &w);
+    }
+  }
+  w.PutVarint(decided.size());
+  for (const auto& [txn, committed] : decided) {
+    w.PutVarint(txn.value());
+    w.PutBool(committed);
+  }
+  return w.Take();
+}
+
+Result<SiteSnapshot> SiteSnapshot::Decode(const std::string& body) {
+  ByteReader r(body);
+  SiteSnapshot snap;
+  POLYV_ASSIGN_OR_RETURN(uint64_t n_items, r.GetVarint());
+  if (n_items > kSaneCount) {
+    return DataLossError("snapshot item count implausible");
+  }
+  for (uint64_t i = 0; i < n_items; ++i) {
+    POLYV_ASSIGN_OR_RETURN(std::string key, r.GetString());
+    POLYV_ASSIGN_OR_RETURN(PolyValue value, DecodePolyValue(&r));
+    snap.items.emplace(std::move(key), std::move(value));
+  }
+  POLYV_ASSIGN_OR_RETURN(uint64_t n_pending, r.GetVarint());
+  if (n_pending > kSaneCount) {
+    return DataLossError("snapshot pending count implausible");
+  }
+  for (uint64_t i = 0; i < n_pending; ++i) {
+    PendingTxn p;
+    POLYV_ASSIGN_OR_RETURN(uint64_t txn, r.GetVarint());
+    p.txn = TxnId(txn);
+    POLYV_ASSIGN_OR_RETURN(uint64_t n_deps, r.GetVarint());
+    if (n_deps > kSaneCount) {
+      return DataLossError("snapshot dep count implausible");
+    }
+    for (uint64_t j = 0; j < n_deps; ++j) {
+      POLYV_ASSIGN_OR_RETURN(std::string key, r.GetString());
+      p.dependent_items.push_back(std::move(key));
+    }
+    POLYV_ASSIGN_OR_RETURN(uint64_t n_sites, r.GetVarint());
+    if (n_sites > kSaneCount) {
+      return DataLossError("snapshot site count implausible");
+    }
+    for (uint64_t j = 0; j < n_sites; ++j) {
+      POLYV_ASSIGN_OR_RETURN(uint64_t site, r.GetVarint());
+      p.downstream_sites.push_back(SiteId(site));
+    }
+    snap.pending.push_back(std::move(p));
+  }
+  POLYV_ASSIGN_OR_RETURN(uint64_t n_prepared, r.GetVarint());
+  if (n_prepared > kSaneCount) {
+    return DataLossError("snapshot prepared count implausible");
+  }
+  for (uint64_t i = 0; i < n_prepared; ++i) {
+    PreparedTxn p;
+    POLYV_ASSIGN_OR_RETURN(uint64_t txn, r.GetVarint());
+    p.txn = TxnId(txn);
+    POLYV_ASSIGN_OR_RETURN(uint64_t coordinator, r.GetVarint());
+    p.coordinator = SiteId(coordinator);
+    POLYV_ASSIGN_OR_RETURN(uint64_t n_writes, r.GetVarint());
+    if (n_writes > kSaneCount) {
+      return DataLossError("snapshot write count implausible");
+    }
+    for (uint64_t j = 0; j < n_writes; ++j) {
+      POLYV_ASSIGN_OR_RETURN(std::string key, r.GetString());
+      POLYV_ASSIGN_OR_RETURN(PolyValue value, DecodePolyValue(&r));
+      p.writes.emplace(std::move(key), std::move(value));
+    }
+    snap.prepared.push_back(std::move(p));
+  }
+  POLYV_ASSIGN_OR_RETURN(uint64_t n_decided, r.GetVarint());
+  if (n_decided > kSaneCount) {
+    return DataLossError("snapshot decided count implausible");
+  }
+  for (uint64_t i = 0; i < n_decided; ++i) {
+    POLYV_ASSIGN_OR_RETURN(uint64_t txn, r.GetVarint());
+    POLYV_ASSIGN_OR_RETURN(bool committed, r.GetBool());
+    snap.decided.emplace(TxnId(txn), committed);
+  }
+  if (!r.AtEnd()) {
+    return DataLossError("trailing bytes in snapshot");
+  }
+  return snap;
+}
+
+SiteSnapshot CaptureStores(const ItemStore& items,
+                           const OutcomeTable& outcomes) {
+  SiteSnapshot snap;
+  items.ForEach([&snap](const ItemKey& key, const PolyValue& value) {
+    snap.items.emplace(key, value);
+  });
+  for (TxnId txn : outcomes.UnknownTransactions()) {
+    const auto entry = outcomes.EntryFor(txn);
+    if (!entry.has_value()) {
+      continue;
+    }
+    SiteSnapshot::PendingTxn p;
+    p.txn = txn;
+    p.dependent_items.assign(entry->dependent_items.begin(),
+                             entry->dependent_items.end());
+    p.downstream_sites.assign(entry->downstream_sites.begin(),
+                              entry->downstream_sites.end());
+    snap.pending.push_back(std::move(p));
+  }
+  return snap;
+}
+
+void RestoreStores(const SiteSnapshot& snapshot, ItemStore* items,
+                   OutcomeTable* outcomes) {
+  for (const auto& [key, value] : snapshot.items) {
+    items->Write(key, value);
+  }
+  for (const SiteSnapshot::PendingTxn& p : snapshot.pending) {
+    for (const ItemKey& key : p.dependent_items) {
+      outcomes->RecordDependentItem(p.txn, key);
+    }
+    for (SiteId site : p.downstream_sites) {
+      outcomes->RecordDownstreamSite(p.txn, site);
+    }
+  }
+}
+
+Status WriteSnapshotFile(const SiteSnapshot& snapshot,
+                         const std::string& path) {
+  const std::string body = snapshot.Encode();
+  ByteWriter frame;
+  frame.PutRaw(kMagic, kMagicLen);
+  frame.PutFixed32(static_cast<uint32_t>(body.size()));
+  frame.PutFixed32(Crc32(body));
+  frame.PutRaw(body.data(), body.size());
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return UnavailableError(StrCat("cannot create ", tmp));
+  }
+  const std::string& bytes = frame.buffer();
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  const bool flushed = std::fflush(file) == 0;
+  std::fclose(file);
+  if (!wrote || !flushed) {
+    std::remove(tmp.c_str());
+    return UnavailableError("snapshot write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return UnavailableError("snapshot rename failed");
+  }
+  return OkStatus();
+}
+
+Result<SiteSnapshot> ReadSnapshotFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError(StrCat("no snapshot at ", path));
+  }
+  std::string data;
+  char buf[64 * 1024];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    data.append(buf, n);
+  }
+  std::fclose(file);
+  if (data.size() < kMagicLen + 8 ||
+      data.compare(0, kMagicLen, kMagic) != 0) {
+    return DataLossError("bad snapshot magic");
+  }
+  ByteReader header(data.data() + kMagicLen, 8);
+  const uint32_t len = header.GetFixed32().value();
+  const uint32_t crc = header.GetFixed32().value();
+  if (data.size() != kMagicLen + 8 + len) {
+    return DataLossError("snapshot size mismatch");
+  }
+  const std::string body = data.substr(kMagicLen + 8);
+  if (Crc32(body) != crc) {
+    return DataLossError("snapshot CRC mismatch");
+  }
+  return SiteSnapshot::Decode(body);
+}
+
+}  // namespace polyvalue

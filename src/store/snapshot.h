@@ -1,0 +1,68 @@
+// Site state snapshots (checkpoints).
+//
+// A WAL grows without bound; a snapshot captures the full durable state
+// of a site — items, outcome-table pending entries, engine prepared
+// votes and coordinator decisions — in one CRC-protected file, after
+// which the WAL can be truncated. Recovery = load snapshot, then replay
+// the (short) WAL tail.
+//
+// File layout:
+//     [8-byte magic "PVSNAP01"]
+//     [u32 body_len][u32 crc32(body)][body]
+// The body is a single wire-encoded record; a torn or corrupt snapshot
+// is detected and reported (callers fall back to pure WAL replay).
+#ifndef SRC_STORE_SNAPSHOT_H_
+#define SRC_STORE_SNAPSHOT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/poly/polyvalue.h"
+#include "src/store/item_store.h"
+#include "src/store/outcome_table.h"
+
+namespace polyvalue {
+
+// Everything a site must persist across restarts.
+struct SiteSnapshot {
+  std::map<ItemKey, PolyValue> items;
+  // Outcome table: pending transactions with their dependents.
+  struct PendingTxn {
+    TxnId txn;
+    std::vector<ItemKey> dependent_items;
+    std::vector<SiteId> downstream_sites;
+  };
+  std::vector<PendingTxn> pending;
+  // Engine durable state.
+  struct PreparedTxn {
+    TxnId txn;
+    SiteId coordinator;
+    std::map<ItemKey, PolyValue> writes;
+  };
+  std::vector<PreparedTxn> prepared;
+  std::map<TxnId, bool> decided;
+
+  std::string Encode() const;
+  static Result<SiteSnapshot> Decode(const std::string& body);
+};
+
+// Captures the current state of the given stores. (Engine durable state
+// is supplied by the caller; see Site::Checkpoint.)
+SiteSnapshot CaptureStores(const ItemStore& items,
+                           const OutcomeTable& outcomes);
+
+// Applies a snapshot into freshly constructed stores.
+void RestoreStores(const SiteSnapshot& snapshot, ItemStore* items,
+                   OutcomeTable* outcomes);
+
+// Atomic file I/O (write to temp + rename).
+Status WriteSnapshotFile(const SiteSnapshot& snapshot,
+                         const std::string& path);
+Result<SiteSnapshot> ReadSnapshotFile(const std::string& path);
+
+}  // namespace polyvalue
+
+#endif  // SRC_STORE_SNAPSHOT_H_

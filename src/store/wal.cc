@@ -1,0 +1,276 @@
+#include "src/store/wal.h"
+
+#include <unistd.h>
+
+#include "src/common/crc32.h"
+#include "src/common/strings.h"
+#include "src/net/codec.h"
+#include "src/net/wire.h"
+
+namespace polyvalue {
+
+WalRecord WalRecord::Write(ItemKey key, PolyValue value) {
+  WalRecord r;
+  r.type = WalRecordType::kWrite;
+  r.key = std::move(key);
+  r.value = std::move(value);
+  return r;
+}
+
+WalRecord WalRecord::Outcome(TxnId txn, bool committed) {
+  WalRecord r;
+  r.type = WalRecordType::kOutcome;
+  r.txn = txn;
+  r.committed = committed;
+  return r;
+}
+
+WalRecord WalRecord::TrackItem(TxnId txn, ItemKey key) {
+  WalRecord r;
+  r.type = WalRecordType::kTrackItem;
+  r.txn = txn;
+  r.key = std::move(key);
+  return r;
+}
+
+WalRecord WalRecord::TrackSite(TxnId txn, SiteId site) {
+  WalRecord r;
+  r.type = WalRecordType::kTrackSite;
+  r.txn = txn;
+  r.site = site;
+  return r;
+}
+
+WalRecord WalRecord::UntrackItem(TxnId txn, ItemKey key) {
+  WalRecord r;
+  r.type = WalRecordType::kUntrackItem;
+  r.txn = txn;
+  r.key = std::move(key);
+  return r;
+}
+
+WalRecord WalRecord::ForgetTxn(TxnId txn) {
+  WalRecord r;
+  r.type = WalRecordType::kForgetTxn;
+  r.txn = txn;
+  return r;
+}
+
+WalRecord WalRecord::Prepared(TxnId txn, SiteId coordinator,
+                              std::map<ItemKey, PolyValue> writes) {
+  WalRecord r;
+  r.type = WalRecordType::kPrepared;
+  r.txn = txn;
+  r.site = coordinator;
+  r.writes = std::move(writes);
+  return r;
+}
+
+WalRecord WalRecord::PreparedResolved(TxnId txn) {
+  WalRecord r;
+  r.type = WalRecordType::kPreparedResolved;
+  r.txn = txn;
+  return r;
+}
+
+std::string WalRecord::Encode() const {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  switch (type) {
+    case WalRecordType::kWrite:
+      w.PutString(key);
+      EncodePolyValue(value, &w);
+      break;
+    case WalRecordType::kOutcome:
+      w.PutVarint(txn.value());
+      w.PutBool(committed);
+      break;
+    case WalRecordType::kTrackItem:
+    case WalRecordType::kUntrackItem:
+      w.PutVarint(txn.value());
+      w.PutString(key);
+      break;
+    case WalRecordType::kTrackSite:
+      w.PutVarint(txn.value());
+      w.PutVarint(site.value());
+      break;
+    case WalRecordType::kForgetTxn:
+    case WalRecordType::kPreparedResolved:
+      w.PutVarint(txn.value());
+      break;
+    case WalRecordType::kPrepared:
+      w.PutVarint(txn.value());
+      w.PutVarint(site.value());
+      w.PutVarint(writes.size());
+      for (const auto& [k, v] : writes) {
+        w.PutString(k);
+        EncodePolyValue(v, &w);
+      }
+      break;
+  }
+  return w.Take();
+}
+
+Result<WalRecord> WalRecord::Decode(const std::string& body) {
+  ByteReader r(body);
+  POLYV_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  WalRecord record;
+  record.type = static_cast<WalRecordType>(tag);
+  switch (record.type) {
+    case WalRecordType::kWrite: {
+      POLYV_ASSIGN_OR_RETURN(record.key, r.GetString());
+      POLYV_ASSIGN_OR_RETURN(record.value, DecodePolyValue(&r));
+      break;
+    }
+    case WalRecordType::kOutcome: {
+      POLYV_ASSIGN_OR_RETURN(uint64_t txn, r.GetVarint());
+      record.txn = TxnId(txn);
+      POLYV_ASSIGN_OR_RETURN(record.committed, r.GetBool());
+      break;
+    }
+    case WalRecordType::kTrackItem:
+    case WalRecordType::kUntrackItem: {
+      POLYV_ASSIGN_OR_RETURN(uint64_t txn, r.GetVarint());
+      record.txn = TxnId(txn);
+      POLYV_ASSIGN_OR_RETURN(record.key, r.GetString());
+      break;
+    }
+    case WalRecordType::kTrackSite: {
+      POLYV_ASSIGN_OR_RETURN(uint64_t txn, r.GetVarint());
+      record.txn = TxnId(txn);
+      POLYV_ASSIGN_OR_RETURN(uint64_t site, r.GetVarint());
+      record.site = SiteId(site);
+      break;
+    }
+    case WalRecordType::kForgetTxn:
+    case WalRecordType::kPreparedResolved: {
+      POLYV_ASSIGN_OR_RETURN(uint64_t txn, r.GetVarint());
+      record.txn = TxnId(txn);
+      break;
+    }
+    case WalRecordType::kPrepared: {
+      POLYV_ASSIGN_OR_RETURN(uint64_t txn, r.GetVarint());
+      record.txn = TxnId(txn);
+      POLYV_ASSIGN_OR_RETURN(uint64_t site, r.GetVarint());
+      record.site = SiteId(site);
+      POLYV_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+      if (n > (1u << 20)) {
+        return DataLossError("prepared write set too large");
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        POLYV_ASSIGN_OR_RETURN(std::string k, r.GetString());
+        POLYV_ASSIGN_OR_RETURN(PolyValue v, DecodePolyValue(&r));
+        record.writes.emplace(std::move(k), std::move(v));
+      }
+      break;
+    }
+    default:
+      return DataLossError(StrCat("unknown WAL record type ", int(tag)));
+  }
+  if (!r.AtEnd()) {
+    return DataLossError("trailing bytes in WAL record");
+  }
+  return record;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       bool sync_every_append) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return UnavailableError(StrCat("cannot open WAL at ", path));
+  }
+  return std::unique_ptr<Wal>(new Wal(path, file, sync_every_append));
+}
+
+Wal::~Wal() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status Wal::Append(const WalRecord& record) {
+  const std::string body = record.Encode();
+  ByteWriter frame;
+  frame.PutFixed32(static_cast<uint32_t>(body.size()));
+  frame.PutFixed32(Crc32(body));
+  frame.PutRaw(body.data(), body.size());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& bytes = frame.buffer();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return UnavailableError("WAL write failed");
+  }
+  if (std::fflush(file_) != 0) {
+    return UnavailableError("WAL flush failed");
+  }
+  if (sync_every_append_) {
+    if (fsync(fileno(file_)) != 0) {
+      return UnavailableError("WAL fsync failed");
+    }
+  }
+  ++records_appended_;
+  return OkStatus();
+}
+
+Status Wal::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* replacement = std::freopen(path_.c_str(), "wb", file_);
+  if (replacement == nullptr) {
+    return UnavailableError(StrCat("WAL reset failed for ", path_));
+  }
+  file_ = replacement;
+  return OkStatus();
+}
+
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
+    return UnavailableError("WAL sync failed");
+  }
+  return OkStatus();
+}
+
+Result<std::vector<WalRecord>> Wal::ReplayFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return std::vector<WalRecord>{};  // no log yet: empty history
+  }
+  std::string data;
+  char buf[64 * 1024];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    data.append(buf, n);
+  }
+  std::fclose(file);
+
+  std::vector<WalRecord> records;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) {
+      break;  // torn header at tail: drop
+    }
+    ByteReader header(data.data() + pos, 8);
+    const uint32_t len = header.GetFixed32().value();
+    const uint32_t crc = header.GetFixed32().value();
+    if (data.size() - pos - 8 < len) {
+      break;  // torn body at tail: drop
+    }
+    const std::string body(data.data() + pos + 8, len);
+    if (Crc32(body) != crc) {
+      if (pos + 8 + len == data.size()) {
+        break;  // corrupt final record: torn write, drop
+      }
+      return DataLossError(
+          StrCat("WAL corruption at offset ", pos, " in ", path));
+    }
+    Result<WalRecord> record = WalRecord::Decode(body);
+    if (!record.ok()) {
+      return record.status();
+    }
+    records.push_back(std::move(record).value());
+    pos += 8 + len;
+  }
+  return records;
+}
+
+}  // namespace polyvalue

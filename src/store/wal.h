@@ -1,0 +1,105 @@
+// Per-site write-ahead log.
+//
+// A site logs every durable state change — item writes (including
+// polyvalue installs and reductions), learned transaction outcomes, and
+// outcome-table bookkeeping — before applying it. After a crash,
+// ReplayFile() reconstructs the records and recovery.h rebuilds the
+// ItemStore and OutcomeTable, so a site that failed during the in-doubt
+// window wakes up still knowing which polyvalues it owes reductions for.
+//
+// On-disk format, per record:
+//     [u32 body_len][u32 crc32(body)][body]
+// A torn tail (truncated or CRC-failing final record) is detected and
+// ignored — the write was never acknowledged. Corruption *before* the
+// tail is reported as DATA_LOSS.
+#ifndef SRC_STORE_WAL_H_
+#define SRC_STORE_WAL_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/poly/polyvalue.h"
+
+namespace polyvalue {
+
+enum class WalRecordType : uint8_t {
+  kWrite = 1,       // key + polyvalue
+  kOutcome = 2,     // txn + committed flag
+  kTrackItem = 3,   // txn + key  (outcome table: local dependent item)
+  kTrackSite = 4,   // txn + site (outcome table: downstream site)
+  kUntrackItem = 5, // txn + key  (dependency overwritten)
+  kForgetTxn = 6,   // txn        (outcome table entry deleted)
+  kPrepared = 7,    // txn + coordinator site + pending writes (READY vote)
+  kPreparedResolved = 8,  // txn (participation finished / policy applied)
+};
+
+struct WalRecord {
+  WalRecordType type;
+  ItemKey key;
+  PolyValue value;
+  TxnId txn;
+  bool committed = false;
+  SiteId site;
+  std::map<ItemKey, PolyValue> writes;  // kPrepared only
+
+  static WalRecord Write(ItemKey key, PolyValue value);
+  static WalRecord Outcome(TxnId txn, bool committed);
+  static WalRecord TrackItem(TxnId txn, ItemKey key);
+  static WalRecord TrackSite(TxnId txn, SiteId site);
+  static WalRecord UntrackItem(TxnId txn, ItemKey key);
+  static WalRecord ForgetTxn(TxnId txn);
+  static WalRecord Prepared(TxnId txn, SiteId coordinator,
+                            std::map<ItemKey, PolyValue> writes);
+  static WalRecord PreparedResolved(TxnId txn);
+
+  std::string Encode() const;
+  static Result<WalRecord> Decode(const std::string& body);
+};
+
+class Wal {
+ public:
+  // Opens (creating or appending to) the log at `path`. When
+  // `sync_every_append` is set each Append fsyncs — slow but the honest
+  // durability story; tests mostly run without it.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           bool sync_every_append = false);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  Status Append(const WalRecord& record);
+  Status Sync();
+
+  // Truncates the log to empty (after a successful snapshot has captured
+  // everything the log recorded).
+  Status Reset();
+
+  const std::string& path() const { return path_; }
+  uint64_t records_appended() const { return records_appended_; }
+
+  // Reads every intact record from the file. A torn final record is
+  // silently dropped; earlier corruption returns DATA_LOSS.
+  static Result<std::vector<WalRecord>> ReplayFile(const std::string& path);
+
+ private:
+  Wal(std::string path, std::FILE* file, bool sync_every_append)
+      : path_(std::move(path)), file_(file),
+        sync_every_append_(sync_every_append) {}
+
+  std::string path_;
+  std::FILE* file_;
+  bool sync_every_append_;
+  std::mutex mu_;
+  uint64_t records_appended_ = 0;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_STORE_WAL_H_

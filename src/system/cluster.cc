@@ -1,0 +1,140 @@
+#include "src/system/cluster.h"
+
+#include "src/common/check.h"
+
+namespace polyvalue {
+
+SimCluster::SimCluster(Options options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  faults_.SetDelayRange(options_.min_delay, options_.max_delay);
+  transport_ = std::make_unique<SimTransport>(&sim_, &faults_, &rng_);
+  scheduler_ = std::make_unique<SimScheduler>(&sim_);
+  sites_.reserve(options_.site_count);
+  for (size_t i = 0; i < options_.site_count; ++i) {
+    Site::Options site_options;
+    site_options.engine = options_.engine;
+    site_options.default_factory = options_.default_factory;
+    auto site = std::make_unique<Site>(site_id(i), transport_.get(),
+                                       scheduler_.get(), site_options);
+    POLYV_CHECK(site->Start().ok());
+    sites_.push_back(std::move(site));
+  }
+}
+
+void SimCluster::Load(size_t site_index, const ItemKey& key, Value value) {
+  sites_[site_index]->Load(key, std::move(value));
+}
+
+TxnId SimCluster::Submit(size_t coordinator_index, TxnSpec spec,
+                         TxnCallback callback) {
+  return sites_[coordinator_index]->Submit(std::move(spec),
+                                           std::move(callback));
+}
+
+std::optional<TxnResult> SimCluster::SubmitAndRun(size_t coordinator_index,
+                                                  TxnSpec spec,
+                                                  double max_seconds) {
+  std::optional<TxnResult> result;
+  Submit(coordinator_index, std::move(spec),
+         [&result](const TxnResult& r) { result = r; });
+  const double deadline = sim_.now() + max_seconds;
+  while (!result.has_value() && sim_.now() < deadline) {
+    if (!sim_.Step()) {
+      break;
+    }
+  }
+  return result;
+}
+
+void SimCluster::RunFor(double seconds) { sim_.RunUntil(sim_.now() + seconds); }
+
+void SimCluster::CrashSite(size_t index) {
+  sites_[index]->Crash(&faults_);
+}
+
+void SimCluster::RecoverSite(size_t index) {
+  sites_[index]->Recover(&faults_);
+}
+
+size_t SimCluster::TotalUncertainItems() const {
+  size_t total = 0;
+  for (const auto& site : sites_) {
+    total += site->store().UncertainCount();
+  }
+  return total;
+}
+
+EngineMetrics SimCluster::TotalMetrics() const {
+  EngineMetrics total;
+  for (const auto& site : sites_) {
+    total.Accumulate(site->engine().metrics());
+  }
+  return total;
+}
+
+ThreadCluster::ThreadCluster(Options options)
+    : options_(std::move(options)) {
+  if (options_.transport != nullptr) {
+    transport_ = options_.transport;
+  } else {
+    owned_transport_ =
+        std::make_unique<MemTransport>(options_.faults, options_.seed);
+    transport_ = owned_transport_.get();
+  }
+  sites_.reserve(options_.site_count);
+  for (size_t i = 0; i < options_.site_count; ++i) {
+    Site::Options site_options;
+    site_options.engine = options_.engine;
+    site_options.default_factory = options_.default_factory;
+    auto site = std::make_unique<Site>(site_id(i), transport_,
+                                       &scheduler_, site_options);
+    POLYV_CHECK(site->Start().ok());
+    sites_.push_back(std::move(site));
+  }
+}
+
+ThreadCluster::~ThreadCluster() {
+  // Sites unregister in their destructors; transports join their threads.
+  sites_.clear();
+}
+
+void ThreadCluster::Load(size_t site_index, const ItemKey& key,
+                         Value value) {
+  sites_[site_index]->Load(key, std::move(value));
+}
+
+TxnId ThreadCluster::Submit(size_t coordinator_index, TxnSpec spec,
+                            TxnCallback callback) {
+  return sites_[coordinator_index]->Submit(std::move(spec),
+                                           std::move(callback));
+}
+
+std::optional<TxnResult> ThreadCluster::SubmitAndWait(
+    size_t coordinator_index, TxnSpec spec, double timeout_seconds) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<TxnResult> result;
+  Submit(coordinator_index, std::move(spec), [&](const TxnResult& r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      result = r;
+    }
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait_for(lock,
+              std::chrono::microseconds(
+                  static_cast<int64_t>(timeout_seconds * 1e6)),
+              [&result] { return result.has_value(); });
+  return result;
+}
+
+EngineMetrics ThreadCluster::TotalMetrics() const {
+  EngineMetrics total;
+  for (const auto& site : sites_) {
+    total.Accumulate(site->engine().metrics());
+  }
+  return total;
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,44 @@
+#include "src/system/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace polyvalue {
+
+std::optional<TxnResult> RunWithRetries(
+    SimCluster* cluster, size_t coordinator_index,
+    const std::function<TxnSpec()>& make_spec, const RetryPolicy& policy) {
+  double backoff = policy.initial_backoff;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    std::optional<TxnResult> result =
+        cluster->SubmitAndRun(coordinator_index, make_spec());
+    if (result.has_value() && result->committed()) {
+      return result;
+    }
+    cluster->RunFor(backoff);
+    backoff = std::min(backoff * policy.backoff_multiplier,
+                       policy.max_backoff);
+  }
+  return std::nullopt;
+}
+
+std::optional<TxnResult> RunWithRetries(
+    ThreadCluster* cluster, size_t coordinator_index,
+    const std::function<TxnSpec()>& make_spec, const RetryPolicy& policy) {
+  double backoff = policy.initial_backoff;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    std::optional<TxnResult> result =
+        cluster->SubmitAndWait(coordinator_index, make_spec());
+    if (result.has_value() && result->committed()) {
+      return result;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(backoff * 1e6)));
+    backoff = std::min(backoff * policy.backoff_multiplier,
+                       policy.max_backoff);
+  }
+  return std::nullopt;
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,40 @@
+// Client-side retry helper.
+//
+// The engine resolves lock conflicts by immediate abort (deadlock-free),
+// so real clients retry. RetryingClient wraps a cluster with bounded
+// exponential backoff and a fresh TxnSpec per attempt (specs are
+// move-consumed by Submit).
+#ifndef SRC_SYSTEM_RETRY_H_
+#define SRC_SYSTEM_RETRY_H_
+
+#include <functional>
+#include <optional>
+
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+
+struct RetryPolicy {
+  int max_attempts = 8;
+  double initial_backoff = 0.02;  // seconds
+  double backoff_multiplier = 2.0;
+  double max_backoff = 0.5;
+};
+
+// Runs `make_spec()` against the SimCluster until it commits (or is
+// read-only), retrying aborts with backoff in virtual time. Returns the
+// final result, or nullopt when every attempt failed / timed out.
+std::optional<TxnResult> RunWithRetries(
+    SimCluster* cluster, size_t coordinator_index,
+    const std::function<TxnSpec()>& make_spec,
+    const RetryPolicy& policy = {});
+
+// Blocking variant for the threaded cluster (wall-clock backoff).
+std::optional<TxnResult> RunWithRetries(
+    ThreadCluster* cluster, size_t coordinator_index,
+    const std::function<TxnSpec()>& make_spec,
+    const RetryPolicy& policy = {});
+
+}  // namespace polyvalue
+
+#endif  // SRC_SYSTEM_RETRY_H_

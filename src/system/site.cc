@@ -1,0 +1,154 @@
+#include "src/system/site.h"
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/store/recovery.h"
+#include "src/store/snapshot.h"
+
+namespace polyvalue {
+
+Site::Site(SiteId id, Transport* transport, Scheduler* scheduler,
+           Options options)
+    : id_(id),
+      transport_(transport),
+      options_(std::move(options)),
+      items_(options_.default_factory) {
+  engine_ = std::make_unique<TxnEngine>(
+      id_, &items_, &outcomes_, scheduler,
+      [this](SiteId to, const Message& msg) {
+        const Status s =
+            transport_->Send(Packet{id_, to, msg.Encode()});
+        if (!s.ok()) {
+          POLYV_DEBUG << id_ << " send to " << to << " failed: " << s;
+        }
+      },
+      options_.engine);
+}
+
+Site::~Site() {
+  if (started_) {
+    (void)transport_->Unregister(id_);
+  }
+}
+
+Status Site::Start() {
+  if (started_) {
+    return FailedPreconditionError("site already started");
+  }
+  if (!options_.wal_path.empty()) {
+    // Snapshot first (if one exists and is intact), then the WAL tail.
+    const std::string snap_path = options_.wal_path + ".snap";
+    const Result<SiteSnapshot> snapshot = ReadSnapshotFile(snap_path);
+    if (snapshot.ok()) {
+      RestoreStores(snapshot.value(), &items_, &outcomes_);
+      engine_->ImportDurableState(snapshot.value());
+    } else if (snapshot.status().code() != StatusCode::kNotFound) {
+      POLYV_WARN << id_ << " ignoring unreadable snapshot: "
+                 << snapshot.status();
+    }
+    POLYV_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                           Wal::ReplayFile(options_.wal_path));
+    POLYV_RETURN_IF_ERROR(RecoverSiteState(records, &items_, &outcomes_));
+    engine_->RestoreDurableState(records);
+    POLYV_ASSIGN_OR_RETURN(wal_, Wal::Open(options_.wal_path));
+    engine_->AttachWal(wal_.get());
+  }
+  POLYV_RETURN_IF_ERROR(transport_->Register(
+      id_, [this](Packet packet) { OnPacket(std::move(packet)); }));
+  started_ = true;
+  return OkStatus();
+}
+
+Status Site::Checkpoint() {
+  if (wal_ == nullptr) {
+    return FailedPreconditionError("site has no WAL configured");
+  }
+  SiteSnapshot snapshot = CaptureStores(items_, outcomes_);
+  engine_->ExportDurableState(&snapshot);
+  POLYV_RETURN_IF_ERROR(
+      WriteSnapshotFile(snapshot, options_.wal_path + ".snap"));
+  return wal_->Reset();
+}
+
+void Site::OnPacket(Packet packet) {
+  Result<Message> msg = Message::Decode(packet.payload);
+  if (!msg.ok()) {
+    POLYV_WARN << id_ << " dropping malformed packet from " << packet.from
+               << ": " << msg.status();
+    return;
+  }
+  engine_->OnMessage(packet.from, msg.value());
+}
+
+void Site::Load(const ItemKey& key, Value value) {
+  items_.Write(key, PolyValue::Certain(std::move(value)));
+}
+
+TxnId Site::Submit(TxnSpec spec, TxnCallback callback) {
+  return engine_->Submit(std::move(spec), std::move(callback));
+}
+
+Result<PolyValue> Site::Peek(const ItemKey& key) const {
+  return items_.Read(key);
+}
+
+Site::Stats Site::GetStats() const {
+  Stats stats;
+  stats.items = items_.size();
+  stats.uncertain_items = items_.UncertainCount();
+  stats.locked_items = items_.locked_count();
+  stats.tracked_transactions = outcomes_.tracked_count();
+  stats.engine = engine_->metrics();
+  return stats;
+}
+
+void Site::AwaitCertain(const PolyValue& value,
+                        std::function<void(const Value&)> callback) {
+  const std::vector<TxnId> deps = value.Dependencies();
+  if (deps.empty()) {
+    callback(value.certain_value());
+    return;
+  }
+  // Shared accumulator: each dependency resolution records its outcome;
+  // the last one computes the final value.
+  struct Pending {
+    PolyValue value;
+    std::unordered_map<TxnId, bool> outcomes;
+    size_t remaining;
+    std::function<void(const Value&)> callback;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->value = value;
+  pending->remaining = deps.size();
+  pending->callback = std::move(callback);
+  for (TxnId dep : deps) {
+    engine_->SubscribeOutcome(dep, [pending, dep](bool committed) {
+      pending->outcomes.emplace(dep, committed);
+      if (--pending->remaining == 0) {
+        const Result<Value> final_value =
+            pending->value.ValueUnder(pending->outcomes);
+        if (final_value.ok()) {
+          pending->callback(final_value.value());
+        }
+      }
+    });
+  }
+}
+
+void Site::Crash(FaultPlan* faults) {
+  crashed_ = true;
+  if (faults != nullptr) {
+    faults->SetSiteDown(id_, true);
+  }
+  engine_->Crash();
+}
+
+void Site::Recover(FaultPlan* faults) {
+  crashed_ = false;
+  if (faults != nullptr) {
+    faults->SetSiteDown(id_, false);
+  }
+  engine_->Recover();
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,330 @@
+// The transaction engine: coordinator + participant roles of one site.
+//
+// One TxnEngine instance runs per site. It implements:
+//
+//   * the coordinator role — drives the two-phase protocol for
+//     transactions submitted at this site: collect reads (compute phase),
+//     execute the (poly)transaction, ship writes, gather READY votes,
+//     decide, distribute COMPLETE/ABORT, answer outcome inquiries
+//     (with presumed-abort for transactions it has no record of);
+//   * the participant role — Figure 1's state machine: idle → compute
+//     (on PREPARE: lock + read) → wait (on WRITE_REQ: vote READY) →
+//     idle, where leaving `wait` happens on COMPLETE, on ABORT, or on
+//     the wait timeout, which applies the configured in-doubt policy;
+//   * outcome propagation (§3.3) — learned outcomes reduce dependent
+//     local polyvalues, are pushed to recorded downstream sites, and a
+//     periodic inquiry loop pulls outcomes of still-unknown transactions
+//     from their coordinators (the transaction id encodes its
+//     coordinator, so any site can route an inquiry).
+//
+// The in-doubt policy is where the paper's contribution and its two foils
+// live side by side:
+//
+//   kPolyvalue  — §2.4/§3: install {⟨computed, T⟩, ⟨previous, ¬T⟩}
+//                 polyvalues, RELEASE the locks, move on.
+//   kBlock      — §2.2 classic blocking 2PC: hold the locks until the
+//                 outcome is learned.
+//   kArbitrary  — §2.3 relaxed consistency: unilaterally commit; fast
+//                 but can violate atomicity (the benches count it).
+//
+// Thread-safety: a single mutex guards engine state; all outbound sends,
+// timer programs and client callbacks are deferred to after unlock, so
+// the engine never calls out while holding its lock. The same object is
+// driven by the deterministic simulator and by real threads.
+#ifndef SRC_TXN_ENGINE_H_
+#define SRC_TXN_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/store/item_store.h"
+#include "src/store/outcome_table.h"
+#include "src/store/snapshot.h"
+#include "src/store/wal.h"
+#include "src/txn/messages.h"
+#include "src/txn/polytxn.h"
+#include "src/txn/scheduler.h"
+#include "src/txn/txn_types.h"
+
+namespace polyvalue {
+
+enum class InDoubtPolicy {
+  kPolyvalue,  // install polyvalues, release locks (the paper)
+  kBlock,      // hold locks until the outcome is known (classic 2PC)
+  kArbitrary,  // unilaterally commit (relaxed consistency, §2.3)
+};
+
+const char* InDoubtPolicyName(InDoubtPolicy policy);
+
+// How a participant treats a lock conflict during PREPARE.
+enum class LockWaitPolicy {
+  kNoWait,   // immediate refusal (deadlock-free by construction)
+  kWaitDie,  // older requesters queue behind younger holders; younger
+             // requesters die. Waits only point old -> young, so no
+             // cycles — deadlock-free with far fewer aborts under
+             // contention.
+};
+
+struct EngineConfig {
+  // Coordinator: max wait for all PREPARE_REPLYs before aborting.
+  double prepare_timeout = 0.25;
+  // Coordinator: max wait for all READYs before aborting.
+  double ready_timeout = 0.25;
+  // Participant: in-doubt window after READY before the policy applies.
+  double wait_timeout = 0.15;
+  // Participant: period of outcome-inquiry retries.
+  double inquiry_interval = 1.0;
+  // Cap on polytransaction fan-out.
+  size_t max_alternatives = 1024;
+  // In-doubt behaviour.
+  InDoubtPolicy policy = InDoubtPolicy::kPolyvalue;
+  // Lock-conflict behaviour during PREPARE.
+  LockWaitPolicy lock_wait = LockWaitPolicy::kNoWait;
+  // Debug: exact complete/disjoint validation of every installed
+  // polyvalue (expensive; on in tests).
+  bool validate_installs = false;
+  // Simulated computation time: the coordinator defers executing the
+  // transaction logic and shipping writes by this many (virtual) seconds
+  // after the last PREPARE_REPLY. Models the paper's premise that the
+  // compute phase dwarfs the decision exchange; 0 = execute immediately.
+  double execution_delay = 0;
+  // Single-site transactions (every item local to the coordinator) skip
+  // the message rounds entirely: lock, execute, install, decide — the
+  // §2.1 observation that such transactions need no distributed atomic
+  // update. Disable to force every transaction through full 2PC.
+  bool enable_local_fast_path = true;
+};
+
+struct EngineMetrics {
+  uint64_t txns_submitted = 0;
+  uint64_t txns_committed = 0;   // coordinator-side decisions
+  uint64_t txns_aborted = 0;
+  uint64_t txns_read_only = 0;
+  uint64_t polytxns = 0;              // executions that read >=1 polyvalue
+  uint64_t alternatives_executed = 0;
+  uint64_t uncertain_outputs = 0;     // client outputs left uncertain
+  uint64_t polyvalue_installs = 0;    // items made uncertain by timeouts
+  uint64_t polyvalues_resolved = 0;   // items reduced back to certain
+  uint64_t wait_timeouts = 0;         // in-doubt windows hit
+  uint64_t blocked_holds = 0;         // blocking policy: lock-hold episodes
+  uint64_t arbitrary_commits = 0;     // relaxed policy: unilateral commits
+  uint64_t outcome_inquiries = 0;
+  uint64_t outcome_notifies = 0;
+  uint64_t local_fast_path = 0;       // single-site txns run without 2PC
+  uint64_t lock_waits = 0;            // wait-die: prepares that queued
+  uint64_t lock_wait_resumes = 0;     // parked prepares later granted
+
+  // Phase-duration instrumentation (§2.2: the vulnerable window should
+  // be short relative to the computation): per-participation seconds
+  // spent in the compute phase (PREPARE -> WRITE_REQ) and in the wait
+  // phase (READY -> outcome learned / policy applied).
+  double compute_phase_seconds = 0;
+  uint64_t compute_phase_count = 0;
+  double wait_phase_seconds = 0;
+  uint64_t wait_phase_count = 0;
+
+  // Adds `other` field-by-field (cluster-wide aggregation).
+  void Accumulate(const EngineMetrics& other);
+};
+
+class TxnEngine {
+ public:
+  using SendFn = std::function<void(SiteId to, const Message& msg)>;
+
+  TxnEngine(SiteId self, ItemStore* items, OutcomeTable* outcomes,
+            Scheduler* scheduler, SendFn send, EngineConfig config);
+  ~TxnEngine();
+
+  // Optional durability: every install / outcome / tracking mutation is
+  // logged. The engine does not own the WAL.
+  void AttachWal(Wal* wal) { wal_ = wal; }
+
+  SiteId self() const { return self_; }
+  const EngineConfig& config() const { return config_; }
+
+  // --- transaction ids ---
+  // Ids encode their coordinator: id = (site << kSiteShift) | seq, so any
+  // holder of a polyvalue can route an outcome inquiry.
+  TxnId AllocateTxnId();
+  static SiteId CoordinatorOf(TxnId txn);
+
+  // --- client API (coordinator role) ---
+  // Runs `spec` with this site as coordinator. The callback fires exactly
+  // once, possibly synchronously (local-only read) or much later (after
+  // failures heal). Pass a pre-allocated id via `txn` to correlate.
+  TxnId Submit(TxnSpec spec, TxnCallback callback);
+  TxnId Submit(TxnSpec spec, TxnCallback callback, TxnId txn);
+
+  // --- transport entry point ---
+  void OnMessage(SiteId from, const Message& msg);
+
+  // --- failure simulation hooks ---
+  // Drops all volatile state: in-flight coordinations (their clients
+  // never hear back until recovery-time inquiry), participations, locks,
+  // timers. Durable state — items, outcome table, decided outcomes,
+  // prepared writes — survives (it is WAL-backed when a WAL is attached).
+  void Crash();
+  // Post-crash restart: re-applies the in-doubt policy to prepared-but-
+  // undecided participations and restarts outcome inquiries.
+  void Recover();
+
+  // Starts the periodic inquiry loop (idempotent). Called by Recover()
+  // and by the first polyvalue install; exposed for tests.
+  void EnsureInquiryLoop();
+
+  // §3.4 support: invokes `callback(committed)` once the outcome of
+  // `txn` is known at this site — immediately if already known. This is
+  // the "withhold uncertain outputs until the uncertainty is resolved"
+  // option: callers park an uncertain client answer on the transactions
+  // it depends on. Subscriptions are volatile (lost on Crash).
+  using OutcomeCallback = std::function<void(bool committed)>;
+  void SubscribeOutcome(TxnId txn, OutcomeCallback callback);
+
+  EngineMetrics metrics() const;
+
+  // Durable coordinator decision, if any (tests / audits).
+  std::optional<bool> DecidedOutcome(TxnId txn) const;
+
+  // Rebuilds durable engine state from replayed WAL records. Call before
+  // any traffic, after store/outcome-table recovery.
+  void RestoreDurableState(const std::vector<WalRecord>& records);
+
+  // Snapshot integration: exports / imports the engine's durable state
+  // (prepared votes + coordinator decisions). Import must precede any
+  // traffic; WAL-tail RestoreDurableState may follow it.
+  void ExportDurableState(SiteSnapshot* snapshot) const;
+  void ImportDurableState(const SiteSnapshot& snapshot);
+
+ private:
+  // ---- coordinator state ----
+  enum class CoordPhase { kCollecting, kWaitingReady };
+  struct Coordination {
+    TxnSpec spec;
+    CoordPhase phase = CoordPhase::kCollecting;
+    std::vector<SiteId> participants;
+    std::set<SiteId> awaiting;
+    std::map<ItemKey, PolyValue> collected;  // reads ∪ previous values
+    TxnCallback callback;
+    Scheduler::TimerId timer = 0;
+    PolyValue output;
+    bool was_polytxn = false;
+  };
+
+  // ---- participant state (Figure 1; idle = absent) ----
+  enum class PartState { kCompute, kWait };
+  struct Participation {
+    SiteId coordinator;
+    PartState state = PartState::kCompute;
+    std::vector<ItemKey> locked_keys;
+    std::map<ItemKey, PolyValue> pending_writes;
+    Scheduler::TimerId wait_timer = 0;
+    bool blocked = false;  // kBlock policy: held past the timeout
+    double compute_entered_at = 0;  // phase instrumentation (§2.2)
+    double wait_entered_at = 0;
+    // Wait-die parking: keys still queued for, the original PREPARE to
+    // resume with, and whether the PREPARE_REPLY has been sent yet.
+    std::set<ItemKey> awaited_keys;
+    Message parked_prepare;
+    bool prepare_replied = false;
+  };
+
+  // Deferred side effects, flushed outside the lock.
+  struct Outbox {
+    std::vector<std::pair<SiteId, Message>> sends;
+    std::vector<std::function<void()>> thunks;
+  };
+
+  // -- coordinator internals (engine_coordinator.cc) --
+  // Runs a transaction whose every item lives at this site without any
+  // message rounds. Returns false when the fast path does not apply.
+  bool TryLocalFastPath(TxnId txn, const TxnSpec& spec,
+                        const TxnCallback& callback, Outbox* out);
+  void HandlePrepareReply(SiteId from, const Message& msg, Outbox* out);
+  void HandleReady(SiteId from, const Message& msg, Outbox* out);
+  void ExecuteAndShip(TxnId txn, Coordination* coord, Outbox* out);
+  void Decide(TxnId txn, bool commit, const std::string& reason,
+              Outbox* out);
+  void HandleOutcomeRequest(SiteId from, const Message& msg, Outbox* out);
+  void CoordinatorTimeout(TxnId txn, CoordPhase expected_phase);
+
+  // -- participant internals (engine_participant.cc) --
+  void HandlePrepare(SiteId from, const Message& msg, Outbox* out);
+  // Tail of the prepare path once every lock is held: read values,
+  // record §3.3 shipping obligations, send PREPARE_REPLY.
+  void FinishPrepareReads(TxnId txn, Participation* part, Outbox* out);
+  // Releases txn's locks, waking and resuming parked prepares that the
+  // freed items were granted to.
+  void ReleaseLocks(TxnId txn, Outbox* out);
+  void HandleWriteReq(SiteId from, const Message& msg, Outbox* out);
+  void HandleComplete(const Message& msg, Outbox* out);
+  void HandleAbort(const Message& msg, Outbox* out);
+  void WaitTimeout(TxnId txn);
+  void ApplyInDoubtPolicy(TxnId txn, Participation* part, Outbox* out);
+  void FinishParticipation(TxnId txn, Participation* part, bool commit,
+                           Outbox* out);
+
+  // -- shared internals (engine_common.cc) --
+  // Installs `value` for `key`, maintaining dependency tracking and WAL.
+  void InstallValue(const ItemKey& key, const PolyValue& raw_value);
+  void HandleLearnedOutcome(TxnId txn, bool committed, Outbox* out);
+  void HandleOutcomeReply(const Message& msg, Outbox* out);
+  void HandleOutcomeNotify(SiteId from, const Message& msg, Outbox* out);
+  void InquiryTick();
+  void MarkPreparedDurable(TxnId txn, SiteId coordinator,
+                           const std::map<ItemKey, PolyValue>& writes);
+  void ClearPreparedDurable(TxnId txn);
+  void RecordDecisionDurable(TxnId txn, bool commit);
+  void Wal_(const WalRecord& record);
+  void FlushOutbox(Outbox* out);
+
+  // Schedules `fn` after `delay`, guarded so the callback is a no-op once
+  // this engine is destroyed (timers may outlive a restarted site).
+  Scheduler::TimerId ScheduleGuarded(double delay, std::function<void()> fn);
+
+  static constexpr int kSiteShift = kTxnSiteShift;
+
+  const SiteId self_;
+  ItemStore* const items_;
+  OutcomeTable* const outcomes_;
+  Scheduler* const scheduler_;
+  const SendFn send_;
+  const EngineConfig config_;
+  Wal* wal_ = nullptr;
+
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 1;
+  std::map<TxnId, Coordination> coordinations_;
+  std::map<TxnId, Participation> participations_;
+
+  // Durable-by-contract (survives Crash; mirrored to WAL when attached):
+  // coordinator decisions...
+  std::map<TxnId, bool> decided_;
+  // ...and participant prepared-but-undecided writes.
+  struct Prepared {
+    SiteId coordinator;
+    std::map<ItemKey, PolyValue> writes;
+  };
+  std::map<TxnId, Prepared> prepared_;
+
+  std::map<TxnId, std::vector<OutcomeCallback>> outcome_subscribers_;
+
+  bool inquiry_loop_running_ = false;
+  bool crashed_ = false;
+  EngineMetrics metrics_;
+  // Liveness token shared with scheduled callbacks; flipped false on
+  // destruction so stale timers cannot touch a dead engine.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_TXN_ENGINE_H_

@@ -1,0 +1,250 @@
+#include "src/txn/messages.h"
+
+#include "src/net/codec.h"
+#include "src/net/wire.h"
+
+namespace polyvalue {
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kPrepare:
+      return "PREPARE";
+    case MsgType::kPrepareReply:
+      return "PREPARE_REPLY";
+    case MsgType::kWriteReq:
+      return "WRITE_REQ";
+    case MsgType::kReady:
+      return "READY";
+    case MsgType::kComplete:
+      return "COMPLETE";
+    case MsgType::kAbort:
+      return "ABORT";
+    case MsgType::kOutcomeRequest:
+      return "OUTCOME_REQUEST";
+    case MsgType::kOutcomeReply:
+      return "OUTCOME_REPLY";
+    case MsgType::kOutcomeNotify:
+      return "OUTCOME_NOTIFY";
+  }
+  return "?";
+}
+
+namespace {
+
+void EncodeKeyList(const std::vector<ItemKey>& keys, ByteWriter* w) {
+  w->PutVarint(keys.size());
+  for (const ItemKey& key : keys) {
+    w->PutString(key);
+  }
+}
+
+Result<std::vector<ItemKey>> DecodeKeyList(ByteReader* r) {
+  POLYV_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > (1u << 20)) {
+    return DataLossError("key list too large");
+  }
+  std::vector<ItemKey> keys;
+  keys.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    POLYV_ASSIGN_OR_RETURN(std::string key, r->GetString());
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+void EncodeValueMap(const std::map<ItemKey, PolyValue>& m, ByteWriter* w) {
+  w->PutVarint(m.size());
+  for (const auto& [key, value] : m) {
+    w->PutString(key);
+    EncodePolyValue(value, w);
+  }
+}
+
+Result<std::map<ItemKey, PolyValue>> DecodeValueMap(ByteReader* r) {
+  POLYV_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > (1u << 20)) {
+    return DataLossError("value map too large");
+  }
+  std::map<ItemKey, PolyValue> m;
+  for (uint64_t i = 0; i < n; ++i) {
+    POLYV_ASSIGN_OR_RETURN(std::string key, r->GetString());
+    POLYV_ASSIGN_OR_RETURN(PolyValue value, DecodePolyValue(r));
+    m.emplace(std::move(key), std::move(value));
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string Message::Encode() const {
+  ByteWriter w;
+  w.PutU8(kProtocolVersion);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutVarint(txn.value());
+  switch (type) {
+    case MsgType::kPrepare:
+      w.PutVarint(coordinator.value());
+      EncodeKeyList(read_keys, &w);
+      EncodeKeyList(write_keys, &w);
+      break;
+    case MsgType::kPrepareReply:
+      w.PutBool(ok);
+      w.PutString(error);
+      EncodeValueMap(values, &w);
+      break;
+    case MsgType::kWriteReq:
+      EncodeValueMap(writes, &w);
+      break;
+    case MsgType::kReady:
+    case MsgType::kComplete:
+    case MsgType::kAbort:
+    case MsgType::kOutcomeRequest:
+      break;
+    case MsgType::kOutcomeReply:
+      w.PutBool(known);
+      w.PutBool(committed);
+      break;
+    case MsgType::kOutcomeNotify:
+      w.PutBool(committed);
+      break;
+  }
+  return w.Take();
+}
+
+Result<Message> Message::Decode(const std::string& bytes) {
+  ByteReader r(bytes);
+  POLYV_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != kProtocolVersion) {
+    return DataLossError("unsupported protocol version " +
+                         std::to_string(version));
+  }
+  POLYV_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  Message m;
+  m.type = static_cast<MsgType>(tag);
+  POLYV_ASSIGN_OR_RETURN(uint64_t txn, r.GetVarint());
+  m.txn = TxnId(txn);
+  switch (m.type) {
+    case MsgType::kPrepare: {
+      POLYV_ASSIGN_OR_RETURN(uint64_t coord, r.GetVarint());
+      m.coordinator = SiteId(coord);
+      POLYV_ASSIGN_OR_RETURN(m.read_keys, DecodeKeyList(&r));
+      POLYV_ASSIGN_OR_RETURN(m.write_keys, DecodeKeyList(&r));
+      break;
+    }
+    case MsgType::kPrepareReply: {
+      POLYV_ASSIGN_OR_RETURN(m.ok, r.GetBool());
+      POLYV_ASSIGN_OR_RETURN(m.error, r.GetString());
+      POLYV_ASSIGN_OR_RETURN(m.values, DecodeValueMap(&r));
+      break;
+    }
+    case MsgType::kWriteReq: {
+      POLYV_ASSIGN_OR_RETURN(m.writes, DecodeValueMap(&r));
+      break;
+    }
+    case MsgType::kReady:
+    case MsgType::kComplete:
+    case MsgType::kAbort:
+    case MsgType::kOutcomeRequest:
+      break;
+    case MsgType::kOutcomeReply: {
+      POLYV_ASSIGN_OR_RETURN(m.known, r.GetBool());
+      POLYV_ASSIGN_OR_RETURN(m.committed, r.GetBool());
+      break;
+    }
+    case MsgType::kOutcomeNotify: {
+      POLYV_ASSIGN_OR_RETURN(m.committed, r.GetBool());
+      break;
+    }
+    default:
+      return DataLossError("unknown message type");
+  }
+  if (!r.AtEnd()) {
+    return DataLossError("trailing bytes in message");
+  }
+  return m;
+}
+
+Message MakePrepare(TxnId txn, SiteId coordinator,
+                    std::vector<ItemKey> read_keys,
+                    std::vector<ItemKey> write_keys) {
+  Message m;
+  m.type = MsgType::kPrepare;
+  m.txn = txn;
+  m.coordinator = coordinator;
+  m.read_keys = std::move(read_keys);
+  m.write_keys = std::move(write_keys);
+  return m;
+}
+
+Message MakePrepareReply(TxnId txn, std::map<ItemKey, PolyValue> values) {
+  Message m;
+  m.type = MsgType::kPrepareReply;
+  m.txn = txn;
+  m.ok = true;
+  m.values = std::move(values);
+  return m;
+}
+
+Message MakePrepareRefusal(TxnId txn, std::string error) {
+  Message m;
+  m.type = MsgType::kPrepareReply;
+  m.txn = txn;
+  m.ok = false;
+  m.error = std::move(error);
+  return m;
+}
+
+Message MakeWriteReq(TxnId txn, std::map<ItemKey, PolyValue> writes) {
+  Message m;
+  m.type = MsgType::kWriteReq;
+  m.txn = txn;
+  m.writes = std::move(writes);
+  return m;
+}
+
+Message MakeReady(TxnId txn) {
+  Message m;
+  m.type = MsgType::kReady;
+  m.txn = txn;
+  return m;
+}
+
+Message MakeComplete(TxnId txn) {
+  Message m;
+  m.type = MsgType::kComplete;
+  m.txn = txn;
+  return m;
+}
+
+Message MakeAbort(TxnId txn) {
+  Message m;
+  m.type = MsgType::kAbort;
+  m.txn = txn;
+  return m;
+}
+
+Message MakeOutcomeRequest(TxnId txn) {
+  Message m;
+  m.type = MsgType::kOutcomeRequest;
+  m.txn = txn;
+  return m;
+}
+
+Message MakeOutcomeReply(TxnId txn, bool known, bool committed) {
+  Message m;
+  m.type = MsgType::kOutcomeReply;
+  m.txn = txn;
+  m.known = known;
+  m.committed = committed;
+  return m;
+}
+
+Message MakeOutcomeNotify(TxnId txn, bool committed) {
+  Message m;
+  m.type = MsgType::kOutcomeNotify;
+  m.txn = txn;
+  m.committed = committed;
+  return m;
+}
+
+}  // namespace polyvalue

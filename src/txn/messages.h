@@ -1,0 +1,91 @@
+// Protocol messages of the polyvalue commit protocol.
+//
+// The update protocol is Gray's two-phase commit (§3.1 adopts it
+// directly) extended with outcome distribution for polyvalue reduction
+// (§3.3):
+//
+//   coordinator -> participant : PREPARE      (keys to read/lock)
+//   participant -> coordinator : PREPARE_REPLY (values or refusal)
+//   coordinator -> participant : WRITE_REQ    (computed new values)
+//   participant -> coordinator : READY        ("ready" of §3.1)
+//   coordinator -> participant : COMPLETE / ABORT
+//   any site    -> any site    : OUTCOME_REQUEST / OUTCOME_REPLY
+//                                (recovery-time inquiry)
+//   any site    -> any site    : OUTCOME_NOTIFY (decentralised §3.3 push)
+//
+// All messages serialise through the wire codecs; the transports carry
+// opaque bytes.
+#ifndef SRC_TXN_MESSAGES_H_
+#define SRC_TXN_MESSAGES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/poly/polyvalue.h"
+
+namespace polyvalue {
+
+enum class MsgType : uint8_t {
+  kPrepare = 1,
+  kPrepareReply = 2,
+  kWriteReq = 3,
+  kReady = 4,
+  kComplete = 5,
+  kAbort = 6,
+  kOutcomeRequest = 7,
+  kOutcomeReply = 8,
+  kOutcomeNotify = 9,
+};
+
+const char* MsgTypeName(MsgType type);
+
+// Wire protocol version; encoded as the first byte of every message.
+// Decoders reject other versions, so incompatible engine builds sharing a
+// network fail loudly instead of misinterpreting frames.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+struct Message {
+  MsgType type;
+  TxnId txn;
+
+  // kPrepare
+  std::vector<ItemKey> read_keys;
+  std::vector<ItemKey> write_keys;
+  SiteId coordinator;  // who to report READY to
+
+  // kPrepareReply
+  bool ok = false;
+  std::string error;
+  std::map<ItemKey, PolyValue> values;
+
+  // kWriteReq
+  std::map<ItemKey, PolyValue> writes;
+
+  // kOutcomeReply / kOutcomeNotify
+  bool known = false;
+  bool committed = false;
+
+  std::string Encode() const;
+  static Result<Message> Decode(const std::string& bytes);
+};
+
+// Constructors.
+Message MakePrepare(TxnId txn, SiteId coordinator,
+                    std::vector<ItemKey> read_keys,
+                    std::vector<ItemKey> write_keys);
+Message MakePrepareReply(TxnId txn, std::map<ItemKey, PolyValue> values);
+Message MakePrepareRefusal(TxnId txn, std::string error);
+Message MakeWriteReq(TxnId txn, std::map<ItemKey, PolyValue> writes);
+Message MakeReady(TxnId txn);
+Message MakeComplete(TxnId txn);
+Message MakeAbort(TxnId txn);
+Message MakeOutcomeRequest(TxnId txn);
+Message MakeOutcomeReply(TxnId txn, bool known, bool committed);
+Message MakeOutcomeNotify(TxnId txn, bool committed);
+
+}  // namespace polyvalue
+
+#endif  // SRC_TXN_MESSAGES_H_

@@ -1,0 +1,65 @@
+// Polytransaction execution (§3.2).
+//
+// A transaction that reads an item holding a polyvalue becomes a
+// polytransaction: it is partitioned into alternative transactions, one
+// per reachable combination of input alternatives. Each alternative T_c
+// executes the user logic against simple values and carries the condition
+// c — the conjunction of the conditions of the input alternatives it
+// consumed. Alternatives whose condition is logically false are pruned
+// *before* execution (the paper's efficiency rule), and inputs whose
+// uncertainty cannot affect the computation add no partitions beyond the
+// condition bookkeeping.
+//
+// The outputs are reassembled into polyvalues: for each written item, the
+// pair set {⟨v_c, c⟩} where v_c is the value alternative T_c wrote, or
+// the item's previous value when T_c did not write it (§3.2's rule).
+// Because the input conditions of each item are complete and disjoint,
+// the produced conditions are complete and disjoint by construction.
+#ifndef SRC_TXN_POLYTXN_H_
+#define SRC_TXN_POLYTXN_H_
+
+#include <map>
+
+#include "src/common/status.h"
+#include "src/poly/polyvalue.h"
+#include "src/txn/txn_types.h"
+
+namespace polyvalue {
+
+struct PolyTxnResult {
+  // Computed new values per written item; a polyvalue when alternatives
+  // disagree. Items no alternative wrote are absent.
+  std::map<ItemKey, PolyValue> writes;
+  // Client-visible output across alternatives.
+  PolyValue output;
+  // Number of alternative transactions actually executed.
+  size_t alternatives_executed = 0;
+  // Number of alternative combinations pruned as logically false.
+  size_t alternatives_pruned = 0;
+  // Alternatives served from the access-tracked execution cache (§3.2:
+  // uncertainty that cannot affect the computation causes no extra runs).
+  size_t alternatives_memoized = 0;
+};
+
+struct PolyTxnOptions {
+  // Hard cap on the alternative fan-out; exceeded => FAILED_PRECONDITION.
+  size_t max_alternatives = 1024;
+};
+
+// Executes `logic` against (possibly polyvalued) inputs.
+//
+// `inputs` must cover the logic's whole read set. `previous` supplies the
+// current stored value of each *written* item so unwritten-under-some-
+// alternatives items fall back to their previous value; keys absent from
+// `previous` that some alternative leaves unwritten default to Null.
+//
+// Fails with ABORTED if any reachable alternative aborts (conservative:
+// the commit decision must be binary). Other logic failures propagate.
+Result<PolyTxnResult> ExecutePolyTransaction(
+    const std::map<ItemKey, PolyValue>& inputs,
+    const std::map<ItemKey, PolyValue>& previous, const TxnLogic& logic,
+    const PolyTxnOptions& options = {});
+
+}  // namespace polyvalue
+
+#endif  // SRC_TXN_POLYTXN_H_

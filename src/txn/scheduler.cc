@@ -1,0 +1,76 @@
+#include "src/txn/scheduler.h"
+
+#include <chrono>
+#include <vector>
+
+namespace polyvalue {
+
+ThreadScheduler::ThreadScheduler() : epoch_(Clock::now()) {
+  worker_ = std::thread([this] { Loop(); });
+}
+
+ThreadScheduler::~ThreadScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+double ThreadScheduler::Now() const {
+  return std::chrono::duration<double>(Clock::now() - epoch_).count();
+}
+
+Scheduler::TimerId ThreadScheduler::ScheduleAfter(double delay_seconds,
+                                                  Action action) {
+  const auto fire_at =
+      Clock::now() + std::chrono::microseconds(
+                         static_cast<int64_t>(delay_seconds * 1e6));
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    timers_.emplace(fire_at, std::make_pair(id, std::move(action)));
+  }
+  cv_.notify_all();
+  return id;
+}
+
+bool ThreadScheduler::Cancel(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->second.first == id) {
+      timers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadScheduler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) {
+      return;
+    }
+    if (timers_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !timers_.empty(); });
+      continue;
+    }
+    const auto next_fire = timers_.begin()->first;
+    if (Clock::now() < next_fire) {
+      cv_.wait_until(lock, next_fire);
+      continue;
+    }
+    auto entry = std::move(timers_.begin()->second);
+    timers_.erase(timers_.begin());
+    lock.unlock();
+    entry.second();  // run outside the lock; action may reschedule
+    lock.lock();
+  }
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,83 @@
+// Timer scheduling abstraction.
+//
+// The protocol state machines need timeouts (prepare deadline, the
+// in-doubt wait window, outcome-inquiry retries). They program them
+// against this interface so the deterministic simulator and the real
+// threaded runtime drive identical engine code.
+#ifndef SRC_TXN_SCHEDULER_H_
+#define SRC_TXN_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "src/event/simulator.h"
+
+namespace polyvalue {
+
+class Scheduler {
+ public:
+  using TimerId = uint64_t;
+  using Action = std::function<void()>;
+
+  virtual ~Scheduler() = default;
+
+  // Seconds since an arbitrary epoch.
+  virtual double Now() const = 0;
+
+  // Runs `action` after `delay_seconds`. Returns a cancellable id.
+  virtual TimerId ScheduleAfter(double delay_seconds, Action action) = 0;
+
+  // Cancels; returns false when the timer already fired or is unknown.
+  virtual bool Cancel(TimerId id) = 0;
+};
+
+// Scheduler on the discrete-event simulator (deterministic).
+class SimScheduler : public Scheduler {
+ public:
+  explicit SimScheduler(Simulator* sim) : sim_(sim) {}
+
+  double Now() const override { return sim_->now(); }
+  TimerId ScheduleAfter(double delay_seconds, Action action) override {
+    return sim_->After(delay_seconds, std::move(action));
+  }
+  bool Cancel(TimerId id) override { return sim_->Cancel(id); }
+
+ private:
+  Simulator* sim_;
+};
+
+// Wall-clock scheduler with one worker thread.
+class ThreadScheduler : public Scheduler {
+ public:
+  ThreadScheduler();
+  ~ThreadScheduler() override;
+
+  ThreadScheduler(const ThreadScheduler&) = delete;
+  ThreadScheduler& operator=(const ThreadScheduler&) = delete;
+
+  double Now() const override;
+  TimerId ScheduleAfter(double delay_seconds, Action action) override;
+  bool Cancel(TimerId id) override;
+
+ private:
+  void Loop();
+
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  TimerId next_id_ = 1;
+  // Fire-time ordered multimap; value = (id, action).
+  std::multimap<Clock::time_point, std::pair<TimerId, Action>> timers_;
+  Clock::time_point epoch_;
+  std::thread worker_;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_TXN_SCHEDULER_H_

@@ -1,0 +1,93 @@
+#include "src/txn/txn_types.h"
+
+#include <set>
+
+#include "src/common/check.h"
+
+namespace polyvalue {
+
+const Value& TxnReads::at(const ItemKey& key) const {
+  auto it = values_.find(key);
+  POLYV_CHECK_MSG(it != values_.end(),
+                  "read set missing item '" << key << "'");
+  if (access_tracker_ != nullptr) {
+    access_tracker_->insert(key);
+  }
+  return it->second;
+}
+
+bool TxnReads::Has(const ItemKey& key) const {
+  if (access_tracker_ != nullptr) {
+    access_tracker_->insert(key);
+  }
+  return values_.count(key) > 0;
+}
+
+const std::map<ItemKey, Value>& TxnReads::All() const {
+  if (access_tracker_ != nullptr) {
+    for (const auto& [key, value] : values_) {
+      access_tracker_->insert(key);
+    }
+  }
+  return values_;
+}
+
+const Value& TxnReads::RawAt(const ItemKey& key) const {
+  auto it = values_.find(key);
+  POLYV_CHECK_MSG(it != values_.end(),
+                  "memo key missing item '" << key << "'");
+  return it->second;
+}
+
+int64_t TxnReads::IntAt(const ItemKey& key) const {
+  const Result<int64_t> v = at(key).AsInt();
+  POLYV_CHECK_MSG(v.ok(), "item '" << key << "' is not an int");
+  return v.value();
+}
+
+double TxnReads::RealAt(const ItemKey& key) const {
+  const Result<double> v = at(key).AsReal();
+  POLYV_CHECK_MSG(v.ok(), "item '" << key << "' is not numeric");
+  return v.value();
+}
+
+TxnEffect TxnEffect::Abort(std::string reason) {
+  TxnEffect e;
+  e.abort = true;
+  e.abort_reason = std::move(reason);
+  return e;
+}
+
+std::vector<SiteId> TxnSpec::Participants() const {
+  std::set<SiteId> sites;
+  for (const auto& [key, site] : read_set) {
+    sites.insert(site);
+  }
+  for (const auto& [key, site] : write_set) {
+    sites.insert(site);
+  }
+  return std::vector<SiteId>(sites.begin(), sites.end());
+}
+
+TxnSpec& TxnSpec::Read(ItemKey key, SiteId site) {
+  read_set.emplace(std::move(key), site);
+  return *this;
+}
+
+TxnSpec& TxnSpec::Write(ItemKey key, SiteId site) {
+  write_set.emplace(std::move(key), site);
+  return *this;
+}
+
+TxnSpec& TxnSpec::ReadWrite(ItemKey key, SiteId site) {
+  read_set.emplace(key, site);
+  write_set.emplace(std::move(key), site);
+  return *this;
+}
+
+TxnSpec& TxnSpec::Logic(TxnLogic logic_fn) {
+  logic = std::move(logic_fn);
+  return *this;
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,124 @@
+// Transaction model types.
+//
+// A transaction is user logic — a pure function from read values to
+// writes plus an optional client-visible output — together with declared
+// read/write sets mapping items to the sites that hold them. Purity
+// matters: a polytransaction (§3.2) re-executes the same logic once per
+// alternative database state, so the logic must not carry side effects.
+#ifndef SRC_TXN_TXN_TYPES_H_
+#define SRC_TXN_TXN_TYPES_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/poly/polyvalue.h"
+#include "src/value/value.h"
+
+namespace polyvalue {
+
+// The view of the database one alternative executes against: every item
+// in the read set resolved to a simple value.
+//
+// Every access is recorded when a tracker is attached: the
+// polytransaction executor uses this to implement §3.2's optimisation —
+// alternatives that differ only in items the logic never looked at share
+// one execution instead of re-running. The map is private so logic
+// cannot accidentally bypass the tracking; All() grants whole-set
+// iteration and conservatively marks everything accessed.
+class TxnReads {
+ public:
+  TxnReads() = default;
+
+  // Tracked accessors for transaction logic.
+  const Value& at(const ItemKey& key) const;
+  int64_t IntAt(const ItemKey& key) const;
+  double RealAt(const ItemKey& key) const;
+  bool Has(const ItemKey& key) const;  // tracked (existence reveals state)
+
+  // Whole-set view; marks every item accessed.
+  const std::map<ItemKey, Value>& All() const;
+
+  size_t size() const { return values_.size(); }
+
+  // --- executor/engine plumbing ---
+  void Insert(ItemKey key, Value value) {
+    values_.insert_or_assign(std::move(key), std::move(value));
+  }
+  void set_access_tracker(std::set<ItemKey>* tracker) {
+    access_tracker_ = tracker;
+  }
+  // Untracked lookup for the executor's memo key (not for logic).
+  const Value& RawAt(const ItemKey& key) const;
+
+ private:
+  std::map<ItemKey, Value> values_;
+  // Recorder owned by the executor; null for plain use.
+  std::set<ItemKey>* access_tracker_ = nullptr;
+};
+
+// What one execution of the logic decided.
+struct TxnEffect {
+  // Items to update (must be within the declared write set).
+  std::map<ItemKey, Value> writes;
+  // Client-visible output (reservation granted?, new balance, ...).
+  std::optional<Value> output;
+  // Business-logic abort (insufficient funds, sold out). An abort by any
+  // reachable alternative aborts the whole transaction — the engine keeps
+  // the commit decision binary.
+  bool abort = false;
+  std::string abort_reason;
+
+  static TxnEffect Abort(std::string reason);
+};
+
+using TxnLogic = std::function<TxnEffect(const TxnReads&)>;
+
+// A transaction as submitted to a coordinator.
+struct TxnSpec {
+  // Item -> owning site, for every item read.
+  std::map<ItemKey, SiteId> read_set;
+  // Item -> owning site, for every item possibly written.
+  std::map<ItemKey, SiteId> write_set;
+  TxnLogic logic;
+
+  // Sites participating (union over both sets).
+  std::vector<SiteId> Participants() const;
+
+  // Convenience builder helpers.
+  TxnSpec& Read(ItemKey key, SiteId site);
+  TxnSpec& Write(ItemKey key, SiteId site);
+  TxnSpec& ReadWrite(ItemKey key, SiteId site);
+  TxnSpec& Logic(TxnLogic logic_fn);
+};
+
+// Final disposition reported to the client.
+enum class TxnDisposition {
+  kCommitted,      // outcome decided commit; output may still be uncertain
+  kAborted,        // outcome decided abort (conflict, failure, or logic)
+  kReadOnly,       // no writes were produced; logically committed
+};
+
+struct TxnResult {
+  TxnId id;
+  TxnDisposition disposition = TxnDisposition::kAborted;
+  std::string abort_reason;
+  // The output value; a polyvalue when the answer depends on unresolved
+  // transactions (§3.4: the caller chooses to use or to wait).
+  PolyValue output;
+
+  bool committed() const {
+    return disposition != TxnDisposition::kAborted;
+  }
+};
+
+using TxnCallback = std::function<void(const TxnResult&)>;
+
+}  // namespace polyvalue
+
+#endif  // SRC_TXN_TXN_TYPES_H_

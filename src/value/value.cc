@@ -1,0 +1,243 @@
+#include "src/value/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "src/common/strings.h"
+
+namespace polyvalue {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kReal:
+      return "real";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Result<double> Value::AsReal() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(int_value());
+    case ValueType::kReal:
+      return real_value();
+    default:
+      return InvalidArgumentError(
+          StrCat("cannot read ", ValueTypeName(type()), " as real"));
+  }
+}
+
+Result<int64_t> Value::AsInt() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return int_value();
+    case ValueType::kReal: {
+      const double d = real_value();
+      if (std::nearbyint(d) != d) {
+        return InvalidArgumentError("real has a fractional part");
+      }
+      return static_cast<int64_t>(d);
+    }
+    default:
+      return InvalidArgumentError(
+          StrCat("cannot read ", ValueTypeName(type()), " as int"));
+  }
+}
+
+Result<bool> Value::AsBool() const {
+  if (is_bool()) {
+    return bool_value();
+  }
+  return InvalidArgumentError(
+      StrCat("cannot read ", ValueTypeName(type()), " as bool"));
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type() != other.type()) {
+    return type() < other.type();
+  }
+  return payload_ < other.payload_;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return bool_value() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(int_value());
+    case ValueType::kReal:
+      return FormatDouble(real_value());
+    case ValueType::kString:
+      return "\"" + string_value() + "\"";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  const size_t tag = static_cast<size_t>(type());
+  size_t h = 0;
+  switch (type()) {
+    case ValueType::kNull:
+      h = 0;
+      break;
+    case ValueType::kBool:
+      h = std::hash<bool>()(bool_value());
+      break;
+    case ValueType::kInt:
+      h = std::hash<int64_t>()(int_value());
+      break;
+    case ValueType::kReal:
+      h = std::hash<double>()(real_value());
+      break;
+    case ValueType::kString:
+      h = std::hash<std::string>()(string_value());
+      break;
+  }
+  return h * 31 + tag;
+}
+
+namespace {
+
+bool AddOverflows(int64_t a, int64_t b, int64_t* out) {
+  return __builtin_add_overflow(a, b, out);
+}
+bool SubOverflows(int64_t a, int64_t b, int64_t* out) {
+  return __builtin_sub_overflow(a, b, out);
+}
+bool MulOverflows(int64_t a, int64_t b, int64_t* out) {
+  return __builtin_mul_overflow(a, b, out);
+}
+
+Status TypeError(const char* op, const Value& a, const Value& b) {
+  return InvalidArgumentError(StrCat("cannot ", op, " ",
+                                     ValueTypeName(a.type()), " and ",
+                                     ValueTypeName(b.type())));
+}
+
+}  // namespace
+
+Result<Value> Add(const Value& a, const Value& b) {
+  if (a.is_int() && b.is_int()) {
+    int64_t out;
+    if (AddOverflows(a.int_value(), b.int_value(), &out)) {
+      return InvalidArgumentError("integer overflow in add");
+    }
+    return Value::Int(out);
+  }
+  if (a.is_numeric() && b.is_numeric()) {
+    return Value::Real(a.AsReal().value() + b.AsReal().value());
+  }
+  if (a.is_string() && b.is_string()) {
+    return Value::Str(a.string_value() + b.string_value());
+  }
+  return TypeError("add", a, b);
+}
+
+Result<Value> Sub(const Value& a, const Value& b) {
+  if (a.is_int() && b.is_int()) {
+    int64_t out;
+    if (SubOverflows(a.int_value(), b.int_value(), &out)) {
+      return InvalidArgumentError("integer overflow in sub");
+    }
+    return Value::Int(out);
+  }
+  if (a.is_numeric() && b.is_numeric()) {
+    return Value::Real(a.AsReal().value() - b.AsReal().value());
+  }
+  return TypeError("subtract", a, b);
+}
+
+Result<Value> Mul(const Value& a, const Value& b) {
+  if (a.is_int() && b.is_int()) {
+    int64_t out;
+    if (MulOverflows(a.int_value(), b.int_value(), &out)) {
+      return InvalidArgumentError("integer overflow in mul");
+    }
+    return Value::Int(out);
+  }
+  if (a.is_numeric() && b.is_numeric()) {
+    return Value::Real(a.AsReal().value() * b.AsReal().value());
+  }
+  return TypeError("multiply", a, b);
+}
+
+Result<Value> Div(const Value& a, const Value& b) {
+  if (a.is_int() && b.is_int()) {
+    if (b.int_value() == 0) {
+      return InvalidArgumentError("integer division by zero");
+    }
+    if (a.int_value() == INT64_MIN && b.int_value() == -1) {
+      return InvalidArgumentError("integer overflow in div");
+    }
+    return Value::Int(a.int_value() / b.int_value());
+  }
+  if (a.is_numeric() && b.is_numeric()) {
+    const double denominator = b.AsReal().value();
+    if (denominator == 0.0) {
+      return InvalidArgumentError("division by zero");
+    }
+    return Value::Real(a.AsReal().value() / denominator);
+  }
+  return TypeError("divide", a, b);
+}
+
+Result<Value> Neg(const Value& a) {
+  if (a.is_int()) {
+    if (a.int_value() == INT64_MIN) {
+      return InvalidArgumentError("integer overflow in neg");
+    }
+    return Value::Int(-a.int_value());
+  }
+  if (a.is_real()) {
+    return Value::Real(-a.real_value());
+  }
+  return InvalidArgumentError(
+      StrCat("cannot negate ", ValueTypeName(a.type())));
+}
+
+Result<Value> Min(const Value& a, const Value& b) {
+  POLYV_ASSIGN_OR_RETURN(bool a_less, Less(a, b));
+  return a_less ? a : b;
+}
+
+Result<Value> Max(const Value& a, const Value& b) {
+  POLYV_ASSIGN_OR_RETURN(bool a_less, Less(a, b));
+  return a_less ? b : a;
+}
+
+Result<bool> Less(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    return a.AsReal().value() < b.AsReal().value();
+  }
+  if (a.is_string() && b.is_string()) {
+    return a.string_value() < b.string_value();
+  }
+  if (a.is_bool() && b.is_bool()) {
+    return !a.bool_value() && b.bool_value();
+  }
+  return TypeError("compare", a, b);
+}
+
+Result<bool> LessEq(const Value& a, const Value& b) {
+  POLYV_ASSIGN_OR_RETURN(bool gt, Less(b, a));
+  return !gt;
+}
+
+Result<bool> Greater(const Value& a, const Value& b) { return Less(b, a); }
+
+Result<bool> GreaterEq(const Value& a, const Value& b) {
+  POLYV_ASSIGN_OR_RETURN(bool lt, Less(a, b));
+  return !lt;
+}
+
+}  // namespace polyvalue

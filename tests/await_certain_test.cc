@@ -1,0 +1,148 @@
+// Tests for §3.4's withhold-until-resolved option: SubscribeOutcome and
+// Site::AwaitCertain.
+#include <gtest/gtest.h>
+
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+namespace {
+
+EngineConfig FastConfig() {
+  EngineConfig config;
+  config.prepare_timeout = 0.25;
+  config.ready_timeout = 0.25;
+  config.wait_timeout = 0.05;
+  config.inquiry_interval = 0.2;
+  return config;
+}
+
+SimCluster::Options ClusterOptions(size_t sites) {
+  SimCluster::Options options;
+  options.site_count = sites;
+  options.engine = FastConfig();
+  options.min_delay = 0.01;
+  options.max_delay = 0.01;
+  return options;
+}
+
+TxnSpec Bump(const ItemKey& key, SiteId site, int64_t delta) {
+  TxnSpec spec;
+  spec.ReadWrite(key, site);
+  spec.Logic([key, delta](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes[key] = Value::Int(reads.IntAt(key) + delta);
+    return e;
+  });
+  return spec;
+}
+
+// Strands a delta update to "x" at site 1; returns the stranded txn.
+TxnId Strand(SimCluster* cluster, int64_t delta) {
+  const TxnId txn = cluster->Submit(
+      0, Bump("x", cluster->site_id(1), delta), [](const TxnResult&) {});
+  cluster->sim().At(cluster->sim().now() + 0.035,
+                    [cluster] { cluster->CrashSite(0); });
+  cluster->RunFor(0.3);
+  return txn;
+}
+
+TEST(SubscribeOutcomeTest, KnownOutcomeFiresImmediately) {
+  SimCluster cluster(ClusterOptions(2));
+  cluster.Load(1, "x", Value::Int(0));
+  const auto result = cluster.SubmitAndRun(0, Bump("x", SiteId(2), 1));
+  ASSERT_TRUE(result.has_value() && result->committed());
+  cluster.RunFor(0.5);
+  std::optional<bool> heard;
+  cluster.site(0).engine().SubscribeOutcome(
+      result->id, [&heard](bool committed) { heard = committed; });
+  EXPECT_EQ(heard, true);  // coordinator knows: immediate
+}
+
+TEST(SubscribeOutcomeTest, FiresWhenOutcomeArrives) {
+  SimCluster cluster(ClusterOptions(3));
+  cluster.Load(1, "x", Value::Int(100));
+  const TxnId txn = Strand(&cluster, -30);
+  std::optional<bool> heard;
+  // Subscribe at site 2, a bystander that holds no dependent items.
+  cluster.site(2).engine().SubscribeOutcome(
+      txn, [&heard](bool committed) { heard = committed; });
+  cluster.RunFor(1.0);
+  EXPECT_FALSE(heard.has_value());  // coordinator still down
+  cluster.RecoverSite(0);
+  cluster.RunFor(2.0);
+  ASSERT_TRUE(heard.has_value());
+  EXPECT_FALSE(*heard);  // presumed abort
+}
+
+TEST(AwaitCertainTest, CertainValueDeliversSynchronously) {
+  SimCluster cluster(ClusterOptions(2));
+  std::optional<Value> delivered;
+  cluster.site(0).AwaitCertain(
+      PolyValue::Certain(Value::Int(9)),
+      [&delivered](const Value& v) { delivered = v; });
+  EXPECT_EQ(delivered, Value::Int(9));
+}
+
+TEST(AwaitCertainTest, UncertainValueDeliversAfterResolution) {
+  SimCluster cluster(ClusterOptions(3));
+  cluster.Load(1, "x", Value::Int(100));
+  Strand(&cluster, -30);
+  const PolyValue x = cluster.site(1).Peek("x").value();
+  ASSERT_FALSE(x.is_certain());
+
+  std::optional<Value> delivered;
+  cluster.site(1).AwaitCertain(
+      x, [&delivered](const Value& v) { delivered = v; });
+  cluster.RunFor(1.0);
+  EXPECT_FALSE(delivered.has_value());  // withheld, §3.4
+  cluster.RecoverSite(0);
+  cluster.RunFor(2.0);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(*delivered, Value::Int(100));  // aborted: old value is truth
+}
+
+TEST(AwaitCertainTest, MultiDependencyValueWaitsForAll) {
+  SimCluster cluster(ClusterOptions(4));
+  cluster.Load(1, "x", Value::Int(100));
+  // Two stranded updates from different coordinators.
+  Strand(&cluster, -30);
+  const TxnId txn2 = cluster.Submit(
+      3, Bump("x", cluster.site_id(1), -50), [](const TxnResult&) {});
+  (void)txn2;
+  cluster.sim().At(cluster.sim().now() + 0.035,
+                   [&cluster] { cluster.CrashSite(3); });
+  cluster.RunFor(0.3);
+
+  const PolyValue x = cluster.site(1).Peek("x").value();
+  ASSERT_EQ(x.Dependencies().size(), 2u);
+
+  std::optional<Value> delivered;
+  cluster.site(1).AwaitCertain(
+      x, [&delivered](const Value& v) { delivered = v; });
+  cluster.RecoverSite(0);
+  cluster.RunFor(2.0);
+  EXPECT_FALSE(delivered.has_value());  // one dependency still unknown
+  cluster.RecoverSite(3);
+  cluster.RunFor(2.0);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(*delivered, Value::Int(100));  // both presumed-aborted
+}
+
+TEST(AwaitCertainTest, ResolvedDependencyDeliversWithoutWaiting) {
+  SimCluster cluster(ClusterOptions(3));
+  cluster.Load(1, "x", Value::Int(100));
+  Strand(&cluster, -30);
+  const PolyValue x = cluster.site(1).Peek("x").value();
+  cluster.RecoverSite(0);
+  cluster.RunFor(2.0);  // resolves the item AND caches the outcome
+  // Await on the stale polyvalue snapshot: outcome already known.
+  std::optional<Value> delivered;
+  cluster.site(1).AwaitCertain(
+      x, [&delivered](const Value& v) { delivered = v; });
+  cluster.RunFor(0.1);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(*delivered, Value::Int(100));
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,129 @@
+// Unit tests for the BDD engine.
+#include "src/condition/bdd.h"
+
+#include <gtest/gtest.h>
+
+namespace polyvalue {
+namespace {
+
+const TxnId kT1(1);
+const TxnId kT2(2);
+const TxnId kT3(3);
+
+TEST(BddTest, Terminals) {
+  BddManager bdd;
+  EXPECT_TRUE(bdd.IsTautology(BddManager::kTrue));
+  EXPECT_TRUE(bdd.IsContradiction(BddManager::kFalse));
+  EXPECT_FALSE(bdd.IsTautology(BddManager::kFalse));
+}
+
+TEST(BddTest, VarIsInterned) {
+  BddManager bdd;
+  EXPECT_EQ(bdd.Var(kT1), bdd.Var(kT1));
+  EXPECT_NE(bdd.Var(kT1), bdd.Var(kT2));
+}
+
+TEST(BddTest, BasicConnectives) {
+  BddManager bdd;
+  const BddRef a = bdd.Var(kT1);
+  const BddRef b = bdd.Var(kT2);
+  EXPECT_EQ(bdd.And(a, BddManager::kTrue), a);
+  EXPECT_EQ(bdd.And(a, BddManager::kFalse), BddManager::kFalse);
+  EXPECT_EQ(bdd.Or(a, BddManager::kFalse), a);
+  EXPECT_EQ(bdd.Or(a, BddManager::kTrue), BddManager::kTrue);
+  EXPECT_EQ(bdd.And(a, a), a);
+  EXPECT_EQ(bdd.Or(a, b), bdd.Or(b, a));  // canonical: same node
+}
+
+TEST(BddTest, ComplementLaws) {
+  BddManager bdd;
+  const BddRef a = bdd.Var(kT1);
+  EXPECT_EQ(bdd.Or(a, bdd.Not(a)), BddManager::kTrue);
+  EXPECT_EQ(bdd.And(a, bdd.Not(a)), BddManager::kFalse);
+  EXPECT_EQ(bdd.Not(bdd.Not(a)), a);
+}
+
+TEST(BddTest, EquivalentFormulasShareNodes) {
+  BddManager bdd;
+  const BddRef a = bdd.Var(kT1);
+  const BddRef b = bdd.Var(kT2);
+  // Distribution: a·(b+c) == a·b + a·c.
+  const BddRef c = bdd.Var(kT3);
+  const BddRef lhs = bdd.And(a, bdd.Or(b, c));
+  const BddRef rhs = bdd.Or(bdd.And(a, b), bdd.And(a, c));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(BddTest, IteMatchesDefinition) {
+  BddManager bdd;
+  const BddRef f = bdd.Var(kT1);
+  const BddRef g = bdd.Var(kT2);
+  const BddRef h = bdd.Var(kT3);
+  const BddRef ite = bdd.Ite(f, g, h);
+  const BddRef expanded = bdd.Or(bdd.And(f, g), bdd.And(bdd.Not(f), h));
+  EXPECT_EQ(ite, expanded);
+}
+
+TEST(BddTest, RestrictFixesVariable) {
+  BddManager bdd;
+  const BddRef f = bdd.And(bdd.Var(kT1), bdd.Var(kT2));
+  EXPECT_EQ(bdd.Restrict(f, kT1, true), bdd.Var(kT2));
+  EXPECT_EQ(bdd.Restrict(f, kT1, false), BddManager::kFalse);
+  // Restricting an absent variable is identity.
+  EXPECT_EQ(bdd.Restrict(f, kT3, true), f);
+}
+
+TEST(BddTest, FromConditionRoundTrip) {
+  BddManager bdd;
+  const Condition original = Condition::Or(
+      Condition::And(Condition::Committed(kT1), Condition::Aborted(kT2)),
+      Condition::Committed(kT3));
+  const BddRef compiled = bdd.FromCondition(original);
+  const Condition back = bdd.ToCondition(compiled);
+  EXPECT_TRUE(back.EquivalentTo(original));
+  // Recompiling the round-tripped condition hits the same node.
+  EXPECT_EQ(bdd.FromCondition(back), compiled);
+}
+
+TEST(BddTest, FromConditionConstants) {
+  BddManager bdd;
+  EXPECT_EQ(bdd.FromCondition(Condition::True()), BddManager::kTrue);
+  EXPECT_EQ(bdd.FromCondition(Condition::False()), BddManager::kFalse);
+}
+
+TEST(BddTest, CountModels) {
+  BddManager bdd;
+  const std::vector<TxnId> vars = {kT1, kT2, kT3};
+  EXPECT_EQ(bdd.CountModels(BddManager::kTrue, vars), 8u);
+  EXPECT_EQ(bdd.CountModels(BddManager::kFalse, vars), 0u);
+  EXPECT_EQ(bdd.CountModels(bdd.Var(kT1), vars), 4u);
+  const BddRef majority = bdd.Or(
+      bdd.Or(bdd.And(bdd.Var(kT1), bdd.Var(kT2)),
+             bdd.And(bdd.Var(kT1), bdd.Var(kT3))),
+      bdd.And(bdd.Var(kT2), bdd.Var(kT3)));
+  EXPECT_EQ(bdd.CountModels(majority, vars), 4u);
+}
+
+TEST(BddTest, XorProperties) {
+  BddManager bdd;
+  const BddRef a = bdd.Var(kT1);
+  const BddRef b = bdd.Var(kT2);
+  EXPECT_EQ(bdd.Xor(a, a), BddManager::kFalse);
+  EXPECT_EQ(bdd.Xor(a, BddManager::kFalse), a);
+  EXPECT_EQ(bdd.Xor(bdd.Xor(a, b), b), a);
+}
+
+TEST(BddTest, NodeCountStaysReducedOnRepeatedOps) {
+  BddManager bdd;
+  const BddRef a = bdd.Var(kT1);
+  const BddRef b = bdd.Var(kT2);
+  const size_t before = bdd.node_count();
+  for (int i = 0; i < 100; ++i) {
+    (void)bdd.And(a, b);
+    (void)bdd.Or(a, b);
+  }
+  EXPECT_LE(bdd.node_count(), before + 2);  // fully memoised
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,326 @@
+// Unit tests for the SOP condition algebra (Term + Condition).
+#include "src/condition/condition.h"
+
+#include <gtest/gtest.h>
+
+namespace polyvalue {
+namespace {
+
+const TxnId kT1(1);
+const TxnId kT2(2);
+const TxnId kT3(3);
+
+TEST(TermTest, EmptyTermIsTrue) {
+  Term t;
+  EXPECT_TRUE(t.is_true());
+  EXPECT_FALSE(t.is_contradiction());
+  EXPECT_EQ(t.ToString(), "true");
+}
+
+TEST(TermTest, SingleLiteral) {
+  const Term t = Term::Committed(kT1);
+  EXPECT_FALSE(t.is_true());
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.PolarityOf(kT1), 1);
+  EXPECT_EQ(t.PolarityOf(kT2), 0);
+  EXPECT_EQ(t.ToString(), "T1");
+}
+
+TEST(TermTest, NegatedLiteral) {
+  const Term t = Term::Aborted(kT2);
+  EXPECT_EQ(t.PolarityOf(kT2), -1);
+  EXPECT_EQ(t.ToString(), "¬T2");
+}
+
+TEST(TermTest, ContradictionDetected) {
+  const Term t = Term::Of({{kT1, true}, {kT1, false}});
+  EXPECT_TRUE(t.is_contradiction());
+}
+
+TEST(TermTest, DuplicateLiteralsCollapse) {
+  const Term t = Term::Of({{kT1, true}, {kT1, true}});
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TermTest, LiteralsSortedById) {
+  const Term t = Term::Of({{kT3, true}, {kT1, false}, {kT2, true}});
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.literals()[0].txn, kT1);
+  EXPECT_EQ(t.literals()[1].txn, kT2);
+  EXPECT_EQ(t.literals()[2].txn, kT3);
+}
+
+TEST(TermTest, AndMergesLiterals) {
+  const Term t = Term::And(Term::Committed(kT1), Term::Aborted(kT2));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.PolarityOf(kT1), 1);
+  EXPECT_EQ(t.PolarityOf(kT2), -1);
+}
+
+TEST(TermTest, AndDetectsContradiction) {
+  const Term t = Term::And(Term::Committed(kT1), Term::Aborted(kT1));
+  EXPECT_TRUE(t.is_contradiction());
+}
+
+TEST(TermTest, AssumeSatisfiedLiteralDrops) {
+  const Term t = Term::And(Term::Committed(kT1), Term::Committed(kT2));
+  const Term reduced = t.Assume(kT1, true);
+  EXPECT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced.PolarityOf(kT2), 1);
+}
+
+TEST(TermTest, AssumeViolatedLiteralContradicts) {
+  const Term t = Term::Committed(kT1);
+  EXPECT_TRUE(t.Assume(kT1, false).is_contradiction());
+}
+
+TEST(TermTest, AssumeUnrelatedTxnNoChange) {
+  const Term t = Term::Committed(kT1);
+  EXPECT_EQ(t.Assume(kT3, true), t);
+}
+
+TEST(TermTest, SubsumesSubset) {
+  const Term small = Term::Committed(kT1);
+  const Term big = Term::And(Term::Committed(kT1), Term::Committed(kT2));
+  EXPECT_TRUE(small.Subsumes(big));
+  EXPECT_FALSE(big.Subsumes(small));
+  EXPECT_TRUE(Term().Subsumes(small));
+}
+
+TEST(TermTest, EvaluateChecksAllLiterals) {
+  const Term t = Term::And(Term::Committed(kT1), Term::Aborted(kT2));
+  EXPECT_TRUE(t.Evaluate({{kT1, true}, {kT2, false}}));
+  EXPECT_FALSE(t.Evaluate({{kT1, true}, {kT2, true}}));
+  EXPECT_FALSE(t.Evaluate({{kT1, false}, {kT2, false}}));
+}
+
+// --- Condition ---
+
+TEST(ConditionTest, TrueAndFalseConstants) {
+  EXPECT_TRUE(Condition::True().is_true());
+  EXPECT_FALSE(Condition::True().is_false());
+  EXPECT_TRUE(Condition::False().is_false());
+  EXPECT_EQ(Condition::True().ToString(), "true");
+  EXPECT_EQ(Condition::False().ToString(), "false");
+}
+
+TEST(ConditionTest, CommittedAborted) {
+  EXPECT_EQ(Condition::Committed(kT1).ToString(), "T1");
+  EXPECT_EQ(Condition::Aborted(kT1).ToString(), "¬T1");
+}
+
+TEST(ConditionTest, AndOfAtoms) {
+  const Condition c =
+      Condition::And(Condition::Committed(kT1), Condition::Committed(kT2));
+  EXPECT_EQ(c.terms().size(), 1u);
+  EXPECT_EQ(c.ToString(), "T1·T2");
+}
+
+TEST(ConditionTest, AndWithFalseIsFalse) {
+  EXPECT_TRUE(
+      Condition::And(Condition::Committed(kT1), Condition::False())
+          .is_false());
+}
+
+TEST(ConditionTest, AndWithTrueIsIdentity) {
+  const Condition c = Condition::Committed(kT1);
+  EXPECT_EQ(Condition::And(c, Condition::True()), c);
+}
+
+TEST(ConditionTest, OrWithComplementIsTrue) {
+  // Blake canonical form: T + ¬T collapses to true via consensus.
+  const Condition c =
+      Condition::Or(Condition::Committed(kT1), Condition::Aborted(kT1));
+  EXPECT_TRUE(c.is_true());
+}
+
+TEST(ConditionTest, ConsensusCollapsesSharedFactor) {
+  // T1·T2 + T1·¬T2 == T1.
+  const Condition a =
+      Condition::And(Condition::Committed(kT1), Condition::Committed(kT2));
+  const Condition b =
+      Condition::And(Condition::Committed(kT1), Condition::Aborted(kT2));
+  const Condition c = Condition::Or(a, b);
+  EXPECT_EQ(c, Condition::Committed(kT1));
+}
+
+TEST(ConditionTest, AbsorptionRemovesRedundantTerm) {
+  // T1 + T1·T2 == T1.
+  const Condition c = Condition::Or(
+      Condition::Committed(kT1),
+      Condition::And(Condition::Committed(kT1), Condition::Committed(kT2)));
+  EXPECT_EQ(c, Condition::Committed(kT1));
+}
+
+TEST(ConditionTest, NotOfAtom) {
+  EXPECT_EQ(Condition::Not(Condition::Committed(kT1)),
+            Condition::Aborted(kT1));
+}
+
+TEST(ConditionTest, NotOfTrueIsFalse) {
+  EXPECT_TRUE(Condition::Not(Condition::True()).is_false());
+  EXPECT_TRUE(Condition::Not(Condition::False()).is_true());
+}
+
+TEST(ConditionTest, DeMorgan) {
+  const Condition t1_and_t2 =
+      Condition::And(Condition::Committed(kT1), Condition::Committed(kT2));
+  const Condition negated = Condition::Not(t1_and_t2);
+  const Condition expected =
+      Condition::Or(Condition::Aborted(kT1), Condition::Aborted(kT2));
+  EXPECT_TRUE(negated.EquivalentTo(expected));
+}
+
+TEST(ConditionTest, DoubleNegationIsIdentity) {
+  const Condition c = Condition::Or(
+      Condition::And(Condition::Committed(kT1), Condition::Aborted(kT2)),
+      Condition::Committed(kT3));
+  EXPECT_TRUE(Condition::Not(Condition::Not(c)).EquivalentTo(c));
+}
+
+TEST(ConditionTest, AssumeReducesToGround) {
+  // The paper's example: T1·(T2 + T3).
+  const Condition c = Condition::And(
+      Condition::Committed(kT1),
+      Condition::Or(Condition::Committed(kT2), Condition::Committed(kT3)));
+  EXPECT_TRUE(
+      c.Assume(kT1, true).Assume(kT2, true).is_true());
+  EXPECT_TRUE(c.Assume(kT1, false).is_false());
+  EXPECT_TRUE(c.Assume(kT2, false).Assume(kT3, false).is_false());
+}
+
+TEST(ConditionTest, VariablesSortedDistinct) {
+  const Condition c = Condition::Or(
+      Condition::And(Condition::Committed(kT3), Condition::Aborted(kT1)),
+      Condition::Committed(kT1));
+  const std::vector<TxnId> vars = c.Variables();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], kT1);
+  EXPECT_EQ(vars[1], kT3);
+}
+
+TEST(ConditionTest, EvaluateMatchesPaperSemantics) {
+  // "T1·(T2 + T3) would be true if T1 and at least one of T2 and T3 were
+  // completed."
+  const Condition c = Condition::And(
+      Condition::Committed(kT1),
+      Condition::Or(Condition::Committed(kT2), Condition::Committed(kT3)));
+  EXPECT_TRUE(c.Evaluate({{kT1, true}, {kT2, true}, {kT3, false}}));
+  EXPECT_TRUE(c.Evaluate({{kT1, true}, {kT2, false}, {kT3, true}}));
+  EXPECT_FALSE(c.Evaluate({{kT1, false}, {kT2, true}, {kT3, true}}));
+  EXPECT_FALSE(c.Evaluate({{kT1, true}, {kT2, false}, {kT3, false}}));
+}
+
+TEST(ConditionTest, TautologyDetection) {
+  // (T1·T2) + ¬T1 + ¬T2 is a tautology.
+  const Condition c = Condition::Or(
+      Condition::Or(
+          Condition::And(Condition::Committed(kT1),
+                         Condition::Committed(kT2)),
+          Condition::Aborted(kT1)),
+      Condition::Aborted(kT2));
+  EXPECT_TRUE(c.IsTautology());
+  EXPECT_FALSE(Condition::Committed(kT1).IsTautology());
+}
+
+TEST(ConditionTest, ImpliesAndEquivalence) {
+  const Condition t1t2 =
+      Condition::And(Condition::Committed(kT1), Condition::Committed(kT2));
+  EXPECT_TRUE(t1t2.Implies(Condition::Committed(kT1)));
+  EXPECT_FALSE(Condition::Committed(kT1).Implies(t1t2));
+  EXPECT_TRUE(t1t2.EquivalentTo(
+      Condition::And(Condition::Committed(kT2), Condition::Committed(kT1))));
+}
+
+TEST(ConditionTest, Disjointness) {
+  EXPECT_TRUE(Condition::Committed(kT1).DisjointWith(
+      Condition::Aborted(kT1)));
+  EXPECT_FALSE(Condition::Committed(kT1).DisjointWith(
+      Condition::Committed(kT2)));
+}
+
+TEST(ConditionTest, CompleteAndDisjointPair) {
+  EXPECT_TRUE(ConditionsCompleteAndDisjoint(
+      {Condition::Committed(kT1), Condition::Aborted(kT1)}));
+  // Incomplete.
+  EXPECT_FALSE(ConditionsCompleteAndDisjoint(
+      {Condition::Committed(kT1),
+       Condition::And(Condition::Aborted(kT1), Condition::Committed(kT2))}));
+  // Overlapping.
+  EXPECT_FALSE(ConditionsCompleteAndDisjoint(
+      {Condition::True(), Condition::Committed(kT1)}));
+}
+
+TEST(ConditionTest, CompleteAndDisjointThreeWay) {
+  // {T1·T2, T1·¬T2, ¬T1} partitions the outcome space.
+  EXPECT_TRUE(ConditionsCompleteAndDisjoint(
+      {Condition::And(Condition::Committed(kT1), Condition::Committed(kT2)),
+       Condition::And(Condition::Committed(kT1), Condition::Aborted(kT2)),
+       Condition::Aborted(kT1)}));
+}
+
+TEST(ConditionTest, CountModels) {
+  const std::vector<TxnId> vars = {kT1, kT2};
+  EXPECT_EQ(Condition::True().CountModels(vars), 4u);
+  EXPECT_EQ(Condition::False().CountModels(vars), 0u);
+  EXPECT_EQ(Condition::Committed(kT1).CountModels(vars), 2u);
+  EXPECT_EQ(Condition::And(Condition::Committed(kT1),
+                           Condition::Committed(kT2))
+                .CountModels(vars),
+            1u);
+  EXPECT_EQ(Condition::Or(Condition::Committed(kT1),
+                          Condition::Committed(kT2))
+                .CountModels(vars),
+            3u);
+}
+
+TEST(ConditionTest, HashEqualForEqualConditions) {
+  const Condition a =
+      Condition::Or(Condition::Committed(kT1), Condition::Committed(kT2));
+  const Condition b =
+      Condition::Or(Condition::Committed(kT2), Condition::Committed(kT1));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ConditionTest, SumOfProductsStringForm) {
+  const Condition c = Condition::Or(
+      Condition::And(Condition::Committed(kT1), Condition::Aborted(kT2)),
+      Condition::Committed(kT3));
+  EXPECT_EQ(c.ToString(), "T1·¬T2 + T3");
+}
+
+}  // namespace
+}  // namespace polyvalue
+
+namespace polyvalue {
+namespace {
+
+TEST(ConditionTest, ConsensusCapFallsBackGracefully) {
+  // Build a condition whose consensus closure would be expensive: a wide
+  // XOR-ish structure over many transactions. Past the 64-term cap,
+  // canonicalisation keeps absorption only — semantic queries must stay
+  // exact regardless.
+  Condition parity = Condition::False();
+  for (int i = 1; i <= 9; ++i) {
+    parity = Condition::Or(
+        Condition::And(parity.IsTautology() ? Condition::True() : parity,
+                       Condition::Aborted(TxnId(i))),
+        Condition::And(Condition::Not(parity), Condition::Committed(TxnId(i))));
+  }
+  // parity = odd number of commits among T1..T9. Not a tautology, not
+  // false; its negation ORed with it IS a tautology.
+  EXPECT_FALSE(parity.is_false());
+  EXPECT_FALSE(parity.IsTautology());
+  EXPECT_TRUE(Condition::Or(parity, Condition::Not(parity)).IsTautology());
+  EXPECT_TRUE(parity.DisjointWith(Condition::Not(parity)));
+  // Model count: exactly half of 2^9 assignments have odd parity.
+  std::vector<TxnId> vars;
+  for (int i = 1; i <= 9; ++i) {
+    vars.push_back(TxnId(i));
+  }
+  EXPECT_EQ(parity.CountModels(vars), 256u);
+}
+
+}  // namespace
+}  // namespace polyvalue

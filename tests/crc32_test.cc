@@ -1,0 +1,36 @@
+// Unit tests for CRC-32.
+#include "src/common/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace polyvalue {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard IEEE CRC-32 test vectors.
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xcbf43926u);
+  EXPECT_EQ(Crc32(std::string("The quick brown fox jumps over the lazy dog")),
+            0x414fa339u);
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::string data = "hello, world";
+  const uint32_t original = Crc32(data);
+  data[3] ^= 0x01;
+  EXPECT_NE(Crc32(data), original);
+}
+
+TEST(Crc32Test, SensitiveToTruncation) {
+  const std::string data = "abcdefgh";
+  EXPECT_NE(Crc32(data.data(), data.size()),
+            Crc32(data.data(), data.size() - 1));
+}
+
+TEST(Crc32Test, DeterministicAcrossCalls) {
+  const std::string data = "stable";
+  EXPECT_EQ(Crc32(data), Crc32(data));
+}
+
+}  // namespace
+}  // namespace polyvalue

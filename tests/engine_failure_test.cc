@@ -1,0 +1,284 @@
+// Failure-path engine tests: the in-doubt window, polyvalue installation,
+// polytransactions over uncertain items, and §3.3 outcome propagation.
+#include <gtest/gtest.h>
+
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+namespace {
+
+EngineConfig FastConfig() {
+  EngineConfig config;
+  config.prepare_timeout = 0.25;
+  config.ready_timeout = 0.25;
+  config.wait_timeout = 0.05;
+  config.inquiry_interval = 0.2;
+  config.validate_installs = true;
+  return config;
+}
+
+SimCluster::Options ClusterOptions(size_t sites) {
+  SimCluster::Options options;
+  options.site_count = sites;
+  options.engine = FastConfig();
+  options.min_delay = 0.01;
+  options.max_delay = 0.01;
+  return options;
+}
+
+TxnSpec Transfer(const ItemKey& from, SiteId from_site, const ItemKey& to,
+                 SiteId to_site, int64_t amount) {
+  TxnSpec spec;
+  spec.ReadWrite(from, from_site);
+  spec.ReadWrite(to, to_site);
+  spec.Logic([from, to, amount](const TxnReads& reads) {
+    const int64_t have = reads.IntAt(from);
+    if (have < amount) {
+      return TxnEffect::Abort("insufficient funds");
+    }
+    TxnEffect e;
+    e.writes[from] = Value::Int(have - amount);
+    e.writes[to] = Value::Int(reads.IntAt(to) + amount);
+    return e;
+  });
+  return spec;
+}
+
+// Timeline with 10 ms links: prepare replies ~t+0.02, WRITE_REQ arrives
+// ~t+0.03 (READY voted), COMPLETE arrives ~t+0.05. Crashing the
+// coordinator at t+0.035 leaves both participants in the wait state —
+// the paper's in-doubt window.
+class InDoubtScenario : public ::testing::Test {
+ protected:
+  InDoubtScenario() : cluster_(ClusterOptions(3)) {
+    cluster_.Load(1, "a", Value::Int(100));
+    cluster_.Load(2, "b", Value::Int(50));
+  }
+
+  // Returns the txn id of the stranded transfer.
+  TxnId StrandTransfer() {
+    const TxnId txn = cluster_.Submit(
+        0, Transfer("a", cluster_.site_id(1), "b", cluster_.site_id(2), 30),
+        [this](const TxnResult& r) { result_ = r; });
+    cluster_.sim().At(cluster_.sim().now() + 0.035,
+                      [this] { cluster_.CrashSite(0); });
+    cluster_.RunFor(0.2);  // past the wait timeout
+    return txn;
+  }
+
+  SimCluster cluster_;
+  std::optional<TxnResult> result_;
+};
+
+TEST_F(InDoubtScenario, ParticipantsInstallPolyvaluesAndReleaseLocks) {
+  const TxnId txn = StrandTransfer();
+  // No client answer (coordinator died before deciding).
+  EXPECT_FALSE(result_.has_value());
+  // Both written items are now polyvalues conditioned on txn.
+  const PolyValue a = cluster_.site(1).Peek("a").value();
+  const PolyValue b = cluster_.site(2).Peek("b").value();
+  ASSERT_FALSE(a.is_certain());
+  ASSERT_FALSE(b.is_certain());
+  EXPECT_EQ(a.Dependencies(), std::vector<TxnId>{txn});
+  EXPECT_EQ(a.ValueUnder({{txn, true}}).value(), Value::Int(70));
+  EXPECT_EQ(a.ValueUnder({{txn, false}}).value(), Value::Int(100));
+  EXPECT_EQ(b.ValueUnder({{txn, true}}).value(), Value::Int(80));
+  EXPECT_EQ(b.ValueUnder({{txn, false}}).value(), Value::Int(50));
+  // Locks are gone: that is the entire point of the mechanism.
+  EXPECT_EQ(cluster_.site(1).store().locked_count(), 0u);
+  EXPECT_EQ(cluster_.site(2).store().locked_count(), 0u);
+  EXPECT_GE(cluster_.TotalMetrics().polyvalue_installs, 2u);
+}
+
+TEST_F(InDoubtScenario, RecoveryResolvesToPresumedAbort) {
+  const TxnId txn = StrandTransfer();
+  (void)txn;
+  cluster_.RecoverSite(0);
+  cluster_.RunFor(2.0);  // inquiry interval is 0.2: plenty
+  // The coordinator never decided commit, so presumed abort: original
+  // values return and uncertainty is gone everywhere.
+  EXPECT_EQ(cluster_.TotalUncertainItems(), 0u);
+  EXPECT_EQ(cluster_.site(1).Peek("a").value().certain_value(),
+            Value::Int(100));
+  EXPECT_EQ(cluster_.site(2).Peek("b").value().certain_value(),
+            Value::Int(50));
+}
+
+TEST_F(InDoubtScenario, UncertainItemsRemainAvailableForNewTransactions) {
+  StrandTransfer();
+  // A new transaction reads the uncertain "a" and writes "c" on site 2:
+  // it must COMMIT (no blocking), produce an uncertain output, and leave
+  // "c" a polyvalue — a polytransaction.
+  TxnSpec spec;
+  spec.Read("a", cluster_.site_id(1));
+  spec.Write("c", cluster_.site_id(2));
+  spec.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes["c"] = Value::Int(reads.IntAt("a") * 2);
+    e.output = Value::Int(reads.IntAt("a"));
+    return e;
+  });
+  const auto result = cluster_.SubmitAndRun(2, std::move(spec));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed());
+  EXPECT_FALSE(result->output.is_certain());
+  cluster_.RunFor(0.2);
+  const PolyValue c = cluster_.site(2).Peek("c").value();
+  ASSERT_FALSE(c.is_certain());
+  EXPECT_EQ(c.MaxPossible().value(), Value::Int(200));
+  EXPECT_EQ(c.MinPossible().value(), Value::Int(140));
+  EXPECT_GE(cluster_.TotalMetrics().polytxns, 1u);
+}
+
+TEST_F(InDoubtScenario, PropagatedUncertaintyResolvesTransitively) {
+  StrandTransfer();
+  // Propagate uncertainty from a (site 1) into c (site 2)...
+  TxnSpec spec;
+  spec.Read("a", cluster_.site_id(1));
+  spec.Write("c", cluster_.site_id(2));
+  spec.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes["c"] = Value::Int(reads.IntAt("a") * 2);
+    return e;
+  });
+  ASSERT_TRUE(cluster_.SubmitAndRun(2, std::move(spec)).has_value());
+  cluster_.RunFor(0.2);
+  ASSERT_FALSE(cluster_.site(2).Peek("c").value().is_certain());
+  // ...then recover the coordinator: the outcome (abort) must reach every
+  // dependent item, including the transitively created "c".
+  cluster_.RecoverSite(0);
+  cluster_.RunFor(3.0);
+  EXPECT_EQ(cluster_.TotalUncertainItems(), 0u);
+  EXPECT_EQ(cluster_.site(2).Peek("c").value().certain_value(),
+            Value::Int(200));  // a resolved to 100
+}
+
+TEST_F(InDoubtScenario, AgreementAcrossAlternativesGivesCertainAnswers) {
+  StrandTransfer();
+  // "Is a >= 50?" — true under both alternatives (70 and 100): the
+  // answer is certain despite the uncertainty (§3.4).
+  TxnSpec spec;
+  spec.Read("a", cluster_.site_id(1));
+  spec.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.output = Value::Bool(reads.IntAt("a") >= 50);
+    return e;
+  });
+  const auto result = cluster_.SubmitAndRun(2, std::move(spec));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->output.is_certain());
+  EXPECT_EQ(result->output.certain_value(), Value::Bool(true));
+}
+
+TEST(EngineFailureTest, LostCompleteResolvedByInquiry) {
+  // The coordinator decides COMMIT but one participant's COMPLETE is lost
+  // (link cut at the critical moment). That participant installs
+  // polyvalues, then learns the truth by inquiry — both sides must end
+  // committed.
+  SimCluster cluster(ClusterOptions(3));
+  cluster.Load(1, "a", Value::Int(100));
+  cluster.Load(2, "b", Value::Int(50));
+  std::optional<TxnResult> result;
+  cluster.Submit(
+      0, Transfer("a", cluster.site_id(1), "b", cluster.site_id(2), 30),
+      [&result](const TxnResult& r) { result = r; });
+  // COMPLETE leaves the coordinator at ~0.04 (delivery checks happen at
+  // send time); cut S0–S2 at 0.035 — after the READYs (sent 0.03) but
+  // before the COMPLETE send — and heal later.
+  cluster.sim().At(0.035, [&cluster] {
+    cluster.faults().SetLinkDown(cluster.site_id(0), cluster.site_id(2),
+                                 true);
+  });
+  cluster.RunFor(0.15);  // S2 hits its wait timeout, installs polyvalues
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed());
+  EXPECT_EQ(cluster.site(1).Peek("a").value().certain_value(),
+            Value::Int(70));
+  EXPECT_FALSE(cluster.site(2).Peek("b").value().is_certain());
+  // Heal; inquiry reaches the coordinator; commit propagates.
+  cluster.faults().HealLinks();
+  cluster.RunFor(2.0);
+  EXPECT_EQ(cluster.site(2).Peek("b").value().certain_value(),
+            Value::Int(80));
+  EXPECT_EQ(cluster.TotalUncertainItems(), 0u);
+}
+
+TEST(EngineFailureTest, ParticipantCrashDuringPrepareAbortsTxn) {
+  SimCluster cluster(ClusterOptions(3));
+  cluster.Load(1, "a", Value::Int(100));
+  cluster.Load(2, "b", Value::Int(50));
+  cluster.CrashSite(2);  // participant dead before submission
+  const auto result = cluster.SubmitAndRun(
+      0, Transfer("a", cluster.site_id(1), "b", cluster.site_id(2), 30),
+      /*max_seconds=*/5.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->disposition, TxnDisposition::kAborted);
+  cluster.RunFor(1.0);
+  // Site 1 is untouched and unlocked.
+  EXPECT_EQ(cluster.site(1).Peek("a").value().certain_value(),
+            Value::Int(100));
+  EXPECT_EQ(cluster.site(1).store().locked_count(), 0u);
+}
+
+TEST(EngineFailureTest, SubmitToCrashedCoordinatorFailsFast) {
+  SimCluster cluster(ClusterOptions(2));
+  cluster.Load(1, "x", Value::Int(1));
+  cluster.CrashSite(0);
+  TxnSpec spec;
+  spec.Read("x", cluster.site_id(1));
+  spec.Logic([](const TxnReads&) { return TxnEffect{}; });
+  const auto result = cluster.SubmitAndRun(0, std::move(spec));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->disposition, TxnDisposition::kAborted);
+}
+
+TEST(EngineFailureTest, RepeatedFailuresStackConditions) {
+  // Two different stranded transactions on the same item produce nested
+  // conditions; both resolve correctly.
+  SimCluster cluster(ClusterOptions(4));
+  cluster.Load(1, "a", Value::Int(100));
+  cluster.Load(2, "b", Value::Int(0));
+  cluster.Load(3, "c", Value::Int(0));
+
+  // First stranded transfer a->b coordinated by site 0.
+  const TxnId txn1 = cluster.Submit(
+      0, Transfer("a", cluster.site_id(1), "b", cluster.site_id(2), 10),
+      [](const TxnResult&) {});
+  cluster.sim().At(cluster.sim().now() + 0.035,
+                   [&cluster] { cluster.CrashSite(0); });
+  cluster.RunFor(0.3);
+  ASSERT_FALSE(cluster.site(1).Peek("a").value().is_certain());
+
+  // Second transfer a->c coordinated by site 3 — a polytransaction whose
+  // writes depend on txn1; strand it too.
+  const TxnId txn2 = cluster.Submit(
+      3, Transfer("a", cluster.site_id(1), "c", cluster.site_id(3), 5),
+      [](const TxnResult&) {});
+  cluster.sim().At(cluster.sim().now() + 0.035,
+                   [&cluster] { cluster.CrashSite(3); });
+  cluster.RunFor(0.3);
+
+  const PolyValue a = cluster.site(1).Peek("a").value();
+  ASSERT_FALSE(a.is_certain());
+  // All four outcome combinations must be represented and correct.
+  EXPECT_EQ(a.ValueUnder({{txn1, true}, {txn2, true}}).value(),
+            Value::Int(85));
+  EXPECT_EQ(a.ValueUnder({{txn1, true}, {txn2, false}}).value(),
+            Value::Int(90));
+  EXPECT_EQ(a.ValueUnder({{txn1, false}, {txn2, true}}).value(),
+            Value::Int(95));
+  EXPECT_EQ(a.ValueUnder({{txn1, false}, {txn2, false}}).value(),
+            Value::Int(100));
+  EXPECT_TRUE(a.Validate());
+
+  // Recover both coordinators: everything resolves to presumed abort.
+  cluster.RecoverSite(0);
+  cluster.RecoverSite(3);
+  cluster.RunFor(3.0);
+  EXPECT_EQ(cluster.TotalUncertainItems(), 0u);
+  EXPECT_EQ(cluster.site(1).Peek("a").value().certain_value(),
+            Value::Int(100));
+}
+
+}  // namespace
+}  // namespace polyvalue

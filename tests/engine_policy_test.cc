@@ -1,0 +1,146 @@
+// In-doubt policy comparison tests: the same stranded-coordinator
+// scenario under kPolyvalue, kBlock and kArbitrary shows exactly the
+// trade-off the paper describes in §2.
+#include <gtest/gtest.h>
+
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+namespace {
+
+EngineConfig ConfigWithPolicy(InDoubtPolicy policy) {
+  EngineConfig config;
+  config.prepare_timeout = 0.25;
+  config.ready_timeout = 0.25;
+  config.wait_timeout = 0.05;
+  config.inquiry_interval = 0.2;
+  config.policy = policy;
+  config.validate_installs = true;
+  return config;
+}
+
+// Strands a transfer a(site1) -> b(site2) with coordinator site0 crashed
+// mid-commit, then probes availability of "a" with a second transaction.
+struct Scenario {
+  explicit Scenario(InDoubtPolicy policy) : cluster(MakeOptions(policy)) {
+    cluster.Load(1, "a", Value::Int(100));
+    cluster.Load(2, "b", Value::Int(50));
+    txn = cluster.Submit(
+        0,
+        [this] {
+          TxnSpec spec;
+          spec.ReadWrite("a", cluster.site_id(1));
+          spec.ReadWrite("b", cluster.site_id(2));
+          spec.Logic([](const TxnReads& reads) {
+            TxnEffect e;
+            e.writes["a"] = Value::Int(reads.IntAt("a") - 30);
+            e.writes["b"] = Value::Int(reads.IntAt("b") + 30);
+            return e;
+          });
+          return spec;
+        }(),
+        [](const TxnResult&) {});
+    cluster.sim().At(0.035, [this] { cluster.CrashSite(0); });
+    cluster.RunFor(0.3);  // well past the wait timeout
+  }
+
+  static SimCluster::Options MakeOptions(InDoubtPolicy policy) {
+    SimCluster::Options options;
+    options.site_count = 3;
+    options.engine = ConfigWithPolicy(policy);
+    options.min_delay = 0.01;
+    options.max_delay = 0.01;
+    return options;
+  }
+
+  // Attempts to read-modify-write "a" from site 2.
+  TxnDisposition ProbeItemA() {
+    TxnSpec spec;
+    spec.ReadWrite("a", cluster.site_id(1));
+    spec.Logic([](const TxnReads& reads) {
+      TxnEffect e;
+      e.writes["a"] = Value::Int(reads.IntAt("a") + 1);
+      return e;
+    });
+    const auto result = cluster.SubmitAndRun(2, std::move(spec));
+    EXPECT_TRUE(result.has_value());
+    return result->disposition;
+  }
+
+  SimCluster cluster;
+  TxnId txn;
+};
+
+TEST(PolicyTest, PolyvaluePolicyKeepsItemsAvailable) {
+  Scenario s(InDoubtPolicy::kPolyvalue);
+  EXPECT_EQ(s.cluster.site(1).store().locked_count(), 0u);
+  EXPECT_FALSE(s.cluster.site(1).Peek("a").value().is_certain());
+  EXPECT_EQ(s.ProbeItemA(), TxnDisposition::kCommitted);
+}
+
+TEST(PolicyTest, BlockingPolicyHoldsLocksAndRejectsAccess) {
+  Scenario s(InDoubtPolicy::kBlock);
+  // Classic 2PC: the in-doubt participant still holds its lock.
+  EXPECT_GE(s.cluster.site(1).store().locked_count(), 1u);
+  EXPECT_TRUE(s.cluster.site(1).Peek("a").value().is_certain());
+  EXPECT_EQ(s.ProbeItemA(), TxnDisposition::kAborted);
+  EXPECT_GE(s.cluster.TotalMetrics().blocked_holds, 1u);
+}
+
+TEST(PolicyTest, BlockingPolicyFinishesWhenCoordinatorReturns) {
+  Scenario s(InDoubtPolicy::kBlock);
+  s.cluster.RecoverSite(0);
+  s.cluster.RunFor(2.0);
+  // Presumed abort: values restored, locks released, item usable again.
+  EXPECT_EQ(s.cluster.site(1).store().locked_count(), 0u);
+  EXPECT_EQ(s.cluster.site(1).Peek("a").value().certain_value(),
+            Value::Int(100));
+  EXPECT_EQ(s.ProbeItemA(), TxnDisposition::kCommitted);
+}
+
+TEST(PolicyTest, ArbitraryPolicyCommitsUnilaterally) {
+  Scenario s(InDoubtPolicy::kArbitrary);
+  // Relaxed consistency: the participant guessed commit and moved on.
+  EXPECT_EQ(s.cluster.site(1).store().locked_count(), 0u);
+  const PolyValue a = s.cluster.site(1).Peek("a").value();
+  ASSERT_TRUE(a.is_certain());
+  EXPECT_EQ(a.certain_value(), Value::Int(70));
+  EXPECT_GE(s.cluster.TotalMetrics().arbitrary_commits, 1u);
+  EXPECT_EQ(s.ProbeItemA(), TxnDisposition::kCommitted);
+}
+
+TEST(PolicyTest, ArbitraryPolicyViolatesAtomicityOnAbort) {
+  Scenario s(InDoubtPolicy::kArbitrary);
+  s.cluster.RecoverSite(0);
+  s.cluster.RunFor(2.0);
+  // The coordinator's truth is ABORT (presumed), but the participants
+  // already applied the writes: the database is now inconsistent — money
+  // was moved by a transaction that never committed. This is the §2.3
+  // failure mode the polyvalue mechanism avoids.
+  const auto decided =
+      s.cluster.site(0).engine().DecidedOutcome(s.txn);
+  EXPECT_NE(decided, true);  // never decided commit
+  EXPECT_EQ(s.cluster.site(1).Peek("a").value().certain_value(),
+            Value::Int(70));
+  EXPECT_EQ(s.cluster.site(2).Peek("b").value().certain_value(),
+            Value::Int(80));
+  // Conservation check: total should be 150, is 150 here only because
+  // both guessed commit; the workload-level audits show drift when
+  // guesses diverge. What *must* hold for correctness — agreement with
+  // the coordinator decision — is violated:
+  EXPECT_FALSE(decided.has_value());
+}
+
+TEST(PolicyTest, PolyvaluePolicyPreservesAtomicityThroughRecovery) {
+  Scenario s(InDoubtPolicy::kPolyvalue);
+  s.cluster.RecoverSite(0);
+  s.cluster.RunFor(2.0);
+  EXPECT_EQ(s.cluster.site(1).Peek("a").value().certain_value(),
+            Value::Int(100));
+  EXPECT_EQ(s.cluster.site(2).Peek("b").value().certain_value(),
+            Value::Int(50));
+  EXPECT_EQ(s.cluster.TotalUncertainItems(), 0u);
+}
+
+}  // namespace
+}  // namespace polyvalue

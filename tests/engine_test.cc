@@ -1,0 +1,256 @@
+// End-to-end engine tests on the deterministic cluster: the happy paths
+// of the two-phase protocol (Figure 1 without failures).
+#include <gtest/gtest.h>
+
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+namespace {
+
+EngineConfig FastConfig() {
+  EngineConfig config;
+  config.prepare_timeout = 0.25;
+  config.ready_timeout = 0.25;
+  config.wait_timeout = 0.05;
+  config.inquiry_interval = 0.2;
+  config.validate_installs = true;
+  return config;
+}
+
+SimCluster::Options ClusterOptions(size_t sites) {
+  SimCluster::Options options;
+  options.site_count = sites;
+  options.engine = FastConfig();
+  options.min_delay = 0.01;
+  options.max_delay = 0.01;  // fixed latency: deterministic timelines
+  return options;
+}
+
+TxnSpec Transfer(const ItemKey& from, SiteId from_site, const ItemKey& to,
+                 SiteId to_site, int64_t amount) {
+  TxnSpec spec;
+  spec.ReadWrite(from, from_site);
+  spec.ReadWrite(to, to_site);
+  spec.Logic([from, to, amount](const TxnReads& reads) {
+    const int64_t have = reads.IntAt(from);
+    if (have < amount) {
+      return TxnEffect::Abort("insufficient funds");
+    }
+    TxnEffect e;
+    e.writes[from] = Value::Int(have - amount);
+    e.writes[to] = Value::Int(reads.IntAt(to) + amount);
+    e.output = Value::Int(have - amount);
+    return e;
+  });
+  return spec;
+}
+
+TEST(EngineTest, SingleSiteTransactionCommits) {
+  SimCluster cluster(ClusterOptions(1));
+  cluster.Load(0, "x", Value::Int(10));
+  TxnSpec spec;
+  spec.ReadWrite("x", cluster.site_id(0));
+  spec.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes["x"] = Value::Int(reads.IntAt("x") + 1);
+    e.output = Value::Str("ok");
+    return e;
+  });
+  const auto result = cluster.SubmitAndRun(0, std::move(spec));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->disposition, TxnDisposition::kCommitted);
+  EXPECT_EQ(result->output.certain_value(), Value::Str("ok"));
+  cluster.RunFor(1.0);
+  EXPECT_EQ(cluster.site(0).Peek("x").value().certain_value(),
+            Value::Int(11));
+}
+
+TEST(EngineTest, CrossSiteTransferCommitsAtomically) {
+  SimCluster cluster(ClusterOptions(3));
+  cluster.Load(1, "a", Value::Int(100));
+  cluster.Load(2, "b", Value::Int(5));
+  const auto result = cluster.SubmitAndRun(
+      0, Transfer("a", cluster.site_id(1), "b", cluster.site_id(2), 40));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->disposition, TxnDisposition::kCommitted);
+  cluster.RunFor(1.0);
+  EXPECT_EQ(cluster.site(1).Peek("a").value().certain_value(),
+            Value::Int(60));
+  EXPECT_EQ(cluster.site(2).Peek("b").value().certain_value(),
+            Value::Int(45));
+  EXPECT_EQ(cluster.TotalUncertainItems(), 0u);
+}
+
+TEST(EngineTest, LogicAbortRollsBackEverywhere) {
+  SimCluster cluster(ClusterOptions(2));
+  cluster.Load(0, "a", Value::Int(10));
+  cluster.Load(1, "b", Value::Int(0));
+  const auto result = cluster.SubmitAndRun(
+      0, Transfer("a", cluster.site_id(0), "b", cluster.site_id(1), 9999));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->disposition, TxnDisposition::kAborted);
+  EXPECT_EQ(result->abort_reason, "insufficient funds");
+  cluster.RunFor(1.0);
+  EXPECT_EQ(cluster.site(0).Peek("a").value().certain_value(),
+            Value::Int(10));
+  EXPECT_EQ(cluster.site(1).Peek("b").value().certain_value(),
+            Value::Int(0));
+}
+
+TEST(EngineTest, ReadOnlyTransactionSkipsCommitRound) {
+  SimCluster cluster(ClusterOptions(2));
+  cluster.Load(1, "x", Value::Int(7));
+  TxnSpec spec;
+  spec.Read("x", cluster.site_id(1));
+  spec.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.output = Value::Int(reads.IntAt("x") * 2);
+    return e;
+  });
+  const auto result = cluster.SubmitAndRun(0, std::move(spec));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->disposition, TxnDisposition::kReadOnly);
+  EXPECT_EQ(result->output.certain_value(), Value::Int(14));
+  cluster.RunFor(0.5);
+  // Locks released everywhere: a subsequent writer proceeds.
+  TxnSpec writer;
+  writer.ReadWrite("x", cluster.site_id(1));
+  writer.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes["x"] = Value::Int(reads.IntAt("x") + 1);
+    return e;
+  });
+  const auto write_result = cluster.SubmitAndRun(0, std::move(writer));
+  ASSERT_TRUE(write_result.has_value());
+  EXPECT_TRUE(write_result->committed());
+}
+
+TEST(EngineTest, MissingItemAbortsTransaction) {
+  SimCluster cluster(ClusterOptions(2));
+  TxnSpec spec;
+  spec.Read("ghost", cluster.site_id(1));
+  spec.Logic([](const TxnReads&) { return TxnEffect{}; });
+  const auto result = cluster.SubmitAndRun(0, std::move(spec));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->disposition, TxnDisposition::kAborted);
+}
+
+TEST(EngineTest, LockConflictAbortsSecondTransaction) {
+  SimCluster cluster(ClusterOptions(2));
+  cluster.Load(1, "hot", Value::Int(0));
+  int committed = 0;
+  int aborted = 0;
+  auto count = [&](const TxnResult& r) {
+    r.committed() ? ++committed : ++aborted;
+  };
+  TxnSpec spec1;
+  spec1.ReadWrite("hot", cluster.site_id(1));
+  spec1.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes["hot"] = Value::Int(reads.IntAt("hot") + 1);
+    return e;
+  });
+  TxnSpec spec2 = spec1;
+  // Submit both before any messages flow: they race to the lock.
+  cluster.Submit(0, std::move(spec1), count);
+  cluster.Submit(0, std::move(spec2), count);
+  cluster.RunFor(2.0);
+  EXPECT_EQ(committed, 1);
+  EXPECT_EQ(aborted, 1);
+  EXPECT_EQ(cluster.site(1).Peek("hot").value().certain_value(),
+            Value::Int(1));
+}
+
+TEST(EngineTest, SequentialTransactionsAllCommit) {
+  SimCluster cluster(ClusterOptions(3));
+  cluster.Load(0, "acct", Value::Int(0));
+  for (int i = 0; i < 10; ++i) {
+    TxnSpec spec;
+    spec.ReadWrite("acct", cluster.site_id(0));
+    spec.Logic([](const TxnReads& reads) {
+      TxnEffect e;
+      e.writes["acct"] = Value::Int(reads.IntAt("acct") + 1);
+      return e;
+    });
+    const auto result = cluster.SubmitAndRun(i % 3, std::move(spec));
+    ASSERT_TRUE(result.has_value());
+    ASSERT_TRUE(result->committed());
+    cluster.RunFor(0.2);  // let COMPLETE land before the next txn
+  }
+  EXPECT_EQ(cluster.site(0).Peek("acct").value().certain_value(),
+            Value::Int(10));
+}
+
+TEST(EngineTest, PureComputationNeedsNoSites) {
+  SimCluster cluster(ClusterOptions(1));
+  TxnSpec spec;
+  spec.Logic([](const TxnReads&) {
+    TxnEffect e;
+    e.output = Value::Int(42);
+    return e;
+  });
+  const auto result = cluster.SubmitAndRun(0, std::move(spec));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->disposition, TxnDisposition::kReadOnly);
+  EXPECT_EQ(result->output.certain_value(), Value::Int(42));
+}
+
+TEST(EngineTest, TxnIdsEncodeCoordinator) {
+  SimCluster cluster(ClusterOptions(3));
+  cluster.Load(1, "x", Value::Int(0));
+  TxnSpec spec;
+  spec.Read("x", cluster.site_id(1));
+  spec.Logic([](const TxnReads&) { return TxnEffect{}; });
+  bool called = false;
+  const TxnId txn = cluster.Submit(2, std::move(spec),
+                                   [&called](const TxnResult&) {
+                                     called = true;
+                                   });
+  EXPECT_EQ(TxnEngine::CoordinatorOf(txn), cluster.site_id(2));
+  cluster.RunFor(1.0);
+  EXPECT_TRUE(called);
+}
+
+TEST(EngineTest, MetricsCountCommitsAndAborts) {
+  SimCluster cluster(ClusterOptions(2));
+  cluster.Load(0, "a", Value::Int(100));
+  cluster.Load(1, "b", Value::Int(0));
+  ASSERT_TRUE(cluster
+                  .SubmitAndRun(0, Transfer("a", cluster.site_id(0), "b",
+                                            cluster.site_id(1), 10))
+                  .has_value());
+  cluster.RunFor(0.5);
+  ASSERT_TRUE(cluster
+                  .SubmitAndRun(0, Transfer("a", cluster.site_id(0), "b",
+                                            cluster.site_id(1), 100000))
+                  .has_value());
+  cluster.RunFor(0.5);
+  const EngineMetrics m = cluster.site(0).engine().metrics();
+  EXPECT_EQ(m.txns_submitted, 2u);
+  EXPECT_EQ(m.txns_committed, 1u);
+  EXPECT_EQ(m.txns_aborted, 1u);
+  EXPECT_EQ(m.polyvalue_installs, 0u);
+}
+
+TEST(EngineTest, NoPolyvaluesInFailureFreeRuns) {
+  SimCluster cluster(ClusterOptions(4));
+  for (size_t s = 0; s < 4; ++s) {
+    cluster.Load(s, "acct/" + std::to_string(s), Value::Int(100));
+  }
+  for (int i = 0; i < 20; ++i) {
+    const size_t from = i % 4;
+    const size_t to = (i + 1) % 4;
+    const auto result = cluster.SubmitAndRun(
+        i % 4, Transfer("acct/" + std::to_string(from),
+                        cluster.site_id(from),
+                        "acct/" + std::to_string(to), cluster.site_id(to),
+                        1));
+    ASSERT_TRUE(result.has_value());
+    cluster.RunFor(0.2);
+  }
+  EXPECT_EQ(cluster.TotalUncertainItems(), 0u);
+  EXPECT_EQ(cluster.TotalMetrics().wait_timeouts, 0u);
+}
+
+}  // namespace
+}  // namespace polyvalue

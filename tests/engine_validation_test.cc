@@ -1,0 +1,72 @@
+// Tests for the real-engine model-validation harness.
+#include "src/baseline/engine_validation.h"
+
+#include <gtest/gtest.h>
+
+namespace polyvalue {
+namespace {
+
+EngineValidationParams QuickParams() {
+  EngineValidationParams p;
+  p.sites = 4;
+  p.items = 500;
+  p.updates_per_second = 10;
+  p.failure_probability = 0.05;
+  p.recovery_rate = 0.2;  // short outages: quick test
+  p.dependency_degree = 1;
+  p.warmup_seconds = 10;
+  p.measure_seconds = 60;
+  p.seed = 9;
+  return p;
+}
+
+TEST(EngineValidationTest, ProducesStrandsAndUncertainty) {
+  const EngineValidationReport report =
+      RunEngineValidation(QuickParams());
+  EXPECT_GT(report.submitted, 500u);
+  EXPECT_GT(report.committed, 400u);
+  EXPECT_GT(report.stranded, 5u);
+  EXPECT_EQ(report.polyvalue_installs, report.stranded);
+  EXPECT_GT(report.avg_uncertain_items, 0.0);
+  EXPECT_GT(report.model_prediction, 0.0);
+}
+
+TEST(EngineValidationTest, EngineTracksModelWithinBand) {
+  // Generous band — this is a short run; the bench uses long ones. The
+  // point: the measured steady state is the same order as the model and
+  // (like the paper's simulation) tends below it.
+  const EngineValidationReport report =
+      RunEngineValidation(QuickParams());
+  EXPECT_GT(report.avg_uncertain_items, report.model_prediction * 0.3);
+  EXPECT_LT(report.avg_uncertain_items, report.model_prediction * 1.5);
+}
+
+TEST(EngineValidationTest, NoFailuresNoUncertainty) {
+  EngineValidationParams p = QuickParams();
+  p.failure_probability = 0;
+  p.measure_seconds = 20;
+  const EngineValidationReport report = RunEngineValidation(p);
+  EXPECT_EQ(report.stranded, 0u);
+  EXPECT_EQ(report.avg_uncertain_items, 0.0);
+  EXPECT_EQ(report.polyvalue_installs, 0u);
+}
+
+TEST(EngineValidationTest, FasterRecoveryLowersUncertainty) {
+  EngineValidationParams slow = QuickParams();
+  slow.recovery_rate = 0.1;
+  EngineValidationParams fast = QuickParams();
+  fast.recovery_rate = 0.5;
+  EXPECT_GT(RunEngineValidation(slow).avg_uncertain_items,
+            RunEngineValidation(fast).avg_uncertain_items);
+}
+
+TEST(EngineValidationTest, DeterministicForSeed) {
+  const EngineValidationReport a = RunEngineValidation(QuickParams());
+  const EngineValidationReport b = RunEngineValidation(QuickParams());
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.stranded, b.stranded);
+  EXPECT_DOUBLE_EQ(a.avg_uncertain_items, b.avg_uncertain_items);
+}
+
+}  // namespace
+}  // namespace polyvalue

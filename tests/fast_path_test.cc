@@ -1,0 +1,216 @@
+// Tests for the single-site fast path (§2.1-style lock avoidance: local
+// transactions skip the distributed protocol entirely).
+#include <gtest/gtest.h>
+
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+namespace {
+
+SimCluster::Options Options(bool fast_path) {
+  SimCluster::Options options;
+  options.site_count = 2;
+  options.engine.enable_local_fast_path = fast_path;
+  options.engine.wait_timeout = 0.05;
+  options.engine.inquiry_interval = 0.2;
+  options.engine.validate_installs = true;
+  options.min_delay = 0.01;
+  options.max_delay = 0.01;
+  return options;
+}
+
+TxnSpec LocalBump(SiteId site) {
+  TxnSpec spec;
+  spec.ReadWrite("x", site);
+  spec.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes["x"] = Value::Int(reads.IntAt("x") + 1);
+    e.output = Value::Int(reads.IntAt("x"));
+    return e;
+  });
+  return spec;
+}
+
+TEST(FastPathTest, LocalTxnCompletesWithoutMessages) {
+  SimCluster cluster(Options(true));
+  cluster.Load(0, "x", Value::Int(7));
+  const uint64_t packets_before = cluster.transport().packets_sent();
+  std::optional<TxnResult> result;
+  cluster.Submit(0, LocalBump(cluster.site_id(0)),
+                 [&result](const TxnResult& r) { result = r; });
+  // Callback fires synchronously — no simulator steps needed.
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed());
+  EXPECT_EQ(result->output.certain_value(), Value::Int(7));
+  EXPECT_EQ(cluster.transport().packets_sent(), packets_before);
+  EXPECT_EQ(cluster.site(0).Peek("x").value().certain_value(),
+            Value::Int(8));
+  EXPECT_EQ(cluster.site(0).engine().metrics().local_fast_path, 1u);
+}
+
+TEST(FastPathTest, DisabledFlagForcesFullProtocol) {
+  SimCluster cluster(Options(false));
+  cluster.Load(0, "x", Value::Int(7));
+  const auto result = cluster.SubmitAndRun(0, LocalBump(cluster.site_id(0)));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed());
+  EXPECT_GT(cluster.transport().packets_sent(), 0u);
+  EXPECT_EQ(cluster.site(0).engine().metrics().local_fast_path, 0u);
+  cluster.RunFor(0.5);
+  EXPECT_EQ(cluster.site(0).Peek("x").value().certain_value(),
+            Value::Int(8));
+}
+
+TEST(FastPathTest, RemoteItemStillUsesProtocol) {
+  SimCluster cluster(Options(true));
+  cluster.Load(1, "x", Value::Int(7));
+  const auto result = cluster.SubmitAndRun(0, LocalBump(cluster.site_id(1)));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed());
+  EXPECT_EQ(cluster.site(0).engine().metrics().local_fast_path, 0u);
+}
+
+TEST(FastPathTest, LockConflictAbortsImmediately) {
+  SimCluster cluster(Options(true));
+  cluster.Load(0, "x", Value::Int(0));
+  ASSERT_TRUE(cluster.site(0).store().Lock("x", TxnId(12345)).ok());
+  std::optional<TxnResult> result;
+  cluster.Submit(0, LocalBump(cluster.site_id(0)),
+                 [&result](const TxnResult& r) { result = r; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->disposition, TxnDisposition::kAborted);
+  // Fast-path abort leaves the foreign lock untouched.
+  EXPECT_EQ(cluster.site(0).store().LockHolder("x"), TxnId(12345));
+}
+
+TEST(FastPathTest, LogicAbortPropagates) {
+  SimCluster cluster(Options(true));
+  cluster.Load(0, "x", Value::Int(0));
+  TxnSpec spec;
+  spec.ReadWrite("x", cluster.site_id(0));
+  spec.Logic([](const TxnReads&) {
+    return TxnEffect::Abort("business rule");
+  });
+  std::optional<TxnResult> result;
+  cluster.Submit(0, std::move(spec),
+                 [&result](const TxnResult& r) { result = r; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->abort_reason, "business rule");
+  EXPECT_EQ(cluster.site(0).store().locked_count(), 0u);
+}
+
+TEST(FastPathTest, ReadOnlyLocalQuery) {
+  SimCluster cluster(Options(true));
+  cluster.Load(0, "x", Value::Int(9));
+  TxnSpec spec;
+  spec.Read("x", cluster.site_id(0));
+  spec.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.output = Value::Int(reads.IntAt("x") * 2);
+    return e;
+  });
+  std::optional<TxnResult> result;
+  cluster.Submit(0, std::move(spec),
+                 [&result](const TxnResult& r) { result = r; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->disposition, TxnDisposition::kReadOnly);
+  EXPECT_EQ(result->output.certain_value(), Value::Int(18));
+}
+
+TEST(FastPathTest, LocalPolytransactionOverUncertainItem) {
+  SimCluster cluster(Options(true));
+  // Plant a polyvalue locally, then run a local txn over it.
+  cluster.site(0).store().Write(
+      "x", PolyValue::InstallUncertain(TxnId((9ULL << 40) | 1),
+                                       PolyValue::Certain(Value::Int(10)),
+                                       PolyValue::Certain(Value::Int(20))));
+  std::optional<TxnResult> result;
+  cluster.Submit(0, LocalBump(cluster.site_id(0)),
+                 [&result](const TxnResult& r) { result = r; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed());
+  EXPECT_FALSE(result->output.is_certain());
+  const PolyValue x = cluster.site(0).Peek("x").value();
+  EXPECT_EQ(x.ValueUnder({{TxnId((9ULL << 40) | 1), true}}).value(),
+            Value::Int(11));
+  EXPECT_EQ(cluster.site(0).engine().metrics().polytxns, 1u);
+}
+
+TEST(FastPathTest, DecisionIsDurableForInquiries) {
+  SimCluster cluster(Options(true));
+  cluster.Load(0, "x", Value::Int(0));
+  std::optional<TxnResult> result;
+  cluster.Submit(0, LocalBump(cluster.site_id(0)),
+                 [&result](const TxnResult& r) { result = r; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(cluster.site(0).engine().DecidedOutcome(result->id), true);
+}
+
+}  // namespace
+}  // namespace polyvalue
+
+namespace polyvalue {
+namespace {
+
+// --- execution_delay (simulated computation) coverage ---
+
+TEST(ExecutionDelayTest, DelaysShippingByConfiguredTime) {
+  SimCluster::Options options;
+  options.site_count = 2;
+  options.engine.execution_delay = 0.5;
+  options.engine.prepare_timeout = 5.0;
+  options.engine.ready_timeout = 5.0;
+  options.min_delay = 0.01;
+  options.max_delay = 0.01;
+  SimCluster cluster(options);
+  cluster.Load(1, "x", Value::Int(0));
+  TxnSpec spec;
+  spec.ReadWrite("x", cluster.site_id(1));
+  spec.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes["x"] = Value::Int(reads.IntAt("x") + 1);
+    return e;
+  });
+  std::optional<TxnResult> result;
+  cluster.Submit(0, std::move(spec),
+                 [&result](const TxnResult& r) { result = r; });
+  // Without the delay the commit lands by ~0.06 s; with 0.5 s execution
+  // it cannot have finished yet.
+  cluster.RunFor(0.3);
+  EXPECT_FALSE(result.has_value());
+  cluster.RunFor(1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed());
+}
+
+TEST(ExecutionDelayTest, PrepareTimeoutAbortsDuringComputation) {
+  SimCluster::Options options;
+  options.site_count = 2;
+  options.engine.execution_delay = 2.0;
+  options.engine.prepare_timeout = 0.5;  // fires mid-computation
+  options.engine.ready_timeout = 0.5;
+  options.min_delay = 0.01;
+  options.max_delay = 0.01;
+  SimCluster cluster(options);
+  cluster.Load(1, "x", Value::Int(0));
+  TxnSpec spec;
+  spec.ReadWrite("x", cluster.site_id(1));
+  spec.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes["x"] = Value::Int(reads.IntAt("x") + 1);
+    return e;
+  });
+  std::optional<TxnResult> result;
+  cluster.Submit(0, std::move(spec),
+                 [&result](const TxnResult& r) { result = r; });
+  cluster.RunFor(5.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->committed());
+  // The delayed execution callback must be a no-op: no writes, no locks.
+  EXPECT_EQ(cluster.site(1).Peek("x").value().certain_value(),
+            Value::Int(0));
+  EXPECT_EQ(cluster.site(1).store().locked_count(), 0u);
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,75 @@
+// Unit tests for strong identifiers and their formatting.
+#include "src/common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace polyvalue {
+namespace {
+
+TEST(IdsTest, DefaultIsInvalid) {
+  TxnId txn;
+  SiteId site;
+  EXPECT_FALSE(txn.valid());
+  EXPECT_FALSE(site.valid());
+  EXPECT_TRUE(TxnId(0).valid());
+}
+
+TEST(IdsTest, EqualityAndOrdering) {
+  EXPECT_EQ(TxnId(5), TxnId(5));
+  EXPECT_NE(TxnId(5), TxnId(6));
+  EXPECT_LT(TxnId(5), TxnId(6));
+  EXPECT_LE(TxnId(5), TxnId(5));
+  EXPECT_GT(SiteId(9), SiteId(2));
+  EXPECT_GE(SiteId(9), SiteId(9));
+}
+
+TEST(IdsTest, DistinctTypesDoNotCompare) {
+  // Compile-time property: TxnId and SiteId are different types. The
+  // static_assert documents it; runtime check keeps the test meaningful.
+  static_assert(!std::is_same_v<TxnId, SiteId>);
+  SUCCEED();
+}
+
+TEST(IdsTest, HashWorksInUnorderedContainers) {
+  std::unordered_set<TxnId> txns;
+  txns.insert(TxnId(1));
+  txns.insert(TxnId(2));
+  txns.insert(TxnId(1));
+  EXPECT_EQ(txns.size(), 2u);
+  std::unordered_set<SiteId> sites;
+  sites.insert(SiteId(3));
+  EXPECT_EQ(sites.count(SiteId(3)), 1u);
+}
+
+TEST(IdsTest, PlainTxnIdFormatting) {
+  std::ostringstream oss;
+  oss << TxnId(42);
+  EXPECT_EQ(oss.str(), "T42");
+  EXPECT_EQ(ToString(TxnId(42)), "T42");
+}
+
+TEST(IdsTest, CoordinatorEncodedTxnIdFormatting) {
+  const TxnId txn((3ULL << kTxnSiteShift) | 17);
+  EXPECT_EQ(ToString(txn), "T3.17");
+  std::ostringstream oss;
+  oss << txn;
+  EXPECT_EQ(oss.str(), "T3.17");
+}
+
+TEST(IdsTest, InvalidIdFormatting) {
+  EXPECT_EQ(ToString(TxnId()), "T?");
+  EXPECT_EQ(ToString(SiteId()), "S?");
+}
+
+TEST(IdsTest, SiteIdFormatting) {
+  EXPECT_EQ(ToString(SiteId(7)), "S7");
+  std::ostringstream oss;
+  oss << SiteId(7);
+  EXPECT_EQ(oss.str(), "S7");
+}
+
+}  // namespace
+}  // namespace polyvalue

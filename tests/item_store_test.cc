@@ -1,0 +1,106 @@
+// Unit tests for the per-site item store and its 2PL lock plane.
+#include "src/store/item_store.h"
+
+#include <gtest/gtest.h>
+
+namespace polyvalue {
+namespace {
+
+const TxnId kT1(1);
+const TxnId kT2(2);
+
+TEST(ItemStoreTest, ReadMissingIsNotFound) {
+  ItemStore store;
+  EXPECT_EQ(store.Read("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ItemStoreTest, WriteThenRead) {
+  ItemStore store;
+  store.Write("k", PolyValue::Certain(Value::Int(5)));
+  EXPECT_EQ(store.Read("k").value().certain_value(), Value::Int(5));
+  EXPECT_TRUE(store.Contains("k"));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ItemStoreTest, OverwriteReplaces) {
+  ItemStore store;
+  store.Write("k", PolyValue::Certain(Value::Int(1)));
+  store.Write("k", PolyValue::Certain(Value::Int(2)));
+  EXPECT_EQ(store.Read("k").value().certain_value(), Value::Int(2));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ItemStoreTest, DefaultFactorySuppliesMissingItems) {
+  ItemStore store([](const ItemKey& key) {
+    return PolyValue::Certain(Value::Str(key));
+  });
+  EXPECT_EQ(store.Read("auto").value().certain_value(), Value::Str("auto"));
+  // Factory reads do not persist the item.
+  EXPECT_FALSE(store.Contains("auto"));
+}
+
+TEST(ItemStoreTest, UncertainCountTracksPolyvalues) {
+  ItemStore store;
+  store.Write("a", PolyValue::Certain(Value::Int(1)));
+  EXPECT_EQ(store.UncertainCount(), 0u);
+  store.Write("b", PolyValue::InstallUncertain(
+                       kT1, PolyValue::Certain(Value::Int(2)),
+                       PolyValue::Certain(Value::Int(3))));
+  EXPECT_EQ(store.UncertainCount(), 1u);
+  EXPECT_EQ(store.UncertainKeys(), std::vector<ItemKey>{"b"});
+  store.Write("b", PolyValue::Certain(Value::Int(2)));
+  EXPECT_EQ(store.UncertainCount(), 0u);
+}
+
+TEST(ItemStoreTest, ForEachVisitsAll) {
+  ItemStore store;
+  store.Write("a", PolyValue::Certain(Value::Int(1)));
+  store.Write("b", PolyValue::Certain(Value::Int(2)));
+  int64_t sum = 0;
+  store.ForEach([&](const ItemKey&, const PolyValue& v) {
+    sum += v.certain_value().int_value();
+  });
+  EXPECT_EQ(sum, 3);
+}
+
+TEST(ItemStoreLockTest, ExclusiveAcquisition) {
+  ItemStore store;
+  EXPECT_TRUE(store.Lock("k", kT1).ok());
+  EXPECT_EQ(store.Lock("k", kT2).code(), StatusCode::kAborted);
+  EXPECT_EQ(store.LockHolder("k"), kT1);
+}
+
+TEST(ItemStoreLockTest, ReentrantForSameTxn) {
+  ItemStore store;
+  EXPECT_TRUE(store.Lock("k", kT1).ok());
+  EXPECT_TRUE(store.Lock("k", kT1).ok());
+  EXPECT_EQ(store.locked_count(), 1u);
+}
+
+TEST(ItemStoreLockTest, UnlockAllReleasesEverything) {
+  ItemStore store;
+  EXPECT_TRUE(store.Lock("a", kT1).ok());
+  EXPECT_TRUE(store.Lock("b", kT1).ok());
+  EXPECT_TRUE(store.Lock("c", kT2).ok());
+  store.UnlockAll(kT1);
+  EXPECT_EQ(store.locked_count(), 1u);
+  EXPECT_FALSE(store.LockHolder("a").has_value());
+  EXPECT_TRUE(store.Lock("a", kT2).ok());
+  EXPECT_EQ(store.LockHolder("c"), kT2);
+}
+
+TEST(ItemStoreLockTest, UnlockAllUnknownTxnIsNoOp) {
+  ItemStore store;
+  store.UnlockAll(kT1);
+  EXPECT_EQ(store.locked_count(), 0u);
+}
+
+TEST(ItemStoreLockTest, LockOnNonexistentItemAllowed) {
+  // Locks protect names, not stored values — a transaction creating a new
+  // item must be able to lock it first.
+  ItemStore store;
+  EXPECT_TRUE(store.Lock("new-item", kT1).ok());
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,63 @@
+// Unit tests for the leveled logger.
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace polyvalue {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Logger::Get().level();
+    Logger::Get().set_capture(true);
+  }
+  void TearDown() override {
+    Logger::Get().set_capture(false);
+    Logger::Get().set_level(saved_level_);
+  }
+  LogLevel saved_level_;
+};
+
+TEST_F(LoggingTest, LevelsFilter) {
+  Logger::Get().set_level(LogLevel::kWarn);
+  POLYV_DEBUG << "too quiet";
+  POLYV_INFO << "still too quiet";
+  POLYV_WARN << "warning!";
+  POLYV_ERROR << "error!";
+  const std::string captured = Logger::Get().TakeCaptured();
+  EXPECT_EQ(captured.find("too quiet"), std::string::npos);
+  EXPECT_NE(captured.find("WARN warning!"), std::string::npos);
+  EXPECT_NE(captured.find("ERROR error!"), std::string::npos);
+}
+
+TEST_F(LoggingTest, StreamFormatting) {
+  Logger::Get().set_level(LogLevel::kInfo);
+  POLYV_INFO << "x=" << 42 << " y=" << 1.5;
+  EXPECT_NE(Logger::Get().TakeCaptured().find("x=42 y=1.5"),
+            std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::Get().set_level(LogLevel::kOff);
+  POLYV_ERROR << "even errors";
+  EXPECT_TRUE(Logger::Get().TakeCaptured().empty());
+}
+
+TEST_F(LoggingTest, TakeCapturedDrains) {
+  Logger::Get().set_level(LogLevel::kInfo);
+  POLYV_INFO << "once";
+  EXPECT_FALSE(Logger::Get().TakeCaptured().empty());
+  EXPECT_TRUE(Logger::Get().TakeCaptured().empty());
+}
+
+TEST(LogLevelTest, Names) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace polyvalue

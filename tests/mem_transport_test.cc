@@ -1,0 +1,143 @@
+// Tests for the threaded in-memory transport.
+#include "src/net/mem_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace polyvalue {
+namespace {
+
+const SiteId kA(1);
+const SiteId kB(2);
+
+TEST(MemTransportTest, DeliversAcrossThreads) {
+  MemTransport transport;
+  std::atomic<int> got{0};
+  std::string payload;
+  std::mutex mu;
+  ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
+  ASSERT_TRUE(transport
+                  .Register(kB,
+                            [&](Packet p) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              payload = p.payload;
+                              ++got;
+                            })
+                  .ok());
+  ASSERT_TRUE(transport.Send({kA, kB, "ping"}).ok());
+  transport.Flush();
+  EXPECT_EQ(got.load(), 1);
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(payload, "ping");
+}
+
+TEST(MemTransportTest, ManyMessagesAllArrive) {
+  MemTransport transport;
+  std::atomic<int> got{0};
+  ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
+  ASSERT_TRUE(
+      transport.Register(kB, [&](Packet) { ++got; }).ok());
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(transport.Send({kA, kB, "m"}).ok());
+  }
+  transport.Flush();
+  EXPECT_EQ(got.load(), n);
+  EXPECT_EQ(transport.packets_delivered(), static_cast<uint64_t>(n));
+}
+
+TEST(MemTransportTest, ConcurrentSenders) {
+  MemTransport transport;
+  std::atomic<int> got{0};
+  ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
+  ASSERT_TRUE(transport.Register(kB, [&](Packet) { ++got; }).ok());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&transport] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(transport.Send({kA, kB, "x"}).ok());
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  transport.Flush();
+  EXPECT_EQ(got.load(), kThreads * kPerThread);
+}
+
+TEST(MemTransportTest, HandlerMaySendReentrantly) {
+  MemTransport transport;
+  std::atomic<int> pongs{0};
+  ASSERT_TRUE(transport
+                  .Register(kA,
+                            [&](Packet p) {
+                              if (p.payload == "pong") {
+                                ++pongs;
+                              }
+                            })
+                  .ok());
+  ASSERT_TRUE(transport
+                  .Register(kB,
+                            [&](Packet p) {
+                              ASSERT_TRUE(transport
+                                              .Send({kB, p.from, "pong"})
+                                              .ok());
+                            })
+                  .ok());
+  ASSERT_TRUE(transport.Send({kA, kB, "ping"}).ok());
+  transport.Flush();
+  EXPECT_EQ(pongs.load(), 1);
+}
+
+TEST(MemTransportTest, FaultPlanDropsAndCrashes) {
+  FaultPlan faults;
+  faults.SetDelayRange(0, 0);
+  MemTransport transport(&faults);
+  std::atomic<int> got{0};
+  ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
+  ASSERT_TRUE(transport.Register(kB, [&](Packet) { ++got; }).ok());
+  faults.SetSiteDown(kB, true);
+  ASSERT_TRUE(transport.Send({kA, kB, "lost"}).ok());
+  transport.Flush();
+  EXPECT_EQ(got.load(), 0);
+  faults.SetSiteDown(kB, false);
+  ASSERT_TRUE(transport.Send({kA, kB, "found"}).ok());
+  transport.Flush();
+  EXPECT_EQ(got.load(), 1);
+}
+
+TEST(MemTransportTest, DelayedDeliveryRespectsDeadline) {
+  FaultPlan faults;
+  faults.SetDelayRange(0.05, 0.05);
+  MemTransport transport(&faults);
+  std::atomic<int> got{0};
+  ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
+  ASSERT_TRUE(transport.Register(kB, [&](Packet) { ++got; }).ok());
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(transport.Send({kA, kB, "slow"}).ok());
+  transport.Flush();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(got.load(), 1);
+  EXPECT_GE(std::chrono::duration<double>(elapsed).count(), 0.045);
+}
+
+TEST(MemTransportTest, UnregisterIsCleanWhileTrafficFlows) {
+  MemTransport transport;
+  ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
+  ASSERT_TRUE(transport.Register(kB, [](Packet) {}).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(transport.Send({kA, kB, "x"}).ok());
+  }
+  EXPECT_TRUE(transport.Unregister(kB).ok());
+  // Sends to a gone receiver are dropped, not errors.
+  EXPECT_TRUE(transport.Send({kA, kB, "late"}).ok());
+}
+
+}  // namespace
+}  // namespace polyvalue

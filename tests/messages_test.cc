@@ -1,0 +1,122 @@
+// Round-trip and robustness tests for the protocol message codec.
+#include "src/txn/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace polyvalue {
+namespace {
+
+const TxnId kTxn((5ULL << 40) | 17);  // coordinator-encoding id
+const SiteId kS1(1);
+
+Message RoundTrip(const Message& m) {
+  const Result<Message> decoded = Message::Decode(m.Encode());
+  EXPECT_TRUE(decoded.ok()) << decoded.status();
+  return decoded.value();
+}
+
+TEST(MessagesTest, PrepareRoundTrip) {
+  const Message m = RoundTrip(
+      MakePrepare(kTxn, kS1, {"read1", "read2"}, {"write1"}));
+  EXPECT_EQ(m.type, MsgType::kPrepare);
+  EXPECT_EQ(m.txn, kTxn);
+  EXPECT_EQ(m.coordinator, kS1);
+  EXPECT_EQ(m.read_keys, (std::vector<ItemKey>{"read1", "read2"}));
+  EXPECT_EQ(m.write_keys, std::vector<ItemKey>{"write1"});
+}
+
+TEST(MessagesTest, PrepareReplyCarriesPolyValues) {
+  const PolyValue pv = PolyValue::InstallUncertain(
+      TxnId(3), PolyValue::Certain(Value::Int(1)),
+      PolyValue::Certain(Value::Int(2)));
+  const Message m =
+      RoundTrip(MakePrepareReply(kTxn, {{"k", pv}, {"j", PolyValue()}}));
+  EXPECT_EQ(m.type, MsgType::kPrepareReply);
+  EXPECT_TRUE(m.ok);
+  EXPECT_EQ(m.values.at("k"), pv);
+  EXPECT_EQ(m.values.at("j"), PolyValue());
+}
+
+TEST(MessagesTest, PrepareRefusalCarriesError) {
+  const Message m = RoundTrip(MakePrepareRefusal(kTxn, "lock conflict"));
+  EXPECT_FALSE(m.ok);
+  EXPECT_EQ(m.error, "lock conflict");
+}
+
+TEST(MessagesTest, WriteReqRoundTrip) {
+  const Message m = RoundTrip(
+      MakeWriteReq(kTxn, {{"a", PolyValue::Certain(Value::Int(7))}}));
+  EXPECT_EQ(m.type, MsgType::kWriteReq);
+  EXPECT_EQ(m.writes.at("a").certain_value(), Value::Int(7));
+}
+
+TEST(MessagesTest, BareMessages) {
+  EXPECT_EQ(RoundTrip(MakeReady(kTxn)).type, MsgType::kReady);
+  EXPECT_EQ(RoundTrip(MakeComplete(kTxn)).type, MsgType::kComplete);
+  EXPECT_EQ(RoundTrip(MakeAbort(kTxn)).type, MsgType::kAbort);
+  EXPECT_EQ(RoundTrip(MakeOutcomeRequest(kTxn)).type,
+            MsgType::kOutcomeRequest);
+}
+
+TEST(MessagesTest, OutcomeReplyStates) {
+  Message m = RoundTrip(MakeOutcomeReply(kTxn, true, true));
+  EXPECT_TRUE(m.known);
+  EXPECT_TRUE(m.committed);
+  m = RoundTrip(MakeOutcomeReply(kTxn, false, false));
+  EXPECT_FALSE(m.known);
+  m = RoundTrip(MakeOutcomeNotify(kTxn, false));
+  EXPECT_EQ(m.type, MsgType::kOutcomeNotify);
+  EXPECT_FALSE(m.committed);
+}
+
+TEST(MessagesTest, WrongProtocolVersionRejected) {
+  std::string bytes = MakeReady(kTxn).Encode();
+  bytes[0] = static_cast<char>(kProtocolVersion + 1);
+  const Result<Message> decoded = Message::Decode(bytes);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("protocol version"),
+            std::string::npos);
+}
+
+TEST(MessagesTest, VersionIsFirstByte) {
+  EXPECT_EQ(static_cast<uint8_t>(MakeReady(kTxn).Encode()[0]),
+            kProtocolVersion);
+}
+
+TEST(MessagesTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Message::Decode("").ok());
+  EXPECT_FALSE(Message::Decode("\xff\xff\xff").ok());
+  EXPECT_FALSE(Message::Decode(std::string(1, '\0')).ok());
+}
+
+TEST(MessagesTest, DecodeRejectsTrailingBytes) {
+  std::string bytes = MakeReady(kTxn).Encode();
+  bytes += "extra";
+  EXPECT_FALSE(Message::Decode(bytes).ok());
+}
+
+TEST(MessagesTest, TruncatedPrefixesNeverCrash) {
+  const std::string full =
+      MakePrepareReply(kTxn, {{"key", PolyValue::Certain(Value::Str("v"))}})
+          .Encode();
+  for (size_t len = 0; len < full.size(); ++len) {
+    (void)Message::Decode(full.substr(0, len));
+  }
+}
+
+TEST(MessagesTest, RandomBytesNeverCrash) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string noise;
+    const size_t len = rng.NextBelow(48);
+    for (size_t i = 0; i < len; ++i) {
+      noise.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    (void)Message::Decode(noise);
+  }
+}
+
+}  // namespace
+}  // namespace polyvalue

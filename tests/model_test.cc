@@ -1,0 +1,133 @@
+// Unit tests for the §4.1 analytic model, including the paper's Table 1
+// values.
+#include "src/model/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace polyvalue {
+namespace {
+
+ModelParams Typical() {
+  ModelParams p;
+  p.updates_per_second = 10;
+  p.failure_probability = 1e-4;
+  p.items = 1e6;
+  p.recovery_rate = 1e-3;
+  p.overwrite_probability = 0;
+  p.dependency_degree = 1;
+  return p;
+}
+
+TEST(ModelTest, TypicalDatabaseMatchesPaper) {
+  // Paper Table 1, first row: P = 1.01.
+  const Prediction pred = Predict(Typical());
+  EXPECT_TRUE(pred.stable);
+  EXPECT_NEAR(pred.steady_state, 1.0101, 0.001);
+}
+
+TEST(ModelTest, SteadyStateFormula) {
+  // P = UFI / (IR + UY - UD) checked against a hand computation.
+  ModelParams p = Typical();
+  p.updates_per_second = 10;
+  p.failure_probability = 0.01;
+  p.items = 10000;
+  p.recovery_rate = 0.01;
+  p.dependency_degree = 5;
+  // UFI = 1000, denom = 100 + 0 - 50 = 50 -> P = 20 (paper Table 2 row 5).
+  EXPECT_NEAR(Predict(p).steady_state, 20.0, 1e-9);
+}
+
+TEST(ModelTest, OverwriteProbabilityShrinksP) {
+  ModelParams p = Typical();
+  p.items = 10000;
+  p.failure_probability = 0.01;
+  p.recovery_rate = 0.01;
+  p.dependency_degree = 5;
+  const double without_y = Predict(p).steady_state;
+  p.overwrite_probability = 1;
+  const double with_y = Predict(p).steady_state;
+  EXPECT_LT(with_y, without_y);
+  // Paper Table 2 rows 5/6: 20 vs 16.7.
+  EXPECT_NEAR(with_y, 1000.0 / 60.0, 1e-9);
+}
+
+TEST(ModelTest, InstabilityWhenDependencyOutpacesRecovery) {
+  ModelParams p = Typical();
+  p.recovery_rate = 1e-4;       // IR = 100
+  p.dependency_degree = 10;     // UD = 100
+  const Prediction pred = Predict(p);
+  EXPECT_FALSE(pred.stable);
+  EXPECT_TRUE(std::isinf(pred.steady_state));
+}
+
+TEST(ModelTest, TransientConvergesToSteadyState) {
+  const ModelParams p = Typical();
+  const Prediction pred = Predict(p);
+  EXPECT_NEAR(TransientP(p, 0.0, 0.0), 0.0, 1e-12);
+  // After 10 time constants, within a whisker of steady state.
+  const double t10 = 10.0 / pred.decay_rate;
+  EXPECT_NEAR(TransientP(p, 0.0, t10), pred.steady_state,
+              pred.steady_state * 1e-3);
+  // From above, it decays down.
+  EXPECT_GT(TransientP(p, 100.0, 0.0), pred.steady_state);
+  EXPECT_NEAR(TransientP(p, 100.0, t10), pred.steady_state,
+              pred.steady_state * 1e-2);
+}
+
+TEST(ModelTest, TransientStabilityClaim) {
+  // The paper: "if the number of polyvalues temporarily becomes larger
+  // than the predicted number, then the number can be expected to
+  // decrease with time."
+  const ModelParams p = Typical();
+  const Prediction pred = Predict(p);
+  const double above = pred.steady_state * 3;
+  double previous = above;
+  for (double t = 10; t <= 1000; t += 10) {
+    const double now = TransientP(p, above, t);
+    EXPECT_LT(now, previous);
+    previous = now;
+  }
+}
+
+TEST(ModelTest, UnstableTransientGrowsWithoutBound) {
+  ModelParams p = Typical();
+  p.recovery_rate = 1e-5;
+  p.dependency_degree = 20;
+  EXPECT_GT(TransientP(p, 0.0, 1e5), 1e3);
+  EXPECT_GT(TransientP(p, 0.0, 2e5), TransientP(p, 0.0, 1e5));
+}
+
+TEST(ModelTest, Table1RowsMatchPaperWhereLegible) {
+  for (const Table1Row& row : Table1Rows()) {
+    const Prediction pred = Predict(row.params);
+    if (std::isnan(row.paper_value)) {
+      continue;  // scan illegible: computed-only row
+    }
+    EXPECT_TRUE(pred.stable) << row.params.ToString();
+    // The paper prints two decimals; allow 1% plus rounding slack.
+    EXPECT_NEAR(pred.steady_state, row.paper_value,
+                std::max(0.02, row.paper_value * 0.01))
+        << row.params.ToString() << " (" << row.note << ")";
+  }
+}
+
+TEST(ModelTest, Table1HasElevenRows) {
+  EXPECT_EQ(Table1Rows().size(), 11u);
+}
+
+TEST(ModelTest, SaturationReported) {
+  ModelParams p = Typical();
+  p.failure_probability = 0.5;  // absurd failure rate
+  p.items = 100;
+  const Prediction pred = Predict(p);
+  if (pred.stable) {
+    EXPECT_GT(pred.saturation, 0.01);
+  } else {
+    EXPECT_EQ(pred.saturation, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,98 @@
+// Unit tests for the §3.3 outcome table.
+#include "src/store/outcome_table.h"
+
+#include <gtest/gtest.h>
+
+namespace polyvalue {
+namespace {
+
+const TxnId kT1(1);
+const TxnId kT2(2);
+const SiteId kS1(1);
+const SiteId kS2(2);
+
+TEST(OutcomeTableTest, TracksDependentItems) {
+  OutcomeTable table;
+  table.RecordDependentItem(kT1, "a");
+  table.RecordDependentItem(kT1, "b");
+  table.RecordDependentItem(kT1, "a");  // duplicate
+  EXPECT_TRUE(table.IsTracking(kT1));
+  const auto entry = table.EntryFor(kT1);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->dependent_items.size(), 2u);
+}
+
+TEST(OutcomeTableTest, LearnOutcomeReturnsWorkAndForgets) {
+  OutcomeTable table;
+  table.RecordDependentItem(kT1, "a");
+  table.RecordDownstreamSite(kT1, kS1);
+  table.RecordDownstreamSite(kT1, kS2);
+  const auto res = table.LearnOutcome(kT1, true);
+  EXPECT_FALSE(res.already_known);
+  EXPECT_TRUE(res.committed);
+  EXPECT_EQ(res.items_to_reduce, std::vector<ItemKey>{"a"});
+  EXPECT_EQ(res.sites_to_notify.size(), 2u);
+  // Entry deleted, outcome cached.
+  EXPECT_FALSE(table.IsTracking(kT1));
+  EXPECT_EQ(table.KnownOutcome(kT1), true);
+}
+
+TEST(OutcomeTableTest, LearnOutcomeIdempotent) {
+  OutcomeTable table;
+  table.RecordDependentItem(kT1, "a");
+  (void)table.LearnOutcome(kT1, false);
+  const auto res = table.LearnOutcome(kT1, true);  // conflicting duplicate
+  EXPECT_TRUE(res.already_known);
+  EXPECT_FALSE(res.committed);  // the first answer sticks
+  EXPECT_TRUE(res.items_to_reduce.empty());
+}
+
+TEST(OutcomeTableTest, ForgetDependentItemKeepsEntry) {
+  OutcomeTable table;
+  table.RecordDependentItem(kT1, "a");
+  table.RecordDownstreamSite(kT1, kS1);
+  table.ForgetDependentItem(kT1, "a");
+  // Still tracked: downstream sites are still owed the outcome.
+  EXPECT_TRUE(table.IsTracking(kT1));
+  const auto res = table.LearnOutcome(kT1, true);
+  EXPECT_TRUE(res.items_to_reduce.empty());
+  EXPECT_EQ(res.sites_to_notify, std::vector<SiteId>{kS1});
+}
+
+TEST(OutcomeTableTest, UnknownTransactionsSorted) {
+  OutcomeTable table;
+  table.RecordDependentItem(kT2, "x");
+  table.RecordDependentItem(kT1, "y");
+  const auto unknown = table.UnknownTransactions();
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0], kT1);
+  EXPECT_EQ(unknown[1], kT2);
+  EXPECT_EQ(table.tracked_count(), 2u);
+}
+
+TEST(OutcomeTableTest, KnownOutcomeUnknownReturnsNullopt) {
+  OutcomeTable table;
+  EXPECT_FALSE(table.KnownOutcome(kT1).has_value());
+}
+
+TEST(OutcomeTableTest, ResolvedCacheEvictsFifo) {
+  OutcomeTable table(/*resolved_cache_capacity=*/2);
+  (void)table.LearnOutcome(TxnId(1), true);
+  (void)table.LearnOutcome(TxnId(2), true);
+  (void)table.LearnOutcome(TxnId(3), false);
+  EXPECT_FALSE(table.KnownOutcome(TxnId(1)).has_value());  // evicted
+  EXPECT_TRUE(table.KnownOutcome(TxnId(2)).has_value());
+  EXPECT_TRUE(table.KnownOutcome(TxnId(3)).has_value());
+}
+
+TEST(OutcomeTableTest, LearnWithNoEntryStillCaches) {
+  OutcomeTable table;
+  const auto res = table.LearnOutcome(kT1, true);
+  EXPECT_FALSE(res.already_known);
+  EXPECT_TRUE(res.items_to_reduce.empty());
+  EXPECT_TRUE(res.sites_to_notify.empty());
+  EXPECT_EQ(table.KnownOutcome(kT1), true);
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,86 @@
+// Unit and round-trip tests for the condition text parser.
+#include "src/condition/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace polyvalue {
+namespace {
+
+const TxnId kT1(1);
+const TxnId kT2(2);
+const TxnId kT3(3);
+
+TEST(ParserTest, Constants) {
+  EXPECT_TRUE(ParseCondition("true").value().is_true());
+  EXPECT_TRUE(ParseCondition("false").value().is_false());
+  EXPECT_TRUE(ParseCondition("  true  ").value().is_true());
+}
+
+TEST(ParserTest, SingleLiterals) {
+  EXPECT_EQ(ParseCondition("T1").value(), Condition::Committed(kT1));
+  EXPECT_EQ(ParseCondition("¬T2").value(), Condition::Aborted(kT2));
+  EXPECT_EQ(ParseCondition("!T2").value(), Condition::Aborted(kT2));
+  EXPECT_EQ(ParseCondition("~T2").value(), Condition::Aborted(kT2));
+}
+
+TEST(ParserTest, TermsAndSums) {
+  const Condition expected = Condition::Or(
+      Condition::And(Condition::Committed(kT1), Condition::Aborted(kT2)),
+      Condition::Committed(kT3));
+  EXPECT_EQ(ParseCondition("T1·¬T2 + T3").value(), expected);
+  EXPECT_EQ(ParseCondition("T1 & !T2 + T3").value(), expected);
+  EXPECT_EQ(ParseCondition("T1*~T2+T3").value(), expected);
+}
+
+TEST(ParserTest, ParsingCanonicalises) {
+  EXPECT_TRUE(ParseCondition("T1 + !T1").value().is_true());
+  EXPECT_EQ(ParseCondition("T1&T2 + T1&!T2").value(),
+            Condition::Committed(kT1));
+  EXPECT_TRUE(ParseCondition("T1 & !T1").value().is_false());
+}
+
+TEST(ParserTest, SiteDotSeqIds) {
+  const Condition c = ParseCondition("T3.7").value();
+  const std::vector<TxnId> vars = c.Variables();
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0].value(), (3ULL << kTxnSiteShift) | 7);
+  // Round-trip through the printer.
+  EXPECT_EQ(c.ToString(), "T3.7");
+  EXPECT_EQ(ParseCondition(c.ToString()).value(), c);
+}
+
+TEST(ParserTest, Rejections) {
+  EXPECT_FALSE(ParseCondition("").ok());
+  EXPECT_FALSE(ParseCondition("X1").ok());
+  EXPECT_FALSE(ParseCondition("T").ok());
+  EXPECT_FALSE(ParseCondition("T1 +").ok());
+  EXPECT_FALSE(ParseCondition("T1 T2").ok());
+  EXPECT_FALSE(ParseCondition("T1 & ").ok());
+  EXPECT_FALSE(ParseCondition("truefalse").ok());
+  EXPECT_FALSE(ParseCondition("T99999999999999999999999").ok());
+}
+
+TEST(ParserTest, RandomRoundTrips) {
+  Rng rng(515);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random canonical condition via random terms.
+    std::vector<Term> terms;
+    const int n_terms = 1 + rng.NextBelow(4);
+    for (int t = 0; t < n_terms; ++t) {
+      std::vector<Literal> literals;
+      const int n_lits = 1 + rng.NextBelow(3);
+      for (int l = 0; l < n_lits; ++l) {
+        literals.push_back(
+            {TxnId(1 + rng.NextBelow(5)), rng.NextBool(0.5)});
+      }
+      terms.push_back(Term::Of(std::move(literals)));
+    }
+    const Condition c = Condition::Of(std::move(terms));
+    EXPECT_EQ(ParseCondition(c.ToString()).value(), c) << c.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,141 @@
+// Unit tests for lifted polyvalue operations.
+#include "src/poly/poly_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace polyvalue {
+namespace {
+
+const TxnId kT1(1);
+const TxnId kT2(2);
+
+PolyValue TwoWay(TxnId txn, int64_t if_commit, int64_t if_abort) {
+  return PolyValue::InstallUncertain(
+      txn, PolyValue::Certain(Value::Int(if_commit)),
+      PolyValue::Certain(Value::Int(if_abort)));
+}
+
+TEST(PolyOpsTest, AddCertainCertain) {
+  const Result<PolyValue> sum = PolyAdd(PolyValue::Certain(Value::Int(2)),
+                                        PolyValue::Certain(Value::Int(3)));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->certain_value(), Value::Int(5));
+}
+
+TEST(PolyOpsTest, AddCertainUncertain) {
+  const Result<PolyValue> sum =
+      PolyAdd(TwoWay(kT1, 10, 20), PolyValue::Certain(Value::Int(1)));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->size(), 2u);
+  EXPECT_EQ(sum->ValueUnder({{kT1, true}}).value(), Value::Int(11));
+  EXPECT_EQ(sum->ValueUnder({{kT1, false}}).value(), Value::Int(21));
+}
+
+TEST(PolyOpsTest, AddTwoUncertainIndependent) {
+  const Result<PolyValue> sum = PolyAdd(TwoWay(kT1, 1, 2), TwoWay(kT2, 10, 20));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->size(), 4u);
+  EXPECT_EQ(sum->ValueUnder({{kT1, true}, {kT2, false}}).value(),
+            Value::Int(21));
+  EXPECT_TRUE(sum->Validate());
+}
+
+TEST(PolyOpsTest, CorrelatedInputsPruneImpossibleBranches) {
+  // Both inputs depend on the same transaction: only 2 of the 4
+  // combinations are reachable.
+  const Result<PolyValue> sum = PolyAdd(TwoWay(kT1, 1, 2), TwoWay(kT1, 10, 20));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->size(), 2u);
+  EXPECT_EQ(sum->ValueUnder({{kT1, true}}).value(), Value::Int(11));
+  EXPECT_EQ(sum->ValueUnder({{kT1, false}}).value(), Value::Int(22));
+}
+
+TEST(PolyOpsTest, PrunedBranchErrorNeverEvaluated) {
+  // Division by the zero alternative is unreachable (same condition
+  // conflict), so the lifted divide succeeds — the §3.2 efficiency rule.
+  const PolyValue numerator = TwoWay(kT1, 100, 200);
+  const PolyValue denominator = TwoWay(kT1, 10, 0);
+  // Under T1: 100/10; under ¬T1: 200/0 — wait, that IS reachable.
+  // Use matching polarity so the zero pairs only with the committed
+  // numerator branch being pruned:
+  const PolyValue safe_denominator = PolyValue::Of(
+      {{Value::Int(0), Condition::Committed(kT1)},
+       {Value::Int(10), Condition::Aborted(kT1)}});
+  const PolyValue guarded_numerator = PolyValue::Of(
+      {{Value::Int(0), Condition::Committed(kT1)},
+       {Value::Int(100), Condition::Aborted(kT1)}});
+  // 0/0 under T1 would fail, but pair ⟨0,T1⟩ with ⟨10,¬T1⟩ prunes.
+  const Result<PolyValue> fine =
+      PolyDiv(guarded_numerator, PolyValue::Certain(Value::Int(10)));
+  ASSERT_TRUE(fine.ok());
+  // And a genuinely reachable division by zero fails:
+  const Result<PolyValue> bad = PolyDiv(numerator, safe_denominator);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(PolyOpsTest, SubMulDiv) {
+  const PolyValue a = TwoWay(kT1, 10, 20);
+  EXPECT_EQ(PolySub(a, PolyValue::Certain(Value::Int(5)))
+                ->ValueUnder({{kT1, true}})
+                .value(),
+            Value::Int(5));
+  EXPECT_EQ(PolyMul(a, PolyValue::Certain(Value::Int(2)))
+                ->ValueUnder({{kT1, false}})
+                .value(),
+            Value::Int(40));
+  EXPECT_EQ(PolyDiv(a, PolyValue::Certain(Value::Int(10)))
+                ->ValueUnder({{kT1, true}})
+                .value(),
+            Value::Int(1));
+}
+
+TEST(PolyOpsTest, ApplyUnary) {
+  const Result<PolyValue> negated =
+      ApplyUnary(TwoWay(kT1, 5, -5), [](const Value& v) { return Neg(v); });
+  ASSERT_TRUE(negated.ok());
+  EXPECT_EQ(negated->ValueUnder({{kT1, true}}).value(), Value::Int(-5));
+  EXPECT_EQ(negated->ValueUnder({{kT1, false}}).value(), Value::Int(5));
+}
+
+TEST(PolyOpsTest, ApplyUnaryMergesEqualResults) {
+  const Result<PolyValue> squared = ApplyUnary(
+      TwoWay(kT1, 3, -3), [](const Value& v) { return Mul(v, v); });
+  ASSERT_TRUE(squared.ok());
+  // 9 under both conditions: certainty re-emerges.
+  EXPECT_TRUE(squared->is_certain());
+  EXPECT_EQ(squared->certain_value(), Value::Int(9));
+}
+
+TEST(PolyOpsTest, LiftedComparison) {
+  const Result<PolyValue> cmp =
+      PolyGreaterEq(TwoWay(kT1, 100, 50), PolyValue::Certain(Value::Int(75)));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->ValueUnder({{kT1, true}}).value(), Value::Bool(true));
+  EXPECT_EQ(cmp->ValueUnder({{kT1, false}}).value(), Value::Bool(false));
+}
+
+TEST(PolyOpsTest, DecideUniformAgreement) {
+  // Both alternatives >= 10: the answer is certain despite uncertainty.
+  const Result<PolyValue> cmp =
+      PolyGreaterEq(TwoWay(kT1, 100, 50), PolyValue::Certain(Value::Int(10)));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_TRUE(DecideUniform(*cmp).value());
+}
+
+TEST(PolyOpsTest, DecideUniformDisagreementIsUncertain) {
+  const Result<PolyValue> cmp =
+      PolyGreaterEq(TwoWay(kT1, 100, 50), PolyValue::Certain(Value::Int(75)));
+  ASSERT_TRUE(cmp.ok());
+  const Result<bool> decision = DecideUniform(*cmp);
+  EXPECT_FALSE(decision.ok());
+  EXPECT_EQ(decision.status().code(), StatusCode::kUncertain);
+}
+
+TEST(PolyOpsTest, TypeErrorsPropagate) {
+  const PolyValue text = PolyValue::Certain(Value::Str("x"));
+  EXPECT_FALSE(PolyAdd(text, PolyValue::Certain(Value::Int(1))).ok());
+  EXPECT_FALSE(DecideUniform(PolyValue::Certain(Value::Int(1))).ok());
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,215 @@
+// Tests for the §4.2 stochastic simulation, including agreement with the
+// analytic model in its validity region (the Table 2 comparison).
+#include "src/sim/poly_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/model/analytic.h"
+
+namespace polyvalue {
+namespace {
+
+PolySimParams BaseParams() {
+  PolySimParams p;
+  p.updates_per_second = 10;
+  p.failure_probability = 0.01;
+  p.items = 10000;
+  p.recovery_rate = 0.01;
+  p.overwrite_probability = 0;
+  p.dependency_degree = 1;
+  p.seed = 1;
+  p.warmup_seconds = 1500;
+  p.measure_seconds = 6000;
+  return p;
+}
+
+ModelParams ToModel(const PolySimParams& p) {
+  ModelParams m;
+  m.updates_per_second = p.updates_per_second;
+  m.failure_probability = p.failure_probability;
+  m.items = static_cast<double>(p.items);
+  m.recovery_rate = p.recovery_rate;
+  m.overwrite_probability = p.overwrite_probability;
+  m.dependency_degree = p.dependency_degree;
+  return m;
+}
+
+TEST(PolySimTest, DeterministicForSeed) {
+  PolySimParams p = BaseParams();
+  p.warmup_seconds = 100;
+  p.measure_seconds = 500;
+  const PolySimStats a = RunPolySim(p);
+  const PolySimStats b = RunPolySim(p);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_DOUBLE_EQ(a.average_polyvalues, b.average_polyvalues);
+}
+
+TEST(PolySimTest, NoFailuresNoPolyvalues) {
+  PolySimParams p = BaseParams();
+  p.failure_probability = 0;
+  p.warmup_seconds = 10;
+  p.measure_seconds = 200;
+  const PolySimStats stats = RunPolySim(p);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_DOUBLE_EQ(stats.average_polyvalues, 0.0);
+  EXPECT_DOUBLE_EQ(stats.final_polyvalues, 0.0);
+}
+
+TEST(PolySimTest, UpdateRateHonoured) {
+  PolySimParams p = BaseParams();
+  p.warmup_seconds = 0;
+  p.measure_seconds = 2000;
+  const PolySimStats stats = RunPolySim(p);
+  // U = 10/s over 2000 s -> ~20000 updates.
+  EXPECT_NEAR(static_cast<double>(stats.updates), 20000.0, 800.0);
+  // F = 1% of updates fail.
+  EXPECT_NEAR(static_cast<double>(stats.failures),
+              static_cast<double>(stats.updates) * 0.01,
+              static_cast<double>(stats.updates) * 0.004);
+}
+
+TEST(PolySimTest, EveryFailureEventuallyRecovers) {
+  PolySimParams p = BaseParams();
+  p.warmup_seconds = 0;
+  p.measure_seconds = 3000;
+  PolySim sim(p);
+  sim.AdvanceTo(3000);
+  // Stop introducing updates by advancing only recoveries: recoveries
+  // scheduled within the horizon have mean 1/R = 100 s, so after another
+  // long stretch every polyvalue should be gone... but updates keep
+  // coming. Instead check the bookkeeping invariant: recoveries never
+  // exceed failures and the gap is bounded by outstanding ones.
+  const PolySimStats stats = sim.Stats();
+  EXPECT_LE(stats.recoveries, stats.failures);
+  EXPECT_LE(stats.final_polyvalues,
+            static_cast<double>(stats.failures - stats.recoveries) + 1 +
+                static_cast<double>(stats.propagations));
+}
+
+class Table2Case {
+ public:
+  double u, f, y, d;
+  double paper_predicted;
+  double paper_actual;
+};
+
+class PolySimTable2Test : public ::testing::TestWithParam<Table2Case> {};
+
+TEST_P(PolySimTable2Test, SimulationTracksModelAsInPaper) {
+  const Table2Case& c = GetParam();
+  PolySimParams p = BaseParams();
+  p.updates_per_second = c.u;
+  p.failure_probability = c.f;
+  p.overwrite_probability = c.y;
+  p.dependency_degree = c.d;
+  const Prediction pred = Predict(ToModel(p));
+  EXPECT_NEAR(pred.steady_state, c.paper_predicted,
+              c.paper_predicted * 0.02);
+  // Average over three seeds to damp stochastic noise; the paper notes
+  // "the number of polyvalues obtained in the simulation is in general
+  // smaller than predicted", so accept [0.4, 1.3] x prediction.
+  double total = 0;
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    p.seed = seed;
+    total += RunPolySim(p).average_polyvalues;
+  }
+  const double average = total / 3.0;
+  EXPECT_GT(average, c.paper_predicted * 0.4)
+      << "U=" << c.u << " F=" << c.f << " Y=" << c.y << " D=" << c.d;
+  EXPECT_LT(average, c.paper_predicted * 1.3)
+      << "U=" << c.u << " F=" << c.f << " Y=" << c.y << " D=" << c.d;
+}
+
+// The six rows of Table 2 (I = 10000, R = 0.01 throughout).
+INSTANTIATE_TEST_SUITE_P(
+    Table2, PolySimTable2Test,
+    ::testing::Values(Table2Case{2, 0.01, 0, 1, 2.04, 2.00},
+                      Table2Case{5, 0.01, 0, 1, 5.26, 2.71},
+                      Table2Case{10, 0.01, 0, 1, 11.11, 9.5},
+                      Table2Case{10, 0.001, 0, 1, 1.11, 0.74},
+                      Table2Case{10, 0.01, 0, 5, 20.0, 19.8},
+                      Table2Case{10, 0.01, 1, 5, 16.7, 15.8}));
+
+TEST(PolySimTest, HigherFailureRateMorePolyvalues) {
+  PolySimParams low = BaseParams();
+  low.warmup_seconds = 500;
+  low.measure_seconds = 2000;
+  PolySimParams high = low;
+  high.failure_probability = 0.05;
+  EXPECT_LT(RunPolySim(low).average_polyvalues,
+            RunPolySim(high).average_polyvalues);
+}
+
+TEST(PolySimTest, FasterRecoveryFewerPolyvalues) {
+  PolySimParams slow = BaseParams();
+  slow.warmup_seconds = 500;
+  slow.measure_seconds = 2000;
+  PolySimParams fast = slow;
+  fast.recovery_rate = 0.1;
+  EXPECT_GT(RunPolySim(slow).average_polyvalues,
+            RunPolySim(fast).average_polyvalues);
+}
+
+TEST(PolySimTest, PropagationRequiresDependencies) {
+  PolySimParams p = BaseParams();
+  p.dependency_degree = 0;
+  p.overwrite_probability = 1;  // never keeps previous value either
+  p.warmup_seconds = 100;
+  p.measure_seconds = 1000;
+  const PolySimStats stats = RunPolySim(p);
+  EXPECT_EQ(stats.propagations, 0u);
+}
+
+TEST(PolySimTest, StabilityAfterBurst) {
+  // The paper's stability claim, empirically: a burst of polyvalues
+  // decays back to the steady band rather than growing.
+  PolySimParams p = BaseParams();
+  p.failure_probability = 0.25;  // burst regime
+  PolySim sim(p);
+  sim.AdvanceTo(500);
+  const size_t during_burst = sim.CurrentPolyvalues();
+  EXPECT_GT(during_burst, 10u);
+  // Note: parameters cannot be changed mid-run in this API; instead run a
+  // second sim with normal F and a large warm start implied by burst —
+  // here we simply verify the burst itself stabilises (births ≈ deaths).
+  sim.AdvanceTo(4000);
+  const size_t later = sim.CurrentPolyvalues();
+  const Prediction pred = Predict(ToModel(p));
+  ASSERT_TRUE(pred.stable);
+  EXPECT_LT(static_cast<double>(later), pred.steady_state * 2.5);
+}
+
+}  // namespace
+}  // namespace polyvalue
+
+namespace polyvalue {
+namespace {
+
+TEST(PolySimTest, HotspotSkewIncreasesPolyvalues) {
+  PolySimParams uniform;
+  uniform.updates_per_second = 10;
+  uniform.failure_probability = 0.01;
+  uniform.items = 10000;
+  uniform.recovery_rate = 0.01;
+  uniform.dependency_degree = 3;
+  uniform.warmup_seconds = 1000;
+  uniform.measure_seconds = 5000;
+  uniform.seed = 5;
+  PolySimParams skewed = uniform;
+  skewed.hotspot_fraction = 0.1;
+  skewed.hotspot_access_probability = 0.7;
+  // Skew concentrates both failures and reads on the hot set: more
+  // propagation, more polyvalues — the §4.2 "effective size" effect.
+  EXPECT_GT(RunPolySim(skewed).average_polyvalues,
+            RunPolySim(uniform).average_polyvalues * 1.5);
+}
+
+TEST(PolySimTest, HotspotDisabledByDefault) {
+  PolySimParams p;
+  EXPECT_EQ(p.hotspot_fraction, 0.0);
+  EXPECT_EQ(p.hotspot_access_probability, 0.0);
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,157 @@
+// Tests for the §3.2 access-tracking optimisation: uncertainty in items
+// the logic never consults must not multiply executions.
+#include <gtest/gtest.h>
+
+#include "src/txn/polytxn.h"
+
+namespace polyvalue {
+namespace {
+
+PolyValue TwoWay(TxnId txn, int64_t if_commit, int64_t if_abort) {
+  return PolyValue::InstallUncertain(
+      txn, PolyValue::Certain(Value::Int(if_commit)),
+      PolyValue::Certain(Value::Int(if_abort)));
+}
+
+TEST(PolyTxnMemoTest, UntouchedUncertainInputCausesOneExecution) {
+  // Four uncertain inputs, logic reads none of them: 16 alternatives,
+  // ONE execution.
+  std::map<ItemKey, PolyValue> inputs;
+  for (int i = 0; i < 4; ++i) {
+    inputs.emplace("unused" + std::to_string(i),
+                   TwoWay(TxnId(i + 1), i + 1, -(i + 1)));
+  }
+  const auto result = ExecutePolyTransaction(
+      inputs, {},
+      [](const TxnReads&) {
+        TxnEffect e;
+        e.output = Value::Int(42);
+        return e;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->alternatives_executed, 1u);
+  EXPECT_EQ(result->alternatives_memoized, 15u);
+  EXPECT_TRUE(result->output.is_certain());
+  EXPECT_EQ(result->output.certain_value(), Value::Int(42));
+}
+
+TEST(PolyTxnMemoTest, OnlyTouchedItemsMultiplyExecutions) {
+  // Two uncertain inputs; logic reads only one: 4 alternatives, 2
+  // executions.
+  std::map<ItemKey, PolyValue> inputs = {
+      {"read_me", TwoWay(TxnId(1), 10, 20)},
+      {"ignore_me", TwoWay(TxnId(2), 1, 2)},
+  };
+  const auto result = ExecutePolyTransaction(
+      inputs, {},
+      [](const TxnReads& reads) {
+        TxnEffect e;
+        e.writes["out"] = Value::Int(reads.IntAt("read_me") * 2);
+        return e;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->alternatives_executed, 2u);
+  EXPECT_EQ(result->alternatives_memoized, 2u);
+  // Output depends only on read_me; uncertainty of T2 does not appear.
+  const PolyValue& out = result->writes.at("out");
+  EXPECT_EQ(out.Dependencies(), std::vector<TxnId>{TxnId(1)});
+  EXPECT_EQ(out.ValueUnder({{TxnId(1), true}}).value(), Value::Int(20));
+}
+
+TEST(PolyTxnMemoTest, ConditionalAccessForksOnlyReachedItems) {
+  // Logic reads "gate"; only if gate >= 100 does it read "detail". Under
+  // gate=50 the detail uncertainty must not fork executions.
+  std::map<ItemKey, PolyValue> inputs = {
+      {"gate", TwoWay(TxnId(1), 50, 150)},
+      {"detail", TwoWay(TxnId(2), 7, 8)},
+  };
+  const auto result = ExecutePolyTransaction(
+      inputs, {},
+      [](const TxnReads& reads) {
+        TxnEffect e;
+        if (reads.IntAt("gate") >= 100) {
+          e.writes["out"] = Value::Int(reads.IntAt("detail"));
+        } else {
+          e.writes["out"] = Value::Int(0);
+        }
+        return e;
+      });
+  ASSERT_TRUE(result.ok());
+  // Executions: gate=50 (one run covers both detail alternatives) plus
+  // gate=150 with detail=7 and detail=8 -> 3 total, 1 memoized.
+  EXPECT_EQ(result->alternatives_executed, 3u);
+  EXPECT_EQ(result->alternatives_memoized, 1u);
+  const PolyValue& out = result->writes.at("out");
+  EXPECT_EQ(out.ValueUnder({{TxnId(1), true}, {TxnId(2), true}}).value(),
+            Value::Int(0));
+  EXPECT_EQ(out.ValueUnder({{TxnId(1), false}, {TxnId(2), true}}).value(),
+            Value::Int(7));
+  EXPECT_EQ(out.ValueUnder({{TxnId(1), false}, {TxnId(2), false}}).value(),
+            Value::Int(8));
+  EXPECT_TRUE(out.Validate());
+}
+
+TEST(PolyTxnMemoTest, AllReadersStillFullyFork) {
+  std::map<ItemKey, PolyValue> inputs = {
+      {"a", TwoWay(TxnId(1), 1, 2)},
+      {"b", TwoWay(TxnId(2), 10, 20)},
+  };
+  const auto result = ExecutePolyTransaction(
+      inputs, {},
+      [](const TxnReads& reads) {
+        TxnEffect e;
+        e.writes["sum"] = Value::Int(reads.IntAt("a") + reads.IntAt("b"));
+        return e;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->alternatives_executed, 4u);
+  EXPECT_EQ(result->alternatives_memoized, 0u);
+}
+
+TEST(PolyTxnMemoTest, AllIterationMarksEverythingAccessed) {
+  std::map<ItemKey, PolyValue> inputs = {
+      {"a", TwoWay(TxnId(1), 1, 2)},
+      {"b", TwoWay(TxnId(2), 10, 20)},
+  };
+  const auto result = ExecutePolyTransaction(
+      inputs, {},
+      [](const TxnReads& reads) {
+        TxnEffect e;
+        int64_t sum = 0;
+        for (const auto& [key, value] : reads.All()) {
+          sum += value.int_value();
+        }
+        e.writes["sum"] = Value::Int(sum);
+        return e;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->alternatives_executed, 4u);
+  // Correct sums per combination.
+  EXPECT_EQ(result->writes.at("sum")
+                .ValueUnder({{TxnId(1), false}, {TxnId(2), false}})
+                .value(),
+            Value::Int(22));
+}
+
+TEST(PolyTxnMemoTest, HasIsTracked) {
+  std::map<ItemKey, PolyValue> inputs = {
+      {"probe", TwoWay(TxnId(1), 1, 2)},
+  };
+  // Logic only calls Has(): existence is the same under every
+  // alternative, so results merge to certain — but tracking must still
+  // treat the item as consulted (its value *could* have differed had the
+  // key been value-dependent; Has is conservative).
+  const auto result = ExecutePolyTransaction(
+      inputs, {},
+      [](const TxnReads& reads) {
+        TxnEffect e;
+        e.output = Value::Bool(reads.Has("probe"));
+        return e;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->alternatives_executed, 2u);
+  EXPECT_TRUE(result->output.is_certain());
+}
+
+}  // namespace
+}  // namespace polyvalue

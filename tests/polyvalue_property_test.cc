@@ -1,0 +1,163 @@
+// Property tests for polyvalues: random update/reduce histories must
+// preserve the paper's invariants.
+//
+// Invariant 1 (§3): the conditions of a polyvalue are complete and
+//   disjoint after any sequence of InstallUncertain and Reduce.
+// Invariant 2: for any complete outcome assignment, the value selected by
+//   a polyvalue equals the value obtained by replaying the updates with
+//   outcomes known in advance (linearised ground truth).
+// Invariant 3: reduction order does not matter.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/poly/poly_ops.h"
+#include "src/poly/polyvalue.h"
+
+namespace polyvalue {
+namespace {
+
+class PolyValuePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolyValuePropertyTest, RandomHistoriesStayCompleteAndDisjoint) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    PolyValue current = PolyValue::Certain(Value::Int(0));
+    uint64_t next_txn = 1;
+    for (int step = 0; step < 6; ++step) {
+      const PolyValue computed =
+          PolyValue::Certain(Value::Int(rng.NextInt(0, 5)));
+      current = PolyValue::InstallUncertain(TxnId(next_txn++), computed,
+                                            current);
+      ASSERT_TRUE(current.Validate()) << current.ToString();
+    }
+    // Reduce in random order; invariant must hold at every step.
+    std::vector<TxnId> deps = current.Dependencies();
+    while (!deps.empty()) {
+      const size_t pick = rng.NextBelow(deps.size());
+      const TxnId txn = deps[pick];
+      current = current.Reduce(txn, rng.NextBool(0.5));
+      ASSERT_TRUE(current.Validate()) << current.ToString();
+      deps = current.Dependencies();
+    }
+    EXPECT_TRUE(current.is_certain());
+  }
+}
+
+TEST_P(PolyValuePropertyTest, ValueUnderMatchesGroundTruthReplay) {
+  Rng rng(GetParam() ^ 0xfeed);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Build a history of uncertain updates.
+    struct Update {
+      TxnId txn;
+      int64_t value;
+    };
+    std::vector<Update> history;
+    PolyValue current = PolyValue::Certain(Value::Int(-1));
+    for (int step = 0; step < 5; ++step) {
+      Update u{TxnId(step + 1),
+               static_cast<int64_t>(rng.NextInt(0, 100))};
+      history.push_back(u);
+      current = PolyValue::InstallUncertain(
+          u.txn, PolyValue::Certain(Value::Int(u.value)), current);
+    }
+    // Try several random outcome assignments.
+    for (int assignment = 0; assignment < 8; ++assignment) {
+      std::unordered_map<TxnId, bool> outcomes;
+      for (const Update& u : history) {
+        outcomes[u.txn] = rng.NextBool(0.5);
+      }
+      // Ground truth: the last committed update wins; -1 if none did.
+      int64_t expected = -1;
+      for (const Update& u : history) {
+        if (outcomes[u.txn]) {
+          expected = u.value;
+        }
+      }
+      const Result<Value> selected = current.ValueUnder(outcomes);
+      ASSERT_TRUE(selected.ok());
+      EXPECT_EQ(selected.value(), Value::Int(expected));
+      // Reduction with the same outcomes must agree.
+      const PolyValue reduced = current.ReduceAll(outcomes);
+      ASSERT_TRUE(reduced.is_certain());
+      EXPECT_EQ(reduced.certain_value(), Value::Int(expected));
+    }
+  }
+}
+
+TEST_P(PolyValuePropertyTest, ReductionOrderIrrelevant) {
+  Rng rng(GetParam() ^ 0xc0ffee);
+  for (int trial = 0; trial < 20; ++trial) {
+    PolyValue current = PolyValue::Certain(Value::Int(0));
+    for (int step = 0; step < 5; ++step) {
+      current = PolyValue::InstallUncertain(
+          TxnId(step + 1),
+          PolyValue::Certain(Value::Int(rng.NextInt(0, 3))), current);
+    }
+    std::unordered_map<TxnId, bool> outcomes;
+    for (TxnId txn : current.Dependencies()) {
+      outcomes[txn] = rng.NextBool(0.5);
+    }
+    // Order A: ascending txn id; order B: descending.
+    PolyValue forward = current;
+    for (auto it = outcomes.begin(); it != outcomes.end(); ++it) {
+      forward = forward.Reduce(it->first, it->second);
+    }
+    PolyValue bulk = current.ReduceAll(outcomes);
+    std::vector<TxnId> deps = current.Dependencies();
+    PolyValue backward = current;
+    for (auto it = deps.rbegin(); it != deps.rend(); ++it) {
+      backward = backward.Reduce(*it, outcomes.at(*it));
+    }
+    EXPECT_EQ(forward, backward);
+    EXPECT_EQ(forward, bulk);
+  }
+}
+
+TEST_P(PolyValuePropertyTest, LiftedArithmeticMatchesPointwise) {
+  Rng rng(GetParam() ^ 0xabc);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Two polyvalues over overlapping transaction sets.
+    PolyValue a = PolyValue::Certain(Value::Int(rng.NextInt(0, 9)));
+    PolyValue b = PolyValue::Certain(Value::Int(rng.NextInt(0, 9)));
+    for (int step = 0; step < 3; ++step) {
+      const TxnId txn(rng.NextBelow(4) + 1);
+      if (rng.NextBool(0.5)) {
+        a = PolyValue::InstallUncertain(
+            txn, PolyValue::Certain(Value::Int(rng.NextInt(0, 9))), a);
+      } else {
+        b = PolyValue::InstallUncertain(
+            txn, PolyValue::Certain(Value::Int(rng.NextInt(0, 9))), b);
+      }
+    }
+    const Result<PolyValue> sum = PolyAdd(a, b);
+    ASSERT_TRUE(sum.ok());
+    ASSERT_TRUE(sum->Validate());
+    // Pointwise agreement on random assignments over the union deps.
+    std::vector<TxnId> deps = sum->Dependencies();
+    for (TxnId dep : a.Dependencies()) {
+      deps.push_back(dep);
+    }
+    for (TxnId dep : b.Dependencies()) {
+      deps.push_back(dep);
+    }
+    for (int assignment = 0; assignment < 8; ++assignment) {
+      std::unordered_map<TxnId, bool> outcomes;
+      for (TxnId dep : deps) {
+        outcomes.emplace(dep, rng.NextBool(0.5));
+      }
+      const int64_t lhs = sum->ValueUnder(outcomes).value().int_value();
+      const int64_t rhs = a.ValueUnder(outcomes).value().int_value() +
+                          b.ValueUnder(outcomes).value().int_value();
+      EXPECT_EQ(lhs, rhs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyValuePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace polyvalue

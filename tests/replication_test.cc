@@ -1,0 +1,120 @@
+// Tests for replicated items (§3's "a set of individual items, one for
+// each site").
+#include "src/system/replication.h"
+
+#include <gtest/gtest.h>
+
+namespace polyvalue {
+namespace {
+
+SimCluster::Options Options() {
+  SimCluster::Options options;
+  options.site_count = 3;
+  options.engine.wait_timeout = 0.05;
+  options.engine.inquiry_interval = 0.2;
+  options.engine.validate_installs = true;
+  options.min_delay = 0.01;
+  options.max_delay = 0.01;
+  return options;
+}
+
+TEST(ReplicationTest, KeysArePerSite) {
+  const ReplicaSet replicas("counter", {SiteId(1), SiteId(2), SiteId(3)});
+  EXPECT_EQ(replicas.KeyAt(SiteId(2)), "counter@2");
+  EXPECT_EQ(replicas.size(), 3u);
+}
+
+TEST(ReplicationTest, UpdateWritesAllCopies) {
+  SimCluster cluster(Options());
+  const ReplicaSet replicas("counter", {SiteId(1), SiteId(2), SiteId(3)});
+  LoadReplicated(&cluster, replicas, Value::Int(0));
+
+  const auto result = cluster.SubmitAndRun(
+      0, replicas.MakeUpdate([](const Value& v) {
+        return Add(v, Value::Int(5));
+      }));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed());
+  EXPECT_EQ(result->output.certain_value(), Value::Int(5));
+  cluster.RunFor(0.5);
+  for (SiteId site : replicas.sites()) {
+    EXPECT_EQ(cluster.site(site.value() - 1)
+                  .Peek(replicas.KeyAt(site))
+                  .value()
+                  .certain_value(),
+              Value::Int(5))
+        << site;
+  }
+  EXPECT_TRUE(ReplicasConsistent(&cluster, replicas));
+}
+
+TEST(ReplicationTest, ReadReturnsLogicalValue) {
+  SimCluster cluster(Options());
+  const ReplicaSet replicas("cfg", {SiteId(2), SiteId(3)});
+  LoadReplicated(&cluster, replicas, Value::Str("v1"));
+  const auto result = cluster.SubmitAndRun(0, replicas.MakeRead());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->output.certain_value(), Value::Str("v1"));
+}
+
+TEST(ReplicationTest, UpdateAbortsCleanlyOnLogicFailure) {
+  SimCluster cluster(Options());
+  const ReplicaSet replicas("counter", {SiteId(1), SiteId(2)});
+  LoadReplicated(&cluster, replicas, Value::Str("not-a-number"));
+  const auto result = cluster.SubmitAndRun(
+      0, replicas.MakeUpdate([](const Value& v) {
+        return Add(v, Value::Int(1));  // type error -> abort
+      }));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->committed());
+  cluster.RunFor(0.5);
+  EXPECT_TRUE(ReplicasConsistent(&cluster, replicas));
+}
+
+TEST(ReplicationTest, StrandedUpdateLeavesIdenticalPolyvaluesEverywhere) {
+  SimCluster cluster(Options());
+  const ReplicaSet replicas("counter", {SiteId(1), SiteId(2), SiteId(3)});
+  LoadReplicated(&cluster, replicas, Value::Int(10));
+
+  // Strand an update: coordinator crashes in the in-doubt window.
+  cluster.Submit(0, replicas.MakeUpdate([](const Value& v) {
+                   return Add(v, Value::Int(1));
+                 }),
+                 [](const TxnResult&) {});
+  cluster.sim().At(0.035, [&cluster] { cluster.CrashSite(0); });
+  cluster.RunFor(0.3);
+
+  // Sites 2 and 3 hold identical polyvalues for their copies. (Site 1's
+  // copy is on the crashed coordinator itself; it catches up at
+  // recovery.)
+  const PolyValue copy2 =
+      cluster.site(1).Peek(replicas.KeyAt(SiteId(2))).value();
+  const PolyValue copy3 =
+      cluster.site(2).Peek(replicas.KeyAt(SiteId(3))).value();
+  EXPECT_FALSE(copy2.is_certain());
+  EXPECT_EQ(copy2.PossibleValues(), copy3.PossibleValues());
+
+  // Recovery: every copy resolves to the same certain value.
+  cluster.RecoverSite(0);
+  cluster.RunFor(3.0);
+  EXPECT_TRUE(ReplicasConsistent(&cluster, replicas));
+  EXPECT_EQ(cluster.site(1)
+                .Peek(replicas.KeyAt(SiteId(2)))
+                .value()
+                .certain_value(),
+            Value::Int(10));  // presumed abort
+}
+
+TEST(ReplicationTest, SurvivingReplicasServeReadsDuringSiteOutage) {
+  SimCluster cluster(Options());
+  const ReplicaSet primary_down("cfg", {SiteId(2), SiteId(3)});
+  LoadReplicated(&cluster, primary_down, Value::Int(7));
+  cluster.CrashSite(2);  // site 3 = the second replica holder
+  // Read through the first replica (site 2... site index 1) still works.
+  const auto result = cluster.SubmitAndRun(0, primary_down.MakeRead());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->output.certain_value(), Value::Int(7));
+}
+
+}  // namespace
+}  // namespace polyvalue

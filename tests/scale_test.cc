@@ -1,0 +1,135 @@
+// Scale soak: a larger cluster under sustained mixed traffic and rolling
+// failures, checked against the global invariants. Complements the chaos
+// suite with size (10 sites, 60 s virtual, several hundred items) rather
+// than schedule variety.
+#include <gtest/gtest.h>
+
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+namespace {
+
+struct ScaleCase {
+  InDoubtPolicy policy;
+  LockWaitPolicy lock_wait;
+};
+
+class ScaleTest : public ::testing::TestWithParam<ScaleCase> {};
+
+TEST_P(ScaleTest, TenSitesRollingFailures) {
+  constexpr size_t kSites = 10;
+  constexpr int kItemsPerSite = 20;
+  constexpr int64_t kInitial = 1000;
+
+  SimCluster::Options options;
+  options.site_count = kSites;
+  options.seed = 99;
+  options.engine.prepare_timeout = 0.3;
+  options.engine.ready_timeout = 0.3;
+  options.engine.wait_timeout = 0.1;
+  options.engine.inquiry_interval = 0.25;
+  options.engine.policy = GetParam().policy;
+  options.engine.lock_wait = GetParam().lock_wait;
+  options.min_delay = 0.002;
+  options.max_delay = 0.01;
+  SimCluster cluster(options);
+
+  for (size_t s = 0; s < kSites; ++s) {
+    for (int a = 0; a < kItemsPerSite; ++a) {
+      cluster.Load(s, "k/" + std::to_string(s) + "/" + std::to_string(a),
+                   Value::Int(kInitial));
+    }
+  }
+  const int64_t expected_total = kSites * kItemsPerSite * kInitial;
+
+  // Rolling failures: each site except the last goes down once for 2 s,
+  // staggered 5 s apart, through the 50 s load window.
+  for (size_t s = 0; s + 1 < kSites; ++s) {
+    const double down_at = 3.0 + 5.0 * s;
+    cluster.sim().At(down_at, [&cluster, s] { cluster.CrashSite(s); });
+    cluster.sim().At(down_at + 2.0,
+                     [&cluster, s] { cluster.RecoverSite(s); });
+  }
+
+  Rng rng(31415);
+  int submitted = 0;
+  int committed = 0;
+  std::function<void()> pump = [&] {
+    if (cluster.sim().now() > 50.0) {
+      return;
+    }
+    cluster.sim().After(rng.NextExponential(1.0 / 60.0), [&] {
+      pump();
+      const size_t coordinator = rng.NextBelow(kSites);
+      if (cluster.site(coordinator).crashed()) {
+        return;
+      }
+      const size_t fs = rng.NextBelow(kSites);
+      size_t ts = rng.NextBelow(kSites);
+      const int fa = rng.NextBelow(kItemsPerSite);
+      int ta = rng.NextBelow(kItemsPerSite);
+      if (fs == ts && fa == ta) {
+        ta = (ta + 1) % kItemsPerSite;
+      }
+      const ItemKey from =
+          "k/" + std::to_string(fs) + "/" + std::to_string(fa);
+      const ItemKey to =
+          "k/" + std::to_string(ts) + "/" + std::to_string(ta);
+      const int64_t amount = rng.NextInt(1, 10);
+      TxnSpec spec;
+      spec.ReadWrite(from, cluster.site_id(fs));
+      spec.ReadWrite(to, cluster.site_id(ts));
+      spec.Logic([from, to, amount](const TxnReads& reads) {
+        const int64_t have = reads.IntAt(from);
+        if (have < amount) {
+          return TxnEffect::Abort("insufficient");
+        }
+        TxnEffect e;
+        e.writes[from] = Value::Int(have - amount);
+        e.writes[to] = Value::Int(reads.IntAt(to) + amount);
+        return e;
+      });
+      ++submitted;
+      cluster.Submit(coordinator, std::move(spec),
+                     [&committed](const TxnResult& r) {
+                       if (r.committed()) {
+                         ++committed;
+                       }
+                     });
+    });
+  };
+  pump();
+  cluster.RunFor(55.0);
+  for (size_t s = 0; s < kSites; ++s) {
+    if (cluster.site(s).crashed()) {
+      cluster.RecoverSite(s);
+    }
+  }
+  cluster.RunFor(30.0);
+
+  ASSERT_GT(submitted, 1000);
+  EXPECT_GT(committed, submitted / 2);
+
+  EXPECT_EQ(cluster.TotalUncertainItems(), 0u);
+  int64_t total = 0;
+  for (size_t s = 0; s < kSites; ++s) {
+    cluster.site(s).store().ForEach(
+        [&total](const ItemKey&, const PolyValue& v) {
+          ASSERT_TRUE(v.is_certain());
+          total += v.certain_value().int_value();
+        });
+    EXPECT_EQ(cluster.site(s).store().locked_count(), 0u) << "site " << s;
+  }
+  EXPECT_EQ(total, expected_total)
+      << "policy=" << InDoubtPolicyName(GetParam().policy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ScaleTest,
+    ::testing::Values(
+        ScaleCase{InDoubtPolicy::kPolyvalue, LockWaitPolicy::kNoWait},
+        ScaleCase{InDoubtPolicy::kPolyvalue, LockWaitPolicy::kWaitDie},
+        ScaleCase{InDoubtPolicy::kBlock, LockWaitPolicy::kNoWait}));
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,106 @@
+// Tests for the scheduler abstraction (sim + wall clock).
+#include "src/txn/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace polyvalue {
+namespace {
+
+TEST(SimSchedulerTest, DelegatesToSimulator) {
+  Simulator sim;
+  SimScheduler scheduler(&sim);
+  double fired_at = -1;
+  scheduler.ScheduleAfter(2.0, [&] { fired_at = scheduler.Now(); });
+  sim.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 2.0);
+}
+
+TEST(SimSchedulerTest, CancelWorks) {
+  Simulator sim;
+  SimScheduler scheduler(&sim);
+  bool fired = false;
+  const auto id = scheduler.ScheduleAfter(1.0, [&] { fired = true; });
+  EXPECT_TRUE(scheduler.Cancel(id));
+  sim.RunAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(ThreadSchedulerTest, FiresAfterDelay) {
+  ThreadScheduler scheduler;
+  std::atomic<bool> fired{false};
+  const double start = scheduler.Now();
+  scheduler.ScheduleAfter(0.05, [&] { fired = true; });
+  for (int i = 0; i < 200 && !fired; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(fired.load());
+  EXPECT_GE(scheduler.Now() - start, 0.045);
+}
+
+TEST(ThreadSchedulerTest, OrderingOfMultipleTimers) {
+  ThreadScheduler scheduler;
+  std::mutex mu;
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  scheduler.ScheduleAfter(0.09, [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(3);
+    ++done;
+  });
+  scheduler.ScheduleAfter(0.03, [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(1);
+    ++done;
+  });
+  scheduler.ScheduleAfter(0.06, [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(2);
+    ++done;
+  });
+  for (int i = 0; i < 400 && done < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ThreadSchedulerTest, CancelBeforeFire) {
+  ThreadScheduler scheduler;
+  std::atomic<bool> fired{false};
+  const auto id = scheduler.ScheduleAfter(0.2, [&] { fired = true; });
+  EXPECT_TRUE(scheduler.Cancel(id));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_FALSE(fired.load());
+  EXPECT_FALSE(scheduler.Cancel(id));
+}
+
+TEST(ThreadSchedulerTest, ActionsMayReschedule) {
+  ThreadScheduler scheduler;
+  std::atomic<int> count{0};
+  std::function<void()> tick = [&] {
+    if (++count < 3) {
+      scheduler.ScheduleAfter(0.01, tick);
+    }
+  };
+  scheduler.ScheduleAfter(0.01, tick);
+  for (int i = 0; i < 400 && count < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadSchedulerTest, DestructionWithPendingTimersIsClean) {
+  std::atomic<bool> fired{false};
+  {
+    ThreadScheduler scheduler;
+    scheduler.ScheduleAfter(10.0, [&] { fired = true; });
+  }
+  EXPECT_FALSE(fired.load());
+}
+
+}  // namespace
+}  // namespace polyvalue

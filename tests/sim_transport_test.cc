@@ -1,0 +1,178 @@
+// Unit tests for the deterministic simulated transport and FaultPlan.
+#include "src/net/sim_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace polyvalue {
+namespace {
+
+const SiteId kA(1);
+const SiteId kB(2);
+const SiteId kC(3);
+
+struct Fixture {
+  Simulator sim;
+  FaultPlan faults;
+  Rng rng{1};
+  SimTransport transport{&sim, &faults, &rng};
+  std::vector<Packet> received_a;
+  std::vector<Packet> received_b;
+
+  Fixture() {
+    EXPECT_TRUE(transport
+                    .Register(kA, [this](Packet p) {
+                      received_a.push_back(std::move(p));
+                    })
+                    .ok());
+    EXPECT_TRUE(transport
+                    .Register(kB, [this](Packet p) {
+                      received_b.push_back(std::move(p));
+                    })
+                    .ok());
+  }
+};
+
+TEST(SimTransportTest, DeliversWithDelay) {
+  Fixture f;
+  f.faults.SetDelayRange(0.5, 0.5);
+  EXPECT_TRUE(f.transport.Send({kA, kB, "hello"}).ok());
+  EXPECT_TRUE(f.received_b.empty());
+  f.sim.RunAll();
+  ASSERT_EQ(f.received_b.size(), 1u);
+  EXPECT_EQ(f.received_b[0].payload, "hello");
+  EXPECT_EQ(f.received_b[0].from, kA);
+  EXPECT_DOUBLE_EQ(f.sim.now(), 0.5);
+}
+
+TEST(SimTransportTest, SelfSendWorks) {
+  Fixture f;
+  EXPECT_TRUE(f.transport.Send({kA, kA, "loop"}).ok());
+  f.sim.RunAll();
+  ASSERT_EQ(f.received_a.size(), 1u);
+}
+
+TEST(SimTransportTest, UnregisteredSenderRejected) {
+  Fixture f;
+  EXPECT_FALSE(f.transport.Send({kC, kB, "x"}).ok());
+}
+
+TEST(SimTransportTest, UnknownReceiverSilentlyDropped) {
+  Fixture f;
+  EXPECT_TRUE(f.transport.Send({kA, kC, "x"}).ok());
+  f.sim.RunAll();
+  EXPECT_EQ(f.transport.packets_delivered(), 0u);
+}
+
+TEST(SimTransportTest, DuplicateRegisterRejected) {
+  Fixture f;
+  EXPECT_EQ(f.transport.Register(kA, [](Packet) {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SimTransportTest, UnregisterStopsDelivery) {
+  Fixture f;
+  EXPECT_TRUE(f.transport.Send({kA, kB, "1"}).ok());
+  EXPECT_TRUE(f.transport.Unregister(kB).ok());
+  f.sim.RunAll();
+  EXPECT_TRUE(f.received_b.empty());
+  EXPECT_FALSE(f.transport.Unregister(kB).ok());
+}
+
+TEST(SimTransportTest, DownSiteNeitherSendsNorReceives) {
+  Fixture f;
+  f.faults.SetSiteDown(kB, true);
+  EXPECT_TRUE(f.transport.Send({kA, kB, "to-down"}).ok());
+  EXPECT_TRUE(f.transport.Send({kB, kA, "from-down"}).ok());
+  f.sim.RunAll();
+  EXPECT_TRUE(f.received_b.empty());
+  EXPECT_TRUE(f.received_a.empty());
+  f.faults.SetSiteDown(kB, false);
+  EXPECT_TRUE(f.transport.Send({kA, kB, "after-up"}).ok());
+  f.sim.RunAll();
+  EXPECT_EQ(f.received_b.size(), 1u);
+}
+
+TEST(SimTransportTest, CrashWhilePacketInFlightDropsIt) {
+  Fixture f;
+  f.faults.SetDelayRange(1.0, 1.0);
+  EXPECT_TRUE(f.transport.Send({kA, kB, "in-flight"}).ok());
+  // Receiver crashes at t=0.5, before delivery at t=1.0.
+  f.sim.At(0.5, [&f] { f.faults.SetSiteDown(kB, true); });
+  f.sim.RunAll();
+  EXPECT_TRUE(f.received_b.empty());
+}
+
+TEST(SimTransportTest, LinkCutBlocksBothDirections) {
+  Fixture f;
+  f.faults.SetLinkDown(kA, kB, true);
+  EXPECT_TRUE(f.transport.Send({kA, kB, "x"}).ok());
+  EXPECT_TRUE(f.transport.Send({kB, kA, "y"}).ok());
+  f.sim.RunAll();
+  EXPECT_TRUE(f.received_a.empty());
+  EXPECT_TRUE(f.received_b.empty());
+  f.faults.SetLinkDown(kA, kB, false);
+  EXPECT_TRUE(f.transport.Send({kA, kB, "z"}).ok());
+  f.sim.RunAll();
+  EXPECT_EQ(f.received_b.size(), 1u);
+}
+
+TEST(SimTransportTest, PartitionCutsCrossTraffic) {
+  Fixture f;
+  Rng rng2(2);
+  std::vector<Packet> received_c;
+  EXPECT_TRUE(f.transport
+                  .Register(kC,
+                            [&received_c](Packet p) {
+                              received_c.push_back(std::move(p));
+                            })
+                  .ok());
+  f.faults.Partition({kA}, {kB, kC});
+  EXPECT_TRUE(f.transport.Send({kA, kB, "cross"}).ok());
+  EXPECT_TRUE(f.transport.Send({kB, kC, "same-side"}).ok());
+  f.sim.RunAll();
+  EXPECT_TRUE(f.received_b.empty());
+  EXPECT_EQ(received_c.size(), 1u);
+  f.faults.HealLinks();
+  EXPECT_TRUE(f.transport.Send({kA, kB, "healed"}).ok());
+  f.sim.RunAll();
+  EXPECT_EQ(f.received_b.size(), 1u);
+}
+
+TEST(SimTransportTest, RandomDropProbability) {
+  Fixture f;
+  f.faults.SetDropProbability(0.5);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(f.transport.Send({kA, kB, "p"}).ok());
+  }
+  f.sim.RunAll();
+  EXPECT_GT(f.received_b.size(), n * 0.4);
+  EXPECT_LT(f.received_b.size(), n * 0.6);
+  EXPECT_EQ(f.transport.packets_sent(), static_cast<uint64_t>(n));
+  EXPECT_EQ(f.transport.packets_dropped(),
+            n - f.received_b.size());
+}
+
+TEST(SimTransportTest, FifoPerLinkWithConstantDelay) {
+  Fixture f;
+  f.faults.SetDelayRange(0.01, 0.01);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(f.transport.Send({kA, kB, std::to_string(i)}).ok());
+  }
+  f.sim.RunAll();
+  ASSERT_EQ(f.received_b.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(f.received_b[i].payload, std::to_string(i));
+  }
+}
+
+TEST(SimTransportTest, ByteCounters) {
+  Fixture f;
+  EXPECT_TRUE(f.transport.Send({kA, kB, "12345"}).ok());
+  EXPECT_EQ(f.transport.bytes_sent(), 5u);
+}
+
+}  // namespace
+}  // namespace polyvalue

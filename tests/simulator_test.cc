@@ -1,0 +1,120 @@
+// Unit tests for the discrete-event simulation kernel.
+#include "src/event/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace polyvalue {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(3.0, [&] { order.push_back(3); });
+  sim.At(1.0, [&] { order.push_back(1); });
+  sim.At(2.0, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, EqualTimesFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, AfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.At(5.0, [&] {
+    sim.After(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.At(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // double-cancel reports false
+  sim.RunAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const auto id = sim.At(1.0, [] {});
+  sim.RunAll();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.At(1.0, [&] { fired.push_back(1.0); });
+  sim.At(2.0, [&] { fired.push_back(2.0); });
+  sim.At(5.0, [&] { fired.push_back(5.0); });
+  sim.RunUntil(3.0);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(sim.now(), 3.0);  // time advances to the deadline
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeOnEmptyQueue) {
+  Simulator sim;
+  sim.RunUntil(42.0);
+  EXPECT_EQ(sim.now(), 42.0);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) {
+      sim.After(1.0, chain);
+    }
+  };
+  sim.After(1.0, chain);
+  sim.RunAll();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulatorTest, PendingCountTracksLiveEvents) {
+  Simulator sim;
+  const auto a = sim.At(1.0, [] {});
+  sim.At(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunAll();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(SimulatorDeathTest, SchedulingIntoPastChecks) {
+  Simulator sim;
+  sim.At(5.0, [] {});
+  sim.RunAll();
+  EXPECT_DEATH(sim.At(1.0, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace polyvalue

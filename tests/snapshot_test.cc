@@ -1,0 +1,155 @@
+// Tests for site snapshots / checkpointing.
+#include "src/store/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace polyvalue {
+namespace {
+
+const TxnId kT1(1);
+const TxnId kT2((2ULL << 40) | 5);
+const SiteId kS1(1);
+const SiteId kS2(2);
+
+PolyValue Uncertain() {
+  return PolyValue::InstallUncertain(kT1,
+                                     PolyValue::Certain(Value::Int(1)),
+                                     PolyValue::Certain(Value::Int(2)));
+}
+
+SiteSnapshot MakeRich() {
+  SiteSnapshot snap;
+  snap.items.emplace("a", PolyValue::Certain(Value::Int(42)));
+  snap.items.emplace("b", Uncertain());
+  snap.items.emplace("c", PolyValue::Certain(Value::Str("text")));
+  SiteSnapshot::PendingTxn pending;
+  pending.txn = kT1;
+  pending.dependent_items = {"b"};
+  pending.downstream_sites = {kS1, kS2};
+  snap.pending.push_back(pending);
+  SiteSnapshot::PreparedTxn prepared;
+  prepared.txn = kT2;
+  prepared.coordinator = kS2;
+  prepared.writes.emplace("a", PolyValue::Certain(Value::Int(99)));
+  snap.prepared.push_back(prepared);
+  snap.decided.emplace(kT2, true);
+  snap.decided.emplace(TxnId(77), false);
+  return snap;
+}
+
+void ExpectEqualSnapshots(const SiteSnapshot& a, const SiteSnapshot& b) {
+  EXPECT_EQ(a.items, b.items);
+  ASSERT_EQ(a.pending.size(), b.pending.size());
+  for (size_t i = 0; i < a.pending.size(); ++i) {
+    EXPECT_EQ(a.pending[i].txn, b.pending[i].txn);
+    EXPECT_EQ(a.pending[i].dependent_items, b.pending[i].dependent_items);
+    EXPECT_EQ(a.pending[i].downstream_sites,
+              b.pending[i].downstream_sites);
+  }
+  ASSERT_EQ(a.prepared.size(), b.prepared.size());
+  for (size_t i = 0; i < a.prepared.size(); ++i) {
+    EXPECT_EQ(a.prepared[i].txn, b.prepared[i].txn);
+    EXPECT_EQ(a.prepared[i].coordinator, b.prepared[i].coordinator);
+    EXPECT_EQ(a.prepared[i].writes, b.prepared[i].writes);
+  }
+  EXPECT_EQ(a.decided, b.decided);
+}
+
+TEST(SnapshotTest, EncodeDecodeRoundTrip) {
+  const SiteSnapshot original = MakeRich();
+  const Result<SiteSnapshot> decoded =
+      SiteSnapshot::Decode(original.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectEqualSnapshots(original, decoded.value());
+}
+
+TEST(SnapshotTest, EmptySnapshotRoundTrips) {
+  const SiteSnapshot empty;
+  const Result<SiteSnapshot> decoded =
+      SiteSnapshot::Decode(empty.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->items.empty());
+  EXPECT_TRUE(decoded->pending.empty());
+}
+
+TEST(SnapshotTest, CaptureAndRestoreStores) {
+  ItemStore items;
+  OutcomeTable outcomes;
+  items.Write("x", PolyValue::Certain(Value::Int(7)));
+  items.Write("y", Uncertain());
+  outcomes.RecordDependentItem(kT1, "y");
+  outcomes.RecordDownstreamSite(kT1, kS2);
+
+  const SiteSnapshot snap = CaptureStores(items, outcomes);
+  ItemStore items2;
+  OutcomeTable outcomes2;
+  RestoreStores(snap, &items2, &outcomes2);
+
+  EXPECT_EQ(items2.Read("x").value().certain_value(), Value::Int(7));
+  EXPECT_EQ(items2.Read("y").value(), Uncertain());
+  EXPECT_TRUE(outcomes2.IsTracking(kT1));
+  const auto entry = outcomes2.EntryFor(kT1);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->dependent_items.count("y"), 1u);
+  EXPECT_EQ(entry->downstream_sites.count(kS2), 1u);
+}
+
+class SnapshotFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "snapshot_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".snap";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(SnapshotFileTest, FileRoundTrip) {
+  const SiteSnapshot original = MakeRich();
+  ASSERT_TRUE(WriteSnapshotFile(original, path_).ok());
+  const Result<SiteSnapshot> loaded = ReadSnapshotFile(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectEqualSnapshots(original, loaded.value());
+}
+
+TEST_F(SnapshotFileTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadSnapshotFile(path_).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotFileTest, CorruptionDetected) {
+  ASSERT_TRUE(WriteSnapshotFile(MakeRich(), path_).ok());
+  // Flip a byte inside the body.
+  std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(20);
+  file.put('\x5a');
+  file.close();
+  EXPECT_EQ(ReadSnapshotFile(path_).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(SnapshotFileTest, BadMagicDetected) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "NOTASNAPxxxxxxxxxxxx";
+  out.close();
+  EXPECT_EQ(ReadSnapshotFile(path_).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(SnapshotFileTest, OverwriteIsAtomicReplacement) {
+  ASSERT_TRUE(WriteSnapshotFile(MakeRich(), path_).ok());
+  SiteSnapshot small;
+  small.items.emplace("only", PolyValue::Certain(Value::Int(1)));
+  ASSERT_TRUE(WriteSnapshotFile(small, path_).ok());
+  const Result<SiteSnapshot> loaded = ReadSnapshotFile(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->items.size(), 1u);
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,118 @@
+// Unit tests for the statistics accumulators.
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace polyvalue {
+namespace {
+
+TEST(RunningStatTest, EmptyDefaults) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, SampleVarianceUsesNMinusOne) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat merged_a;
+  RunningStat merged_b;
+  RunningStat sequential;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    sequential.Add(x);
+    (i % 2 == 0 ? merged_a : merged_b).Add(x);
+  }
+  merged_a.Merge(merged_b);
+  EXPECT_EQ(merged_a.count(), sequential.count());
+  EXPECT_NEAR(merged_a.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(merged_a.variance(), sequential.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged_a.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(merged_a.max(), sequential.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(5.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(TimeWeightedStatTest, ConstantLevel) {
+  TimeWeightedStat s;
+  s.Observe(0.0, 0.0);   // establish start
+  s.Observe(10.0, 3.0);  // level 3 held from t=0 to t=10
+  EXPECT_DOUBLE_EQ(s.average(), 3.0);
+}
+
+TEST(TimeWeightedStatTest, StepFunction) {
+  TimeWeightedStat s;
+  s.Observe(0.0, 0.0);
+  s.Observe(4.0, 1.0);   // level 1 for 4s
+  s.Observe(6.0, 5.0);   // level 5 for 2s
+  // average = (1*4 + 5*2) / 6
+  EXPECT_DOUBLE_EQ(s.average(), 14.0 / 6.0);
+}
+
+TEST(TimeWeightedStatTest, ResetDiscardsHistory) {
+  TimeWeightedStat s;
+  s.Observe(0.0, 0.0);
+  s.Observe(5.0, 100.0);
+  s.Reset(5.0);
+  s.Observe(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.average(), 2.0);
+  EXPECT_DOUBLE_EQ(s.elapsed(), 5.0);
+}
+
+TEST(TimeWeightedStatTest, ZeroSpanIsZero) {
+  TimeWeightedStat s;
+  s.Observe(1.0, 7.0);
+  EXPECT_DOUBLE_EQ(s.average(), 0.0);
+}
+
+TEST(HistogramTest, CountsAndPercentiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(i * 0.1);  // uniform over [0, 10)
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.Percentile(50), 5.0, 1.0);
+  EXPECT_NEAR(h.Percentile(90), 9.0, 1.0);
+}
+
+TEST(HistogramTest, OverUnderflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(99.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1.0);
+}
+
+}  // namespace
+}  // namespace polyvalue

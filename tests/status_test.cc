@@ -1,0 +1,115 @@
+// Unit tests for Status / Result.
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace polyvalue {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = AbortedError("lock conflict");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(s.message(), "lock conflict");
+  EXPECT_EQ(s.ToString(), "ABORTED: lock conflict");
+}
+
+TEST(StatusTest, AllConstructorsMapToCodes) {
+  EXPECT_EQ(InvalidArgumentError("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(UnavailableError("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(TimedOutError("").code(), StatusCode::kTimedOut);
+  EXPECT_EQ(UncertainError("").code(), StatusCode::kUncertain);
+  EXPECT_EQ(DataLossError("").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(OkStatus(), Status());
+  EXPECT_EQ(AbortedError("x"), AbortedError("x"));
+  EXPECT_FALSE(AbortedError("x") == AbortedError("y"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFoundError("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(3);
+  EXPECT_EQ(r.value_or(-1), 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+namespace helpers {
+
+Status FailsWhen(bool fail) {
+  if (fail) {
+    return AbortedError("asked to");
+  }
+  return OkStatus();
+}
+
+Status UsesReturnIfError(bool fail, bool* reached_end) {
+  POLYV_RETURN_IF_ERROR(FailsWhen(fail));
+  *reached_end = true;
+  return OkStatus();
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return InvalidArgumentError("not positive");
+  }
+  return x;
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  POLYV_ASSIGN_OR_RETURN(int parsed, ParsePositive(x));
+  POLYV_ASSIGN_OR_RETURN(int doubled, ParsePositive(parsed * 2));
+  return doubled;
+}
+
+}  // namespace helpers
+
+TEST(MacroTest, ReturnIfErrorPropagates) {
+  bool reached = false;
+  EXPECT_FALSE(helpers::UsesReturnIfError(true, &reached).ok());
+  EXPECT_FALSE(reached);
+  EXPECT_TRUE(helpers::UsesReturnIfError(false, &reached).ok());
+  EXPECT_TRUE(reached);
+}
+
+TEST(MacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  const Result<int> ok = helpers::UsesAssignOrReturn(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 8);
+  EXPECT_FALSE(helpers::UsesAssignOrReturn(-1).ok());
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,58 @@
+// Unit tests for string helpers.
+#include "src/common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace polyvalue {
+namespace {
+
+TEST(StringsTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("x=", 42, ", y=", 1.5), "x=42, y=1.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, StrJoin) {
+  const std::vector<int> v = {1, 2, 3};
+  EXPECT_EQ(StrJoin(v, ", "), "1, 2, 3");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, ","), "");
+  EXPECT_EQ(StrJoin(std::vector<int>{7}, ","), "7");
+}
+
+TEST(StringsTest, StrSplitKeepsEmptyFields) {
+  const auto parts = StrSplit("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, StrSplitNoSeparator) {
+  const auto parts = StrSplit("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("acct/3/1", "acct/"));
+  EXPECT_FALSE(StartsWith("ac", "acct/"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StringsTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(FormatDouble(2.50), "2.5");
+  EXPECT_EQ(FormatDouble(0.001), "0.001");
+  EXPECT_EQ(FormatDouble(-1.20), "-1.2");
+}
+
+TEST(StringsTest, FormatDoubleRespectsMaxDecimals) {
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 1), "0.3");
+}
+
+}  // namespace
+}  // namespace polyvalue

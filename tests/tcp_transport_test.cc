@@ -1,0 +1,148 @@
+// Tests for the TCP loopback transport.
+#include "src/net/tcp_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace polyvalue {
+namespace {
+
+const SiteId kA(1);
+const SiteId kB(2);
+
+// Waits until `predicate` holds or ~2 seconds pass.
+template <typename Pred>
+bool WaitFor(Pred predicate) {
+  for (int i = 0; i < 400; ++i) {
+    if (predicate()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return predicate();
+}
+
+TEST(TcpTransportTest, EndpointsGetPorts) {
+  TcpTransport transport;
+  ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
+  ASSERT_TRUE(transport.Register(kB, [](Packet) {}).ok());
+  EXPECT_NE(transport.PortOf(kA), 0);
+  EXPECT_NE(transport.PortOf(kB), 0);
+  EXPECT_NE(transport.PortOf(kA), transport.PortOf(kB));
+}
+
+TEST(TcpTransportTest, RoundTripOverRealSockets) {
+  TcpTransport transport;
+  std::atomic<int> got{0};
+  std::mutex mu;
+  Packet last;
+  ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
+  ASSERT_TRUE(transport
+                  .Register(kB,
+                            [&](Packet p) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              last = p;
+                              ++got;
+                            })
+                  .ok());
+  ASSERT_TRUE(transport.Send({kA, kB, "over tcp"}).ok());
+  ASSERT_TRUE(WaitFor([&] { return got.load() == 1; }));
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(last.payload, "over tcp");
+  EXPECT_EQ(last.from, kA);
+  EXPECT_EQ(last.to, kB);
+}
+
+TEST(TcpTransportTest, ManyFramesInOrderOverOneConnection) {
+  TcpTransport transport;
+  std::mutex mu;
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
+  ASSERT_TRUE(transport
+                  .Register(kB,
+                            [&](Packet p) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              payloads.push_back(p.payload);
+                            })
+                  .ok());
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(transport.Send({kA, kB, std::to_string(i)}).ok());
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return payloads.size() == static_cast<size_t>(n);
+  }));
+  std::lock_guard<std::mutex> lock(mu);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(payloads[i], std::to_string(i));
+  }
+}
+
+TEST(TcpTransportTest, LargePayload) {
+  TcpTransport transport;
+  std::atomic<bool> got{false};
+  std::string received;
+  std::mutex mu;
+  const std::string big(1 << 20, 'z');  // 1 MiB frame
+  ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
+  ASSERT_TRUE(transport
+                  .Register(kB,
+                            [&](Packet p) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              received = p.payload;
+                              got = true;
+                            })
+                  .ok());
+  ASSERT_TRUE(transport.Send({kA, kB, big}).ok());
+  ASSERT_TRUE(WaitFor([&] { return got.load(); }));
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(received.size(), big.size());
+  EXPECT_EQ(received, big);
+}
+
+TEST(TcpTransportTest, BidirectionalTraffic) {
+  TcpTransport transport;
+  std::atomic<int> a_got{0};
+  std::atomic<int> b_got{0};
+  ASSERT_TRUE(transport.Register(kA, [&](Packet) { ++a_got; }).ok());
+  ASSERT_TRUE(transport.Register(kB, [&](Packet) { ++b_got; }).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(transport.Send({kA, kB, "ab"}).ok());
+    ASSERT_TRUE(transport.Send({kB, kA, "ba"}).ok());
+  }
+  EXPECT_TRUE(WaitFor([&] { return a_got == 50 && b_got == 50; }));
+}
+
+TEST(TcpTransportTest, SendToUnknownSiteIsLostNotFatal) {
+  TcpTransport transport;
+  ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
+  EXPECT_TRUE(transport.Send({kA, SiteId(99), "void"}).ok());
+}
+
+TEST(TcpTransportTest, UnregisteredSenderRejected) {
+  TcpTransport transport;
+  EXPECT_FALSE(transport.Send({kA, kB, "x"}).ok());
+}
+
+TEST(TcpTransportTest, UnregisterThenTrafficContinuesElsewhere) {
+  TcpTransport transport;
+  std::atomic<int> got{0};
+  ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
+  ASSERT_TRUE(transport.Register(kB, [&](Packet) { ++got; }).ok());
+  ASSERT_TRUE(transport.Send({kA, kB, "1"}).ok());
+  ASSERT_TRUE(WaitFor([&] { return got.load() == 1; }));
+  ASSERT_TRUE(transport.Unregister(kB).ok());
+  EXPECT_TRUE(transport.Send({kA, kB, "2"}).ok());  // dropped quietly
+  const SiteId kC(3);
+  std::atomic<int> c_got{0};
+  ASSERT_TRUE(transport.Register(kC, [&](Packet) { ++c_got; }).ok());
+  ASSERT_TRUE(transport.Send({kA, kC, "3"}).ok());
+  EXPECT_TRUE(WaitFor([&] { return c_got.load() == 1; }));
+}
+
+}  // namespace
+}  // namespace polyvalue

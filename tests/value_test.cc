@@ -1,0 +1,130 @@
+// Unit tests for the Value variant and checked arithmetic.
+#include "src/value/value.h"
+
+#include <gtest/gtest.h>
+
+namespace polyvalue {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(), Value::Null());
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Int(3).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Real(1.5).type(), ValueType::kReal);
+  EXPECT_EQ(Value::Str("x").type(), ValueType::kString);
+  EXPECT_TRUE(Value::Int(3).is_numeric());
+  EXPECT_TRUE(Value::Real(3).is_numeric());
+  EXPECT_FALSE(Value::Str("3").is_numeric());
+}
+
+TEST(ValueTest, AccessorsReturnPayload) {
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Int(-7).int_value(), -7);
+  EXPECT_DOUBLE_EQ(Value::Real(2.25).real_value(), 2.25);
+  EXPECT_EQ(Value::Str("hi").string_value(), "hi");
+}
+
+TEST(ValueTest, EqualityIsExactNoCoercion) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Real(1.0));
+  EXPECT_NE(Value::Int(1), Value::Str("1"));
+  EXPECT_NE(Value::Bool(false), Value::Null());
+}
+
+TEST(ValueTest, AsRealWidensInt) {
+  EXPECT_DOUBLE_EQ(Value::Int(5).AsReal().value(), 5.0);
+  EXPECT_FALSE(Value::Str("5").AsReal().ok());
+}
+
+TEST(ValueTest, AsIntRequiresIntegral) {
+  EXPECT_EQ(Value::Real(4.0).AsInt().value(), 4);
+  EXPECT_FALSE(Value::Real(4.5).AsInt().ok());
+  EXPECT_FALSE(Value::Bool(true).AsInt().ok());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Real(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Real(2.0).ToString(), "2");
+  EXPECT_EQ(Value::Str("a").ToString(), "\"a\"");
+}
+
+TEST(ValueArithmeticTest, IntAddExact) {
+  EXPECT_EQ(Add(Value::Int(2), Value::Int(3)).value(), Value::Int(5));
+}
+
+TEST(ValueArithmeticTest, IntOverflowDetected) {
+  EXPECT_FALSE(Add(Value::Int(INT64_MAX), Value::Int(1)).ok());
+  EXPECT_FALSE(Sub(Value::Int(INT64_MIN), Value::Int(1)).ok());
+  EXPECT_FALSE(Mul(Value::Int(INT64_MAX), Value::Int(2)).ok());
+  EXPECT_FALSE(Neg(Value::Int(INT64_MIN)).ok());
+  EXPECT_FALSE(Div(Value::Int(INT64_MIN), Value::Int(-1)).ok());
+}
+
+TEST(ValueArithmeticTest, MixedNumericWidensToReal) {
+  const Value r = Add(Value::Int(1), Value::Real(0.5)).value();
+  EXPECT_TRUE(r.is_real());
+  EXPECT_DOUBLE_EQ(r.real_value(), 1.5);
+}
+
+TEST(ValueArithmeticTest, StringConcat) {
+  EXPECT_EQ(Add(Value::Str("foo"), Value::Str("bar")).value(),
+            Value::Str("foobar"));
+  EXPECT_FALSE(Add(Value::Str("foo"), Value::Int(1)).ok());
+}
+
+TEST(ValueArithmeticTest, DivisionByZero) {
+  EXPECT_FALSE(Div(Value::Int(1), Value::Int(0)).ok());
+  EXPECT_FALSE(Div(Value::Real(1), Value::Real(0)).ok());
+  EXPECT_EQ(Div(Value::Int(7), Value::Int(2)).value(), Value::Int(3));
+}
+
+TEST(ValueArithmeticTest, MinMax) {
+  EXPECT_EQ(Min(Value::Int(3), Value::Int(5)).value(), Value::Int(3));
+  EXPECT_EQ(Max(Value::Int(3), Value::Real(5.5)).value(), Value::Real(5.5));
+  EXPECT_FALSE(Min(Value::Int(3), Value::Str("a")).ok());
+}
+
+TEST(ValueComparisonTest, NumericCrossType) {
+  EXPECT_TRUE(Less(Value::Int(1), Value::Real(1.5)).value());
+  EXPECT_FALSE(Less(Value::Real(2.0), Value::Int(2)).value());
+  EXPECT_TRUE(LessEq(Value::Int(2), Value::Int(2)).value());
+  EXPECT_TRUE(GreaterEq(Value::Int(2), Value::Int(2)).value());
+  EXPECT_TRUE(Greater(Value::Int(3), Value::Int(2)).value());
+}
+
+TEST(ValueComparisonTest, StringsLexicographic) {
+  EXPECT_TRUE(Less(Value::Str("a"), Value::Str("b")).value());
+  EXPECT_FALSE(Less(Value::Str("b"), Value::Str("a")).value());
+}
+
+TEST(ValueComparisonTest, BoolsOrdered) {
+  EXPECT_TRUE(Less(Value::Bool(false), Value::Bool(true)).value());
+  EXPECT_FALSE(Less(Value::Bool(true), Value::Bool(true)).value());
+}
+
+TEST(ValueComparisonTest, MixedTypesError) {
+  EXPECT_FALSE(Less(Value::Str("a"), Value::Int(1)).ok());
+  EXPECT_FALSE(Less(Value::Null(), Value::Null()).ok());
+}
+
+TEST(ValueTest, TotalOrderForCanonicalisation) {
+  // By type tag first, then payload.
+  EXPECT_TRUE(Value::Null() < Value::Bool(false));
+  EXPECT_TRUE(Value::Bool(true) < Value::Int(0));
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_NE(Value::Int(7).Hash(), Value::Real(7.0).Hash());
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,0 +1,167 @@
+// Unit tests for the wire-format primitives.
+#include "src/net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace polyvalue {
+namespace {
+
+TEST(WireTest, VarintRoundTrip) {
+  ByteWriter w;
+  const std::vector<uint64_t> values = {0,    1,     127,        128,
+                                        300,  16383, 16384,      UINT32_MAX,
+                                        UINT64_MAX};
+  for (uint64_t v : values) {
+    w.PutVarint(v);
+  }
+  ByteReader r(w.buffer());
+  for (uint64_t v : values) {
+    EXPECT_EQ(r.GetVarint().value(), v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, VarintCompactness) {
+  ByteWriter w;
+  w.PutVarint(5);
+  EXPECT_EQ(w.size(), 1u);
+  ByteWriter w2;
+  w2.PutVarint(300);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(WireTest, SignedZigZag) {
+  ByteWriter w;
+  const std::vector<int64_t> values = {0, -1, 1, -64, 63, INT64_MIN,
+                                       INT64_MAX};
+  for (int64_t v : values) {
+    w.PutSigned(v);
+  }
+  ByteReader r(w.buffer());
+  for (int64_t v : values) {
+    EXPECT_EQ(r.GetSigned().value(), v);
+  }
+}
+
+TEST(WireTest, SmallNegativesAreCompact) {
+  ByteWriter w;
+  w.PutSigned(-1);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(WireTest, DoubleBitExact) {
+  ByteWriter w;
+  const std::vector<double> values = {0.0, -0.0, 1.5, -3.25e300, 1e-300};
+  for (double v : values) {
+    w.PutDouble(v);
+  }
+  ByteReader r(w.buffer());
+  for (double v : values) {
+    const double got = r.GetDouble().value();
+    EXPECT_EQ(std::memcmp(&got, &v, sizeof(v)), 0);
+  }
+}
+
+TEST(WireTest, StringRoundTrip) {
+  ByteWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string("\0binary\xff", 8));
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_EQ(r.GetString().value(), std::string("\0binary\xff", 8));
+}
+
+TEST(WireTest, BoolValidation) {
+  ByteWriter w;
+  w.PutBool(true);
+  w.PutBool(false);
+  w.PutU8(7);  // invalid bool
+  ByteReader r(w.buffer());
+  EXPECT_TRUE(r.GetBool().value());
+  EXPECT_FALSE(r.GetBool().value());
+  EXPECT_FALSE(r.GetBool().ok());
+}
+
+TEST(WireTest, TruncationDetected) {
+  ByteWriter w;
+  w.PutFixed64(0x1122334455667788ULL);
+  const std::string full = w.buffer();
+  ByteReader r(full.data(), 4);
+  EXPECT_FALSE(r.GetFixed64().ok());
+  EXPECT_EQ(r.GetFixed64().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WireTest, StringLengthBeyondBufferDetected) {
+  ByteWriter w;
+  w.PutVarint(1000);  // claims 1000 bytes follow
+  w.PutRaw("abc", 3);
+  ByteReader r(w.buffer());
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+TEST(WireTest, OverlongVarintDetected) {
+  std::string bad(11, '\x80');
+  ByteReader r(bad);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(WireTest, Fixed32RoundTrip) {
+  ByteWriter w;
+  w.PutFixed32(0xdeadbeef);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetFixed32().value(), 0xdeadbeefu);
+}
+
+TEST(WireTest, FuzzRandomSequences) {
+  // Random mixed-field round trips.
+  Rng rng(31337);
+  for (int trial = 0; trial < 200; ++trial) {
+    ByteWriter w;
+    std::vector<std::pair<int, uint64_t>> script;
+    const int fields = 1 + rng.NextBelow(10);
+    for (int i = 0; i < fields; ++i) {
+      const int kind = rng.NextBelow(4);
+      const uint64_t payload = rng.NextUint64();
+      script.push_back({kind, payload});
+      switch (kind) {
+        case 0:
+          w.PutVarint(payload);
+          break;
+        case 1:
+          w.PutSigned(static_cast<int64_t>(payload));
+          break;
+        case 2:
+          w.PutFixed64(payload);
+          break;
+        case 3:
+          w.PutString(std::string(payload % 32, 'x'));
+          break;
+      }
+    }
+    ByteReader r(w.buffer());
+    for (const auto& [kind, payload] : script) {
+      switch (kind) {
+        case 0:
+          EXPECT_EQ(r.GetVarint().value(), payload);
+          break;
+        case 1:
+          EXPECT_EQ(r.GetSigned().value(), static_cast<int64_t>(payload));
+          break;
+        case 2:
+          EXPECT_EQ(r.GetFixed64().value(), payload);
+          break;
+        case 3:
+          EXPECT_EQ(r.GetString().value().size(), payload % 32);
+          break;
+      }
+    }
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -5,7 +5,10 @@
 // implementation itself.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/system/cluster.h"
 
 namespace polyvalue {
@@ -22,11 +25,15 @@ TxnSpec Bump(const ItemKey& key, SiteId site) {
   return spec;
 }
 
-double SimThroughput(size_t sites, int txns) {
+// `trace` exercises the instrumented path (null = the zero-cost default);
+// `registry` receives the cluster's end-of-run metrics when non-null.
+double SimThroughput(size_t sites, int txns, TraceSink* trace = nullptr,
+                     MetricsRegistry* registry = nullptr) {
   SimCluster::Options options;
   options.site_count = sites;
   options.min_delay = 0.0005;
   options.max_delay = 0.0005;
+  options.trace = trace;
   SimCluster cluster(options);
   for (size_t s = 0; s < sites; ++s) {
     cluster.Load(s, "k" + std::to_string(s), Value::Int(0));
@@ -46,6 +53,9 @@ double SimThroughput(size_t sites, int txns) {
   const double elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
+  if (registry != nullptr) {
+    cluster.ExportMetrics(registry);
+  }
   return committed / elapsed;
 }
 
@@ -98,16 +108,44 @@ int main() {
   std::printf("Engine throughput (committed txns per CPU-second)\n\n");
   std::printf("%-34s %12s\n", "configuration", "txns/s");
   std::printf("%.*s\n", 48, "------------------------------------------------");
-  std::printf("%-34s %12.0f\n", "sim runtime, 2 sites, sequential",
-              SimThroughput(2, 2000));
-  std::printf("%-34s %12.0f\n", "sim runtime, 4 sites, sequential",
-              SimThroughput(4, 2000));
-  std::printf("%-34s %12.0f\n", "threaded mem runtime, 2 sites x4 cli",
-              ThreadedThroughput(2, 400));
-  std::printf("%-34s %12.0f\n", "threaded mem runtime, 4 sites x4 cli",
-              ThreadedThroughput(4, 400));
+  MetricsRegistry registry;
+  const double sim2 = SimThroughput(2, 2000, nullptr, &registry);
+  const double sim4 = SimThroughput(4, 2000);
+  std::printf("%-34s %12.0f\n", "sim runtime, 2 sites, sequential", sim2);
+  std::printf("%-34s %12.0f\n", "sim runtime, 4 sites, sequential", sim4);
+  // Same workload with a sink attached: the gap between this row and the
+  // untraced one above is the full cost of tracing; the untraced row
+  // itself only pays a null-pointer test per would-be event.
+  CountingTraceSink counting;
+  const double sim2_traced = SimThroughput(2, 2000, &counting);
+  std::printf("%-34s %12.0f\n", "sim runtime, 2 sites, traced sink",
+              sim2_traced);
+  const double thr2 = ThreadedThroughput(2, 400);
+  const double thr4 = ThreadedThroughput(4, 400);
+  std::printf("%-34s %12.0f\n", "threaded mem runtime, 2 sites x4 cli", thr2);
+  std::printf("%-34s %12.0f\n", "threaded mem runtime, 4 sites x4 cli", thr4);
   std::printf("\n(threaded numbers include real thread handoffs per "
               "message; the mem transport\ndelivers through per-site "
               "dispatcher threads.)\n");
+  std::printf("\ntracing: %llu events through the sink; traced/untraced "
+              "throughput ratio %.2f\n",
+              static_cast<unsigned long long>(counting.count()),
+              sim2_traced / sim2);
+
+  registry.Gauge("bench.sim_2site_txns_per_sec", sim2);
+  registry.Gauge("bench.sim_4site_txns_per_sec", sim4);
+  registry.Gauge("bench.sim_2site_traced_txns_per_sec", sim2_traced);
+  registry.Gauge("bench.threaded_2site_txns_per_sec", thr2);
+  registry.Gauge("bench.threaded_4site_txns_per_sec", thr4);
+  registry.SetCounter("bench.trace_events_emitted", counting.count());
+  if (const char* path = std::getenv("POLYV_METRICS_JSON")) {
+    const Status status = registry.WriteJsonFile(path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "failed to write metrics JSON to %s: %s\n", path,
+                   status.message().c_str());
+      return 1;
+    }
+    std::printf("metrics JSON written to %s\n", path);
+  }
   return 0;
 }

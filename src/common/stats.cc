@@ -110,6 +110,15 @@ void Histogram::Add(double x) {
   }
 }
 
+void Histogram::Merge(const Histogram& other) {
+  POLYV_CHECK(lo_ == other.lo_ && hi_ == other.hi_ &&
+              buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+}
+
 double Histogram::Percentile(double p) const {
   POLYV_CHECK_GE(p, 0.0);
   POLYV_CHECK_LE(p, 100.0);

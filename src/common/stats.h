@@ -62,9 +62,20 @@ class Histogram {
   Histogram(double lo, double hi, size_t buckets);
 
   void Add(double x);
+  // Adds `other`'s counts into this histogram; the shapes (lo, hi,
+  // bucket count) must match.
+  void Merge(const Histogram& other);
   uint64_t count() const { return count_; }
   double Percentile(double p) const;  // p in [0, 100]
   std::string ToString() const;
+
+  // Bucket introspection (metrics export).
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  size_t bucket_count() const { return buckets_.size() - 2; }
+  uint64_t underflow() const { return buckets_.front(); }
+  uint64_t overflow() const { return buckets_.back(); }
+  uint64_t bucket(size_t i) const { return buckets_[i + 1]; }
 
  private:
   double lo_;

@@ -12,6 +12,7 @@
 
 #include "src/event/simulator.h"
 #include "src/net/transport.h"
+#include "src/obs/trace.h"
 
 namespace polyvalue {
 
@@ -32,6 +33,10 @@ class SimTransport : public Transport {
   using Filter = std::function<bool(const Packet&)>;
   void set_filter(Filter filter) { filter_ = std::move(filter); }
 
+  // Optional trace sink: emits kMsgDropped / kMsgDelivered events for
+  // every packet fate. Null (the default) costs nothing on the hot path.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_delivered() const { return packets_delivered_; }
   uint64_t packets_dropped() const { return packets_sent_ - packets_delivered_; }
@@ -42,6 +47,9 @@ class SimTransport : public Transport {
   FaultPlan* faults_;
   Rng* rng_;
   Filter filter_;
+  TraceSink* trace_ = nullptr;
+
+  void TracePacket(TraceEventType type, const Packet& packet);
   std::unordered_map<SiteId, Handler> handlers_;
   uint64_t packets_sent_ = 0;
   uint64_t packets_delivered_ = 0;

@@ -1,0 +1,270 @@
+#include "src/obs/audit.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace polyvalue {
+namespace {
+
+// Per-transaction roll-up built while scanning the trace.
+struct TxnState {
+  bool submitted = false;
+  size_t submit_index = 0;
+  SiteId coordinator;
+  int commits = 0;
+  int aborts = 0;
+  int read_onlys = 0;
+  bool outcome_known = false;  // some learned/decision flag seen
+  bool outcome_flag = false;   // ...and its value
+  bool terminal() const { return commits + aborts + read_onlys > 0; }
+};
+
+uint64_t SiteTxnKey(SiteId site, TxnId txn) {
+  return site.value() * 0x9e3779b97f4a7c15ULL ^ txn.value();
+}
+
+}  // namespace
+
+std::string AuditViolation::ToString() const {
+  std::ostringstream oss;
+  oss << "event[" << event_index << "]: " << message;
+  return oss.str();
+}
+
+std::vector<AuditViolation> TraceAuditor::Audit(
+    const std::vector<TraceEvent>& trace) const {
+  std::vector<AuditViolation> violations;
+  auto violate = [&violations](size_t index, std::string message) {
+    violations.push_back({index, std::move(message)});
+  };
+
+  std::unordered_map<uint64_t, TxnState> txns;  // by TxnId value
+  std::unordered_set<uint64_t> down_sites;      // by SiteId value
+  // Sites that crashed at least once, with the index of their latest
+  // crash: submits preceding any crash of their coordinator are exempt
+  // from A8.
+  std::unordered_map<uint64_t, size_t> last_crash_index;
+  std::unordered_set<uint64_t> ready_voted;     // SiteTxnKey
+  std::unordered_set<uint64_t> learned_here;    // SiteTxnKey
+  // Outstanding uncertain items: "site|key" -> index of the install.
+  std::map<std::string, size_t> uncertain_items;
+
+  // Checks exempt from A5 (crash silence): the crash/recover boundary
+  // itself, transport drop bookkeeping (a drop may be recorded while
+  // either endpoint is down — the packet was in flight), and WAL replay
+  // (restart machinery runs before the site is marked up).
+  auto exempt_from_silence = [](TraceEventType type) {
+    return type == TraceEventType::kRecover ||
+           type == TraceEventType::kMsgDropped ||
+           type == TraceEventType::kWalReplay;
+  };
+
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& e = trace[i];
+
+    // A5: nothing happens at a down site.
+    if (!exempt_from_silence(e.type) &&
+        down_sites.count(e.site.value()) > 0) {
+      violate(i, std::string("event '") + TraceEventTypeName(e.type) +
+                     "' at crashed site " + polyvalue::ToString(e.site));
+    }
+
+    TxnState* txn = nullptr;
+    if (e.txn.valid()) {
+      txn = &txns[e.txn.value()];
+    }
+
+    switch (e.type) {
+      case TraceEventType::kSubmit:
+        if (txn == nullptr) {
+          break;
+        }
+        txn->submitted = true;
+        txn->submit_index = i;
+        txn->coordinator = e.site;
+        break;
+
+      case TraceEventType::kDecisionCommit:
+      case TraceEventType::kDecisionAbort:
+      case TraceEventType::kReadOnlyDone: {
+        if (txn == nullptr) {
+          break;
+        }
+        const bool commit = e.type == TraceEventType::kDecisionCommit;
+        const bool read_only = e.type == TraceEventType::kReadOnlyDone;
+        // A1: at most one terminal decision, never both kinds.
+        if (txn->terminal()) {
+          const char* earlier = txn->commits > 0   ? "commit"
+                                : txn->aborts > 0  ? "abort"
+                                                   : "read-only";
+          violate(i, "second terminal decision '" +
+                         std::string(TraceEventTypeName(e.type)) +
+                         "' for " + polyvalue::ToString(e.txn) +
+                         " (already decided " + earlier + ")");
+        }
+        if (commit) {
+          ++txn->commits;
+        } else if (read_only) {
+          ++txn->read_onlys;
+        } else {
+          ++txn->aborts;
+        }
+        // A2: the decision agrees with anything already learned.
+        if (!read_only) {
+          if (txn->outcome_known && txn->outcome_flag != commit) {
+            violate(i, "decision for " + polyvalue::ToString(e.txn) +
+                           " contradicts a previously learned outcome");
+          }
+          txn->outcome_known = true;
+          txn->outcome_flag = commit;
+        }
+        break;
+      }
+
+      case TraceEventType::kOutcomeLearned:
+        if (txn == nullptr) {
+          break;
+        }
+        // A2: all sites agree on the outcome.
+        if (txn->outcome_known && txn->outcome_flag != e.flag) {
+          violate(i, polyvalue::ToString(e.site) + " learned " +
+                         (e.flag ? "COMMIT" : "ABORT") + " for " +
+                         polyvalue::ToString(e.txn) +
+                         " contradicting the known outcome");
+        }
+        // A3: commits must originate from a coordinator decision.
+        if (e.flag && txn->commits == 0) {
+          violate(i, polyvalue::ToString(e.site) + " learned COMMIT for " +
+                         polyvalue::ToString(e.txn) +
+                         " before any coordinator commit decision");
+        }
+        txn->outcome_known = true;
+        txn->outcome_flag = e.flag;
+        learned_here.insert(SiteTxnKey(e.site, e.txn));
+        break;
+
+      case TraceEventType::kOutcomeNotify:
+        if (txn == nullptr) {
+          break;
+        }
+        // A4: notify only what this site itself knows.
+        if (learned_here.count(SiteTxnKey(e.site, e.txn)) == 0) {
+          violate(i, polyvalue::ToString(e.site) + " notified outcome of " +
+                         polyvalue::ToString(e.txn) +
+                         " without having learned it");
+        }
+        if (txn->outcome_known && txn->outcome_flag != e.flag) {
+          violate(i, polyvalue::ToString(e.site) +
+                         " notified a contradicting outcome for " +
+                         polyvalue::ToString(e.txn));
+        }
+        break;
+
+      case TraceEventType::kReadySent:
+        ready_voted.insert(SiteTxnKey(e.site, e.txn));
+        break;
+
+      case TraceEventType::kWaitTimeout:
+      case TraceEventType::kBlockedHold:
+      case TraceEventType::kArbitraryCommit:
+        // A6: the in-doubt window only exists after a READY vote.
+        if (ready_voted.count(SiteTxnKey(e.site, e.txn)) == 0) {
+          violate(i, std::string("'") + TraceEventTypeName(e.type) +
+                         "' at " + polyvalue::ToString(e.site) + " for " +
+                         polyvalue::ToString(e.txn) +
+                         " without a prior READY vote");
+        }
+        break;
+
+      case TraceEventType::kPolyInstall:
+        uncertain_items[polyvalue::ToString(e.site) + "|" + e.key] = i;
+        break;
+
+      case TraceEventType::kPolyReduce: {
+        const std::string item_key =
+            polyvalue::ToString(e.site) + "|" + e.key;
+        if (uncertain_items.erase(item_key) == 0) {
+          violate(i, "reduction of '" + e.key + "' at " +
+                         polyvalue::ToString(e.site) +
+                         " which was never installed uncertain");
+        }
+        break;
+      }
+
+      case TraceEventType::kCrash:
+        if (!down_sites.insert(e.site.value()).second) {
+          violate(i, "crash of already-crashed site " +
+                         polyvalue::ToString(e.site));
+        }
+        last_crash_index[e.site.value()] = i;
+        break;
+
+      case TraceEventType::kRecover:
+        // Recover without a recorded crash is legal: WAL-restart tests
+        // rebuild a site object and call Recover() on first start.
+        down_sites.erase(e.site.value());
+        break;
+
+      case TraceEventType::kWalReplay:
+        // A replay means the site is restarting: events it emits while
+        // rebuilding (e.g. re-announcing surviving uncertain items) are
+        // part of recovery, not post-crash activity.
+        down_sites.erase(e.site.value());
+        break;
+
+      default:
+        break;
+    }
+  }
+
+  if (options_.expect_quiescent) {
+    // A7: all uncertainty drained.
+    for (const auto& [item, index] : uncertain_items) {
+      violate(index,
+              "polyvalue installed at " + item +
+                  " was never reduced (uncertainty did not drain)");
+    }
+    // A8: every submit terminated, unless the coordinator crashed
+    // after it (orphaned client; outcome resolves via inquiry).
+    for (const auto& [id, txn] : txns) {
+      if (!txn.submitted || txn.terminal()) {
+        continue;
+      }
+      auto crash = last_crash_index.find(txn.coordinator.value());
+      const bool orphaned_by_crash = crash != last_crash_index.end() &&
+                                     crash->second >= txn.submit_index;
+      if (!orphaned_by_crash) {
+        violate(txn.submit_index,
+                "submit of " + polyvalue::ToString(TxnId(id)) +
+                    " never reached a terminal decision");
+      }
+    }
+  }
+
+  return violations;
+}
+
+Status TraceAuditor::Check(const std::vector<TraceEvent>& trace,
+                           AuditOptions options) {
+  const std::vector<AuditViolation> violations =
+      TraceAuditor(options).Audit(trace);
+  if (violations.empty()) {
+    return OkStatus();
+  }
+  std::ostringstream oss;
+  oss << violations.size() << " protocol invariant violation(s):";
+  const size_t shown = std::min<size_t>(violations.size(), 5);
+  for (size_t i = 0; i < shown; ++i) {
+    oss << "\n  " << violations[i].ToString();
+  }
+  if (shown < violations.size()) {
+    oss << "\n  ...";
+  }
+  return InternalError(oss.str());
+}
+
+}  // namespace polyvalue

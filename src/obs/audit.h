@@ -1,0 +1,79 @@
+// TraceAuditor: replays a recorded protocol trace and checks that the
+// path the system took — not just the end state — was legal.
+//
+// Gray & Lamport frame commit protocols as transition systems whose
+// correctness is a property of the transition sequence; the auditor
+// states our protocol the same way, over the TraceEvent stream:
+//
+//   A1  Decision uniqueness — a transaction reaches at most one
+//       terminal decision (commit / abort / read-only) at its
+//       coordinator, and never both commit and abort.
+//   A2  Outcome agreement — every outcome any site learns for a
+//       transaction carries the same commit flag (atomicity: no site
+//       applies a commit another site saw aborted).
+//   A3  Commit provenance — a site may learn "committed" only after
+//       the coordinator emitted its durable commit decision. (Aborts
+//       need no provenance: presumed abort manufactures them.)
+//   A4  Notify follows knowledge — a site sends OUTCOME_NOTIFY for a
+//       transaction only after it learned that outcome itself, with
+//       the same flag.
+//   A5  Crash silence — a crashed site emits nothing between its
+//       crash and its recover (a down site neither sends, receives,
+//       nor mutates state).
+//   A6  Vote before doubt — a wait-timeout / blocked-hold /
+//       polyvalue-bearing participant voted READY for that
+//       transaction first (Figure 1: `wait` is only entered from
+//       `compute` via the vote).
+//   When the trace is quiescent (network healed, system drained):
+//   A7  Uncertainty drains — every polyvalue install is matched by a
+//       later reduction of the same item at the same site.
+//   A8  Submits terminate — every submit reaches a terminal decision,
+//       unless its coordinator crashed after the submit (the client
+//       is legitimately orphaned; its outcome resolves by inquiry).
+//
+// Events are checked in recorded (execution) order; see trace.h for
+// the ordering guarantee on the deterministic simulator.
+#ifndef SRC_OBS_AUDIT_H_
+#define SRC_OBS_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/trace.h"
+
+namespace polyvalue {
+
+struct AuditOptions {
+  // The trace covers a run that healed and drained: enforce A7/A8.
+  bool expect_quiescent = true;
+};
+
+struct AuditViolation {
+  size_t event_index;   // offending event, or trace.size() for
+                        // end-of-trace (quiescence) violations
+  std::string message;
+
+  std::string ToString() const;
+};
+
+class TraceAuditor {
+ public:
+  explicit TraceAuditor(AuditOptions options = {}) : options_(options) {}
+
+  // Returns every invariant violation found (empty = trace is legal).
+  std::vector<AuditViolation> Audit(
+      const std::vector<TraceEvent>& trace) const;
+
+  // Convenience: OK iff Audit() finds nothing; otherwise an error
+  // whose message lists the first violations.
+  static Status Check(const std::vector<TraceEvent>& trace,
+                      AuditOptions options = {});
+
+ private:
+  AuditOptions options_;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_OBS_AUDIT_H_

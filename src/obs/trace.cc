@@ -1,0 +1,82 @@
+#include "src/obs/trace.h"
+
+#include <sstream>
+
+namespace polyvalue {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kSubmit:
+      return "submit";
+    case TraceEventType::kLocalFastPath:
+      return "local_fast_path";
+    case TraceEventType::kWriteShipped:
+      return "write_shipped";
+    case TraceEventType::kAlternativeFork:
+      return "alternative_fork";
+    case TraceEventType::kDecisionCommit:
+      return "decision_commit";
+    case TraceEventType::kDecisionAbort:
+      return "decision_abort";
+    case TraceEventType::kReadOnlyDone:
+      return "read_only_done";
+    case TraceEventType::kPrepareRecv:
+      return "prepare_recv";
+    case TraceEventType::kPrepareRefused:
+      return "prepare_refused";
+    case TraceEventType::kReadySent:
+      return "ready_sent";
+    case TraceEventType::kWaitTimeout:
+      return "wait_timeout";
+    case TraceEventType::kBlockedHold:
+      return "blocked_hold";
+    case TraceEventType::kArbitraryCommit:
+      return "arbitrary_commit";
+    case TraceEventType::kPolyInstall:
+      return "poly_install";
+    case TraceEventType::kPolyReduce:
+      return "poly_reduce";
+    case TraceEventType::kOutcomeInquiry:
+      return "outcome_inquiry";
+    case TraceEventType::kOutcomeLearned:
+      return "outcome_learned";
+    case TraceEventType::kOutcomeNotify:
+      return "outcome_notify";
+    case TraceEventType::kCrash:
+      return "crash";
+    case TraceEventType::kRecover:
+      return "recover";
+    case TraceEventType::kWalReplay:
+      return "wal_replay";
+    case TraceEventType::kCheckpoint:
+      return "checkpoint";
+    case TraceEventType::kMsgDropped:
+      return "msg_dropped";
+    case TraceEventType::kMsgDelivered:
+      return "msg_delivered";
+  }
+  return "?";
+}
+
+std::string TraceEvent::ToString() const {
+  std::ostringstream oss;
+  oss << "[" << time << "] " << TraceEventTypeName(type) << " " << site;
+  if (txn.valid()) {
+    oss << " " << txn;
+  }
+  if (!key.empty()) {
+    oss << " '" << key << "'";
+  }
+  if (peer.valid()) {
+    oss << " peer=" << peer;
+  }
+  if (flag) {
+    oss << " flag";
+  }
+  if (arg != 0) {
+    oss << " arg=" << arg;
+  }
+  return oss.str();
+}
+
+}  // namespace polyvalue

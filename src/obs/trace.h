@@ -1,0 +1,141 @@
+// Protocol trace: structured events for every transaction lifecycle
+// transition, emitted by the engine, the sites, and the simulated
+// transport.
+//
+// The §4 model is validated entirely by counting invisible state
+// transitions over time — in-doubt entry/exit, polyvalue install and
+// reduction, outcome propagation. A TraceSink makes those transitions
+// first-class: every run can record its own event stream, and the
+// TraceAuditor (audit.h) replays the stream against the protocol's
+// invariants, turning any randomized schedule into a protocol test.
+//
+// Cost contract: tracing must be free when no sink is attached. Every
+// emission point is guarded by a single null-pointer check before any
+// event is constructed; bench_throughput verifies the no-sink path shows
+// no measurable regression.
+//
+// Event ordering: on the deterministic simulator, events are appended in
+// execution order, which is causal order — the auditor relies on the
+// sequence, not on timestamps (events at the same virtual time keep
+// their emission order). On the threaded runtime the sink is
+// thread-safe but cross-site ordering is best-effort; audit sim traces.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace polyvalue {
+
+// Every observable lifecycle transition. Grouped by emitter:
+// coordinator, participant, shared outcome machinery, site lifecycle,
+// transport.
+enum class TraceEventType : uint8_t {
+  // -- coordinator --
+  kSubmit = 1,        // transaction accepted at its coordinator
+  kLocalFastPath,     // single-site txn ran without message rounds
+  kWriteShipped,      // computed writes fanned out (arg = participants)
+  kAlternativeFork,   // polytransaction forked (arg = alternatives run)
+  kDecisionCommit,    // coordinator durably decided COMMIT
+  kDecisionAbort,     // coordinator decided ABORT (flag unused)
+  kReadOnlyDone,      // terminal read-only disposition (no atomic update)
+  // -- participant (Figure 1) --
+  kPrepareRecv,       // idle -> compute: locks acquired or queued
+  kPrepareRefused,    // prepare refused (lock conflict / missing item)
+  kReadySent,         // compute -> wait: READY voted, writes durable
+  kWaitTimeout,       // in-doubt window expired; policy applies next
+  kBlockedHold,       // kBlock policy: locks held past the timeout
+  kArbitraryCommit,   // kArbitrary policy: unilateral commit
+  // -- items --
+  kPolyInstall,       // an item transitioned certain -> uncertain
+  kPolyReduce,        // an item transitioned uncertain -> certain
+  // -- outcome propagation (§3.3) --
+  kOutcomeInquiry,    // pull: OUTCOME_REQUEST sent (arg = coordinator)
+  kOutcomeLearned,    // this site learned txn's outcome (flag = commit)
+  kOutcomeNotify,     // push: OUTCOME_NOTIFY sent (arg = target site)
+  // -- site lifecycle --
+  kCrash,             // site lost volatile state
+  kRecover,           // site back up; in-doubt policy re-applied
+  kWalReplay,         // durable state rebuilt from the log (arg = records)
+  kCheckpoint,        // snapshot written, WAL truncated
+  // -- transport --
+  kMsgDropped,        // packet lost (site = sender, peer = target)
+  kMsgDelivered,      // packet handed to a live site (site = receiver)
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+
+// One observed transition. Fields beyond (time, type, site) are
+// populated only where meaningful; see the enum comments.
+struct TraceEvent {
+  double time = 0;                 // virtual (sim) or wall-clock seconds
+  TraceEventType type = TraceEventType::kSubmit;
+  SiteId site;                     // the site the event happened at
+  TxnId txn;                       // transaction scope, when any
+  ItemKey key;                     // item scope, when any
+  SiteId peer;                     // message events: the other endpoint
+  bool flag = false;               // outcome flag (true = committed)
+  uint64_t arg = 0;                // counts (alternatives, bytes, sites)
+
+  std::string ToString() const;
+};
+
+// Receives every event from the components it is attached to. Emit may
+// be called from simulator steps or from transport/scheduler threads;
+// implementations must be thread-safe.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const TraceEvent& event) = 0;
+};
+
+// Records events in order for later audit or golden comparison.
+class VectorTraceSink : public TraceSink {
+ public:
+  void Emit(const TraceEvent& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  // Copies the events recorded so far.
+  std::vector<TraceEvent> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// Counts events without storing them — the cheapest live sink; used by
+// benches to measure tracing overhead with emission still active.
+class CountingTraceSink : public TraceSink {
+ public:
+  void Emit(const TraceEvent&) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_OBS_TRACE_H_

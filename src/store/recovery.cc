@@ -3,7 +3,8 @@
 namespace polyvalue {
 
 Status RecoverSiteState(const std::vector<WalRecord>& records,
-                        ItemStore* items, OutcomeTable* outcomes) {
+                        ItemStore* items, OutcomeTable* outcomes,
+                        TraceSink* trace, SiteId site) {
   for (const WalRecord& record : records) {
     switch (record.type) {
       case WalRecordType::kWrite:
@@ -35,6 +36,28 @@ Status RecoverSiteState(const std::vector<WalRecord>& records,
         // compaction.)
         break;
       }
+    }
+  }
+  if (trace != nullptr) {
+    TraceEvent replay;
+    replay.type = TraceEventType::kWalReplay;
+    replay.site = site;
+    replay.arg = records.size();
+    trace->Emit(replay);
+    // Items still uncertain after replay re-enter the auditor's open set:
+    // the in-doubt window survived the crash and must still drain.
+    for (const ItemKey& key : items->UncertainKeys()) {
+      const Result<PolyValue> value = items->Read(key);
+      if (!value.ok()) {
+        continue;
+      }
+      const std::vector<TxnId> deps = value.value().Dependencies();
+      TraceEvent install;
+      install.type = TraceEventType::kPolyInstall;
+      install.site = site;
+      install.txn = deps.empty() ? TxnId() : deps.front();
+      install.key = key;
+      trace->Emit(install);
     }
   }
   return OkStatus();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/trace.h"
 #include "src/store/item_store.h"
 #include "src/store/outcome_table.h"
 #include "src/store/wal.h"
@@ -13,9 +14,12 @@ namespace polyvalue {
 
 // Applies `records` in order, rebuilding the item store and outcome table
 // exactly as they stood at the last intact log record. The targets should
-// be freshly constructed.
+// be freshly constructed. When `trace` is non-null, emits a kWalReplay
+// event (arg = record count) plus one kPolyInstall per item left
+// uncertain after replay, attributed to `site`.
 Status RecoverSiteState(const std::vector<WalRecord>& records,
-                        ItemStore* items, OutcomeTable* outcomes);
+                        ItemStore* items, OutcomeTable* outcomes,
+                        TraceSink* trace = nullptr, SiteId site = SiteId());
 
 }  // namespace polyvalue
 

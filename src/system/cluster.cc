@@ -1,6 +1,7 @@
 #include "src/system/cluster.h"
 
 #include "src/common/check.h"
+#include "src/common/strings.h"
 
 namespace polyvalue {
 
@@ -8,12 +9,14 @@ SimCluster::SimCluster(Options options)
     : options_(std::move(options)), rng_(options_.seed) {
   faults_.SetDelayRange(options_.min_delay, options_.max_delay);
   transport_ = std::make_unique<SimTransport>(&sim_, &faults_, &rng_);
+  transport_->set_trace(options_.trace);
   scheduler_ = std::make_unique<SimScheduler>(&sim_);
   sites_.reserve(options_.site_count);
   for (size_t i = 0; i < options_.site_count; ++i) {
     Site::Options site_options;
     site_options.engine = options_.engine;
     site_options.default_factory = options_.default_factory;
+    site_options.trace = options_.trace;
     auto site = std::make_unique<Site>(site_id(i), transport_.get(),
                                        scheduler_.get(), site_options);
     POLYV_CHECK(site->Start().ok());
@@ -72,6 +75,26 @@ EngineMetrics SimCluster::TotalMetrics() const {
   return total;
 }
 
+void SimCluster::ExportMetrics(MetricsRegistry* registry) const {
+  EngineMetrics total;
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    const EngineMetrics m = sites_[i]->engine().metrics();
+    m.ExportTo(registry, StrCat("site", i, "."));
+    registry->SetCounter(StrCat("site", i, ".uncertain_items"),
+                         sites_[i]->store().UncertainCount());
+    total.Accumulate(m);
+  }
+  total.ExportTo(registry, "cluster.");
+  registry->SetCounter("cluster.uncertain_items", TotalUncertainItems());
+  registry->SetCounter("cluster.packets_sent", transport_->packets_sent());
+  registry->SetCounter("cluster.packets_delivered",
+                       transport_->packets_delivered());
+  registry->SetCounter("cluster.packets_dropped",
+                       transport_->packets_dropped());
+  registry->SetCounter("cluster.bytes_sent", transport_->bytes_sent());
+  registry->Gauge("cluster.sim_time_seconds", sim_.now());
+}
+
 ThreadCluster::ThreadCluster(Options options)
     : options_(std::move(options)) {
   if (options_.transport != nullptr) {
@@ -86,6 +109,7 @@ ThreadCluster::ThreadCluster(Options options)
     Site::Options site_options;
     site_options.engine = options_.engine;
     site_options.default_factory = options_.default_factory;
+    site_options.trace = options_.trace;
     auto site = std::make_unique<Site>(site_id(i), transport_,
                                        &scheduler_, site_options);
     POLYV_CHECK(site->Start().ok());
@@ -135,6 +159,18 @@ EngineMetrics ThreadCluster::TotalMetrics() const {
     total.Accumulate(site->engine().metrics());
   }
   return total;
+}
+
+void ThreadCluster::ExportMetrics(MetricsRegistry* registry) const {
+  EngineMetrics total;
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    const EngineMetrics m = sites_[i]->engine().metrics();
+    m.ExportTo(registry, StrCat("site", i, "."));
+    registry->SetCounter(StrCat("site", i, ".uncertain_items"),
+                         sites_[i]->store().UncertainCount());
+    total.Accumulate(m);
+  }
+  total.ExportTo(registry, "cluster.");
 }
 
 }  // namespace polyvalue

@@ -18,6 +18,8 @@
 #include "src/event/simulator.h"
 #include "src/net/mem_transport.h"
 #include "src/net/sim_transport.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/system/site.h"
 
 namespace polyvalue {
@@ -32,6 +34,9 @@ class SimCluster {
     // Network latency range (seconds).
     double min_delay = 0.001;
     double max_delay = 0.003;
+    // Optional protocol trace sink, shared by every site's engine and
+    // the transport. Null (the default) disables tracing at zero cost.
+    TraceSink* trace = nullptr;
   };
 
   explicit SimCluster(Options options);
@@ -70,6 +75,11 @@ class SimCluster {
   // Aggregated engine metrics across sites.
   EngineMetrics TotalMetrics() const;
 
+  // Exports per-site metrics (prefix "site<i>.") plus cluster-wide
+  // aggregates (prefix "cluster.") and transport counters into
+  // `registry`.
+  void ExportMetrics(MetricsRegistry* registry) const;
+
  private:
   Options options_;
   Simulator sim_;
@@ -91,6 +101,9 @@ class ThreadCluster {
     // When set, sites use this externally owned transport (e.g. a
     // TcpTransport) instead of an internal MemTransport.
     Transport* transport = nullptr;
+    // Optional protocol trace sink shared by every site's engine. Must
+    // be thread-safe (VectorTraceSink and CountingTraceSink are).
+    TraceSink* trace = nullptr;
   };
 
   explicit ThreadCluster(Options options);
@@ -112,6 +125,9 @@ class ThreadCluster {
                                          double timeout_seconds = 10.0);
 
   EngineMetrics TotalMetrics() const;
+
+  // Same layout as SimCluster::ExportMetrics, minus transport counters.
+  void ExportMetrics(MetricsRegistry* registry) const;
 
  private:
   Options options_;

@@ -11,6 +11,7 @@ Site::Site(SiteId id, Transport* transport, Scheduler* scheduler,
            Options options)
     : id_(id),
       transport_(transport),
+      scheduler_(scheduler),
       options_(std::move(options)),
       items_(options_.default_factory) {
   engine_ = std::make_unique<TxnEngine>(
@@ -23,6 +24,9 @@ Site::Site(SiteId id, Transport* transport, Scheduler* scheduler,
         }
       },
       options_.engine);
+  if (options_.trace != nullptr) {
+    engine_->AttachTrace(options_.trace);
+  }
 }
 
 Site::~Site() {
@@ -48,7 +52,8 @@ Status Site::Start() {
     }
     POLYV_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
                            Wal::ReplayFile(options_.wal_path));
-    POLYV_RETURN_IF_ERROR(RecoverSiteState(records, &items_, &outcomes_));
+    POLYV_RETURN_IF_ERROR(RecoverSiteState(records, &items_, &outcomes_,
+                                           options_.trace, id_));
     engine_->RestoreDurableState(records);
     POLYV_ASSIGN_OR_RETURN(wal_, Wal::Open(options_.wal_path));
     engine_->AttachWal(wal_.get());
@@ -67,6 +72,14 @@ Status Site::Checkpoint() {
   engine_->ExportDurableState(&snapshot);
   POLYV_RETURN_IF_ERROR(
       WriteSnapshotFile(snapshot, options_.wal_path + ".snap"));
+  if (options_.trace != nullptr) {
+    TraceEvent event;
+    event.time = scheduler_->Now();
+    event.type = TraceEventType::kCheckpoint;
+    event.site = id_;
+    event.arg = snapshot.items.size();
+    options_.trace->Emit(event);
+  }
   return wal_->Reset();
 }
 

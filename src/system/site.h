@@ -30,11 +30,16 @@ class Site {
     ItemStore::DefaultFactory default_factory;
     // Path for the WAL; empty disables durability.
     std::string wal_path;
+    // Optional protocol trace sink; attached to the engine and the WAL
+    // replay path. Null costs nothing.
+    TraceSink* trace = nullptr;
   };
 
   // `transport` and `scheduler` must outlive the site.
   Site(SiteId id, Transport* transport, Scheduler* scheduler,
-       Options options = {});
+       Options options);
+  Site(SiteId id, Transport* transport, Scheduler* scheduler)
+      : Site(id, transport, scheduler, Options()) {}
   ~Site();
 
   Site(const Site&) = delete;
@@ -98,6 +103,7 @@ class Site {
 
   const SiteId id_;
   Transport* const transport_;
+  Scheduler* const scheduler_;
   Options options_;
   ItemStore items_;
   OutcomeTable outcomes_;

@@ -46,6 +46,8 @@
 
 #include "src/common/ids.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/store/item_store.h"
 #include "src/store/outcome_table.h"
 #include "src/store/snapshot.h"
@@ -134,6 +136,10 @@ struct EngineMetrics {
 
   // Adds `other` field-by-field (cluster-wide aggregation).
   void Accumulate(const EngineMetrics& other);
+
+  // Writes every field into `registry` under `prefix` — totals as
+  // counters, phase durations as gauges (machine-readable export).
+  void ExportTo(MetricsRegistry* registry, const std::string& prefix) const;
 };
 
 class TxnEngine {
@@ -147,6 +153,12 @@ class TxnEngine {
   // Optional durability: every install / outcome / tracking mutation is
   // logged. The engine does not own the WAL.
   void AttachWal(Wal* wal) { wal_ = wal; }
+
+  // Optional observability: every lifecycle transition is emitted to
+  // `sink` (src/obs/trace.h). Attach before traffic; the engine does not
+  // own the sink. With no sink attached every emission point is a single
+  // null-pointer check (verified free by bench_throughput).
+  void AttachTrace(TraceSink* sink) { trace_ = sink; }
 
   SiteId self() const { return self_; }
   const EngineConfig& config() const { return config_; }
@@ -290,6 +302,38 @@ class TxnEngine {
   // this engine is destroyed (timers may outlive a restarted site).
   Scheduler::TimerId ScheduleGuarded(double delay, std::function<void()> fn);
 
+  // Trace emission helpers. The null check comes first so an unattached
+  // sink costs one predictable branch and nothing is constructed; call
+  // sites that must *compute* event arguments guard on trace_ themselves.
+  void Trace(TraceEventType type, TxnId txn, bool flag = false,
+             uint64_t arg = 0) {
+    if (trace_ == nullptr) {
+      return;
+    }
+    TraceEvent event;
+    event.time = scheduler_->Now();
+    event.type = type;
+    event.site = self_;
+    event.txn = txn;
+    event.flag = flag;
+    event.arg = arg;
+    trace_->Emit(event);
+  }
+  void TraceKey(TraceEventType type, TxnId txn, const ItemKey& key,
+                bool flag = false) {
+    if (trace_ == nullptr) {
+      return;
+    }
+    TraceEvent event;
+    event.time = scheduler_->Now();
+    event.type = type;
+    event.site = self_;
+    event.txn = txn;
+    event.key = key;
+    event.flag = flag;
+    trace_->Emit(event);
+  }
+
   static constexpr int kSiteShift = kTxnSiteShift;
 
   const SiteId self_;
@@ -299,6 +343,7 @@ class TxnEngine {
   const SendFn send_;
   const EngineConfig config_;
   Wal* wal_ = nullptr;
+  TraceSink* trace_ = nullptr;
 
   mutable std::mutex mu_;
   uint64_t next_seq_ = 1;

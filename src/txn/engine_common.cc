@@ -44,6 +44,32 @@ void EngineMetrics::Accumulate(const EngineMetrics& other) {
   wait_phase_count += other.wait_phase_count;
 }
 
+void EngineMetrics::ExportTo(MetricsRegistry* registry,
+                             const std::string& prefix) const {
+  registry->SetCounter(prefix + "txns_submitted", txns_submitted);
+  registry->SetCounter(prefix + "txns_committed", txns_committed);
+  registry->SetCounter(prefix + "txns_aborted", txns_aborted);
+  registry->SetCounter(prefix + "txns_read_only", txns_read_only);
+  registry->SetCounter(prefix + "polytxns", polytxns);
+  registry->SetCounter(prefix + "alternatives_executed",
+                       alternatives_executed);
+  registry->SetCounter(prefix + "uncertain_outputs", uncertain_outputs);
+  registry->SetCounter(prefix + "polyvalue_installs", polyvalue_installs);
+  registry->SetCounter(prefix + "polyvalues_resolved", polyvalues_resolved);
+  registry->SetCounter(prefix + "wait_timeouts", wait_timeouts);
+  registry->SetCounter(prefix + "blocked_holds", blocked_holds);
+  registry->SetCounter(prefix + "arbitrary_commits", arbitrary_commits);
+  registry->SetCounter(prefix + "outcome_inquiries", outcome_inquiries);
+  registry->SetCounter(prefix + "outcome_notifies", outcome_notifies);
+  registry->SetCounter(prefix + "local_fast_path", local_fast_path);
+  registry->SetCounter(prefix + "lock_waits", lock_waits);
+  registry->SetCounter(prefix + "lock_wait_resumes", lock_wait_resumes);
+  registry->SetCounter(prefix + "compute_phase_count", compute_phase_count);
+  registry->SetCounter(prefix + "wait_phase_count", wait_phase_count);
+  registry->Gauge(prefix + "compute_phase_seconds", compute_phase_seconds);
+  registry->Gauge(prefix + "wait_phase_seconds", wait_phase_seconds);
+}
+
 TxnEngine::TxnEngine(SiteId self, ItemStore* items, OutcomeTable* outcomes,
                      Scheduler* scheduler, SendFn send, EngineConfig config)
     : self_(self),
@@ -157,14 +183,21 @@ void TxnEngine::InstallValue(const ItemKey& key, const PolyValue& raw_value) {
     }
   }
   const Result<PolyValue> previous = items_->Read(key);
+  const bool was_uncertain = previous.ok() && !previous.value().is_certain();
   if (previous.ok()) {
     for (TxnId dep : previous.value().Dependencies()) {
       outcomes_->ForgetDependentItem(dep, key);
       Wal_(WalRecord::UntrackItem(dep, key));
     }
-    if (!previous.value().is_certain() && value.is_certain()) {
+    if (was_uncertain && value.is_certain()) {
       ++metrics_.polyvalues_resolved;
+      TraceKey(TraceEventType::kPolyReduce, TxnId(), key);
     }
+  }
+  if (trace_ != nullptr && !was_uncertain && !value.is_certain()) {
+    const std::vector<TxnId> deps = value.Dependencies();
+    TraceKey(TraceEventType::kPolyInstall,
+             deps.empty() ? TxnId() : deps.front(), key);
   }
   items_->Write(key, value);
   Wal_(WalRecord::Write(key, value));
@@ -188,6 +221,7 @@ void TxnEngine::HandleLearnedOutcome(TxnId txn, bool committed,
   if (res.already_known) {
     return;
   }
+  Trace(TraceEventType::kOutcomeLearned, txn, committed);
   Wal_(WalRecord::Outcome(txn, committed));
   for (const ItemKey& key : res.items_to_reduce) {
     const Result<PolyValue> current = items_->Read(key);
@@ -200,6 +234,7 @@ void TxnEngine::HandleLearnedOutcome(TxnId txn, bool committed,
     }
     if (!current.value().is_certain() && reduced.is_certain()) {
       ++metrics_.polyvalues_resolved;
+      TraceKey(TraceEventType::kPolyReduce, txn, key, committed);
     }
     items_->Write(key, reduced);
     Wal_(WalRecord::Write(key, reduced));
@@ -211,6 +246,7 @@ void TxnEngine::HandleLearnedOutcome(TxnId txn, bool committed,
       continue;
     }
     ++metrics_.outcome_notifies;
+    Trace(TraceEventType::kOutcomeNotify, txn, committed, site.value());
     out->sends.emplace_back(site, MakeOutcomeNotify(txn, committed));
   }
   // A blocked (kBlock) or still-pending participation on this txn can now
@@ -282,6 +318,8 @@ void TxnEngine::InquiryTick() {
         continue;
       }
       ++metrics_.outcome_inquiries;
+      Trace(TraceEventType::kOutcomeInquiry, txn, false,
+            coordinator.value());
       out.sends.emplace_back(coordinator, MakeOutcomeRequest(txn));
     }
     ScheduleGuarded(config_.inquiry_interval, [this] { InquiryTick(); });
@@ -324,6 +362,7 @@ void TxnEngine::Crash() {
   std::vector<TxnCallback> orphaned;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    Trace(TraceEventType::kCrash, TxnId());
     crashed_ = true;
     for (auto& [txn, coord] : coordinations_) {
       if (coord.timer != 0) {
@@ -351,6 +390,7 @@ void TxnEngine::Recover() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     crashed_ = false;
+    Trace(TraceEventType::kRecover, TxnId(), false, prepared_.size());
     // Re-enter the in-doubt path for every prepared-but-undecided
     // transaction that survived in the durable state.
     std::vector<TxnId> pending;

@@ -32,6 +32,7 @@ TxnId TxnEngine::Submit(TxnSpec spec, TxnCallback callback, TxnId txn) {
       FlushOutbox(&out);
       return txn;
     }
+    Trace(TraceEventType::kSubmit, txn);
     Coordination coord;
     coord.participants = spec.Participants();
     coord.callback = std::move(callback);
@@ -51,12 +52,14 @@ TxnId TxnEngine::Submit(TxnSpec spec, TxnCallback callback, TxnId txn) {
       r.id = txn;
       if (effect.abort) {
         ++metrics_.txns_aborted;
+        Trace(TraceEventType::kDecisionAbort, txn);
         r.disposition = TxnDisposition::kAborted;
         r.abort_reason = effect.abort_reason;
       } else {
         POLYV_CHECK_MSG(effect.writes.empty(),
                         "transaction writes items but declared no sites");
         ++metrics_.txns_read_only;
+        Trace(TraceEventType::kReadOnlyDone, txn);
         r.disposition = TxnDisposition::kReadOnly;
         r.output =
             PolyValue::Certain(effect.output.value_or(Value::Null()));
@@ -125,6 +128,8 @@ bool TxnEngine::TryLocalFastPath(TxnId txn, const TxnSpec& spec,
     if (!lock_status.ok()) {
       ++metrics_.local_fast_path;
       ++metrics_.txns_aborted;
+      Trace(TraceEventType::kLocalFastPath, txn);
+      Trace(TraceEventType::kDecisionAbort, txn);
       TxnResult r;
       r.id = txn;
       r.disposition = TxnDisposition::kAborted;
@@ -142,6 +147,8 @@ bool TxnEngine::TryLocalFastPath(TxnId txn, const TxnSpec& spec,
     if (!value.ok()) {
       ++metrics_.local_fast_path;
       ++metrics_.txns_aborted;
+      Trace(TraceEventType::kLocalFastPath, txn);
+      Trace(TraceEventType::kDecisionAbort, txn);
       TxnResult r;
       r.id = txn;
       r.disposition = TxnDisposition::kAborted;
@@ -162,8 +169,10 @@ bool TxnEngine::TryLocalFastPath(TxnId txn, const TxnSpec& spec,
   const Result<PolyTxnResult> result =
       ExecutePolyTransaction(inputs, previous, spec.logic, options);
   ++metrics_.local_fast_path;
+  Trace(TraceEventType::kLocalFastPath, txn);
   if (!result.ok()) {
     ++metrics_.txns_aborted;
+    Trace(TraceEventType::kDecisionAbort, txn);
     TxnResult r;
     r.id = txn;
     r.disposition = TxnDisposition::kAborted;
@@ -177,6 +186,8 @@ bool TxnEngine::TryLocalFastPath(TxnId txn, const TxnSpec& spec,
   }
   if (any_uncertain_input) {
     ++metrics_.polytxns;
+    Trace(TraceEventType::kAlternativeFork, txn, false,
+          result->alternatives_executed);
   }
   metrics_.alternatives_executed += result->alternatives_executed;
 
@@ -188,12 +199,14 @@ bool TxnEngine::TryLocalFastPath(TxnId txn, const TxnSpec& spec,
   }
   if (result->writes.empty()) {
     ++metrics_.txns_read_only;
+    Trace(TraceEventType::kReadOnlyDone, txn);
     r.disposition = TxnDisposition::kReadOnly;
     finish(std::move(r));
     return true;
   }
   // Durable decision, then install — mirrors the full path's ordering.
   RecordDecisionDurable(txn, /*commit=*/true);
+  Trace(TraceEventType::kDecisionCommit, txn);
   for (const auto& [key, value] : result->writes) {
     InstallValue(key, value);
   }
@@ -303,6 +316,8 @@ void TxnEngine::ExecuteAndShip(TxnId txn, Coordination* coord, Outbox* out) {
   }
   if (any_uncertain_input) {
     ++metrics_.polytxns;
+    Trace(TraceEventType::kAlternativeFork, txn, false,
+          result->alternatives_executed);
   }
   metrics_.alternatives_executed += result->alternatives_executed;
   coord->output = result->output;
@@ -318,6 +333,7 @@ void TxnEngine::ExecuteAndShip(TxnId txn, Coordination* coord, Outbox* out) {
     r.disposition = TxnDisposition::kReadOnly;
     r.output = coord->output;
     ++metrics_.txns_read_only;
+    Trace(TraceEventType::kReadOnlyDone, txn);
     for (SiteId site : coord->participants) {
       out->sends.emplace_back(site, MakeAbort(txn));
     }
@@ -348,6 +364,7 @@ void TxnEngine::ExecuteAndShip(TxnId txn, Coordination* coord, Outbox* out) {
     coord->awaiting.insert(site);
     out->sends.emplace_back(site, MakeWriteReq(txn, std::move(site_writes)));
   }
+  Trace(TraceEventType::kWriteShipped, txn, false, coord->participants.size());
   coord->timer = ScheduleGuarded(
       config_.ready_timeout,
       [this, txn] { CoordinatorTimeout(txn, CoordPhase::kWaitingReady); });
@@ -387,6 +404,9 @@ void TxnEngine::Decide(TxnId txn, bool commit, const std::string& reason,
   } else {
     ++metrics_.txns_aborted;
   }
+  Trace(commit ? TraceEventType::kDecisionCommit
+               : TraceEventType::kDecisionAbort,
+        txn);
   for (SiteId site : coord.participants) {
     out->sends.emplace_back(site,
                             commit ? MakeComplete(txn) : MakeAbort(txn));

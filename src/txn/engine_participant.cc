@@ -41,6 +41,7 @@ void TxnEngine::HandlePrepare(SiteId from, const Message& msg, Outbox* out) {
         case ItemStore::LockAttempt::kRefused:
           items_->CancelWaits(txn);
           ReleaseLocks(txn, out);
+          TraceKey(TraceEventType::kPrepareRefused, txn, key);
           out->sends.emplace_back(
               msg.coordinator,
               MakePrepareRefusal(txn, "wait-die: younger than holder of '" +
@@ -51,6 +52,7 @@ void TxnEngine::HandlePrepare(SiteId from, const Message& msg, Outbox* out) {
       const Status lock_status = items_->Lock(key, txn);
       if (!lock_status.ok()) {
         ReleaseLocks(txn, out);
+        TraceKey(TraceEventType::kPrepareRefused, txn, key);
         out->sends.emplace_back(
             msg.coordinator,
             MakePrepareRefusal(txn, lock_status.message()));
@@ -87,6 +89,7 @@ void TxnEngine::HandlePrepare(SiteId from, const Message& msg, Outbox* out) {
   const bool parked = !part.awaited_keys.empty();
   auto [it, inserted] = participations_.emplace(txn, std::move(part));
   POLYV_CHECK(inserted);
+  Trace(TraceEventType::kPrepareRecv, txn, parked);
   if (parked) {
     ++metrics_.lock_waits;
     return;  // resumed from ReleaseLocks when the grants arrive
@@ -123,6 +126,7 @@ void TxnEngine::FinishPrepareReads(TxnId txn, Participation* part,
       participations_.erase(txn);  // invalidates part
       items_->CancelWaits(txn);
       ReleaseLocks(txn, out);
+      TraceKey(TraceEventType::kPrepareRefused, txn, key);
       out->sends.emplace_back(
           coordinator, MakePrepareRefusal(txn, value.status().message()));
       return;
@@ -186,6 +190,7 @@ void TxnEngine::HandleWriteReq(SiteId from, const Message& msg,
   // Vote READY. The vote is a promise: the writes must survive a crash,
   // so they go to the durable prepared set first (§3.1's wait phase).
   MarkPreparedDurable(txn, part.coordinator, part.pending_writes);
+  Trace(TraceEventType::kReadySent, txn, false, part.pending_writes.size());
   out->sends.emplace_back(from, MakeReady(txn));
 
   // wait -> idle happens on COMPLETE, ABORT, or this timeout.
@@ -267,6 +272,7 @@ void TxnEngine::WaitTimeout(TxnId txn) {
       return;
     }
     ++metrics_.wait_timeouts;
+    Trace(TraceEventType::kWaitTimeout, txn);
     ApplyInDoubtPolicy(txn, &it->second, &out);
   }
   FlushOutbox(&out);
@@ -310,6 +316,7 @@ void TxnEngine::ApplyInDoubtPolicy(TxnId txn, Participation* part,
       // inquiry loop polls the coordinator; FinishParticipation runs from
       // HandleLearnedOutcome when the answer arrives.
       ++metrics_.blocked_holds;
+      Trace(TraceEventType::kBlockedHold, txn);
       part->blocked = true;
       out->thunks.push_back([this] { EnsureInquiryLoop(); });
       break;
@@ -319,6 +326,7 @@ void TxnEngine::ApplyInDoubtPolicy(TxnId txn, Participation* part,
       // if the coordinator actually aborted this violates atomicity —
       // the availability bench audits exactly that.
       ++metrics_.arbitrary_commits;
+      Trace(TraceEventType::kArbitraryCommit, txn);
       FinishParticipation(txn, part, /*commit=*/true, out);
       break;
     }

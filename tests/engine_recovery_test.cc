@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "src/obs/audit.h"
 #include "src/system/cluster.h"
 
 namespace polyvalue {
@@ -32,6 +33,7 @@ class WalRecoveryTest : public ::testing::Test {
     }
     faults_.SetDelayRange(0.01, 0.01);
     transport_ = std::make_unique<SimTransport>(&sim_, &faults_, &rng_);
+    transport_->set_trace(&trace_);
     scheduler_ = std::make_unique<SimScheduler>(&sim_);
     for (int i = 0; i < 3; ++i) {
       sites_[i] = MakeSite(i);
@@ -50,6 +52,10 @@ class WalRecoveryTest : public ::testing::Test {
     Site::Options options;
     options.engine = FastConfig();
     options.wal_path = wal_paths_[index];
+    // The same sink spans every incarnation of every site, so the
+    // auditor sees pre-crash decisions when checking post-restart
+    // learned outcomes (invariant A3).
+    options.trace = &trace_;
     return std::make_unique<Site>(SiteId(index + 1), transport_.get(),
                                   scheduler_.get(), options);
   }
@@ -64,6 +70,15 @@ class WalRecoveryTest : public ::testing::Test {
     sites_[index]->engine().Recover();
   }
 
+  // The full trace — both incarnations of restarted sites — must obey
+  // the protocol invariants.
+  void ExpectLegalTrace() {
+    ASSERT_GT(trace_.size(), 0u);
+    const Status audit = TraceAuditor::Check(trace_.Snapshot());
+    EXPECT_TRUE(audit.ok()) << audit.message();
+  }
+
+  VectorTraceSink trace_;
   Simulator sim_;
   FaultPlan faults_;
   Rng rng_{17};
@@ -93,6 +108,7 @@ TEST_F(WalRecoveryTest, CommittedDataSurvivesRestart) {
 
   RestartSiteFromDisk(1);
   EXPECT_EQ(sites_[1]->Peek("x").value().certain_value(), Value::Int(42));
+  ExpectLegalTrace();
 }
 
 TEST_F(WalRecoveryTest, PreparedVoteSurvivesRestartAndResolves) {
@@ -138,6 +154,7 @@ TEST_F(WalRecoveryTest, PreparedVoteSurvivesRestartAndResolves) {
   sites_[0]->Recover(&faults_);
   sim_.RunUntil(sim_.now() + 2.0);
   EXPECT_EQ(sites_[1]->Peek("a").value().certain_value(), Value::Int(100));
+  ExpectLegalTrace();
 }
 
 TEST_F(WalRecoveryTest, CoordinatorDecisionSurvivesRestart) {
@@ -157,6 +174,7 @@ TEST_F(WalRecoveryTest, CoordinatorDecisionSurvivesRestart) {
 
   RestartSiteFromDisk(0);
   EXPECT_EQ(sites_[0]->engine().DecidedOutcome(txn), true);
+  ExpectLegalTrace();
 }
 
 TEST_F(WalRecoveryTest, UncertainPolyvalueSurvivesRestart) {
@@ -188,6 +206,7 @@ TEST_F(WalRecoveryTest, UncertainPolyvalueSurvivesRestart) {
   sim_.RunUntil(sim_.now() + 2.0);
   EXPECT_EQ(sites_[1]->Peek("a").value().certain_value(), Value::Int(100));
   EXPECT_EQ(sites_[2]->Peek("b").value().certain_value(), Value::Int(50));
+  ExpectLegalTrace();
 }
 
 }  // namespace

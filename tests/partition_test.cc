@@ -5,6 +5,7 @@
 // network did).
 #include <gtest/gtest.h>
 
+#include "src/obs/audit.h"
 #include "src/system/cluster.h"
 
 namespace polyvalue {
@@ -44,7 +45,10 @@ TxnSpec Transfer(const ItemKey& from, SiteId from_site, const ItemKey& to,
 }
 
 TEST(PartitionTest, EachSideKeepsProcessingLocalTraffic) {
-  SimCluster cluster(ClusterOptions());
+  VectorTraceSink trace;
+  SimCluster::Options options = ClusterOptions();
+  options.trace = &trace;
+  SimCluster cluster(options);
   cluster.Load(0, "a0", Value::Int(100));
   cluster.Load(1, "a1", Value::Int(100));
   cluster.Load(2, "a2", Value::Int(100));
@@ -70,10 +74,17 @@ TEST(PartitionTest, EachSideKeepsProcessingLocalTraffic) {
   EXPECT_FALSE(result->committed());
   cluster.RunFor(1.0);
   EXPECT_EQ(cluster.site(0).store().locked_count(), 0u);
+  // Even with the partition still up, the path taken was legal and the
+  // in-doubt window the cross-cut abort opened has drained.
+  const Status audit = TraceAuditor::Check(trace.Snapshot());
+  EXPECT_TRUE(audit.ok()) << audit.message();
 }
 
 TEST(PartitionTest, PartitionDuringCommitStrandsThenHeals) {
-  SimCluster cluster(ClusterOptions());
+  VectorTraceSink trace;
+  SimCluster::Options options = ClusterOptions();
+  options.trace = &trace;
+  SimCluster cluster(options);
   cluster.Load(1, "a", Value::Int(100));
   cluster.Load(2, "b", Value::Int(50));
   std::optional<TxnResult> result;
@@ -114,12 +125,17 @@ TEST(PartitionTest, PartitionDuringCommitStrandsThenHeals) {
   EXPECT_EQ(cluster.site(2).Peek("b").value().certain_value(),
             Value::Int(80));
   EXPECT_EQ(cluster.TotalUncertainItems(), 0u);
+  const Status audit = TraceAuditor::Check(trace.Snapshot());
+  EXPECT_TRUE(audit.ok()) << audit.message();
 }
 
 TEST(PartitionTest, AsymmetricInDoubtAcrossTheCut) {
   // Participants land on both sides of the cut: the side with the
   // coordinator completes normally, the other side goes polyvalue.
-  SimCluster cluster(ClusterOptions());
+  VectorTraceSink trace;
+  SimCluster::Options options = ClusterOptions();
+  options.trace = &trace;
+  SimCluster cluster(options);
   cluster.Load(1, "a", Value::Int(100));
   cluster.Load(2, "b", Value::Int(50));
   std::optional<TxnResult> result;
@@ -143,10 +159,15 @@ TEST(PartitionTest, AsymmetricInDoubtAcrossTheCut) {
   cluster.RunFor(2.0);
   EXPECT_EQ(cluster.site(2).Peek("b").value().certain_value(),
             Value::Int(80));
+  const Status audit = TraceAuditor::Check(trace.Snapshot());
+  EXPECT_TRUE(audit.ok()) << audit.message();
 }
 
 TEST(PartitionTest, FlappingPartitionConvergesAfterFinalHeal) {
-  SimCluster cluster(ClusterOptions());
+  VectorTraceSink trace;
+  SimCluster::Options options = ClusterOptions();
+  options.trace = &trace;
+  SimCluster cluster(options);
   for (int s = 0; s < 4; ++s) {
     cluster.Load(s, "k" + std::to_string(s), Value::Int(100));
   }
@@ -195,6 +216,9 @@ TEST(PartitionTest, FlappingPartitionConvergesAfterFinalHeal) {
         });
   }
   EXPECT_EQ(total, 400);
+  ASSERT_GT(trace.size(), 0u);
+  const Status audit = TraceAuditor::Check(trace.Snapshot());
+  EXPECT_TRUE(audit.ok()) << audit.message();
 }
 
 }  // namespace

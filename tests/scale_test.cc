@@ -131,5 +131,132 @@ INSTANTIATE_TEST_SUITE_P(
         ScaleCase{InDoubtPolicy::kPolyvalue, LockWaitPolicy::kWaitDie},
         ScaleCase{InDoubtPolicy::kBlock, LockWaitPolicy::kNoWait}));
 
+// Cluster-wide metrics are exactly the field-by-field sum of per-site
+// metrics, both through TotalMetrics() and through the MetricsRegistry
+// export — on a larger cluster than the soak above uses.
+TEST(MetricsAggregationTest, ClusterMetricsEqualSumOfSites) {
+  constexpr size_t kSites = 16;
+  constexpr int kItemsPerSite = 8;
+
+  SimCluster::Options options;
+  options.site_count = kSites;
+  options.seed = 1234;
+  options.engine.prepare_timeout = 0.3;
+  options.engine.ready_timeout = 0.3;
+  options.engine.wait_timeout = 0.1;
+  options.engine.inquiry_interval = 0.25;
+  SimCluster cluster(options);
+
+  for (size_t s = 0; s < kSites; ++s) {
+    for (int a = 0; a < kItemsPerSite; ++a) {
+      cluster.Load(s, "k/" + std::to_string(s) + "/" + std::to_string(a),
+                   Value::Int(100));
+    }
+  }
+
+  // Mixed traffic touching every site, with one mid-run outage and a
+  // lossy network so the failure-path counters (timeouts, installs,
+  // inquiries) are non-zero.
+  cluster.sim().At(2.0, [&cluster] { cluster.CrashSite(3); });
+  cluster.sim().At(4.5, [&cluster] { cluster.RecoverSite(3); });
+  cluster.faults().SetDropProbability(0.05);
+  cluster.sim().At(8.5, [&cluster] {
+    cluster.faults().SetDropProbability(0.0);
+    cluster.faults().HealAll();
+  });
+
+  Rng rng(4242);
+  int submitted = 0;
+  std::function<void()> pump = [&] {
+    if (cluster.sim().now() > 8.0) {
+      return;
+    }
+    cluster.sim().After(rng.NextExponential(1.0 / 50.0), [&] {
+      pump();
+      const size_t coordinator = rng.NextBelow(kSites);
+      if (cluster.site(coordinator).crashed()) {
+        return;
+      }
+      const size_t fs = rng.NextBelow(kSites);
+      size_t ts = rng.NextBelow(kSites);
+      const int fa = rng.NextBelow(kItemsPerSite);
+      int ta = rng.NextBelow(kItemsPerSite);
+      if (fs == ts && fa == ta) {
+        ta = (ta + 1) % kItemsPerSite;
+      }
+      const ItemKey from =
+          "k/" + std::to_string(fs) + "/" + std::to_string(fa);
+      const ItemKey to = "k/" + std::to_string(ts) + "/" + std::to_string(ta);
+      TxnSpec spec;
+      spec.ReadWrite(from, cluster.site_id(fs));
+      spec.ReadWrite(to, cluster.site_id(ts));
+      spec.Logic([from, to](const TxnReads& reads) {
+        TxnEffect e;
+        e.writes[from] = Value::Int(reads.IntAt(from) - 1);
+        e.writes[to] = Value::Int(reads.IntAt(to) + 1);
+        return e;
+      });
+      ++submitted;
+      cluster.Submit(coordinator, std::move(spec), [](const TxnResult&) {});
+    });
+  };
+  pump();
+  cluster.RunFor(10.0);
+  cluster.RunFor(20.0);  // quiesce
+  ASSERT_GT(submitted, 100);
+
+  // Field-by-field: TotalMetrics() == sum of every site's own metrics.
+  EngineMetrics sum;
+  for (size_t s = 0; s < kSites; ++s) {
+    sum.Accumulate(cluster.site(s).GetStats().engine);
+  }
+  const EngineMetrics total = cluster.TotalMetrics();
+  EXPECT_EQ(total.txns_submitted, sum.txns_submitted);
+  EXPECT_EQ(total.txns_committed, sum.txns_committed);
+  EXPECT_EQ(total.txns_aborted, sum.txns_aborted);
+  EXPECT_EQ(total.txns_read_only, sum.txns_read_only);
+  EXPECT_EQ(total.polytxns, sum.polytxns);
+  EXPECT_EQ(total.alternatives_executed, sum.alternatives_executed);
+  EXPECT_EQ(total.uncertain_outputs, sum.uncertain_outputs);
+  EXPECT_EQ(total.polyvalue_installs, sum.polyvalue_installs);
+  EXPECT_EQ(total.polyvalues_resolved, sum.polyvalues_resolved);
+  EXPECT_EQ(total.wait_timeouts, sum.wait_timeouts);
+  EXPECT_EQ(total.blocked_holds, sum.blocked_holds);
+  EXPECT_EQ(total.arbitrary_commits, sum.arbitrary_commits);
+  EXPECT_EQ(total.outcome_inquiries, sum.outcome_inquiries);
+  EXPECT_EQ(total.outcome_notifies, sum.outcome_notifies);
+  EXPECT_EQ(total.local_fast_path, sum.local_fast_path);
+  EXPECT_EQ(total.lock_waits, sum.lock_waits);
+  EXPECT_EQ(total.lock_wait_resumes, sum.lock_wait_resumes);
+  EXPECT_EQ(total.compute_phase_count, sum.compute_phase_count);
+  EXPECT_EQ(total.wait_phase_count, sum.wait_phase_count);
+  EXPECT_DOUBLE_EQ(total.compute_phase_seconds, sum.compute_phase_seconds);
+  EXPECT_DOUBLE_EQ(total.wait_phase_seconds, sum.wait_phase_seconds);
+  EXPECT_GT(total.txns_submitted, 0u);
+  EXPECT_GT(total.wait_timeouts, 0u);  // the outage produced in-doubt windows
+
+  // Registry export: every "cluster.<field>" counter equals the sum of
+  // the "site<i>.<field>" counters it aggregates.
+  MetricsRegistry registry;
+  cluster.ExportMetrics(&registry);
+  const char* kFields[] = {
+      "txns_submitted",     "txns_committed",    "txns_aborted",
+      "txns_read_only",     "polytxns",          "polyvalue_installs",
+      "polyvalues_resolved", "wait_timeouts",    "outcome_inquiries",
+      "outcome_notifies",   "local_fast_path",   "uncertain_items"};
+  for (const char* field : kFields) {
+    uint64_t site_sum = 0;
+    for (size_t s = 0; s < kSites; ++s) {
+      site_sum +=
+          registry.counter("site" + std::to_string(s) + "." + field);
+    }
+    EXPECT_EQ(registry.counter(std::string("cluster.") + field), site_sum)
+        << field;
+  }
+  EXPECT_EQ(registry.counter("cluster.packets_sent"),
+            cluster.transport().packets_sent());
+  EXPECT_TRUE(registry.Has("cluster.sim_time_seconds"));
+}
+
 }  // namespace
 }  // namespace polyvalue

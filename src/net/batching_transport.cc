@@ -1,0 +1,157 @@
+#include "src/net/batching_transport.h"
+
+#include <chrono>
+
+#include "src/net/codec.h"
+
+namespace polyvalue {
+
+BatchingTransport::BatchingTransport(Transport* inner, Options options)
+    : inner_(inner), options_(options) {
+  if (options_.enabled && options_.auto_flush) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+BatchingTransport::~BatchingTransport() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) {
+    flusher_.join();
+  }
+  FlushAll();  // drain whatever the flusher did not get to
+}
+
+Status BatchingTransport::Register(SiteId site, Handler handler) {
+  // Unpack batch frames so the engine above always sees single
+  // messages, whatever the inner transport did with them.
+  return inner_->Register(
+      site, [handler = std::move(handler)](Packet packet) {
+        if (IsPacketBatch(packet.payload)) {
+          Result<std::vector<Packet>> unpacked =
+              DecodePacketBatch(packet.payload);
+          if (!unpacked.ok()) {
+            return;  // corrupt frame: the whole batch is lost (tolerated)
+          }
+          for (Packet& p : unpacked.value()) {
+            handler(std::move(p));
+          }
+          return;
+        }
+        handler(std::move(packet));
+      });
+}
+
+Status BatchingTransport::Unregister(SiteId site) {
+  return inner_->Unregister(site);
+}
+
+Status BatchingTransport::Send(Packet packet) {
+  if (!options_.enabled) {
+    return inner_->Send(std::move(packet));
+  }
+  std::vector<Packet> flush_now;
+  bool newly_pending = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return inner_->Send(std::move(packet));
+    }
+    LinkQueue& queue =
+        queues_[{packet.from.value(), packet.to.value()}];
+    newly_pending = queue.packets.empty();
+    queue.bytes += packet.payload.size();
+    queue.packets.push_back(std::move(packet));
+    if (queue.packets.size() >= options_.max_batch ||
+        queue.bytes >= options_.max_bytes) {
+      flush_now.swap(queue.packets);
+      queue.bytes = 0;
+      newly_pending = false;
+    }
+  }
+  if (!flush_now.empty()) {
+    Dispatch(std::move(flush_now));
+  } else if (newly_pending) {
+    std::function<void()> hook;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      hook = flush_hook_;
+    }
+    if (hook) {
+      hook();
+    }
+  }
+  return OkStatus();
+}
+
+Status BatchingTransport::SendBatch(std::vector<Packet> packets) {
+  if (!options_.enabled) {
+    return inner_->SendBatch(std::move(packets));
+  }
+  for (Packet& packet : packets) {
+    POLYV_RETURN_IF_ERROR(Send(std::move(packet)));
+  }
+  return OkStatus();
+}
+
+void BatchingTransport::Dispatch(std::vector<Packet> packets) {
+  if (packets.empty()) {
+    return;
+  }
+  if (packets.size() == 1) {
+    (void)inner_->Send(std::move(packets.front()));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++batched_frames_;
+    packets_coalesced_ += packets.size();
+  }
+  (void)inner_->SendBatch(std::move(packets));
+}
+
+void BatchingTransport::FlushAll() {
+  std::map<LinkKey, LinkQueue> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(queues_);
+  }
+  for (auto& [link, queue] : drained) {
+    Dispatch(std::move(queue.packets));
+  }
+}
+
+void BatchingTransport::set_flush_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_hook_ = std::move(hook);
+}
+
+void BatchingTransport::FlusherLoop() {
+  const auto window = std::chrono::duration<double>(
+      options_.window_seconds > 0 ? options_.window_seconds : 0.0002);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, window);
+    if (stopping_) {
+      return;
+    }
+    lock.unlock();
+    FlushAll();
+    lock.lock();
+  }
+}
+
+uint64_t BatchingTransport::batched_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batched_frames_;
+}
+
+uint64_t BatchingTransport::packets_coalesced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return packets_coalesced_;
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,114 @@
+// Message-batching transport decorator.
+//
+// Wraps any Transport and coalesces same-link (from, to) packets sent
+// within a small window into one multi-packet wire frame (see
+// EncodePacketBatch in codec.h), cutting per-message transport overhead
+// — thread handoffs, syscalls, fault-plan decisions — on chatty commit
+// traffic. Gray & Lamport's observation that commit cost is dominated by
+// message delays is the motivation: the protocol sends many tiny frames
+// to the same peers in bursts.
+//
+// Two flush modes:
+//   * auto_flush = true  (threaded runtimes): a background flusher
+//     drains every queue each `window_seconds`; Send also flushes a link
+//     inline once `max_batch` packets or `max_bytes` payload bytes are
+//     queued.
+//   * auto_flush = false (deterministic simulator): packets buffer until
+//     FlushAll() is called. The owner schedules flush ticks on the
+//     simulator clock (SimCluster does this when batching is enabled),
+//     so runs stay reproducible from their seed. The `flush_hook` fires
+//     when a queue transitions empty -> non-empty, letting the owner arm
+//     a one-shot tick instead of polling forever.
+//
+// Receive side: the wrapped handler unpacks batch frames before
+// delivering, so engines above always see single protocol messages, even
+// when the inner transport has no native batch support.
+//
+// With `enabled = false` the decorator is a transparent pass-through —
+// the default configuration everywhere, preserving existing behaviour
+// and the golden protocol trace.
+#ifndef SRC_NET_BATCHING_TRANSPORT_H_
+#define SRC_NET_BATCHING_TRANSPORT_H_
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace polyvalue {
+
+class BatchingTransport : public Transport {
+ public:
+  struct Options {
+    bool enabled = true;
+    // Queued packets on one link that trigger an inline flush.
+    size_t max_batch = 8;
+    // Queued payload bytes on one link that trigger an inline flush.
+    size_t max_bytes = 64 * 1024;
+    // Auto-flush period (and the worst case added latency).
+    double window_seconds = 0.0002;
+    // False: no flusher thread; the owner calls FlushAll() (simulator).
+    bool auto_flush = true;
+  };
+
+  // `inner` must outlive the decorator.
+  BatchingTransport(Transport* inner, Options options);
+  explicit BatchingTransport(Transport* inner)
+      : BatchingTransport(inner, Options()) {}
+  ~BatchingTransport() override;
+
+  BatchingTransport(const BatchingTransport&) = delete;
+  BatchingTransport& operator=(const BatchingTransport&) = delete;
+
+  Status Register(SiteId site, Handler handler) override;
+  Status Unregister(SiteId site) override;
+  Status Send(Packet packet) override;
+  Status SendBatch(std::vector<Packet> packets) override;
+
+  // Drains every queued packet into the inner transport. Deterministic
+  // flush point for auto_flush = false owners; safe to call anytime.
+  void FlushAll();
+
+  // Invoked (outside the internal lock) whenever a link queue goes from
+  // empty to non-empty — the cue to arm a deterministic flush tick.
+  void set_flush_hook(std::function<void()> hook);
+
+  // Frames handed to the inner transport that carried more than one
+  // packet, and packets that rode such shared frames.
+  uint64_t batched_frames() const;
+  uint64_t packets_coalesced() const;
+
+ private:
+  using LinkKey = std::pair<uint64_t, uint64_t>;  // (from, to)
+
+  struct LinkQueue {
+    std::vector<Packet> packets;
+    size_t bytes = 0;
+  };
+
+  // Hands one link's queue to the inner transport (single Send for a
+  // lone packet, SendBatch otherwise). Called without mu_ held.
+  void Dispatch(std::vector<Packet> packets);
+  void FlusherLoop();
+
+  Transport* const inner_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<LinkKey, LinkQueue> queues_;  // sorted: deterministic flush order
+  std::function<void()> flush_hook_;
+  bool stopping_ = false;
+  uint64_t batched_frames_ = 0;
+  uint64_t packets_coalesced_ = 0;
+  std::thread flusher_;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_NET_BATCHING_TRANSPORT_H_

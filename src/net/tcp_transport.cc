@@ -17,6 +17,7 @@
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/net/codec.h"
 #include "src/net/wire.h"
 
 namespace polyvalue {
@@ -182,6 +183,38 @@ class TcpTransport::Impl {
     return OkStatus();
   }
 
+  Status SendBatch(std::vector<Packet> packets) {
+    if (packets.empty()) {
+      return OkStatus();
+    }
+    if (packets.size() == 1) {
+      return Send(std::move(packets.front()));
+    }
+    Packet envelope;
+    envelope.from = packets.front().from;
+    envelope.to = packets.front().to;
+    const size_t count = packets.size();
+    envelope.payload = EncodePacketBatch(packets);
+    Endpoint* from = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = endpoints_.find(envelope.from);
+      if (it == endpoints_.end()) {
+        return InvalidArgumentError(
+            StrCat("sender ", envelope.from, " not registered"));
+      }
+      from = it->second.get();
+      packets_sent_ += count;
+      ++batched_frames_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(from->mu);
+      from->pending_sends.push_back(std::move(envelope));
+    }
+    Wake(from);
+    return OkStatus();
+  }
+
   uint16_t PortOf(SiteId site) const {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = ports_.find(site);
@@ -195,6 +228,10 @@ class TcpTransport::Impl {
   uint64_t packets_delivered() const {
     std::lock_guard<std::mutex> lock(mu_);
     return packets_delivered_;
+  }
+  uint64_t batched_frames() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batched_frames_;
   }
 
  private:
@@ -397,11 +434,26 @@ class TcpTransport::Impl {
         packet.to = SiteId(to.value());
         packet.payload.assign(conn->inbox.data() + 4 + (body_len - body.remaining()),
                               body.remaining());
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          ++packets_delivered_;
+        if (IsPacketBatch(packet.payload)) {
+          // Native unpack: deliver each carried packet individually.
+          Result<std::vector<Packet>> unpacked =
+              DecodePacketBatch(packet.payload);
+          if (unpacked.ok()) {
+            {
+              std::lock_guard<std::mutex> lock(mu_);
+              packets_delivered_ += unpacked.value().size();
+            }
+            for (Packet& p : unpacked.value()) {
+              ep->handler(std::move(p));
+            }
+          }
+        } else {
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++packets_delivered_;
+          }
+          ep->handler(std::move(packet));
         }
-        ep->handler(std::move(packet));
       }
       conn->inbox.erase(0, 4u + body_len);
     }
@@ -476,6 +528,7 @@ class TcpTransport::Impl {
   std::unordered_map<SiteId, uint16_t> ports_;
   uint64_t packets_sent_ = 0;
   uint64_t packets_delivered_ = 0;
+  uint64_t batched_frames_ = 0;
 };
 
 TcpTransport::TcpTransport() : impl_(std::make_unique<Impl>()) {}
@@ -490,12 +543,18 @@ Status TcpTransport::Unregister(SiteId site) {
 Status TcpTransport::Send(Packet packet) {
   return impl_->Send(std::move(packet));
 }
+Status TcpTransport::SendBatch(std::vector<Packet> packets) {
+  return impl_->SendBatch(std::move(packets));
+}
 uint16_t TcpTransport::PortOf(SiteId site) const {
   return impl_->PortOf(site);
 }
 uint64_t TcpTransport::packets_sent() const { return impl_->packets_sent(); }
 uint64_t TcpTransport::packets_delivered() const {
   return impl_->packets_delivered();
+}
+uint64_t TcpTransport::batched_frames() const {
+  return impl_->batched_frames();
 }
 
 }  // namespace polyvalue

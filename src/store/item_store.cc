@@ -1,16 +1,24 @@
 #include "src/store/item_store.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/strings.h"
 
 namespace polyvalue {
 
+ItemStore::ItemStore(DefaultFactory default_factory, size_t shard_count)
+    : shards_(shard_count == 0 ? 1 : shard_count),
+      default_factory_(std::move(default_factory)) {}
+
 Result<PolyValue> ItemStore::Read(const ItemKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = items_.find(key);
-  if (it != items_.end()) {
-    return it->second;
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.items.find(key);
+    if (it != shard.items.end()) {
+      return it->second;
+    }
   }
   if (default_factory_ != nullptr) {
     return default_factory_(key);
@@ -19,52 +27,71 @@ Result<PolyValue> ItemStore::Read(const ItemKey& key) const {
 }
 
 void ItemStore::Write(const ItemKey& key, PolyValue value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  items_.insert_or_assign(key, std::move(value));
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.items.insert_or_assign(key, std::move(value));
 }
 
 bool ItemStore::Contains(const ItemKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return items_.count(key) > 0;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.items.count(key) > 0;
 }
 
 size_t ItemStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return items_.size();
+  size_t n = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.items.size();
+  }
+  return n;
 }
 
 size_t ItemStore::UncertainCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
-  for (const auto& [key, value] : items_) {
-    if (!value.is_certain()) {
-      ++n;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, value] : shard.items) {
+      if (!value.is_certain()) {
+        ++n;
+      }
     }
   }
   return n;
 }
 
 std::vector<ItemKey> ItemStore::UncertainKeys() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<ItemKey> keys;
-  for (const auto& [key, value] : items_) {
-    if (!value.is_certain()) {
-      keys.push_back(key);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, value] : shard.items) {
+      if (!value.is_certain()) {
+        keys.push_back(key);
+      }
     }
   }
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 
 void ItemStore::ForEach(
     const std::function<void(const ItemKey&, const PolyValue&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [key, value] : items_) {
+  std::vector<std::pair<ItemKey, PolyValue>> snapshot;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, value] : shard.items) {
+      snapshot.emplace_back(key, value);
+    }
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, value] : snapshot) {
     fn(key, value);
   }
 }
 
 Status ItemStore::Lock(const ItemKey& key, TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(lock_mu_);
   auto it = locks_.find(key);
   if (it != locks_.end()) {
     if (it->second == txn) {
@@ -79,7 +106,7 @@ Status ItemStore::Lock(const ItemKey& key, TxnId txn) {
 
 ItemStore::LockAttempt ItemStore::LockOrQueue(const ItemKey& key,
                                               TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(lock_mu_);
   auto it = locks_.find(key);
   if (it == locks_.end()) {
     locks_.emplace(key, txn);
@@ -102,7 +129,7 @@ ItemStore::LockAttempt ItemStore::LockOrQueue(const ItemKey& key,
 }
 
 std::vector<ItemStore::Grant> ItemStore::UnlockAll(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(lock_mu_);
   std::vector<Grant> grants;
   auto it = held_.find(txn);
   if (it != held_.end()) {
@@ -141,7 +168,7 @@ std::vector<ItemStore::Grant> ItemStore::UnlockAll(TxnId txn) {
 }
 
 void ItemStore::CancelWaits(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(lock_mu_);
   for (auto queue_it = waiters_.begin(); queue_it != waiters_.end();) {
     auto& queue = queue_it->second;
     queue.erase(std::remove(queue.begin(), queue.end(), txn), queue.end());
@@ -154,7 +181,7 @@ void ItemStore::CancelWaits(TxnId txn) {
 }
 
 std::optional<TxnId> ItemStore::LockHolder(const ItemKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(lock_mu_);
   auto it = locks_.find(key);
   if (it == locks_.end()) {
     return std::nullopt;
@@ -163,7 +190,7 @@ std::optional<TxnId> ItemStore::LockHolder(const ItemKey& key) const {
 }
 
 size_t ItemStore::locked_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(lock_mu_);
   return locks_.size();
 }
 

@@ -12,11 +12,21 @@
 // participant would hold the lock through the in-doubt window; a
 // polyvalue participant records the uncertainty in the data itself and
 // lets the next transaction in.
+//
+// Concurrency: the DATA plane (items) is sharded — each bucket owns its
+// own mutex, so reads and installs on different items proceed in
+// parallel under the threaded runtimes. The LOCK plane (2PL lock table +
+// wait-die queues) stays under one dedicated mutex: its critical
+// sections are a few map operations, and per-transaction bookkeeping
+// (held/waiting sets) spans shards anyway. Cross-shard iteration
+// (ForEach, UncertainKeys) gathers then sorts, so observable order stays
+// deterministic regardless of shard count.
 #ifndef SRC_STORE_ITEM_STORE_H_
 #define SRC_STORE_ITEM_STORE_H_
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -31,15 +41,16 @@ namespace polyvalue {
 
 class ItemStore {
  public:
-  ItemStore() = default;
+  static constexpr size_t kDefaultShards = 16;
 
   // Optional factory invoked for reads of missing keys (examples use it to
   // model "accounts start at 0"). Null disables auto-creation.
   using DefaultFactory = std::function<PolyValue(const ItemKey&)>;
-  explicit ItemStore(DefaultFactory default_factory)
-      : default_factory_(std::move(default_factory)) {}
 
-  // --- data plane ---
+  explicit ItemStore(DefaultFactory default_factory = nullptr,
+                     size_t shard_count = kDefaultShards);
+
+  // --- data plane (sharded) ---
 
   // Reads the current (poly)value of an item.
   Result<PolyValue> Read(const ItemKey& key) const;
@@ -50,6 +61,7 @@ class ItemStore {
 
   bool Contains(const ItemKey& key) const;
   size_t size() const;
+  size_t shard_count() const { return shards_.size(); }
 
   // Number of items currently holding an uncertain polyvalue. This is the
   // P(t) the paper's §4 analysis tracks.
@@ -58,7 +70,9 @@ class ItemStore {
   // Keys of uncertain items (sorted, for deterministic iteration).
   std::vector<ItemKey> UncertainKeys() const;
 
-  // Applies `fn` to every (key, value) pair under the store lock.
+  // Applies `fn` to every (key, value) pair in sorted key order. Pairs
+  // are copied out shard by shard first, so `fn` runs without any store
+  // lock held and the iteration order is shard-count independent.
   void ForEach(
       const std::function<void(const ItemKey&, const PolyValue&)>& fn) const;
 
@@ -94,13 +108,26 @@ class ItemStore {
   size_t locked_count() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<ItemKey, PolyValue> items_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<ItemKey, PolyValue> items;
+  };
+
+  Shard& ShardFor(const ItemKey& key) const {
+    return shards_[std::hash<ItemKey>()(key) % shards_.size()];
+  }
+
+  // Shards are heap-allocated once and never moved (mutexes pin them).
+  mutable std::vector<Shard> shards_;
+  DefaultFactory default_factory_;
+
+  // Lock plane: one mutex, disjoint from every shard mutex. Never held
+  // together with a shard mutex, so no ordering constraint exists.
+  mutable std::mutex lock_mu_;
   std::unordered_map<ItemKey, TxnId> locks_;
   std::unordered_map<TxnId, std::vector<ItemKey>> held_;
   // Per-item wait queues (wait-die), kept sorted eldest-first.
   std::unordered_map<ItemKey, std::vector<TxnId>> waiters_;
-  DefaultFactory default_factory_;
 };
 
 }  // namespace polyvalue

@@ -2,7 +2,10 @@
 
 #include <unistd.h>
 
+#include <chrono>
+
 #include "src/common/crc32.h"
+#include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/net/codec.h"
 #include "src/net/wire.h"
@@ -173,28 +176,148 @@ Result<WalRecord> WalRecord::Decode(const std::string& body) {
   return record;
 }
 
+namespace {
+
+// Frames `body` as [len][crc][body] onto `out`.
+void FrameBody(const std::string& body, ByteWriter* out) {
+  out->PutFixed32(static_cast<uint32_t>(body.size()));
+  out->PutFixed32(Crc32(body));
+  out->PutRaw(body.data(), body.size());
+}
+
+// Batch container body: tag + count + length-prefixed record bodies.
+std::string BatchBody(const std::vector<std::string>& bodies) {
+  ByteWriter w;
+  w.PutU8(kWalBatchTag);
+  w.PutVarint(bodies.size());
+  for (const std::string& body : bodies) {
+    w.PutString(body);
+  }
+  return w.Take();
+}
+
+// Decodes one frame body — single record or batch container — onto
+// `records`.
+Status AppendDecoded(const std::string& body,
+                     std::vector<WalRecord>* records) {
+  if (!body.empty() &&
+      static_cast<uint8_t>(body[0]) == kWalBatchTag) {
+    ByteReader r(body);
+    (void)r.GetU8();
+    POLYV_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+    if (n > (1u << 20)) {
+      return DataLossError("WAL batch record count too large");
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      POLYV_ASSIGN_OR_RETURN(std::string sub, r.GetString());
+      POLYV_ASSIGN_OR_RETURN(WalRecord record, WalRecord::Decode(sub));
+      records->push_back(std::move(record));
+    }
+    if (!r.AtEnd()) {
+      return DataLossError("trailing bytes in WAL batch frame");
+    }
+    return OkStatus();
+  }
+  POLYV_ASSIGN_OR_RETURN(WalRecord record, WalRecord::Decode(body));
+  records->push_back(std::move(record));
+  return OkStatus();
+}
+
+// True when `data[pos..]` parses as a chain of structurally intact,
+// CRC-clean frames reaching EOF. Used to tell mid-file corruption (an
+// intact suffix follows: DATA_LOSS) from a torn tail (nothing intact
+// follows: the write was never acknowledged, drop it).
+bool IntactChainFollows(const std::string& data, size_t pos) {
+  if (pos >= data.size()) {
+    return false;  // nothing follows: the damaged frame was the tail
+  }
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) {
+      return false;
+    }
+    ByteReader header(data.data() + pos, 8);
+    const uint32_t len = header.GetFixed32().value();
+    const uint32_t crc = header.GetFixed32().value();
+    if (data.size() - pos - 8 < len) {
+      return false;
+    }
+    if (Crc32(std::string(data.data() + pos + 8, len)) != crc) {
+      return false;
+    }
+    pos += 8 + len;
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
-                                       bool sync_every_append) {
+                                       Options options) {
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
     return UnavailableError(StrCat("cannot open WAL at ", path));
   }
-  return std::unique_ptr<Wal>(new Wal(path, file, sync_every_append));
+  return std::unique_ptr<Wal>(new Wal(path, file, options));
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       bool sync_every_append) {
+  Options options;
+  options.sync_policy =
+      sync_every_append ? SyncPolicy::kEveryAppend : SyncPolicy::kFlushOnly;
+  return Open(path, options);
 }
 
 Wal::~Wal() {
+  if (options_.sync_policy == SyncPolicy::kGroupCommit) {
+    // Best-effort: records appended but never flushed were never
+    // acknowledged, but there is no reason to drop them on a clean exit.
+    (void)Flush();
+  }
   if (file_ != nullptr) {
     std::fclose(file_);
   }
 }
 
-Status Wal::Append(const WalRecord& record) {
-  const std::string body = record.Encode();
+Status Wal::WriteAndSync(const std::vector<std::string>& bodies) {
   ByteWriter frame;
-  frame.PutFixed32(static_cast<uint32_t>(body.size()));
-  frame.PutFixed32(Crc32(body));
-  frame.PutRaw(body.data(), body.size());
+  if (bodies.size() == 1) {
+    FrameBody(bodies.front(), &frame);
+  } else {
+    FrameBody(BatchBody(bodies), &frame);
+  }
+  const std::string& bytes = frame.buffer();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return UnavailableError("WAL write failed");
+  }
+  if (std::fflush(file_) != 0) {
+    return UnavailableError("WAL flush failed");
+  }
+  if (fsync(fileno(file_)) != 0) {
+    return UnavailableError("WAL fsync failed");
+  }
+  return OkStatus();
+}
 
+Status Wal::Append(const WalRecord& record) {
+  std::string body = record.Encode();
+
+  if (options_.sync_policy == SyncPolicy::kGroupCommit) {
+    bool flush_now = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(std::move(body));
+      ++appended_seq_;
+      ++records_appended_;
+      flush_now = pending_.size() >= options_.max_batch;
+    }
+    // A full buffer flushes inline; otherwise the record waits for the
+    // next Flush() barrier (engine ack point) or a concurrent flusher.
+    return flush_now ? Flush() : OkStatus();
+  }
+
+  ByteWriter frame;
+  FrameBody(body, &frame);
   std::lock_guard<std::mutex> lock(mu_);
   const std::string& bytes = frame.buffer();
   if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
@@ -203,17 +326,70 @@ Status Wal::Append(const WalRecord& record) {
   if (std::fflush(file_) != 0) {
     return UnavailableError("WAL flush failed");
   }
-  if (sync_every_append_) {
+  if (options_.sync_policy == SyncPolicy::kEveryAppend) {
     if (fsync(fileno(file_)) != 0) {
       return UnavailableError("WAL fsync failed");
     }
   }
   ++records_appended_;
+  ++appended_seq_;
+  durable_seq_ = appended_seq_;
+  ++batches_flushed_;
+  ++records_flushed_;
   return OkStatus();
 }
 
+Status Wal::Flush() {
+  if (options_.sync_policy != SyncPolicy::kGroupCommit) {
+    return OkStatus();  // per-append policies are already durable-as-promised
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t target = appended_seq_;
+  Status result = OkStatus();
+  while (durable_seq_ < target) {
+    if (flushing_) {
+      // Another thread's flush is in flight and will cover our records
+      // (or we re-check and lead the next batch).
+      cv_.wait(lock);
+      continue;
+    }
+    flushing_ = true;
+    if (options_.group_window_seconds > 0 &&
+        pending_.size() < options_.max_batch) {
+      // Linger with the batch open so concurrent appenders can join.
+      cv_.wait_for(lock,
+                   std::chrono::duration<double>(
+                       options_.group_window_seconds));
+    }
+    std::vector<std::string> batch;
+    batch.swap(pending_);
+    const uint64_t batch_target = appended_seq_;
+    lock.unlock();
+    const Status s = batch.empty() ? OkStatus() : WriteAndSync(batch);
+    lock.lock();
+    flushing_ = false;
+    // Advance even on failure so waiters do not spin forever; the error
+    // is surfaced to the caller (and the records in `batch` are lost,
+    // exactly as a failed per-append write would have been).
+    durable_seq_ = batch_target;
+    if (!batch.empty()) {
+      ++batches_flushed_;
+      records_flushed_ += batch.size();
+    }
+    if (!s.ok()) {
+      POLYV_ERROR << "WAL group flush failed: " << s;
+      result = s;
+    }
+    cv_.notify_all();
+  }
+  return result;
+}
+
 Status Wal::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !flushing_; });
+  pending_.clear();
+  durable_seq_ = appended_seq_;
   std::FILE* replacement = std::freopen(path_.c_str(), "wb", file_);
   if (replacement == nullptr) {
     return UnavailableError(StrCat("WAL reset failed for ", path_));
@@ -223,11 +399,28 @@ Status Wal::Reset() {
 }
 
 Status Wal::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  POLYV_RETURN_IF_ERROR(Flush());
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !flushing_; });
   if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
     return UnavailableError("WAL sync failed");
   }
   return OkStatus();
+}
+
+uint64_t Wal::records_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_appended_;
+}
+
+uint64_t Wal::batches_flushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_flushed_;
+}
+
+uint64_t Wal::records_flushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_flushed_;
 }
 
 Result<std::vector<WalRecord>> Wal::ReplayFile(const std::string& path) {
@@ -257,17 +450,18 @@ Result<std::vector<WalRecord>> Wal::ReplayFile(const std::string& path) {
     }
     const std::string body(data.data() + pos + 8, len);
     if (Crc32(body) != crc) {
-      if (pos + 8 + len == data.size()) {
-        break;  // corrupt final record: torn write, drop
+      if (IntactChainFollows(data, pos + 8 + len)) {
+        // Clean frames continue past the damage: real mid-file
+        // corruption, not a torn write.
+        return DataLossError(
+            StrCat("WAL corruption at offset ", pos, " in ", path));
       }
-      return DataLossError(
-          StrCat("WAL corruption at offset ", pos, " in ", path));
+      break;  // damaged tail (possibly a torn batch): drop the rest
     }
-    Result<WalRecord> record = WalRecord::Decode(body);
-    if (!record.ok()) {
-      return record.status();
+    const Status decoded = AppendDecoded(body, &records);
+    if (!decoded.ok()) {
+      return decoded;
     }
-    records.push_back(std::move(record).value());
     pos += 8 + len;
   }
   return records;

@@ -7,14 +7,30 @@
 // ItemStore and OutcomeTable, so a site that failed during the in-doubt
 // window wakes up still knowing which polyvalues it owes reductions for.
 //
-// On-disk format, per record:
+// On-disk format, per frame:
 //     [u32 body_len][u32 crc32(body)][body]
-// A torn tail (truncated or CRC-failing final record) is detected and
-// ignored — the write was never acknowledged. Corruption *before* the
-// tail is reported as DATA_LOSS.
+// A body is either a single encoded record or — under group commit — a
+// batch container (tag kWalBatchTag) holding several records written and
+// fsynced as one unit. A torn tail (truncated or CRC-failing final
+// frame, or a CRC failure after which no intact frame chain follows) is
+// detected and ignored — those writes were never acknowledged.
+// Corruption *before* an intact suffix is reported as DATA_LOSS.
+//
+// Sync policies:
+//   kFlushOnly   — fflush per append, no fsync (fast, default; durability
+//                  against process death, not power loss).
+//   kEveryAppend — fflush + fsync per append (the honest per-record
+//                  durability story; slow).
+//   kGroupCommit — appends only buffer in memory; Flush() coalesces every
+//                  buffered record into ONE batch frame + fsync. The
+//                  engine calls Flush() before releasing any externally
+//                  visible effect (message send, client callback), so an
+//                  acknowledged write is always durable, while concurrent
+//                  transactions share the same physical write+fsync.
 #ifndef SRC_STORE_WAL_H_
 #define SRC_STORE_WAL_H_
 
+#include <condition_variable>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -38,6 +54,11 @@ enum class WalRecordType : uint8_t {
   kPrepared = 7,    // txn + coordinator site + pending writes (READY vote)
   kPreparedResolved = 8,  // txn (participation finished / policy applied)
 };
+
+// First body byte of a group-commit batch frame. Outside the
+// WalRecordType range, so a batch container can never be confused with a
+// single record (and old readers fail loudly instead of misparsing).
+inline constexpr uint8_t kWalBatchTag = 0xB7;
 
 struct WalRecord {
   WalRecordType type;
@@ -64,9 +85,28 @@ struct WalRecord {
 
 class Wal {
  public:
-  // Opens (creating or appending to) the log at `path`. When
-  // `sync_every_append` is set each Append fsyncs — slow but the honest
-  // durability story; tests mostly run without it.
+  enum class SyncPolicy : uint8_t {
+    kFlushOnly,    // write + fflush per append (today's default)
+    kEveryAppend,  // write + fflush + fsync per append
+    kGroupCommit,  // buffer appends; Flush() writes one batch + fsync
+  };
+
+  struct Options {
+    SyncPolicy sync_policy = SyncPolicy::kFlushOnly;
+    // Group commit only: how long a flushing thread lingers (wall clock)
+    // with the buffer open so concurrent appenders can join the batch.
+    // 0 = flush immediately (still coalesces whatever is already
+    // buffered; deterministic under the simulator).
+    double group_window_seconds = 0.0;
+    // Group commit only: buffered records that trigger an inline flush
+    // without waiting for the Flush() barrier.
+    size_t max_batch = 128;
+  };
+
+  // Opens (creating or appending to) the log at `path`.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           Options options);
+  // Back-compat convenience: `sync_every_append` maps to kEveryAppend.
   static Result<std::unique_ptr<Wal>> Open(const std::string& path,
                                            bool sync_every_append = false);
 
@@ -75,29 +115,56 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   Status Append(const WalRecord& record);
+
+  // Group-commit barrier: blocks until every record appended before this
+  // call is durable (one coalesced write + fsync, shared with concurrent
+  // callers). No-op under the per-append policies, whose appends are
+  // already as durable as they will get.
+  Status Flush();
+
+  // Strong barrier: Flush() plus an unconditional fsync.
   Status Sync();
 
   // Truncates the log to empty (after a successful snapshot has captured
-  // everything the log recorded).
+  // everything the log recorded). Discards any unflushed buffered
+  // records — the snapshot preceding a Reset captures live state, which
+  // supersedes them.
   Status Reset();
 
   const std::string& path() const { return path_; }
-  uint64_t records_appended() const { return records_appended_; }
+  uint64_t records_appended() const;
 
-  // Reads every intact record from the file. A torn final record is
+  // Group-commit accounting: physical batch frames written and records
+  // they carried (counts singles written by per-append policies too, as
+  // batches of one).
+  uint64_t batches_flushed() const;
+  uint64_t records_flushed() const;
+
+  // Reads every intact record from the file. A torn final frame is
   // silently dropped; earlier corruption returns DATA_LOSS.
   static Result<std::vector<WalRecord>> ReplayFile(const std::string& path);
 
  private:
-  Wal(std::string path, std::FILE* file, bool sync_every_append)
-      : path_(std::move(path)), file_(file),
-        sync_every_append_(sync_every_append) {}
+  Wal(std::string path, std::FILE* file, Options options)
+      : path_(std::move(path)), file_(file), options_(options) {}
+
+  // Writes `bodies` as one frame (batch container for >1) and syncs.
+  // Caller must NOT hold mu_ — file writes happen outside the lock.
+  Status WriteAndSync(const std::vector<std::string>& bodies);
 
   std::string path_;
   std::FILE* file_;
-  bool sync_every_append_;
-  std::mutex mu_;
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // Group commit: encoded record bodies awaiting the next flush.
+  std::vector<std::string> pending_;
+  bool flushing_ = false;
+  uint64_t appended_seq_ = 0;  // records accepted by Append
+  uint64_t durable_seq_ = 0;   // records covered by a completed flush
   uint64_t records_appended_ = 0;
+  uint64_t batches_flushed_ = 0;
+  uint64_t records_flushed_ = 0;
 };
 
 }  // namespace polyvalue

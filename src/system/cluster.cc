@@ -10,6 +10,22 @@ SimCluster::SimCluster(Options options)
   faults_.SetDelayRange(options_.min_delay, options_.max_delay);
   transport_ = std::make_unique<SimTransport>(&sim_, &faults_, &rng_);
   transport_->set_trace(options_.trace);
+  endpoint_ = transport_.get();
+  if (options_.enable_batching) {
+    BatchingTransport::Options batching = options_.batching;
+    // No flusher thread in the simulator: flushes are simulator events,
+    // armed one-shot whenever a link queue goes non-empty. Every flush
+    // happens at a deterministic virtual time, so the run is still a
+    // pure function of its seed.
+    batching.auto_flush = false;
+    batching_ =
+        std::make_unique<BatchingTransport>(transport_.get(), batching);
+    const double window = batching.window_seconds;
+    batching_->set_flush_hook([this, window] {
+      sim_.After(window, [this] { batching_->FlushAll(); });
+    });
+    endpoint_ = batching_.get();
+  }
   scheduler_ = std::make_unique<SimScheduler>(&sim_);
   sites_.reserve(options_.site_count);
   for (size_t i = 0; i < options_.site_count; ++i) {
@@ -17,7 +33,12 @@ SimCluster::SimCluster(Options options)
     site_options.engine = options_.engine;
     site_options.default_factory = options_.default_factory;
     site_options.trace = options_.trace;
-    auto site = std::make_unique<Site>(site_id(i), transport_.get(),
+    site_options.store_shards = options_.store_shards;
+    if (!options_.wal_dir.empty()) {
+      site_options.wal_path = StrCat(options_.wal_dir, "/site", i, ".wal");
+      site_options.wal = options_.wal;
+    }
+    auto site = std::make_unique<Site>(site_id(i), endpoint_,
                                        scheduler_.get(), site_options);
     POLYV_CHECK(site->Start().ok());
     sites_.push_back(std::move(site));
@@ -75,6 +96,48 @@ EngineMetrics SimCluster::TotalMetrics() const {
   return total;
 }
 
+namespace {
+
+// Per-site and cluster-wide WAL group-commit counters. The
+// records-per-batch ratio is the one to watch: 1.0 means group commit
+// never coalesced anything.
+void ExportWalMetrics(const std::vector<std::unique_ptr<Site>>& sites,
+                      MetricsRegistry* registry) {
+  uint64_t batches = 0;
+  uint64_t records = 0;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    const Wal* wal = sites[i]->wal();
+    if (wal == nullptr) {
+      continue;
+    }
+    registry->SetCounter(StrCat("site", i, ".wal.batches"),
+                         wal->batches_flushed());
+    registry->SetCounter(StrCat("site", i, ".wal.records"),
+                         wal->records_flushed());
+    batches += wal->batches_flushed();
+    records += wal->records_flushed();
+  }
+  registry->SetCounter("wal.batches", batches);
+  registry->SetCounter("wal.records", records);
+  registry->Gauge("wal.records_per_batch",
+                  batches == 0
+                      ? 0.0
+                      : static_cast<double>(records) /
+                            static_cast<double>(batches));
+}
+
+void ExportBatchingMetrics(const BatchingTransport* batching,
+                           uint64_t wire_batched_frames,
+                           MetricsRegistry* registry) {
+  registry->SetCounter("net.batched_frames", wire_batched_frames);
+  if (batching != nullptr) {
+    registry->SetCounter("net.packets_coalesced",
+                         batching->packets_coalesced());
+  }
+}
+
+}  // namespace
+
 void SimCluster::ExportMetrics(MetricsRegistry* registry) const {
   EngineMetrics total;
   for (size_t i = 0; i < sites_.size(); ++i) {
@@ -93,6 +156,9 @@ void SimCluster::ExportMetrics(MetricsRegistry* registry) const {
                        transport_->packets_dropped());
   registry->SetCounter("cluster.bytes_sent", transport_->bytes_sent());
   registry->Gauge("cluster.sim_time_seconds", sim_.now());
+  ExportWalMetrics(sites_, registry);
+  ExportBatchingMetrics(batching_.get(), transport_->batched_frames(),
+                        registry);
 }
 
 ThreadCluster::ThreadCluster(Options options)
@@ -104,13 +170,24 @@ ThreadCluster::ThreadCluster(Options options)
         std::make_unique<MemTransport>(options_.faults, options_.seed);
     transport_ = owned_transport_.get();
   }
+  endpoint_ = transport_;
+  if (options_.enable_batching) {
+    batching_ =
+        std::make_unique<BatchingTransport>(transport_, options_.batching);
+    endpoint_ = batching_.get();
+  }
   sites_.reserve(options_.site_count);
   for (size_t i = 0; i < options_.site_count; ++i) {
     Site::Options site_options;
     site_options.engine = options_.engine;
     site_options.default_factory = options_.default_factory;
     site_options.trace = options_.trace;
-    auto site = std::make_unique<Site>(site_id(i), transport_,
+    site_options.store_shards = options_.store_shards;
+    if (!options_.wal_dir.empty()) {
+      site_options.wal_path = StrCat(options_.wal_dir, "/site", i, ".wal");
+      site_options.wal = options_.wal;
+    }
+    auto site = std::make_unique<Site>(site_id(i), endpoint_,
                                        &scheduler_, site_options);
     POLYV_CHECK(site->Start().ok());
     sites_.push_back(std::move(site));
@@ -120,6 +197,8 @@ ThreadCluster::ThreadCluster(Options options)
 ThreadCluster::~ThreadCluster() {
   // Sites unregister in their destructors; transports join their threads.
   sites_.clear();
+  // The decorator must die before the inner transport it wraps.
+  batching_.reset();
 }
 
 void ThreadCluster::Load(size_t site_index, const ItemKey& key,
@@ -135,22 +214,27 @@ TxnId ThreadCluster::Submit(size_t coordinator_index, TxnSpec spec,
 
 std::optional<TxnResult> ThreadCluster::SubmitAndWait(
     size_t coordinator_index, TxnSpec spec, double timeout_seconds) {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::optional<TxnResult> result;
-  Submit(coordinator_index, std::move(spec), [&](const TxnResult& r) {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      result = r;
-    }
-    cv.notify_all();
+  // The callback may fire on an engine thread after a timeout has already
+  // returned control to the caller, so the wait state must be shared, not
+  // stack-owned; notifying under the lock keeps the cv alive until the
+  // waiter can actually proceed.
+  struct WaitState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<TxnResult> result;
+  };
+  auto state = std::make_shared<WaitState>();
+  Submit(coordinator_index, std::move(spec), [state](const TxnResult& r) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = r;
+    state->cv.notify_all();
   });
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait_for(lock,
-              std::chrono::microseconds(
-                  static_cast<int64_t>(timeout_seconds * 1e6)),
-              [&result] { return result.has_value(); });
-  return result;
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait_for(lock,
+                     std::chrono::microseconds(
+                         static_cast<int64_t>(timeout_seconds * 1e6)),
+                     [&state] { return state->result.has_value(); });
+  return state->result;
 }
 
 EngineMetrics ThreadCluster::TotalMetrics() const {
@@ -171,6 +255,19 @@ void ThreadCluster::ExportMetrics(MetricsRegistry* registry) const {
     total.Accumulate(m);
   }
   total.ExportTo(registry, "cluster.");
+  if (owned_transport_ != nullptr) {
+    registry->SetCounter("cluster.packets_sent",
+                         owned_transport_->packets_sent());
+    registry->SetCounter("cluster.packets_delivered",
+                         owned_transport_->packets_delivered());
+  }
+  ExportWalMetrics(sites_, registry);
+  ExportBatchingMetrics(
+      batching_.get(),
+      owned_transport_ != nullptr ? owned_transport_->batched_frames()
+      : batching_ != nullptr      ? batching_->batched_frames()
+                                  : 0,
+      registry);
 }
 
 }  // namespace polyvalue

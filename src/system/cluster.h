@@ -15,7 +15,10 @@
 #include <optional>
 #include <vector>
 
+#include <string>
+
 #include "src/event/simulator.h"
+#include "src/net/batching_transport.h"
 #include "src/net/mem_transport.h"
 #include "src/net/sim_transport.h"
 #include "src/obs/metrics.h"
@@ -37,6 +40,20 @@ class SimCluster {
     // Optional protocol trace sink, shared by every site's engine and
     // the transport. Null (the default) disables tracing at zero cost.
     TraceSink* trace = nullptr;
+    // When non-empty, site i logs to "<wal_dir>/site<i>.wal" with the
+    // `wal` knobs below (group commit etc.); empty disables durability,
+    // as before.
+    std::string wal_dir;
+    Wal::Options wal;
+    // Message batching. Off by default — the golden trace and every
+    // seeded run are byte-identical to the unbatched schedule. When on,
+    // a BatchingTransport (auto_flush = false) fronts the SimTransport
+    // and flush ticks are scheduled on the SIMULATOR clock
+    // (`batching.window_seconds` after a link queue first fills), so
+    // runs stay deterministic per seed.
+    bool enable_batching = false;
+    BatchingTransport::Options batching;
+    size_t store_shards = ItemStore::kDefaultShards;
   };
 
   explicit SimCluster(Options options);
@@ -48,6 +65,8 @@ class SimCluster {
   Simulator& sim() { return sim_; }
   FaultPlan& faults() { return faults_; }
   SimTransport& transport() { return *transport_; }
+  // Null unless enable_batching.
+  BatchingTransport* batching() { return batching_.get(); }
   Rng& rng() { return rng_; }
 
   // Seeds an item at the site that owns it.
@@ -86,6 +105,10 @@ class SimCluster {
   FaultPlan faults_;
   Rng rng_;
   std::unique_ptr<SimTransport> transport_;
+  std::unique_ptr<BatchingTransport> batching_;
+  // What sites register on / send through: batching_ if enabled, else
+  // transport_.
+  Transport* endpoint_ = nullptr;
   std::unique_ptr<SimScheduler> scheduler_;
   std::vector<std::unique_ptr<Site>> sites_;
 };
@@ -104,6 +127,16 @@ class ThreadCluster {
     // Optional protocol trace sink shared by every site's engine. Must
     // be thread-safe (VectorTraceSink and CountingTraceSink are).
     TraceSink* trace = nullptr;
+    // When non-empty, site i logs to "<wal_dir>/site<i>.wal" with the
+    // `wal` knobs (so benches can compare per-record fsync vs group
+    // commit); empty disables durability.
+    std::string wal_dir;
+    Wal::Options wal;
+    // Message batching: wraps the transport in a BatchingTransport with
+    // a real flusher thread. Off by default.
+    bool enable_batching = false;
+    BatchingTransport::Options batching;
+    size_t store_shards = ItemStore::kDefaultShards;
   };
 
   explicit ThreadCluster(Options options);
@@ -112,7 +145,9 @@ class ThreadCluster {
   size_t size() const { return sites_.size(); }
   Site& site(size_t index) { return *sites_[index]; }
   SiteId site_id(size_t index) const { return SiteId(index + 1); }
-  Transport& transport() { return *transport_; }
+  Transport& transport() { return *endpoint_; }
+  // Null unless enable_batching.
+  BatchingTransport* batching() { return batching_.get(); }
 
   void Load(size_t site_index, const ItemKey& key, Value value);
 
@@ -132,7 +167,9 @@ class ThreadCluster {
  private:
   Options options_;
   std::unique_ptr<MemTransport> owned_transport_;
-  Transport* transport_;
+  Transport* transport_;  // inner transport (owned or external)
+  std::unique_ptr<BatchingTransport> batching_;
+  Transport* endpoint_ = nullptr;  // what sites actually use
   ThreadScheduler scheduler_;
   std::vector<std::unique_ptr<Site>> sites_;
 };

@@ -13,7 +13,7 @@ Site::Site(SiteId id, Transport* transport, Scheduler* scheduler,
       transport_(transport),
       scheduler_(scheduler),
       options_(std::move(options)),
-      items_(options_.default_factory) {
+      items_(options_.default_factory, options_.store_shards) {
   engine_ = std::make_unique<TxnEngine>(
       id_, &items_, &outcomes_, scheduler,
       [this](SiteId to, const Message& msg) {
@@ -55,7 +55,7 @@ Status Site::Start() {
     POLYV_RETURN_IF_ERROR(RecoverSiteState(records, &items_, &outcomes_,
                                            options_.trace, id_));
     engine_->RestoreDurableState(records);
-    POLYV_ASSIGN_OR_RETURN(wal_, Wal::Open(options_.wal_path));
+    POLYV_ASSIGN_OR_RETURN(wal_, Wal::Open(options_.wal_path, options_.wal));
     engine_->AttachWal(wal_.get());
   }
   POLYV_RETURN_IF_ERROR(transport_->Register(

@@ -30,6 +30,12 @@ class Site {
     ItemStore::DefaultFactory default_factory;
     // Path for the WAL; empty disables durability.
     std::string wal_path;
+    // WAL durability/batching knobs (sync policy, group-commit window).
+    // The default is today's behaviour: buffered writes, explicit sync.
+    Wal::Options wal;
+    // Item-store data-plane shards (lock granularity for concurrent
+    // reads/installs; does not affect observable behaviour).
+    size_t store_shards = ItemStore::kDefaultShards;
     // Optional protocol trace sink; attached to the engine and the WAL
     // replay path. Null costs nothing.
     TraceSink* trace = nullptr;
@@ -62,6 +68,8 @@ class Site {
   const ItemStore& store() const { return items_; }
   OutcomeTable& outcomes() { return outcomes_; }
   TxnEngine& engine() { return *engine_; }
+  // Null until Start(), or when no WAL path is configured.
+  const Wal* wal() const { return wal_.get(); }
 
   // Seeds an item with a certain value (initial database load).
   void Load(const ItemKey& key, Value value);

@@ -27,13 +27,19 @@
 //   kArbitrary  — §2.3 relaxed consistency: unilaterally commit; fast
 //                 but can violate atomicity (the benches count it).
 //
-// Thread-safety: a single mutex guards engine state; all outbound sends,
-// timer programs and client callbacks are deferred to after unlock, so
-// the engine never calls out while holding its lock. The same object is
-// driven by the deterministic simulator and by real threads.
+// Thread-safety: one mutex guards protocol state (coordinations,
+// participations, durable tables); all outbound sends, timer programs
+// and client callbacks are deferred to after unlock, so the engine never
+// calls out while holding its lock. Hot-path work that doesn't need the
+// protocol state stays off that mutex: txn-id allocation is a lone
+// atomic, item data lives in the ItemStore's own sharded locks, and WAL
+// group-commit fsyncs happen at the FlushOutbox barrier — after unlock.
+// The same object is driven by the deterministic simulator and by real
+// threads.
 #ifndef SRC_TXN_ENGINE_H_
 #define SRC_TXN_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -168,6 +174,10 @@ class TxnEngine {
   // holder of a polyvalue can route an outcome inquiry.
   TxnId AllocateTxnId();
   static SiteId CoordinatorOf(TxnId txn);
+
+  // Ensures future AllocateTxnId calls return ids above `max_seq` (used
+  // when recovery replays ids this site already handed out).
+  void RaiseSeqFloor(uint64_t max_seq);
 
   // --- client API (coordinator role) ---
   // Runs `spec` with this site as coordinator. The callback fires exactly
@@ -346,7 +356,10 @@ class TxnEngine {
   TraceSink* trace_ = nullptr;
 
   mutable std::mutex mu_;
-  uint64_t next_seq_ = 1;
+  // Txn-id sequence. Atomic so AllocateTxnId (called on every client
+  // Submit) never touches mu_; writers that raise the floor after
+  // recovery use a monotonic CAS.
+  std::atomic<uint64_t> next_seq_{1};
   std::map<TxnId, Coordination> coordinations_;
   std::map<TxnId, Participation> participations_;
 

@@ -95,8 +95,16 @@ Scheduler::TimerId TxnEngine::ScheduleGuarded(double delay,
 }
 
 TxnId TxnEngine::AllocateTxnId() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return TxnId((self_.value() << kSiteShift) | next_seq_++);
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  return TxnId((self_.value() << kSiteShift) | seq);
+}
+
+void TxnEngine::RaiseSeqFloor(uint64_t max_seq) {
+  uint64_t cur = next_seq_.load(std::memory_order_relaxed);
+  while (max_seq >= cur &&
+         !next_seq_.compare_exchange_weak(cur, max_seq + 1,
+                                          std::memory_order_relaxed)) {
+  }
 }
 
 SiteId TxnEngine::CoordinatorOf(TxnId txn) {
@@ -146,6 +154,18 @@ void TxnEngine::OnMessage(SiteId from, const Message& msg) {
 }
 
 void TxnEngine::FlushOutbox(Outbox* out) {
+  // Group-commit barrier: nothing externally visible — no message, no
+  // client callback — leaves this engine until every WAL record logged
+  // so far is durable. Under per-append sync policies this is a no-op;
+  // under group commit it coalesces all records appended during the
+  // locked section (and by concurrent transactions) into one
+  // write+fsync, performed here, outside the engine lock.
+  if (wal_ != nullptr && !(out->sends.empty() && out->thunks.empty())) {
+    const Status s = wal_->Flush();
+    if (!s.ok()) {
+      POLYV_ERROR << self_ << " WAL flush failed: " << s;
+    }
+  }
   for (auto& [to, msg] : out->sends) {
     send_(to, msg);
   }
@@ -452,9 +472,7 @@ void TxnEngine::RestoreDurableState(const std::vector<WalRecord>& records) {
         break;
     }
   }
-  if (max_seq >= next_seq_) {
-    next_seq_ = max_seq + 1;
-  }
+  RaiseSeqFloor(max_seq);
 }
 
 void TxnEngine::SubscribeOutcome(TxnId txn, OutcomeCallback callback) {
@@ -506,9 +524,7 @@ void TxnEngine::ImportDurableState(const SiteSnapshot& snapshot) {
           max_seq, txn.value() & ((1ULL << kSiteShift) - 1));
     }
   }
-  if (max_seq >= next_seq_) {
-    next_seq_ = max_seq + 1;
-  }
+  RaiseSeqFloor(max_seq);
 }
 
 EngineMetrics TxnEngine::metrics() const {

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-review/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-review/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_reservations "/root/repo/build-review/examples/reservations")
+set_tests_properties(example_reservations PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_funds_transfer "/root/repo/build-review/examples/funds_transfer")
+set_tests_properties(example_funds_transfer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_inventory_control "/root/repo/build-review/examples/inventory_control")
+set_tests_properties(example_inventory_control PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tcp_cluster "/root/repo/build-review/examples/tcp_cluster")
+set_tests_properties(example_tcp_cluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_condition_tool "/root/repo/build-review/examples/condition_tool" "T1&T2 + T1&!T2")
+set_tests_properties(example_condition_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_polysim_cli "/root/repo/build-review/examples/polysim_cli" "--u=5" "--f=0.01" "--warmup=100" "--measure=500")
+set_tests_properties(example_polysim_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_polyvalue_repl "sh" "-c" "printf 'load 1 a 10\\nload 2 b 5\\ntransfer 0 a b 3\\nrun 1\\npeek a\\nstats\\nawait a\\nquit\\n' | /root/repo/build-review/examples/polyvalue_repl 3")
+set_tests_properties(example_polyvalue_repl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")

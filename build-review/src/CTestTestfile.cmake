@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("value")
+subdirs("condition")
+subdirs("poly")
+subdirs("event")
+subdirs("net")
+subdirs("store")
+subdirs("txn")
+subdirs("system")
+subdirs("model")
+subdirs("sim")
+subdirs("baseline")

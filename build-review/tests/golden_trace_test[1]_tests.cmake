@@ -1,0 +1,3 @@
+add_test([=[GoldenTraceTest.Figure1FundsTransfer]=]  /root/repo/build-review/tests/golden_trace_test [==[--gtest_filter=GoldenTraceTest.Figure1FundsTransfer]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GoldenTraceTest.Figure1FundsTransfer]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-review/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  golden_trace_test_TESTS GoldenTraceTest.Figure1FundsTransfer)

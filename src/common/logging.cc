@@ -28,10 +28,10 @@ Logger& Logger::Get() {
 }
 
 void Logger::Write(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) {
+  if (static_cast<int>(level) < static_cast<int>(this->level())) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (capture_) {
     captured_ += LogLevelName(level);
     captured_ += ' ';
@@ -43,7 +43,7 @@ void Logger::Write(LogLevel level, const std::string& message) {
 }
 
 void Logger::set_capture(bool capture) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   capture_ = capture;
   if (!capture) {
     captured_.clear();
@@ -51,7 +51,7 @@ void Logger::set_capture(bool capture) {
 }
 
 std::string Logger::TakeCaptured() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   out.swap(captured_);
   return out;

@@ -5,9 +5,11 @@
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
 
-#include <mutex>
+#include <atomic>
 #include <sstream>
 #include <string>
+
+#include "src/common/thread_annotations.h"
 
 namespace polyvalue {
 
@@ -27,8 +29,13 @@ class Logger {
  public:
   static Logger& Get();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  // level_ is read on every POLYV_LOG call site, from any thread, with
+  // no lock — it must be atomic (relaxed: a torn-free read is all the
+  // filter needs).
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   // Writes one formatted line; no-op when below the current level.
   void Write(LogLevel level, const std::string& message);
@@ -41,10 +48,10 @@ class Logger {
  private:
   Logger() = default;
 
-  LogLevel level_ = LogLevel::kWarn;
-  std::mutex mu_;
-  bool capture_ = false;
-  std::string captured_;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  Mutex mu_;
+  bool capture_ GUARDED_BY(mu_) = false;
+  std::string captured_ GUARDED_BY(mu_);
 };
 
 namespace internal {

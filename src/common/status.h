@@ -36,8 +36,10 @@ enum class StatusCode : uint8_t {
 const char* StatusCodeName(StatusCode code);
 
 // A Status is either OK (cheap, no allocation) or an error code plus a
-// context message.
-class Status {
+// context message. [[nodiscard]]: silently dropping a Status hides
+// failures (a WAL append that didn't happen, a send that was refused) —
+// callers must check it or cast to void with a reason.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -81,7 +83,7 @@ Status InternalError(std::string message);
 // Result<T> holds either a value or an error Status. Accessing the value
 // of an error Result aborts the process (it is a programming error).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : payload_(std::move(value)) {}      // NOLINT: implicit by design
   Result(Status status) : payload_(std::move(status)) {}  // NOLINT

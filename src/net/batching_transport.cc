@@ -15,10 +15,10 @@ BatchingTransport::BatchingTransport(Transport* inner, Options options)
 
 BatchingTransport::~BatchingTransport() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (flusher_.joinable()) {
     flusher_.join();
   }
@@ -56,7 +56,7 @@ Status BatchingTransport::Send(Packet packet) {
   std::vector<Packet> flush_now;
   bool newly_pending = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) {
       return inner_->Send(std::move(packet));
     }
@@ -77,7 +77,7 @@ Status BatchingTransport::Send(Packet packet) {
   } else if (newly_pending) {
     std::function<void()> hook;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       hook = flush_hook_;
     }
     if (hook) {
@@ -106,7 +106,7 @@ void BatchingTransport::Dispatch(std::vector<Packet> packets) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++batched_frames_;
     packets_coalesced_ += packets.size();
   }
@@ -116,7 +116,7 @@ void BatchingTransport::Dispatch(std::vector<Packet> packets) {
 void BatchingTransport::FlushAll() {
   std::map<LinkKey, LinkQueue> drained;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     drained.swap(queues_);
   }
   for (auto& [link, queue] : drained) {
@@ -125,32 +125,33 @@ void BatchingTransport::FlushAll() {
 }
 
 void BatchingTransport::set_flush_hook(std::function<void()> hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   flush_hook_ = std::move(hook);
 }
 
 void BatchingTransport::FlusherLoop() {
   const auto window = std::chrono::duration<double>(
       options_.window_seconds > 0 ? options_.window_seconds : 0.0002);
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (!stopping_) {
-    cv_.wait_for(lock, window);
+    (void)cv_.WaitFor(&mu_, window.count());
     if (stopping_) {
-      return;
+      break;
     }
-    lock.unlock();
+    mu_.Unlock();
     FlushAll();
-    lock.lock();
+    mu_.Lock();
   }
+  mu_.Unlock();
 }
 
 uint64_t BatchingTransport::batched_frames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return batched_frames_;
 }
 
 uint64_t BatchingTransport::packets_coalesced() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return packets_coalesced_;
 }
 

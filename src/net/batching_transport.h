@@ -30,14 +30,13 @@
 #ifndef SRC_NET_BATCHING_TRANSPORT_H_
 #define SRC_NET_BATCHING_TRANSPORT_H_
 
-#include <condition_variable>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/net/transport.h"
 
 namespace polyvalue {
@@ -99,13 +98,14 @@ class BatchingTransport : public Transport {
   Transport* const inner_;
   const Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<LinkKey, LinkQueue> queues_;  // sorted: deterministic flush order
-  std::function<void()> flush_hook_;
-  bool stopping_ = false;
-  uint64_t batched_frames_ = 0;
-  uint64_t packets_coalesced_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  // Sorted map: deterministic flush order.
+  std::map<LinkKey, LinkQueue> queues_ GUARDED_BY(mu_);
+  std::function<void()> flush_hook_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  uint64_t batched_frames_ GUARDED_BY(mu_) = 0;
+  uint64_t packets_coalesced_ GUARDED_BY(mu_) = 0;
   std::thread flusher_;
 };
 

@@ -11,15 +11,15 @@ MemTransport::MemTransport(FaultPlan* faults, uint64_t seed)
 MemTransport::~MemTransport() {
   std::unordered_map<SiteId, std::unique_ptr<Mailbox>> boxes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     boxes.swap(mailboxes_);
   }
   for (auto& [site, box] : boxes) {
     {
-      std::lock_guard<std::mutex> lock(box->mu);
+      MutexLock lock(&box->mu);
       box->stopping = true;
     }
-    box->cv.notify_all();
+    box->cv.NotifyAll();
     if (box->dispatcher.joinable()) {
       box->dispatcher.join();
     }
@@ -27,7 +27,7 @@ MemTransport::~MemTransport() {
 }
 
 Status MemTransport::Register(SiteId site, Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (mailboxes_.count(site)) {
     return AlreadyExistsError(StrCat("site ", site, " already registered"));
   }
@@ -42,7 +42,7 @@ Status MemTransport::Register(SiteId site, Handler handler) {
 Status MemTransport::Unregister(SiteId site) {
   std::unique_ptr<Mailbox> box;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = mailboxes_.find(site);
     if (it == mailboxes_.end()) {
       return NotFoundError(StrCat("site ", site, " not registered"));
@@ -51,10 +51,10 @@ Status MemTransport::Unregister(SiteId site) {
     mailboxes_.erase(it);
   }
   {
-    std::lock_guard<std::mutex> lock(box->mu);
+    MutexLock lock(&box->mu);
     box->stopping = true;
   }
-  box->cv.notify_all();
+  box->cv.NotifyAll();
   if (box->dispatcher.joinable()) {
     box->dispatcher.join();
   }
@@ -64,7 +64,7 @@ Status MemTransport::Unregister(SiteId site) {
 Status MemTransport::Send(Packet packet) {
   std::chrono::microseconds delay(0);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++packets_sent_;
     if (mailboxes_.find(packet.from) == mailboxes_.end()) {
       return InvalidArgumentError(
@@ -78,19 +78,19 @@ Status MemTransport::Send(Packet packet) {
           static_cast<int64_t>(faults_->SampleDelay(&send_rng_) * 1e6));
     }
   }
-  std::lock_guard<std::mutex> outer(mu_);
+  MutexLock outer(&mu_);
   auto it = mailboxes_.find(packet.to);
   if (it == mailboxes_.end()) {
     return OkStatus();  // receiver does not exist: drop
   }
   Mailbox* box = it->second.get();
   {
-    std::lock_guard<std::mutex> lock(box->mu);
+    MutexLock lock(&box->mu);
     box->queue.push(
         {std::chrono::steady_clock::now() + delay, next_seq_++,
          std::move(packet)});
   }
-  box->cv.notify_one();
+  box->cv.NotifyOne();
   return OkStatus();
 }
 
@@ -110,7 +110,7 @@ Status MemTransport::SendBatch(std::vector<Packet> packets) {
   envelope.payload = EncodePacketBatch(packets);
   std::chrono::microseconds delay(0);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     packets_sent_ += packets.size();
     ++batched_frames_;
     if (mailboxes_.find(envelope.from) == mailboxes_.end()) {
@@ -125,35 +125,37 @@ Status MemTransport::SendBatch(std::vector<Packet> packets) {
           static_cast<int64_t>(faults_->SampleDelay(&send_rng_) * 1e6));
     }
   }
-  std::lock_guard<std::mutex> outer(mu_);
+  MutexLock outer(&mu_);
   auto it = mailboxes_.find(envelope.to);
   if (it == mailboxes_.end()) {
     return OkStatus();  // receiver does not exist: drop
   }
   Mailbox* box = it->second.get();
   {
-    std::lock_guard<std::mutex> lock(box->mu);
+    MutexLock lock(&box->mu);
     box->queue.push(
         {std::chrono::steady_clock::now() + delay, next_seq_++,
          std::move(envelope)});
   }
-  box->cv.notify_one();
+  box->cv.NotifyOne();
   return OkStatus();
 }
 
 void MemTransport::DispatchLoop(Mailbox* box) {
-  std::unique_lock<std::mutex> lock(box->mu);
+  box->mu.Lock();
   for (;;) {
     if (box->stopping) {
+      box->mu.Unlock();
       return;
     }
     if (box->queue.empty()) {
-      box->cv.wait(lock, [box] { return box->stopping || !box->queue.empty(); });
+      // Spurious wakeups are fine: the loop head re-checks.
+      box->cv.Wait(&box->mu);
       continue;
     }
     const SteadyTime deadline = box->queue.top().deliver_at;
     if (std::chrono::steady_clock::now() < deadline) {
-      box->cv.wait_until(lock, deadline);
+      (void)box->cv.WaitUntil(&box->mu, deadline);
       continue;
     }
     Packet packet = std::move(const_cast<Timed&>(box->queue.top()).packet);
@@ -163,7 +165,7 @@ void MemTransport::DispatchLoop(Mailbox* box) {
       continue;
     }
     box->idle = false;
-    lock.unlock();
+    box->mu.Unlock();
     if (IsPacketBatch(packet.payload)) {
       // Native unpack: the handler sees single protocol payloads.
       Result<std::vector<Packet>> unpacked =
@@ -173,17 +175,17 @@ void MemTransport::DispatchLoop(Mailbox* box) {
         for (Packet& p : unpacked.value()) {
           box->handler(std::move(p));
         }
-        std::lock_guard<std::mutex> stats(stats_mu_);
+        MutexLock stats(&stats_mu_);
         packets_delivered_ += count;
       }
     } else {
       box->handler(std::move(packet));
-      std::lock_guard<std::mutex> stats(stats_mu_);
+      MutexLock stats(&stats_mu_);
       ++packets_delivered_;
     }
-    lock.lock();
+    box->mu.Lock();
     box->idle = true;
-    box->cv.notify_all();  // wake Flush waiters
+    box->cv.NotifyAll();  // wake Flush waiters
   }
 }
 
@@ -191,7 +193,7 @@ void MemTransport::Flush() {
   for (;;) {
     std::vector<Mailbox*> boxes;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       boxes.reserve(mailboxes_.size());
       for (auto& [site, box] : mailboxes_) {
         boxes.push_back(box.get());
@@ -199,12 +201,12 @@ void MemTransport::Flush() {
     }
     bool all_idle = true;
     for (Mailbox* box : boxes) {
-      std::unique_lock<std::mutex> lock(box->mu);
+      MutexLock lock(&box->mu);
       if (!box->queue.empty() || !box->idle) {
         all_idle = false;
         // Wait for this mailbox to drain (with a poll fallback for
         // delayed packets).
-        box->cv.wait_for(lock, std::chrono::milliseconds(1));
+        (void)box->cv.WaitFor(&box->mu, 0.001);
       }
     }
     if (all_idle) {
@@ -214,17 +216,17 @@ void MemTransport::Flush() {
 }
 
 uint64_t MemTransport::packets_sent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return packets_sent_;
 }
 
 uint64_t MemTransport::packets_delivered() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return packets_delivered_;
 }
 
 uint64_t MemTransport::batched_frames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return batched_frames_;
 }
 

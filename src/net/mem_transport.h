@@ -9,13 +9,12 @@
 #define SRC_NET_MEM_TRANSPORT_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_map>
 
+#include "src/common/thread_annotations.h"
 #include "src/net/transport.h"
 
 namespace polyvalue {
@@ -65,27 +64,31 @@ class MemTransport : public Transport {
   };
 
   struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::priority_queue<Timed, std::vector<Timed>, Later> queue;
+    Mutex mu;
+    CondVar cv;
+    std::priority_queue<Timed, std::vector<Timed>, Later> queue
+        GUARDED_BY(mu);
+    // Set once before the dispatcher thread starts, invoked unlocked —
+    // deliberately not guarded.
     Handler handler;
-    bool stopping = false;
-    bool idle = true;  // no packet currently being handled
+    bool stopping GUARDED_BY(mu) = false;
+    bool idle GUARDED_BY(mu) = true;  // no packet currently being handled
     std::thread dispatcher;
   };
 
   void DispatchLoop(Mailbox* box);
 
   FaultPlan* faults_;
-  Rng send_rng_;
+  Rng send_rng_ GUARDED_BY(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<SiteId, std::unique_ptr<Mailbox>> mailboxes_;
-  uint64_t next_seq_ = 0;
-  uint64_t packets_sent_ = 0;
-  uint64_t batched_frames_ = 0;
-  mutable std::mutex stats_mu_;
-  uint64_t packets_delivered_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<SiteId, std::unique_ptr<Mailbox>> mailboxes_
+      GUARDED_BY(mu_);
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t packets_sent_ GUARDED_BY(mu_) = 0;
+  uint64_t batched_frames_ GUARDED_BY(mu_) = 0;
+  mutable Mutex stats_mu_;
+  uint64_t packets_delivered_ GUARDED_BY(stats_mu_) = 0;
 };
 
 }  // namespace polyvalue

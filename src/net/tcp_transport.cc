@@ -16,6 +16,7 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/strings.h"
 #include "src/net/codec.h"
 #include "src/net/wire.h"
@@ -68,14 +69,16 @@ struct TcpTransport::Endpoint {
   int wake_fd = -1;  // eventfd to interrupt epoll_wait
   std::thread io_thread;
 
-  std::mutex mu;
-  bool stopping = false;
-  // fd -> connection (inbound accepted + outbound established).
-  std::unordered_map<int, Connection> connections;
+  Mutex mu;
+  bool stopping GUARDED_BY(mu) = false;
+  // fd -> connection (inbound accepted + outbound established). The map
+  // itself is guarded; Connection internals are touched only by the io
+  // thread (via pointers obtained under mu).
+  std::unordered_map<int, Connection> connections GUARDED_BY(mu);
   // destination site -> fd of the cached outbound connection.
-  std::unordered_map<SiteId, int> outbound;
+  std::unordered_map<SiteId, int> outbound GUARDED_BY(mu);
   // packets queued by Send before the io thread picks them up.
-  std::deque<Packet> pending_sends;
+  std::deque<Packet> pending_sends GUARDED_BY(mu);
 };
 
 class TcpTransport::Impl {
@@ -83,7 +86,7 @@ class TcpTransport::Impl {
   ~Impl() {
     std::vector<std::unique_ptr<Endpoint>> eps;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (auto& [site, ep] : endpoints_) {
         eps.push_back(std::move(ep));
       }
@@ -133,7 +136,7 @@ class TcpTransport::Impl {
 
     Endpoint* raw = ep.get();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (endpoints_.count(site)) {
         close(raw->listen_fd);
         close(raw->epoll_fd);
@@ -150,7 +153,7 @@ class TcpTransport::Impl {
   Status Unregister(SiteId site) {
     std::unique_ptr<Endpoint> ep;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = endpoints_.find(site);
       if (it == endpoints_.end()) {
         return NotFoundError(StrCat("site ", site, " not registered"));
@@ -166,7 +169,7 @@ class TcpTransport::Impl {
   Status Send(Packet packet) {
     Endpoint* from = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = endpoints_.find(packet.from);
       if (it == endpoints_.end()) {
         return InvalidArgumentError(
@@ -176,7 +179,7 @@ class TcpTransport::Impl {
       ++packets_sent_;
     }
     {
-      std::lock_guard<std::mutex> lock(from->mu);
+      MutexLock lock(&from->mu);
       from->pending_sends.push_back(std::move(packet));
     }
     Wake(from);
@@ -197,7 +200,7 @@ class TcpTransport::Impl {
     envelope.payload = EncodePacketBatch(packets);
     Endpoint* from = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = endpoints_.find(envelope.from);
       if (it == endpoints_.end()) {
         return InvalidArgumentError(
@@ -208,7 +211,7 @@ class TcpTransport::Impl {
       ++batched_frames_;
     }
     {
-      std::lock_guard<std::mutex> lock(from->mu);
+      MutexLock lock(&from->mu);
       from->pending_sends.push_back(std::move(envelope));
     }
     Wake(from);
@@ -216,21 +219,21 @@ class TcpTransport::Impl {
   }
 
   uint16_t PortOf(SiteId site) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = ports_.find(site);
     return it == ports_.end() ? 0 : it->second;
   }
 
   uint64_t packets_sent() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return packets_sent_;
   }
   uint64_t packets_delivered() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return packets_delivered_;
   }
   uint64_t batched_frames() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return batched_frames_;
   }
 
@@ -242,13 +245,14 @@ class TcpTransport::Impl {
 
   void StopEndpoint(Endpoint* ep) {
     {
-      std::lock_guard<std::mutex> lock(ep->mu);
+      MutexLock lock(&ep->mu);
       ep->stopping = true;
     }
     Wake(ep);
     if (ep->io_thread.joinable()) {
       ep->io_thread.join();
     }
+    MutexLock lock(&ep->mu);
     for (auto& [fd, conn] : ep->connections) {
       close(fd);
     }
@@ -261,7 +265,7 @@ class TcpTransport::Impl {
   // Returns -1 when the destination is unknown or connect fails.
   int OutboundFd(Endpoint* ep, SiteId dest) {
     {
-      std::lock_guard<std::mutex> lock(ep->mu);
+      MutexLock lock(&ep->mu);
       auto it = ep->outbound.find(dest);
       if (it != ep->outbound.end()) {
         return it->second;
@@ -291,7 +295,7 @@ class TcpTransport::Impl {
     ev.data.fd = fd;
     epoll_ctl(ep->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
     {
-      std::lock_guard<std::mutex> lock(ep->mu);
+      MutexLock lock(&ep->mu);
       Connection conn;
       conn.fd = fd;
       ep->connections[fd] = std::move(conn);
@@ -303,7 +307,7 @@ class TcpTransport::Impl {
   void CloseConnection(Endpoint* ep, int fd) {
     epoll_ctl(ep->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
     close(fd);
-    std::lock_guard<std::mutex> lock(ep->mu);
+    MutexLock lock(&ep->mu);
     ep->connections.erase(fd);
     for (auto it = ep->outbound.begin(); it != ep->outbound.end();) {
       if (it->second == fd) {
@@ -329,7 +333,7 @@ class TcpTransport::Impl {
   void FlushPendingSends(Endpoint* ep) {
     std::deque<Packet> pending;
     {
-      std::lock_guard<std::mutex> lock(ep->mu);
+      MutexLock lock(&ep->mu);
       pending.swap(ep->pending_sends);
     }
     for (Packet& packet : pending) {
@@ -339,7 +343,7 @@ class TcpTransport::Impl {
       }
       Connection* conn;
       {
-        std::lock_guard<std::mutex> lock(ep->mu);
+        MutexLock lock(&ep->mu);
         auto it = ep->connections.find(fd);
         if (it == ep->connections.end()) {
           continue;
@@ -355,7 +359,7 @@ class TcpTransport::Impl {
     for (;;) {
       std::string* front = nullptr;
       {
-        std::lock_guard<std::mutex> lock(ep->mu);
+        MutexLock lock(&ep->mu);
         if (conn->outbox.empty()) {
           break;
         }
@@ -373,7 +377,7 @@ class TcpTransport::Impl {
       }
       conn->out_offset += static_cast<size_t>(n);
       if (conn->out_offset == front->size()) {
-        std::lock_guard<std::mutex> lock(ep->mu);
+        MutexLock lock(&ep->mu);
         conn->outbox.pop_front();
         conn->out_offset = 0;
       }
@@ -384,7 +388,7 @@ class TcpTransport::Impl {
   void HandleReadable(Endpoint* ep, int fd) {
     Connection* conn;
     {
-      std::lock_guard<std::mutex> lock(ep->mu);
+      MutexLock lock(&ep->mu);
       auto it = ep->connections.find(fd);
       if (it == ep->connections.end()) {
         return;
@@ -440,7 +444,7 @@ class TcpTransport::Impl {
               DecodePacketBatch(packet.payload);
           if (unpacked.ok()) {
             {
-              std::lock_guard<std::mutex> lock(mu_);
+              MutexLock lock(&mu_);
               packets_delivered_ += unpacked.value().size();
             }
             for (Packet& p : unpacked.value()) {
@@ -449,7 +453,7 @@ class TcpTransport::Impl {
           }
         } else {
           {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(&mu_);
             ++packets_delivered_;
           }
           ep->handler(std::move(packet));
@@ -471,7 +475,7 @@ class TcpTransport::Impl {
       ev.events = EPOLLIN;
       ev.data.fd = fd;
       epoll_ctl(ep->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
-      std::lock_guard<std::mutex> lock(ep->mu);
+      MutexLock lock(&ep->mu);
       Connection conn;
       conn.fd = fd;
       ep->connections[fd] = std::move(conn);
@@ -482,7 +486,7 @@ class TcpTransport::Impl {
     epoll_event events[64];
     for (;;) {
       {
-        std::lock_guard<std::mutex> lock(ep->mu);
+        MutexLock lock(&ep->mu);
         if (ep->stopping) {
           return;
         }
@@ -511,7 +515,7 @@ class TcpTransport::Impl {
         if (events[i].events & EPOLLOUT) {
           std::unordered_map<int, Connection>::iterator it;
           {
-            std::lock_guard<std::mutex> lock(ep->mu);
+            MutexLock lock(&ep->mu);
             it = ep->connections.find(fd);
             if (it == ep->connections.end()) {
               continue;
@@ -523,12 +527,13 @@ class TcpTransport::Impl {
     }
   }
 
-  mutable std::mutex mu_;
-  std::unordered_map<SiteId, std::unique_ptr<Endpoint>> endpoints_;
-  std::unordered_map<SiteId, uint16_t> ports_;
-  uint64_t packets_sent_ = 0;
-  uint64_t packets_delivered_ = 0;
-  uint64_t batched_frames_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<SiteId, std::unique_ptr<Endpoint>> endpoints_
+      GUARDED_BY(mu_);
+  std::unordered_map<SiteId, uint16_t> ports_ GUARDED_BY(mu_);
+  uint64_t packets_sent_ GUARDED_BY(mu_) = 0;
+  uint64_t packets_delivered_ GUARDED_BY(mu_) = 0;
+  uint64_t batched_frames_ GUARDED_BY(mu_) = 0;
 };
 
 TcpTransport::TcpTransport() : impl_(std::make_unique<Impl>()) {}

@@ -23,7 +23,7 @@ std::pair<uint64_t, uint64_t> FaultPlan::LinkKey(SiteId a, SiteId b) {
 }
 
 void FaultPlan::SetSiteDown(SiteId site, bool down) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (down) {
     down_sites_.insert(site.value());
   } else {
@@ -32,12 +32,12 @@ void FaultPlan::SetSiteDown(SiteId site, bool down) {
 }
 
 bool FaultPlan::IsSiteDown(SiteId site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return down_sites_.count(site.value()) > 0;
 }
 
 void FaultPlan::SetLinkDown(SiteId a, SiteId b, bool down) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (down) {
     down_links_.insert(LinkKey(a, b));
   } else {
@@ -47,7 +47,7 @@ void FaultPlan::SetLinkDown(SiteId a, SiteId b, bool down) {
 
 void FaultPlan::Partition(const std::vector<SiteId>& side_a,
                           const std::vector<SiteId>& side_b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (SiteId a : side_a) {
     for (SiteId b : side_b) {
       down_links_.insert(LinkKey(a, b));
@@ -56,12 +56,12 @@ void FaultPlan::Partition(const std::vector<SiteId>& side_a,
 }
 
 void FaultPlan::HealLinks() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   down_links_.clear();
 }
 
 void FaultPlan::HealAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   down_links_.clear();
   down_sites_.clear();
 }
@@ -69,20 +69,20 @@ void FaultPlan::HealAll() {
 void FaultPlan::SetDropProbability(double p) {
   POLYV_CHECK_GE(p, 0.0);
   POLYV_CHECK_LE(p, 1.0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   drop_probability_ = p;
 }
 
 void FaultPlan::SetDelayRange(double min_seconds, double max_seconds) {
   POLYV_CHECK_GE(min_seconds, 0.0);
   POLYV_CHECK_LE(min_seconds, max_seconds);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   delay_min_ = min_seconds;
   delay_max_ = max_seconds;
 }
 
 bool FaultPlan::ShouldDeliver(SiteId from, SiteId to, Rng* rng) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (down_sites_.count(from.value()) || down_sites_.count(to.value())) {
     return false;
   }
@@ -96,7 +96,7 @@ bool FaultPlan::ShouldDeliver(SiteId from, SiteId to, Rng* rng) const {
 }
 
 double FaultPlan::SampleDelay(Rng* rng) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (delay_max_ <= delay_min_) {
     return delay_min_;
   }
@@ -104,7 +104,7 @@ double FaultPlan::SampleDelay(Rng* rng) const {
 }
 
 double FaultPlan::min_delay() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return delay_min_;
 }
 

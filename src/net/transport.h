@@ -18,7 +18,6 @@
 #define SRC_NET_TRANSPORT_H_
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -28,6 +27,7 @@
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace polyvalue {
 
@@ -94,18 +94,19 @@ class FaultPlan {
  private:
   static std::pair<uint64_t, uint64_t> LinkKey(SiteId a, SiteId b);
 
-  mutable std::mutex mu_;
-  std::unordered_set<uint64_t> down_sites_;
+  mutable Mutex mu_;
+  std::unordered_set<uint64_t> down_sites_ GUARDED_BY(mu_);
   struct PairHash {
     size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
       return std::hash<uint64_t>()(p.first) * 1000003u ^
              std::hash<uint64_t>()(p.second);
     }
   };
-  std::unordered_set<std::pair<uint64_t, uint64_t>, PairHash> down_links_;
-  double drop_probability_ = 0.0;
-  double delay_min_ = 0.001;  // 1 ms default one-way latency
-  double delay_max_ = 0.003;
+  std::unordered_set<std::pair<uint64_t, uint64_t>, PairHash> down_links_
+      GUARDED_BY(mu_);
+  double drop_probability_ GUARDED_BY(mu_) = 0.0;
+  double delay_min_ GUARDED_BY(mu_) = 0.001;  // 1 ms default one-way latency
+  double delay_max_ GUARDED_BY(mu_) = 0.003;
 };
 
 }  // namespace polyvalue

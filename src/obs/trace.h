@@ -24,11 +24,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/common/thread_annotations.h"
 
 namespace polyvalue {
 
@@ -98,29 +98,29 @@ class TraceSink {
 class VectorTraceSink : public TraceSink {
  public:
   void Emit(const TraceEvent& event) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     events_.push_back(event);
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return events_.size();
   }
 
   // Copies the events recorded so far.
   std::vector<TraceEvent> Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return events_;
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     events_.clear();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
 };
 
 // Counts events without storing them — the cheapest live sink; used by

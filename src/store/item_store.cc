@@ -14,7 +14,7 @@ ItemStore::ItemStore(DefaultFactory default_factory, size_t shard_count)
 Result<PolyValue> ItemStore::Read(const ItemKey& key) const {
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.items.find(key);
     if (it != shard.items.end()) {
       return it->second;
@@ -28,20 +28,20 @@ Result<PolyValue> ItemStore::Read(const ItemKey& key) const {
 
 void ItemStore::Write(const ItemKey& key, PolyValue value) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   shard.items.insert_or_assign(key, std::move(value));
 }
 
 bool ItemStore::Contains(const ItemKey& key) const {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   return shard.items.count(key) > 0;
 }
 
 size_t ItemStore::size() const {
   size_t n = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     n += shard.items.size();
   }
   return n;
@@ -50,7 +50,7 @@ size_t ItemStore::size() const {
 size_t ItemStore::UncertainCount() const {
   size_t n = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const auto& [key, value] : shard.items) {
       if (!value.is_certain()) {
         ++n;
@@ -63,7 +63,7 @@ size_t ItemStore::UncertainCount() const {
 std::vector<ItemKey> ItemStore::UncertainKeys() const {
   std::vector<ItemKey> keys;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const auto& [key, value] : shard.items) {
       if (!value.is_certain()) {
         keys.push_back(key);
@@ -78,7 +78,7 @@ void ItemStore::ForEach(
     const std::function<void(const ItemKey&, const PolyValue&)>& fn) const {
   std::vector<std::pair<ItemKey, PolyValue>> snapshot;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const auto& [key, value] : shard.items) {
       snapshot.emplace_back(key, value);
     }
@@ -91,7 +91,7 @@ void ItemStore::ForEach(
 }
 
 Status ItemStore::Lock(const ItemKey& key, TxnId txn) {
-  std::lock_guard<std::mutex> lock(lock_mu_);
+  MutexLock lock(&lock_mu_);
   auto it = locks_.find(key);
   if (it != locks_.end()) {
     if (it->second == txn) {
@@ -106,7 +106,7 @@ Status ItemStore::Lock(const ItemKey& key, TxnId txn) {
 
 ItemStore::LockAttempt ItemStore::LockOrQueue(const ItemKey& key,
                                               TxnId txn) {
-  std::lock_guard<std::mutex> lock(lock_mu_);
+  MutexLock lock(&lock_mu_);
   auto it = locks_.find(key);
   if (it == locks_.end()) {
     locks_.emplace(key, txn);
@@ -129,7 +129,7 @@ ItemStore::LockAttempt ItemStore::LockOrQueue(const ItemKey& key,
 }
 
 std::vector<ItemStore::Grant> ItemStore::UnlockAll(TxnId txn) {
-  std::lock_guard<std::mutex> lock(lock_mu_);
+  MutexLock lock(&lock_mu_);
   std::vector<Grant> grants;
   auto it = held_.find(txn);
   if (it != held_.end()) {
@@ -168,7 +168,7 @@ std::vector<ItemStore::Grant> ItemStore::UnlockAll(TxnId txn) {
 }
 
 void ItemStore::CancelWaits(TxnId txn) {
-  std::lock_guard<std::mutex> lock(lock_mu_);
+  MutexLock lock(&lock_mu_);
   for (auto queue_it = waiters_.begin(); queue_it != waiters_.end();) {
     auto& queue = queue_it->second;
     queue.erase(std::remove(queue.begin(), queue.end(), txn), queue.end());
@@ -181,7 +181,7 @@ void ItemStore::CancelWaits(TxnId txn) {
 }
 
 std::optional<TxnId> ItemStore::LockHolder(const ItemKey& key) const {
-  std::lock_guard<std::mutex> lock(lock_mu_);
+  MutexLock lock(&lock_mu_);
   auto it = locks_.find(key);
   if (it == locks_.end()) {
     return std::nullopt;
@@ -190,7 +190,7 @@ std::optional<TxnId> ItemStore::LockHolder(const ItemKey& key) const {
 }
 
 size_t ItemStore::locked_count() const {
-  std::lock_guard<std::mutex> lock(lock_mu_);
+  MutexLock lock(&lock_mu_);
   return locks_.size();
 }
 

@@ -27,7 +27,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -35,6 +34,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/poly/polyvalue.h"
 
 namespace polyvalue {
@@ -109,8 +109,8 @@ class ItemStore {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::map<ItemKey, PolyValue> items;
+    mutable Mutex mu;
+    std::map<ItemKey, PolyValue> items GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const ItemKey& key) const {
@@ -123,11 +123,12 @@ class ItemStore {
 
   // Lock plane: one mutex, disjoint from every shard mutex. Never held
   // together with a shard mutex, so no ordering constraint exists.
-  mutable std::mutex lock_mu_;
-  std::unordered_map<ItemKey, TxnId> locks_;
-  std::unordered_map<TxnId, std::vector<ItemKey>> held_;
+  mutable Mutex lock_mu_;
+  std::unordered_map<ItemKey, TxnId> locks_ GUARDED_BY(lock_mu_);
+  std::unordered_map<TxnId, std::vector<ItemKey>> held_ GUARDED_BY(lock_mu_);
   // Per-item wait queues (wait-die), kept sorted eldest-first.
-  std::unordered_map<ItemKey, std::vector<TxnId>> waiters_;
+  std::unordered_map<ItemKey, std::vector<TxnId>> waiters_
+      GUARDED_BY(lock_mu_);
 };
 
 }  // namespace polyvalue

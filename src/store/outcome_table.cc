@@ -5,17 +5,17 @@
 namespace polyvalue {
 
 void OutcomeTable::RecordDependentItem(TxnId txn, const ItemKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pending_[txn].dependent_items.insert(key);
 }
 
 void OutcomeTable::RecordDownstreamSite(TxnId txn, SiteId site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pending_[txn].downstream_sites.insert(site);
 }
 
 void OutcomeTable::ForgetDependentItem(TxnId txn, const ItemKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = pending_.find(txn);
   if (it == pending_.end()) {
     return;
@@ -27,7 +27,7 @@ void OutcomeTable::ForgetDependentItem(TxnId txn, const ItemKey& key) {
 
 OutcomeTable::Resolution OutcomeTable::LearnOutcome(TxnId txn,
                                                     bool committed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Resolution res;
   res.committed = committed;
   auto resolved_it = resolved_.find(txn);
@@ -54,12 +54,12 @@ OutcomeTable::Resolution OutcomeTable::LearnOutcome(TxnId txn,
 }
 
 bool OutcomeTable::IsTracking(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pending_.count(txn) > 0;
 }
 
 std::optional<bool> OutcomeTable::KnownOutcome(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = resolved_.find(txn);
   if (it == resolved_.end()) {
     return std::nullopt;
@@ -68,7 +68,7 @@ std::optional<bool> OutcomeTable::KnownOutcome(TxnId txn) const {
 }
 
 std::vector<TxnId> OutcomeTable::UnknownTransactions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<TxnId> out;
   out.reserve(pending_.size());
   for (const auto& [txn, entry] : pending_) {
@@ -79,12 +79,12 @@ std::vector<TxnId> OutcomeTable::UnknownTransactions() const {
 }
 
 size_t OutcomeTable::tracked_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pending_.size();
 }
 
 std::optional<OutcomeTable::Entry> OutcomeTable::EntryFor(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = pending_.find(txn);
   if (it == pending_.end()) {
     return std::nullopt;

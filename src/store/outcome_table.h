@@ -15,13 +15,13 @@
 #define SRC_STORE_OUTCOME_TABLE_H_
 
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/common/thread_annotations.h"
 
 namespace polyvalue {
 
@@ -72,12 +72,12 @@ class OutcomeTable {
   std::optional<Entry> EntryFor(TxnId txn) const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<TxnId, Entry> pending_;
+  mutable Mutex mu_;
+  std::unordered_map<TxnId, Entry> pending_ GUARDED_BY(mu_);
   // Bounded FIFO cache of resolved outcomes.
-  std::unordered_map<TxnId, bool> resolved_;
-  std::deque<TxnId> resolved_order_;
-  size_t resolved_capacity_;
+  std::unordered_map<TxnId, bool> resolved_ GUARDED_BY(mu_);
+  std::deque<TxnId> resolved_order_ GUARDED_BY(mu_);
+  const size_t resolved_capacity_;
 };
 
 }  // namespace polyvalue

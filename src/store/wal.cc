@@ -2,8 +2,6 @@
 
 #include <unistd.h>
 
-#include <chrono>
-
 #include "src/common/crc32.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
@@ -274,12 +272,14 @@ Wal::~Wal() {
     // acknowledged, but there is no reason to drop them on a clean exit.
     (void)Flush();
   }
+  MutexLock lock(&mu_);
   if (file_ != nullptr) {
     std::fclose(file_);
   }
 }
 
-Status Wal::WriteAndSync(const std::vector<std::string>& bodies) {
+Status Wal::WriteAndSync(const std::vector<std::string>& bodies,
+                         std::FILE* file) {
   ByteWriter frame;
   if (bodies.size() == 1) {
     FrameBody(bodies.front(), &frame);
@@ -287,13 +287,13 @@ Status Wal::WriteAndSync(const std::vector<std::string>& bodies) {
     FrameBody(BatchBody(bodies), &frame);
   }
   const std::string& bytes = frame.buffer();
-  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
     return UnavailableError("WAL write failed");
   }
-  if (std::fflush(file_) != 0) {
+  if (std::fflush(file) != 0) {
     return UnavailableError("WAL flush failed");
   }
-  if (fsync(fileno(file_)) != 0) {
+  if (fsync(fileno(file)) != 0) {
     return UnavailableError("WAL fsync failed");
   }
   return OkStatus();
@@ -305,7 +305,7 @@ Status Wal::Append(const WalRecord& record) {
   if (options_.sync_policy == SyncPolicy::kGroupCommit) {
     bool flush_now = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       pending_.push_back(std::move(body));
       ++appended_seq_;
       ++records_appended_;
@@ -318,7 +318,7 @@ Status Wal::Append(const WalRecord& record) {
 
   ByteWriter frame;
   FrameBody(body, &frame);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::string& bytes = frame.buffer();
   if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
     return UnavailableError("WAL write failed");
@@ -343,30 +343,31 @@ Status Wal::Flush() {
   if (options_.sync_policy != SyncPolicy::kGroupCommit) {
     return OkStatus();  // per-append policies are already durable-as-promised
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   const uint64_t target = appended_seq_;
   Status result = OkStatus();
   while (durable_seq_ < target) {
     if (flushing_) {
       // Another thread's flush is in flight and will cover our records
       // (or we re-check and lead the next batch).
-      cv_.wait(lock);
+      cv_.Wait(&mu_);
       continue;
     }
     flushing_ = true;
     if (options_.group_window_seconds > 0 &&
         pending_.size() < options_.max_batch) {
       // Linger with the batch open so concurrent appenders can join.
-      cv_.wait_for(lock,
-                   std::chrono::duration<double>(
-                       options_.group_window_seconds));
+      (void)cv_.WaitFor(&mu_, options_.group_window_seconds);
     }
     std::vector<std::string> batch;
     batch.swap(pending_);
     const uint64_t batch_target = appended_seq_;
-    lock.unlock();
-    const Status s = batch.empty() ? OkStatus() : WriteAndSync(batch);
-    lock.lock();
+    // file_ is read under mu_; the write itself happens unlocked, fenced
+    // by the flushing_ token (Reset waits for !flushing_ to freopen).
+    std::FILE* file = file_;
+    mu_.Unlock();
+    const Status s = batch.empty() ? OkStatus() : WriteAndSync(batch, file);
+    mu_.Lock();
     flushing_ = false;
     // Advance even on failure so waiters do not spin forever; the error
     // is surfaced to the caller (and the records in `batch` are lost,
@@ -380,14 +381,17 @@ Status Wal::Flush() {
       POLYV_ERROR << "WAL group flush failed: " << s;
       result = s;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
+  mu_.Unlock();
   return result;
 }
 
 Status Wal::Reset() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !flushing_; });
+  MutexLock lock(&mu_);
+  while (flushing_) {
+    cv_.Wait(&mu_);
+  }
   pending_.clear();
   durable_seq_ = appended_seq_;
   std::FILE* replacement = std::freopen(path_.c_str(), "wb", file_);
@@ -400,8 +404,10 @@ Status Wal::Reset() {
 
 Status Wal::Sync() {
   POLYV_RETURN_IF_ERROR(Flush());
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !flushing_; });
+  MutexLock lock(&mu_);
+  while (flushing_) {
+    cv_.Wait(&mu_);
+  }
   if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
     return UnavailableError("WAL sync failed");
   }
@@ -409,17 +415,17 @@ Status Wal::Sync() {
 }
 
 uint64_t Wal::records_appended() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return records_appended_;
 }
 
 uint64_t Wal::batches_flushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return batches_flushed_;
 }
 
 uint64_t Wal::records_flushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return records_flushed_;
 }
 

@@ -30,16 +30,15 @@
 #ifndef SRC_STORE_WAL_H_
 #define SRC_STORE_WAL_H_
 
-#include <condition_variable>
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/ids.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/poly/polyvalue.h"
 
 namespace polyvalue {
@@ -146,25 +145,30 @@ class Wal {
 
  private:
   Wal(std::string path, std::FILE* file, Options options)
-      : path_(std::move(path)), file_(file), options_(options) {}
+      : path_(std::move(path)), options_(options), file_(file) {}
 
-  // Writes `bodies` as one frame (batch container for >1) and syncs.
-  // Caller must NOT hold mu_ — file writes happen outside the lock.
-  Status WriteAndSync(const std::vector<std::string>& bodies);
+  // Writes `bodies` as one frame (batch container for >1) to `file` and
+  // syncs. Caller must NOT hold mu_ — file writes happen outside the
+  // lock; `file` is the pointer read under mu_ before unlocking, and the
+  // flushing_ token keeps Reset() from replacing it mid-write.
+  static Status WriteAndSync(const std::vector<std::string>& bodies,
+                             std::FILE* file);
 
-  std::string path_;
-  std::FILE* file_;
+  const std::string path_;
   const Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  // Replaced by Reset() under mu_; flushes read it under mu_ and write
+  // outside the lock, fenced by flushing_ (Reset waits for !flushing_).
+  std::FILE* file_ GUARDED_BY(mu_);
   // Group commit: encoded record bodies awaiting the next flush.
-  std::vector<std::string> pending_;
-  bool flushing_ = false;
-  uint64_t appended_seq_ = 0;  // records accepted by Append
-  uint64_t durable_seq_ = 0;   // records covered by a completed flush
-  uint64_t records_appended_ = 0;
-  uint64_t batches_flushed_ = 0;
-  uint64_t records_flushed_ = 0;
+  std::vector<std::string> pending_ GUARDED_BY(mu_);
+  bool flushing_ GUARDED_BY(mu_) = false;
+  uint64_t appended_seq_ GUARDED_BY(mu_) = 0;  // records accepted by Append
+  uint64_t durable_seq_ GUARDED_BY(mu_) = 0;   // covered by a flush
+  uint64_t records_appended_ GUARDED_BY(mu_) = 0;
+  uint64_t batches_flushed_ GUARDED_BY(mu_) = 0;
+  uint64_t records_flushed_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace polyvalue

@@ -219,21 +219,25 @@ std::optional<TxnResult> ThreadCluster::SubmitAndWait(
   // stack-owned; notifying under the lock keeps the cv alive until the
   // waiter can actually proceed.
   struct WaitState {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::optional<TxnResult> result;
+    Mutex mu;
+    CondVar cv;
+    std::optional<TxnResult> result GUARDED_BY(mu);
   };
   auto state = std::make_shared<WaitState>();
   Submit(coordinator_index, std::move(spec), [state](const TxnResult& r) {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     state->result = r;
-    state->cv.notify_all();
+    state->cv.NotifyAll();
   });
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait_for(lock,
-                     std::chrono::microseconds(
-                         static_cast<int64_t>(timeout_seconds * 1e6)),
-                     [&state] { return state->result.has_value(); });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<int64_t>(timeout_seconds * 1e6));
+  MutexLock lock(&state->mu);
+  while (!state->result.has_value()) {
+    if (!state->cv.WaitUntil(&state->mu, deadline)) {
+      break;  // timed out; the callback may still fire later
+    }
+  }
   return state->result;
 }
 

@@ -9,9 +9,7 @@
 #ifndef SRC_SYSTEM_CLUSTER_H_
 #define SRC_SYSTEM_CLUSTER_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 

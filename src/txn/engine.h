@@ -43,7 +43,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -52,6 +51,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/store/item_store.h"
@@ -266,47 +266,63 @@ class TxnEngine {
   };
 
   // -- coordinator internals (engine_coordinator.cc) --
+  // Every private handler below runs with mu_ held: public entry points
+  // (OnMessage, Submit, timer callbacks) take the lock once, dispatch,
+  // and defer all side effects into the Outbox, flushed after unlock.
   // Runs a transaction whose every item lives at this site without any
   // message rounds. Returns false when the fast path does not apply.
   bool TryLocalFastPath(TxnId txn, const TxnSpec& spec,
-                        const TxnCallback& callback, Outbox* out);
-  void HandlePrepareReply(SiteId from, const Message& msg, Outbox* out);
-  void HandleReady(SiteId from, const Message& msg, Outbox* out);
-  void ExecuteAndShip(TxnId txn, Coordination* coord, Outbox* out);
+                        const TxnCallback& callback, Outbox* out)
+      REQUIRES(mu_);
+  void HandlePrepareReply(SiteId from, const Message& msg, Outbox* out)
+      REQUIRES(mu_);
+  void HandleReady(SiteId from, const Message& msg, Outbox* out)
+      REQUIRES(mu_);
+  void ExecuteAndShip(TxnId txn, Coordination* coord, Outbox* out)
+      REQUIRES(mu_);
   void Decide(TxnId txn, bool commit, const std::string& reason,
-              Outbox* out);
-  void HandleOutcomeRequest(SiteId from, const Message& msg, Outbox* out);
+              Outbox* out) REQUIRES(mu_);
+  void HandleOutcomeRequest(SiteId from, const Message& msg, Outbox* out)
+      REQUIRES(mu_);
   void CoordinatorTimeout(TxnId txn, CoordPhase expected_phase);
 
   // -- participant internals (engine_participant.cc) --
-  void HandlePrepare(SiteId from, const Message& msg, Outbox* out);
+  void HandlePrepare(SiteId from, const Message& msg, Outbox* out)
+      REQUIRES(mu_);
   // Tail of the prepare path once every lock is held: read values,
   // record §3.3 shipping obligations, send PREPARE_REPLY.
-  void FinishPrepareReads(TxnId txn, Participation* part, Outbox* out);
+  void FinishPrepareReads(TxnId txn, Participation* part, Outbox* out)
+      REQUIRES(mu_);
   // Releases txn's locks, waking and resuming parked prepares that the
   // freed items were granted to.
-  void ReleaseLocks(TxnId txn, Outbox* out);
-  void HandleWriteReq(SiteId from, const Message& msg, Outbox* out);
-  void HandleComplete(const Message& msg, Outbox* out);
-  void HandleAbort(const Message& msg, Outbox* out);
+  void ReleaseLocks(TxnId txn, Outbox* out) REQUIRES(mu_);
+  void HandleWriteReq(SiteId from, const Message& msg, Outbox* out)
+      REQUIRES(mu_);
+  void HandleComplete(const Message& msg, Outbox* out) REQUIRES(mu_);
+  void HandleAbort(const Message& msg, Outbox* out) REQUIRES(mu_);
   void WaitTimeout(TxnId txn);
-  void ApplyInDoubtPolicy(TxnId txn, Participation* part, Outbox* out);
+  void ApplyInDoubtPolicy(TxnId txn, Participation* part, Outbox* out)
+      REQUIRES(mu_);
   void FinishParticipation(TxnId txn, Participation* part, bool commit,
-                           Outbox* out);
+                           Outbox* out) REQUIRES(mu_);
 
   // -- shared internals (engine_common.cc) --
   // Installs `value` for `key`, maintaining dependency tracking and WAL.
-  void InstallValue(const ItemKey& key, const PolyValue& raw_value);
-  void HandleLearnedOutcome(TxnId txn, bool committed, Outbox* out);
-  void HandleOutcomeReply(const Message& msg, Outbox* out);
-  void HandleOutcomeNotify(SiteId from, const Message& msg, Outbox* out);
+  void InstallValue(const ItemKey& key, const PolyValue& raw_value)
+      REQUIRES(mu_);
+  void HandleLearnedOutcome(TxnId txn, bool committed, Outbox* out)
+      REQUIRES(mu_);
+  void HandleOutcomeReply(const Message& msg, Outbox* out) REQUIRES(mu_);
+  void HandleOutcomeNotify(SiteId from, const Message& msg, Outbox* out)
+      REQUIRES(mu_);
   void InquiryTick();
   void MarkPreparedDurable(TxnId txn, SiteId coordinator,
-                           const std::map<ItemKey, PolyValue>& writes);
-  void ClearPreparedDurable(TxnId txn);
-  void RecordDecisionDurable(TxnId txn, bool commit);
-  void Wal_(const WalRecord& record);
-  void FlushOutbox(Outbox* out);
+                           const std::map<ItemKey, PolyValue>& writes)
+      REQUIRES(mu_);
+  void ClearPreparedDurable(TxnId txn) REQUIRES(mu_);
+  void RecordDecisionDurable(TxnId txn, bool commit) REQUIRES(mu_);
+  void Wal_(const WalRecord& record) REQUIRES(mu_);
+  void FlushOutbox(Outbox* out) EXCLUDES(mu_);
 
   // Schedules `fn` after `delay`, guarded so the callback is a no-op once
   // this engine is destroyed (timers may outlive a restarted site).
@@ -355,29 +371,30 @@ class TxnEngine {
   Wal* wal_ = nullptr;
   TraceSink* trace_ = nullptr;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Txn-id sequence. Atomic so AllocateTxnId (called on every client
   // Submit) never touches mu_; writers that raise the floor after
   // recovery use a monotonic CAS.
   std::atomic<uint64_t> next_seq_{1};
-  std::map<TxnId, Coordination> coordinations_;
-  std::map<TxnId, Participation> participations_;
+  std::map<TxnId, Coordination> coordinations_ GUARDED_BY(mu_);
+  std::map<TxnId, Participation> participations_ GUARDED_BY(mu_);
 
   // Durable-by-contract (survives Crash; mirrored to WAL when attached):
   // coordinator decisions...
-  std::map<TxnId, bool> decided_;
+  std::map<TxnId, bool> decided_ GUARDED_BY(mu_);
   // ...and participant prepared-but-undecided writes.
   struct Prepared {
     SiteId coordinator;
     std::map<ItemKey, PolyValue> writes;
   };
-  std::map<TxnId, Prepared> prepared_;
+  std::map<TxnId, Prepared> prepared_ GUARDED_BY(mu_);
 
-  std::map<TxnId, std::vector<OutcomeCallback>> outcome_subscribers_;
+  std::map<TxnId, std::vector<OutcomeCallback>> outcome_subscribers_
+      GUARDED_BY(mu_);
 
-  bool inquiry_loop_running_ = false;
-  bool crashed_ = false;
-  EngineMetrics metrics_;
+  bool inquiry_loop_running_ GUARDED_BY(mu_) = false;
+  bool crashed_ GUARDED_BY(mu_) = false;
+  EngineMetrics metrics_ GUARDED_BY(mu_);
   // Liveness token shared with scheduled callbacks; flipped false on
   // destruction so stale timers cannot touch a dead engine.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -114,7 +114,7 @@ SiteId TxnEngine::CoordinatorOf(TxnId txn) {
 void TxnEngine::OnMessage(SiteId from, const Message& msg) {
   Outbox out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) {
       return;  // a down site neither sends nor receives
     }
@@ -306,7 +306,7 @@ void TxnEngine::HandleOutcomeNotify(SiteId from, const Message& msg,
 void TxnEngine::InquiryTick() {
   Outbox out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) {
       inquiry_loop_running_ = false;
       return;
@@ -350,7 +350,7 @@ void TxnEngine::InquiryTick() {
 void TxnEngine::EnsureInquiryLoop() {
   bool start = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!inquiry_loop_running_ && !crashed_) {
       inquiry_loop_running_ = true;
       start = true;
@@ -381,7 +381,7 @@ void TxnEngine::RecordDecisionDurable(TxnId txn, bool commit) {
 void TxnEngine::Crash() {
   std::vector<TxnCallback> orphaned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     Trace(TraceEventType::kCrash, TxnId());
     crashed_ = true;
     for (auto& [txn, coord] : coordinations_) {
@@ -408,7 +408,7 @@ void TxnEngine::Crash() {
 void TxnEngine::Recover() {
   Outbox out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     crashed_ = false;
     Trace(TraceEventType::kRecover, TxnId(), false, prepared_.size());
     // Re-enter the in-doubt path for every prepared-but-undecided
@@ -451,7 +451,7 @@ void TxnEngine::Recover() {
 }
 
 void TxnEngine::RestoreDurableState(const std::vector<WalRecord>& records) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t max_seq = 0;
   for (const WalRecord& record : records) {
     switch (record.type) {
@@ -478,7 +478,7 @@ void TxnEngine::RestoreDurableState(const std::vector<WalRecord>& records) {
 void TxnEngine::SubscribeOutcome(TxnId txn, OutcomeCallback callback) {
   Outbox out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::optional<bool> known = outcomes_->KnownOutcome(txn);
     if (!known.has_value()) {
       auto decided = decided_.find(txn);
@@ -503,7 +503,7 @@ void TxnEngine::SubscribeOutcome(TxnId txn, OutcomeCallback callback) {
 }
 
 void TxnEngine::ExportDurableState(SiteSnapshot* snapshot) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [txn, prepared] : prepared_) {
     snapshot->prepared.push_back(
         {txn, prepared.coordinator, prepared.writes});
@@ -512,7 +512,7 @@ void TxnEngine::ExportDurableState(SiteSnapshot* snapshot) const {
 }
 
 void TxnEngine::ImportDurableState(const SiteSnapshot& snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const SiteSnapshot::PreparedTxn& p : snapshot.prepared) {
     prepared_[p.txn] = Prepared{p.coordinator, p.writes};
   }
@@ -528,12 +528,12 @@ void TxnEngine::ImportDurableState(const SiteSnapshot& snapshot) {
 }
 
 EngineMetrics TxnEngine::metrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return metrics_;
 }
 
 std::optional<bool> TxnEngine::DecidedOutcome(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = decided_.find(txn);
   if (it == decided_.end()) {
     return std::nullopt;

@@ -19,7 +19,7 @@ TxnId TxnEngine::Submit(TxnSpec spec, TxnCallback callback, TxnId txn) {
                   "txn id " << txn << " was not allocated by " << self_);
   Outbox out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++metrics_.txns_submitted;
     if (crashed_) {
       out.thunks.push_back([callback = std::move(callback), txn] {
@@ -219,7 +219,7 @@ bool TxnEngine::TryLocalFastPath(TxnId txn, const TxnSpec& spec,
 void TxnEngine::CoordinatorTimeout(TxnId txn, CoordPhase expected_phase) {
   Outbox out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) {
       return;
     }
@@ -267,7 +267,7 @@ void TxnEngine::HandlePrepareReply(SiteId from, const Message& msg,
   ScheduleGuarded(config_.execution_delay, [this, txn] {
     Outbox delayed;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (crashed_) {
         return;
       }

@@ -70,7 +70,7 @@ void TxnEngine::HandlePrepare(SiteId from, const Message& msg, Outbox* out) {
       [this, txn] {
         Outbox timeout_out;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&mu_);
           if (crashed_) {
             return;
           }
@@ -262,7 +262,7 @@ void TxnEngine::FinishParticipation(TxnId txn, Participation* part,
 void TxnEngine::WaitTimeout(TxnId txn) {
   Outbox out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) {
       return;
     }

@@ -11,10 +11,10 @@ ThreadScheduler::ThreadScheduler() : epoch_(Clock::now()) {
 
 ThreadScheduler::~ThreadScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (worker_.joinable()) {
     worker_.join();
   }
@@ -31,16 +31,16 @@ Scheduler::TimerId ThreadScheduler::ScheduleAfter(double delay_seconds,
                          static_cast<int64_t>(delay_seconds * 1e6));
   TimerId id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     id = next_id_++;
     timers_.emplace(fire_at, std::make_pair(id, std::move(action)));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return id;
 }
 
 bool ThreadScheduler::Cancel(TimerId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = timers_.begin(); it != timers_.end(); ++it) {
     if (it->second.first == id) {
       timers_.erase(it);
@@ -51,25 +51,27 @@ bool ThreadScheduler::Cancel(TimerId id) {
 }
 
 void ThreadScheduler::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
     if (stopping_) {
+      mu_.Unlock();
       return;
     }
     if (timers_.empty()) {
-      cv_.wait(lock, [this] { return stopping_ || !timers_.empty(); });
+      // Spurious wakeups are fine: the loop head re-checks.
+      cv_.Wait(&mu_);
       continue;
     }
     const auto next_fire = timers_.begin()->first;
     if (Clock::now() < next_fire) {
-      cv_.wait_until(lock, next_fire);
+      (void)cv_.WaitUntil(&mu_, next_fire);
       continue;
     }
     auto entry = std::move(timers_.begin()->second);
     timers_.erase(timers_.begin());
-    lock.unlock();
+    mu_.Unlock();
     entry.second();  // run outside the lock; action may reschedule
-    lock.lock();
+    mu_.Lock();
   }
 }
 

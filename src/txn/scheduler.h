@@ -7,13 +7,12 @@
 #ifndef SRC_TXN_SCHEDULER_H_
 #define SRC_TXN_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 
+#include "src/common/thread_annotations.h"
 #include "src/event/simulator.h"
 
 namespace polyvalue {
@@ -68,12 +67,13 @@ class ThreadScheduler : public Scheduler {
 
   using Clock = std::chrono::steady_clock;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  TimerId next_id_ = 1;
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  TimerId next_id_ GUARDED_BY(mu_) = 1;
   // Fire-time ordered multimap; value = (id, action).
-  std::multimap<Clock::time_point, std::pair<TimerId, Action>> timers_;
+  std::multimap<Clock::time_point, std::pair<TimerId, Action>> timers_
+      GUARDED_BY(mu_);
   Clock::time_point epoch_;
   std::thread worker_;
 };

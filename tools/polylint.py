@@ -1,0 +1,346 @@
+#!/usr/bin/env python3
+"""polylint: repo-specific determinism / protocol / locking lint.
+
+Rules (see docs/STATIC_ANALYSIS.md for rationale):
+
+  ND01  no nondeterminism sources (std::random_device, rand(, srand(,
+        time(, gettimeofday, std::chrono::system_clock) in the
+        deterministic core: src/event, src/sim, src/txn, src/condition.
+        All randomness must flow through src/common/rng.h (seeded) and
+        all time through the Scheduler/Simulator clock.
+  MSG01 every MsgType enum kind in src/txn/messages.h has a
+        `case MsgType::kX` arm in BOTH Message::Encode and
+        Message::Decode in src/txn/messages.cc — adding a message kind
+        without wire support is a silent protocol hole.
+  TRC01 every TraceEventType kind in src/obs/trace.h appears (as its
+        snake_case name in backticks) in docs/OBSERVABILITY.md — the
+        trace taxonomy table is the contract the trace auditor and
+        downstream tooling parse.
+  MTX01 no raw std::mutex / std::condition_variable declarations in
+        src/ outside src/common/thread_annotations.h — concurrent state
+        must use the annotated Mutex/CondVar wrappers so Clang
+        thread-safety analysis covers it.
+  LAY01 no #include of net/tcp_transport.h from the deterministic core
+        (src/event, src/sim, src/txn, src/condition) — real sockets in
+        simulator-driven code would break seeded reproducibility.
+
+A line ending in  // polylint: allow(RULE)  is exempt from RULE
+(use sparingly; justify in the surrounding comment).
+
+Exit status: 0 clean, 1 violations found, 2 internal/usage error.
+--self-test seeds one violation per rule into a scratch tree and fails
+unless every rule fires (proving the linter can actually reject).
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+DETERMINISTIC_DIRS = ("src/event", "src/sim", "src/txn", "src/condition")
+
+NONDETERMINISM_PATTERNS = [
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w:])time\s*\("), "time()"),
+    (re.compile(r"gettimeofday"), "gettimeofday()"),
+    (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
+]
+
+RAW_MUTEX_PATTERN = re.compile(r"std::(mutex|condition_variable)\b")
+
+TCP_INCLUDE_PATTERN = re.compile(r'#\s*include\s+"src/net/tcp_transport\.h"')
+
+ALLOW_PATTERN = re.compile(r"//\s*polylint:\s*allow\(([A-Z0-9]+)\)")
+
+
+class Violation:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line  # 1-based, or 0 for file/project-level findings
+        self.message = message
+
+    def __str__(self):
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: [{self.rule}] {self.message}"
+
+
+def allowed(line, rule):
+    m = ALLOW_PATTERN.search(line)
+    return bool(m and m.group(1) == rule)
+
+
+def iter_source_files(root, subdirs):
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith((".h", ".cc")):
+                    yield os.path.join(dirpath, name)
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        return f.read().splitlines()
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root)
+
+
+# ---------------------------------------------------------------- ND01
+
+def check_nondeterminism(root):
+    violations = []
+    for path in iter_source_files(root, DETERMINISTIC_DIRS):
+        for i, line in enumerate(read_lines(path), 1):
+            stripped = line.split("//", 1)[0] if "//" in line and not ALLOW_PATTERN.search(line) else line
+            for pattern, label in NONDETERMINISM_PATTERNS:
+                if pattern.search(stripped) and not allowed(line, "ND01"):
+                    violations.append(Violation(
+                        "ND01", relpath(root, path), i,
+                        f"nondeterminism source {label} in deterministic "
+                        "core (use src/common/rng.h / the Scheduler clock)"))
+    return violations
+
+
+# ---------------------------------------------------------------- MSG01
+
+def extract_enum_kinds(text, enum_name):
+    m = re.search(rf"enum class {enum_name}[^{{]*{{(.*?)}}", text, re.S)
+    if m is None:
+        return None
+    body = re.sub(r"//[^\n]*", "", m.group(1))  # comments mention kinds too
+    return re.findall(r"\bk[A-Z]\w*", body)
+
+
+def extract_function_body(text, marker):
+    """Body of the function whose definition contains `marker`, by brace
+    matching from the first '{' at or after the marker."""
+    start = text.find(marker)
+    if start < 0:
+        return None
+    brace = text.find("{", start)
+    if brace < 0:
+        return None
+    depth = 0
+    for i in range(brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[brace:i + 1]
+    return None
+
+
+def check_message_arms(root):
+    header = os.path.join(root, "src/txn/messages.h")
+    source = os.path.join(root, "src/txn/messages.cc")
+    if not (os.path.exists(header) and os.path.exists(source)):
+        return [Violation("MSG01", "src/txn/messages.h", 0,
+                          "messages.h/messages.cc not found")]
+    kinds = extract_enum_kinds(open(header, encoding="utf-8").read(),
+                               "MsgType")
+    if not kinds:
+        return [Violation("MSG01", relpath(root, header), 0,
+                          "could not parse enum class MsgType")]
+    text = open(source, encoding="utf-8").read()
+    violations = []
+    for func in ("Message::Encode", "Message::Decode"):
+        body = extract_function_body(text, func)
+        if body is None:
+            violations.append(Violation(
+                "MSG01", relpath(root, source), 0,
+                f"could not locate {func} body"))
+            continue
+        for kind in kinds:
+            if f"MsgType::{kind}" not in body:
+                violations.append(Violation(
+                    "MSG01", relpath(root, source), 0,
+                    f"MsgType::{kind} has no case arm in {func}"))
+    return violations
+
+
+# ---------------------------------------------------------------- TRC01
+
+def snake_case(kind):
+    # kLocalFastPath -> local_fast_path
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", kind[1:]).lower()
+
+
+def check_trace_taxonomy(root):
+    trace_h = os.path.join(root, "src/obs/trace.h")
+    doc = os.path.join(root, "docs/OBSERVABILITY.md")
+    if not (os.path.exists(trace_h) and os.path.exists(doc)):
+        return [Violation("TRC01", "src/obs/trace.h", 0,
+                          "trace.h / docs/OBSERVABILITY.md not found")]
+    kinds = extract_enum_kinds(open(trace_h, encoding="utf-8").read(),
+                               "TraceEventType")
+    if not kinds:
+        return [Violation("TRC01", relpath(root, trace_h), 0,
+                          "could not parse enum class TraceEventType")]
+    doc_text = open(doc, encoding="utf-8").read()
+    violations = []
+    for kind in kinds:
+        name = snake_case(kind)
+        if f"`{name}`" not in doc_text:
+            violations.append(Violation(
+                "TRC01", "docs/OBSERVABILITY.md", 0,
+                f"trace event {kind} (`{name}`) missing from the "
+                "taxonomy documentation"))
+    return violations
+
+
+# ---------------------------------------------------------------- MTX01
+
+def check_raw_mutexes(root):
+    violations = []
+    exempt = os.path.join(root, "src/common/thread_annotations.h")
+    for path in iter_source_files(root, ("src",)):
+        if os.path.abspath(path) == os.path.abspath(exempt):
+            continue
+        for i, line in enumerate(read_lines(path), 1):
+            if line.lstrip().startswith("//"):
+                continue
+            if RAW_MUTEX_PATTERN.search(line) and not allowed(line, "MTX01"):
+                violations.append(Violation(
+                    "MTX01", relpath(root, path), i,
+                    "raw std::mutex/std::condition_variable — use the "
+                    "annotated Mutex/CondVar from "
+                    "src/common/thread_annotations.h"))
+    return violations
+
+
+# ---------------------------------------------------------------- LAY01
+
+def check_tcp_layering(root):
+    violations = []
+    for path in iter_source_files(root, DETERMINISTIC_DIRS):
+        for i, line in enumerate(read_lines(path), 1):
+            if TCP_INCLUDE_PATTERN.search(line) and not allowed(line, "LAY01"):
+                violations.append(Violation(
+                    "LAY01", relpath(root, path), i,
+                    "deterministic core must not include "
+                    "net/tcp_transport.h (real sockets break seeded "
+                    "reproducibility)"))
+    return violations
+
+
+# ---------------------------------------------------------------- driver
+
+CHECKS = [
+    check_nondeterminism,
+    check_message_arms,
+    check_trace_taxonomy,
+    check_raw_mutexes,
+    check_tcp_layering,
+]
+
+ALL_RULES = ("ND01", "MSG01", "TRC01", "MTX01", "LAY01")
+
+
+def run_lint(root):
+    violations = []
+    for check in CHECKS:
+        violations.extend(check(root))
+    return violations
+
+
+def write(path, content):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(content)
+
+
+def self_test():
+    """Seed one violation per rule in a scratch tree; every rule must
+    fire (and the allow() escape hatch must suppress)."""
+    with tempfile.TemporaryDirectory() as root:
+        write(os.path.join(root, "src/event/bad_clock.cc"),
+              "#include <ctime>\n"
+              "double NowWall() { return time(nullptr); }\n"
+              "int Roll() { return rand(); }\n")
+        write(os.path.join(root, "src/txn/messages.h"),
+              "enum class MsgType : uint8_t {\n"
+              "  kPrepare = 1,\n  kGhost = 2,\n};\n")
+        write(os.path.join(root, "src/txn/messages.cc"),
+              "std::string Message::Encode() const {\n"
+              "  switch (type) { case MsgType::kPrepare: break; }\n"
+              "  return {};\n}\n"
+              "Result<Message> Message::Decode(const std::string& b) {\n"
+              "  switch (type) { case MsgType::kPrepare: break; }\n"
+              "  return {};\n}\n")
+        write(os.path.join(root, "src/obs/trace.h"),
+              "enum class TraceEventType : uint8_t {\n"
+              "  kSubmit = 1,\n  kGhostEvent,\n};\n")
+        write(os.path.join(root, "docs/OBSERVABILITY.md"),
+              "| `submit` | a client submits |\n")
+        write(os.path.join(root, "src/store/bad_lock.h"),
+              "#include <mutex>\n"
+              "struct S { std::mutex mu; };\n"
+              "struct T { std::mutex mu2; };  // polylint: allow(MTX01)\n")
+        write(os.path.join(root, "src/condition/bad_include.cc"),
+              '#include "src/net/tcp_transport.h"\n')
+        write(os.path.join(root, "src/common/thread_annotations.h"),
+              "#include <mutex>\nclass Mutex { std::mutex mu_; };\n")
+
+        violations = run_lint(root)
+        fired = {v.rule for v in violations}
+        ok = True
+        for rule in ALL_RULES:
+            status = "fires" if rule in fired else "MISSING"
+            print(f"self-test: {rule} {status}")
+            if rule not in fired:
+                ok = False
+        # ND01 must flag both time( and rand(, proving token coverage.
+        nd = [v for v in violations if v.rule == "ND01"]
+        if len(nd) < 2:
+            print("self-test: ND01 matched fewer tokens than seeded")
+            ok = False
+        # The allow() escape hatch must have suppressed exactly one MTX01.
+        mtx = [v for v in violations if v.rule == "MTX01"]
+        if len(mtx) != 1:
+            print(f"self-test: MTX01 fired {len(mtx)} times, expected 1 "
+                  "(allow() suppression broken)")
+            ok = False
+        if not ok:
+            for v in violations:
+                print(f"  seeded tree: {v}")
+            return 2
+        print(f"self-test: OK ({len(violations)} seeded violations "
+              "detected, suppression honoured)")
+        return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the linter rejects seeded violations")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"polylint: no src/ under {root}", file=sys.stderr)
+        sys.exit(2)
+
+    violations = run_lint(root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"polylint: {len(violations)} violation(s)")
+        sys.exit(1)
+    print("polylint: clean")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+// The global lock-rank order: the single declared answer to "which
+// mutex may be held while acquiring which".
+//
+// Every polyvalue::Mutex in src/ is declared with POLYV_MUTEX_RANK(r),
+// which does two things at once:
+//   * statically, it attaches ACQUIRED_AFTER(<rank boundary>) to the
+//     declaration, tying the mutex into the ACQUIRED_BEFORE chain of
+//     boundary sentinels below so Clang's thread-safety analysis and
+//     tools/polyverify (rule LK01) can see the declared order; and
+//   * at runtime, it brace-initialises the Mutex with its LockRank so
+//     the POLYV_LOCKDEP validator (src/common/lockdep.h) can check the
+//     observed acquisition order against the declared one.
+//
+// Ranks are a strict total order: a thread may only acquire a mutex of
+// STRICTLY GREATER rank than every mutex it already holds. Lower rank =
+// outermost. The gaps of 10 leave room to splice in new layers without
+// renumbering (see "Adding a new mutex" in CONTRIBUTING.md).
+//
+// The chain of boundary sentinels is written out by hand (attributes
+// cannot be generated back-to-front by the X-macro); polyverify LK01
+// cross-checks that the hand-written chain, the enum values, and the
+// per-mutex bindings all agree, so drift between them is a CI failure,
+// not a silent divergence.
+#ifndef SRC_COMMON_LOCK_RANK_H_
+#define SRC_COMMON_LOCK_RANK_H_
+
+#ifndef CAPABILITY
+#error "Include src/common/thread_annotations.h, not lock_rank.h directly."
+#endif
+
+// Rank table. Rationale for the order (see docs/STATIC_ANALYSIS.md for
+// the per-edge evidence):
+//   kClientWait        cluster SubmitAndWait's completion latch; held
+//                      across Submit(), so it must precede everything.
+//   kBatching          BatchingTransport queue; its flusher calls into
+//                      the underlying transport.
+//   kTransport         mem/tcp transport registries; Send() locks the
+//                      destination mailbox/endpoint and consults the
+//                      fault plan while holding it.
+//   kTransportEndpoint per-destination mailbox / tcp endpoint.
+//   kFaultPlan         drop/partition decisions, taken under Send().
+//   kTransportStats    mem transport counters.
+//   kEngine            the txn engine's one protocol mutex; handlers
+//                      append to the WAL, touch the store/outcome
+//                      table, schedule timers and trace while holding
+//                      it (side effects to peers go through the Outbox
+//                      AFTER unlock, so kEngine < kTransport edges
+//                      never form).
+//   kScheduler         timer wheel; ScheduleAfter is called under the
+//                      engine mutex.
+//   kStoreLockPlane    item-store lock plane (disjoint from shards by
+//                      design, ordered before them for safety).
+//   kStoreShard        item-store data shards (locked one at a time).
+//   kOutcomeTable      durable outcome map.
+//   kWal               WAL buffer/group-commit mutex; Append runs under
+//                      the engine mutex.
+//   kTrace             VectorTraceSink buffer; tracing happens under
+//                      any of the above.
+//   kLogger            logging serialisation; innermost of all.
+#define POLYV_LOCK_RANK_LIST(X) \
+  X(kClientWait, 10)            \
+  X(kBatching, 20)              \
+  X(kTransport, 30)             \
+  X(kTransportEndpoint, 40)     \
+  X(kFaultPlan, 50)             \
+  X(kTransportStats, 60)        \
+  X(kEngine, 70)                \
+  X(kScheduler, 80)             \
+  X(kStoreLockPlane, 90)        \
+  X(kStoreShard, 100)           \
+  X(kOutcomeTable, 110)         \
+  X(kWal, 120)                  \
+  X(kTrace, 130)                \
+  X(kLogger, 140)
+
+namespace polyvalue {
+
+enum class LockRank : int {
+  // Rank 0 is reserved for mutexes outside the declared order (test
+  // locals constructed with the default Mutex()). polyverify LK01
+  // rejects any Mutex *declaration in src/* without an explicit rank.
+  kUnranked = 0,
+#define POLYV_LOCK_RANK_ENUM_ENTRY_(name, value) name = value,
+  POLYV_LOCK_RANK_LIST(POLYV_LOCK_RANK_ENUM_ENTRY_)
+#undef POLYV_LOCK_RANK_ENUM_ENTRY_
+};
+
+constexpr const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kUnranked:
+      return "kUnranked";
+#define POLYV_LOCK_RANK_NAME_ENTRY_(name, value) \
+  case LockRank::name:                           \
+    return #name;
+      POLYV_LOCK_RANK_LIST(POLYV_LOCK_RANK_NAME_ENTRY_)
+#undef POLYV_LOCK_RANK_NAME_ENTRY_
+  }
+  return "unknown";
+}
+
+constexpr const char* LockRankName(int rank) {
+  return LockRankName(static_cast<LockRank>(rank));
+}
+
+namespace lockrank {
+
+// Zero-size capability sentinels, one per rank, carrying the declared
+// order as real ACQUIRED_BEFORE attributes. Declared innermost-first
+// because an attribute argument must refer to an already-declared
+// object; the resulting chain still reads
+//   g_kClientWait < g_kBatching < ... < g_kLogger.
+class CAPABILITY("lock_rank") LockRankBoundary {};
+
+inline LockRankBoundary g_kLogger;
+inline LockRankBoundary g_kTrace ACQUIRED_BEFORE(g_kLogger);
+inline LockRankBoundary g_kWal ACQUIRED_BEFORE(g_kTrace);
+inline LockRankBoundary g_kOutcomeTable ACQUIRED_BEFORE(g_kWal);
+inline LockRankBoundary g_kStoreShard ACQUIRED_BEFORE(g_kOutcomeTable);
+inline LockRankBoundary g_kStoreLockPlane ACQUIRED_BEFORE(g_kStoreShard);
+inline LockRankBoundary g_kScheduler ACQUIRED_BEFORE(g_kStoreLockPlane);
+inline LockRankBoundary g_kEngine ACQUIRED_BEFORE(g_kScheduler);
+inline LockRankBoundary g_kTransportStats ACQUIRED_BEFORE(g_kEngine);
+inline LockRankBoundary g_kFaultPlan ACQUIRED_BEFORE(g_kTransportStats);
+inline LockRankBoundary g_kTransportEndpoint ACQUIRED_BEFORE(g_kFaultPlan);
+inline LockRankBoundary g_kTransport ACQUIRED_BEFORE(g_kTransportEndpoint);
+inline LockRankBoundary g_kBatching ACQUIRED_BEFORE(g_kTransport);
+inline LockRankBoundary g_kClientWait ACQUIRED_BEFORE(g_kBatching);
+
+}  // namespace lockrank
+}  // namespace polyvalue
+
+// Declares a Mutex's place in the global order. Expands to the static
+// ACQUIRED_AFTER annotation plus the runtime rank initialiser:
+//   mutable Mutex mu_ POLYV_MUTEX_RANK(kEngine);
+#define POLYV_MUTEX_RANK(rank)                  \
+  ACQUIRED_AFTER(::polyvalue::lockrank::g_##rank) { \
+    ::polyvalue::LockRank::rank                 \
+  }
+
+#endif  // SRC_COMMON_LOCK_RANK_H_

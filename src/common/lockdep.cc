@@ -1,0 +1,328 @@
+#include "src/common/lockdep.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "src/common/thread_annotations.h"
+
+namespace polyvalue {
+namespace lockdep {
+namespace {
+
+// The validator's own lock must be a raw std::mutex: an instrumented
+// polyvalue::Mutex would re-enter the hooks it serialises.
+std::mutex g_mu;  // polylint: allow(MTX01)
+
+struct Site {
+  const char* file = "?";
+  unsigned line = 0;
+  const char* function = "?";
+};
+
+std::string SiteStr(const Site& s) {
+  std::ostringstream os;
+  os << s.file << ":" << s.line << " (" << s.function << ")";
+  return os.str();
+}
+
+struct Held {
+  const void* mu;
+  int rank;
+  Site site;
+};
+
+// Per-thread stack of currently held instrumented mutexes, in
+// acquisition order.
+thread_local std::vector<Held> t_held;
+
+struct Node {
+  int rank = 0;
+  Site first_site;
+};
+
+struct Edge {
+  // Acquisition sites of the FIRST observation of this pair: where the
+  // already-held mutex was taken, and where the new one was.
+  Site held_site;
+  Site acquired_site;
+  int held_rank = 0;
+  int acquired_rank = 0;
+  size_t count = 0;
+};
+
+// Pointer-level graph for cycle detection. Pruned on mutex destruction
+// so address reuse cannot fabricate cycles across lifetimes.
+std::map<const void*, Node> g_nodes;
+std::map<std::pair<const void*, const void*>, Edge> g_edges;
+
+// Rank-level edge set for the JSON dump; never pruned, so the observed
+// order survives engine/cluster teardown until process exit.
+std::map<std::pair<int, int>, Edge> g_rank_edges;
+
+bool g_dirty = false;  // new pointer edges since the last cycle scan
+int g_report_count = 0;
+ReportHandler g_handler = nullptr;
+std::vector<std::string> g_reports;
+// Dedupe: rank pairs already reported as inversions, and canonical
+// signatures of already-reported cycles, so a hot path doesn't repeat
+// one report thousands of times.
+std::set<std::pair<int, int>> g_reported_rank_pairs;
+std::set<std::string> g_reported_cycles;
+
+void EmitLocked(const std::string& text) {
+  ++g_report_count;
+  g_reports.push_back(text);
+  if (g_handler != nullptr) {
+    g_handler(text);
+    return;
+  }
+  std::fprintf(stderr, "[lockdep] %s\n", text.c_str());
+  std::fflush(stderr);
+  if (std::getenv("POLYV_LOCKDEP_ABORT") != nullptr) std::abort();
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string DumpJsonLocked() {
+  std::ostringstream os;
+  os << "{\n  \"rank_order\": [";
+  bool first = true;
+#define POLYV_LOCKDEP_RANK_JSON_(name, value)                          \
+  os << (first ? "" : ", ") << "{\"name\": \"" #name "\", \"rank\": "  \
+     << value << "}";                                                  \
+  first = false;
+  POLYV_LOCK_RANK_LIST(POLYV_LOCKDEP_RANK_JSON_)
+#undef POLYV_LOCKDEP_RANK_JSON_
+  os << "],\n  \"edges\": [";
+  first = true;
+  for (const auto& [key, e] : g_rank_edges) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"held_rank\": " << key.first << ", \"held_name\": \""
+       << LockRankName(key.first) << "\", \"acquired_rank\": " << key.second
+       << ", \"acquired_name\": \"" << LockRankName(key.second)
+       << "\", \"count\": " << e.count << ", \"held_site\": \""
+       << JsonEscape(SiteStr(e.held_site)) << "\", \"acquired_site\": \""
+       << JsonEscape(SiteStr(e.acquired_site)) << "\"}";
+  }
+  os << (first ? "]" : "\n  ]") << ",\n  \"reports\": [";
+  first = true;
+  for (const auto& r : g_reports) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << JsonEscape(r) << "\"";
+  }
+  os << (first ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+// DFS over the pointer graph; returns the first cycle found as the
+// sequence of nodes closing back on the start, or empty.
+bool FindCycleFrom(const void* start, const void* at,
+                   std::set<const void*>* visiting,
+                   std::vector<const void*>* path) {
+  visiting->insert(at);
+  path->push_back(at);
+  auto it = g_edges.lower_bound({at, nullptr});
+  for (; it != g_edges.end() && it->first.first == at; ++it) {
+    const void* next = it->first.second;
+    if (next == start) return true;
+    if (visiting->count(next) == 0 &&
+        FindCycleFrom(start, next, visiting, path)) {
+      return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+void CheckCyclesLocked() {
+  g_dirty = false;
+  for (const auto& [node, info] : g_nodes) {
+    (void)info;
+    std::set<const void*> visiting;
+    std::vector<const void*> path;
+    if (!FindCycleFrom(node, node, &visiting, &path)) continue;
+    // Canonicalise on the smallest pointer so each cycle reports once.
+    if (node != *std::min_element(path.begin(), path.end())) continue;
+    std::ostringstream sig;
+    for (const void* p : path) sig << p << ">";
+    if (!g_reported_cycles.insert(sig.str()).second) continue;
+    std::ostringstream os;
+    os << "lock-order cycle between " << path.size() << " mutexes:";
+    for (size_t i = 0; i < path.size(); ++i) {
+      const void* a = path[i];
+      const void* b = path[(i + 1) % path.size()];
+      const Edge& e = g_edges.at({a, b});
+      os << "\n  holding " << LockRankName(e.held_rank) << " mutex " << a
+         << " (acquired at " << SiteStr(e.held_site) << ") while acquiring "
+         << LockRankName(e.acquired_rank) << " mutex " << b << " at "
+         << SiteStr(e.acquired_site);
+    }
+    EmitLocked(os.str());
+  }
+}
+
+void AtExitDump() { DumpJsonToEnvDir(); }
+
+void EnsureAtExitLocked() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  std::atexit(AtExitDump);
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, int rank, const std::source_location& loc) {
+  const Site site{loc.file_name(), loc.line(), loc.function_name()};
+  std::lock_guard<std::mutex> guard(g_mu);  // polylint: allow(MTX01)
+  EnsureAtExitLocked();
+  Node& node = g_nodes[mu];
+  node.rank = rank;
+  if (node.first_site.line == 0) node.first_site = site;
+  for (const Held& h : t_held) {
+    if (h.mu == mu) {
+      std::ostringstream os;
+      os << "recursive acquisition of " << LockRankName(rank) << " mutex "
+         << mu << ": first at " << SiteStr(h.site) << ", again at "
+         << SiteStr(site) << " (this mutex is not recursive; self-deadlock)";
+      EmitLocked(os.str());
+      continue;
+    }
+    // Rank discipline: strictly increasing among ranked mutexes.
+    if (rank != 0 && h.rank != 0 && rank <= h.rank &&
+        g_reported_rank_pairs.insert({h.rank, rank}).second) {
+      std::ostringstream os;
+      os << "lock-rank violation: acquiring " << LockRankName(rank)
+         << " (rank " << rank << ") mutex " << mu << " at " << SiteStr(site)
+         << " while holding " << LockRankName(h.rank) << " (rank " << h.rank
+         << ") mutex " << h.mu << " acquired at " << SiteStr(h.site)
+         << "; declared order requires strictly increasing ranks";
+      EmitLocked(os.str());
+    }
+    Edge& edge = g_edges[{h.mu, mu}];
+    if (edge.count == 0) {
+      edge.held_site = h.site;
+      edge.acquired_site = site;
+      edge.held_rank = h.rank;
+      edge.acquired_rank = rank;
+      g_dirty = true;
+    }
+    ++edge.count;
+    Edge& redge = g_rank_edges[{h.rank, rank}];
+    if (redge.count == 0) {
+      redge.held_site = h.site;
+      redge.acquired_site = site;
+      redge.held_rank = h.rank;
+      redge.acquired_rank = rank;
+    }
+    ++redge.count;
+  }
+  t_held.push_back(Held{mu, rank, site});
+}
+
+void OnRelease(const void* mu) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> guard(g_mu);  // polylint: allow(MTX01)
+  if (g_dirty) CheckCyclesLocked();
+}
+
+void OnDestroy(const void* mu) {
+  std::lock_guard<std::mutex> guard(g_mu);  // polylint: allow(MTX01)
+  g_nodes.erase(mu);
+  for (auto it = g_edges.begin(); it != g_edges.end();) {
+    if (it->first.first == mu || it->first.second == mu) {
+      it = g_edges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+ReportHandler SetReportHandler(ReportHandler handler) {
+  std::lock_guard<std::mutex> guard(g_mu);  // polylint: allow(MTX01)
+  ReportHandler prev = g_handler;
+  g_handler = handler;
+  return prev;
+}
+
+int ReportCount() {
+  std::lock_guard<std::mutex> guard(g_mu);  // polylint: allow(MTX01)
+  return g_report_count;
+}
+
+void ResetForTest() {
+  std::lock_guard<std::mutex> guard(g_mu);  // polylint: allow(MTX01)
+  g_nodes.clear();
+  g_edges.clear();
+  g_rank_edges.clear();
+  g_reports.clear();
+  g_reported_rank_pairs.clear();
+  g_reported_cycles.clear();
+  g_report_count = 0;
+  g_dirty = false;
+  t_held.clear();
+}
+
+std::string DumpJson() {
+  std::lock_guard<std::mutex> guard(g_mu);  // polylint: allow(MTX01)
+  return DumpJsonLocked();
+}
+
+bool DumpJsonToEnvDir() {
+  const char* dir = std::getenv("POLYV_LOCKDEP_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return false;
+  std::string json;
+  {
+    std::lock_guard<std::mutex> guard(g_mu);  // polylint: allow(MTX01)
+    json = DumpJsonLocked();
+  }
+  std::ostringstream path;
+  path << dir << "/lockdep." << ::getpid() << ".json";
+  std::FILE* f = std::fopen(path.str().c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace lockdep
+}  // namespace polyvalue

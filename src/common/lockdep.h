@@ -1,0 +1,78 @@
+// Runtime lock-order validator ("lockdep"), the dynamic half of the
+// lock-rank discipline declared in src/common/lock_rank.h.
+//
+// When the tree is built with -DPOLYV_LOCKDEP=ON, polyvalue::Mutex
+// calls the hooks below on every acquire/release. The validator keeps a
+// per-thread stack of held locks and merges every observed
+// held-while-acquiring pair into one global lock-order graph. It
+// reports, naming BOTH acquisition sites:
+//   * a rank-order violation at acquire time — acquiring a mutex whose
+//     declared rank is <= the rank of a mutex already held; and
+//   * a cycle in the observed graph, checked at release time, even when
+//     every participating mutex is unranked — the classic ABBA shape
+//     assembled across threads.
+//
+// The observed graph survives mutex destruction as a rank-level edge
+// set and can be dumped as JSON (POLYV_LOCKDEP_JSON_DIR), which CI
+// feeds to `polyverify --check-lockdep` to assert that every observed
+// edge is implied by the declared rank order.
+//
+// The hooks deliberately take `const void*` + `int` so this header has
+// no dependency on thread_annotations.h (which includes us when
+// POLYV_LOCKDEP is defined). Condition-variable waits release and
+// re-acquire the underlying std::mutex without passing through these
+// hooks; the held-stack stays consistent because the waiting thread
+// acquires nothing else while blocked.
+#ifndef SRC_COMMON_LOCKDEP_H_
+#define SRC_COMMON_LOCKDEP_H_
+
+#include <source_location>
+#include <string>
+
+namespace polyvalue {
+namespace lockdep {
+
+// Called by Mutex immediately before a blocking lock() (so a
+// self-deadlock is reported before the thread hangs) and immediately
+// after a successful try_lock().
+void OnAcquire(const void* mu, int rank,
+               const std::source_location& loc =
+                   std::source_location::current());
+
+// Called by Mutex before unlock(). Pops the per-thread stack and, when
+// the graph gained edges since the last check, runs cycle detection.
+void OnRelease(const void* mu);
+
+// Called by ~Mutex. Drops the pointer-level node so a recycled address
+// cannot stitch two unrelated lifetimes into a phantom cycle. The
+// rank-level edge set (what the JSON dump reports) is retained.
+void OnDestroy(const void* mu);
+
+// Reports go to the installed handler, or to stderr when none is set
+// (aborting if POLYV_LOCKDEP_ABORT is set in the environment). Tests
+// install a handler to capture report text. Returns the previous
+// handler.
+using ReportHandler = void (*)(const std::string& report);
+ReportHandler SetReportHandler(ReportHandler handler);
+
+// Number of reports issued since start / the last ResetForTest().
+int ReportCount();
+
+// Clears all recorded state (graph, reports, per-process dedupe).
+// Only for tests; the calling thread must hold no instrumented mutex.
+void ResetForTest();
+
+// Serialises the observed graph: rank-level edges with example
+// acquisition sites and counts, plus every report issued so far.
+std::string DumpJson();
+
+// Writes DumpJson() to $POLYV_LOCKDEP_JSON_DIR/lockdep.<pid>.json.
+// Returns false when the variable is unset or the write fails. An
+// atexit hook installed on first acquisition calls this automatically,
+// so every test binary in a POLYV_LOCKDEP CI run leaves a dump behind.
+bool DumpJsonToEnvDir();
+
+}  // namespace lockdep
+}  // namespace polyvalue
+
+#endif  // SRC_COMMON_LOCKDEP_H_

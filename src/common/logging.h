@@ -49,7 +49,7 @@ class Logger {
   Logger() = default;
 
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  Mutex mu_;
+  Mutex mu_ POLYV_MUTEX_RANK(kLogger);
   bool capture_ GUARDED_BY(mu_) = false;
   std::string captured_ GUARDED_BY(mu_);
 };

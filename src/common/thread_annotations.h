@@ -77,6 +77,19 @@
 #define NO_THREAD_SAFETY_ANALYSIS \
   POLYV_THREAD_ANNOTATION__(no_thread_safety_analysis)
 
+// The declared global lock order (LockRank, POLYV_MUTEX_RANK, and the
+// ACQUIRED_BEFORE boundary chain). Must come after the macros above.
+#include "src/common/lock_rank.h"
+
+// Runtime lock-order validation: -DPOLYV_LOCKDEP=ON routes every
+// Mutex acquire/release through src/common/lockdep.h, which checks the
+// observed order against the declared ranks and hunts for cycles.
+#if defined(POLYV_LOCKDEP)
+#include <source_location>
+
+#include "src/common/lockdep.h"
+#endif
+
 namespace polyvalue {
 
 class CondVar;
@@ -87,28 +100,70 @@ class CondVar;
 // commit, dispatcher loops) that drop the lock mid-function.
 class CAPABILITY("mutex") Mutex {
  public:
+  // Unranked: only for mutexes OUTSIDE src/ (test fixtures, scratch
+  // tooling). Every Mutex declared in src/ must carry an explicit rank
+  // via POLYV_MUTEX_RANK — polyverify rule LK01 enforces this.
   Mutex() = default;
+  // Places this mutex in the declared global lock order
+  // (src/common/lock_rank.h). Spelled POLYV_MUTEX_RANK(kRank) at the
+  // declaration, which also attaches the ACQUIRED_AFTER annotation.
+  explicit Mutex(LockRank rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if defined(POLYV_LOCKDEP)
+  ~Mutex() { lockdep::OnDestroy(this); }
+
+  void Lock(const std::source_location& loc =
+                std::source_location::current()) ACQUIRE() {
+    // Hook first: a recursive acquisition is reported before the
+    // std::mutex self-deadlock hangs the thread.
+    lockdep::OnAcquire(this, static_cast<int>(rank_), loc);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    lockdep::OnRelease(this);
+    mu_.unlock();
+  }
+  bool TryLock(const std::source_location& loc =
+                   std::source_location::current()) TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lockdep::OnAcquire(this, static_cast<int>(rank_), loc);
+    return true;
+  }
+#else
   void Lock() ACQUIRE() { mu_.lock(); }
   void Unlock() RELEASE() { mu_.unlock(); }
   bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
 
   // Documents (and under clang, tells the analysis) that the caller
   // already holds this mutex when the fact is not provable locally.
   void AssertHeld() ASSERT_CAPABILITY(this) {}
 
+  LockRank rank() const { return rank_; }
+
  private:
   friend class CondVar;
   std::mutex mu_;
+  const LockRank rank_ = LockRank::kUnranked;
 };
 
 // RAII guard over Mutex; the annotated replacement for
 // std::lock_guard<std::mutex>.
 class SCOPED_CAPABILITY MutexLock {
  public:
+#if defined(POLYV_LOCKDEP)
+  // Forwards the caller's location so lockdep reports name the
+  // `MutexLock lock(&mu_);` line, not this constructor.
+  explicit MutexLock(Mutex* mu, const std::source_location& loc =
+                                    std::source_location::current())
+      ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock(loc);
+  }
+#else
   explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+#endif
   ~MutexLock() RELEASE() { mu_->Unlock(); }
 
   MutexLock(const MutexLock&) = delete;

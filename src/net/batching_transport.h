@@ -98,7 +98,7 @@ class BatchingTransport : public Transport {
   Transport* const inner_;
   const Options options_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ POLYV_MUTEX_RANK(kBatching);
   CondVar cv_;
   // Sorted map: deterministic flush order.
   std::map<LinkKey, LinkQueue> queues_ GUARDED_BY(mu_);

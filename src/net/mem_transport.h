@@ -64,7 +64,7 @@ class MemTransport : public Transport {
   };
 
   struct Mailbox {
-    Mutex mu;
+    Mutex mu POLYV_MUTEX_RANK(kTransportEndpoint);
     CondVar cv;
     std::priority_queue<Timed, std::vector<Timed>, Later> queue
         GUARDED_BY(mu);
@@ -81,13 +81,13 @@ class MemTransport : public Transport {
   FaultPlan* faults_;
   Rng send_rng_ GUARDED_BY(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ POLYV_MUTEX_RANK(kTransport);
   std::unordered_map<SiteId, std::unique_ptr<Mailbox>> mailboxes_
       GUARDED_BY(mu_);
   uint64_t next_seq_ GUARDED_BY(mu_) = 0;
   uint64_t packets_sent_ GUARDED_BY(mu_) = 0;
   uint64_t batched_frames_ GUARDED_BY(mu_) = 0;
-  mutable Mutex stats_mu_;
+  mutable Mutex stats_mu_ POLYV_MUTEX_RANK(kTransportStats);
   uint64_t packets_delivered_ GUARDED_BY(stats_mu_) = 0;
 };
 

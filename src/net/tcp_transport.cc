@@ -69,7 +69,7 @@ struct TcpTransport::Endpoint {
   int wake_fd = -1;  // eventfd to interrupt epoll_wait
   std::thread io_thread;
 
-  Mutex mu;
+  Mutex mu POLYV_MUTEX_RANK(kTransportEndpoint);
   bool stopping GUARDED_BY(mu) = false;
   // fd -> connection (inbound accepted + outbound established). The map
   // itself is guarded; Connection internals are touched only by the io
@@ -527,7 +527,7 @@ class TcpTransport::Impl {
     }
   }
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ POLYV_MUTEX_RANK(kTransport);
   std::unordered_map<SiteId, std::unique_ptr<Endpoint>> endpoints_
       GUARDED_BY(mu_);
   std::unordered_map<SiteId, uint16_t> ports_ GUARDED_BY(mu_);

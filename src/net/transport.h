@@ -94,7 +94,7 @@ class FaultPlan {
  private:
   static std::pair<uint64_t, uint64_t> LinkKey(SiteId a, SiteId b);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ POLYV_MUTEX_RANK(kFaultPlan);
   std::unordered_set<uint64_t> down_sites_ GUARDED_BY(mu_);
   struct PairHash {
     size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {

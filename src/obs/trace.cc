@@ -54,6 +54,18 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "msg_dropped";
     case TraceEventType::kMsgDelivered:
       return "msg_delivered";
+    case TraceEventType::kPrepareReplied:
+      return "prepare_replied";
+    case TraceEventType::kVoteCollected:
+      return "vote_collected";
+    case TraceEventType::kOutcomeReplied:
+      return "outcome_replied";
+    case TraceEventType::kMsgIgnored:
+      return "msg_ignored";
+    case TraceEventType::kComputeDiscard:
+      return "compute_discard";
+    case TraceEventType::kUncertainRelease:
+      return "uncertain_release";
   }
   return "?";
 }

@@ -66,6 +66,16 @@ enum class TraceEventType : uint8_t {
   // -- transport --
   kMsgDropped,        // packet lost (site = sender, peer = target)
   kMsgDelivered,      // packet handed to a live site (site = receiver)
+  // -- handler return paths --
+  // Added so EVERY engine message-handler return path emits an event
+  // (tools/polyverify rule TR01); appended after the original kinds so
+  // recorded streams keep their numbering.
+  kPrepareReplied,    // participant answered PREPARE (flag = accepted)
+  kVoteCollected,     // coordinator absorbed one vote; others pending
+  kOutcomeReplied,    // coordinator answered OUTCOME_REQUEST (flag = known)
+  kMsgIgnored,        // stale/duplicate message discarded (arg = MsgType)
+  kComputeDiscard,    // compute result discarded: txn already resolved
+  kUncertainRelease,  // kPolyvalue policy: locks freed, values uncertain
 };
 
 const char* TraceEventTypeName(TraceEventType type);
@@ -119,7 +129,7 @@ class VectorTraceSink : public TraceSink {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_ POLYV_MUTEX_RANK(kTrace);
   std::vector<TraceEvent> events_ GUARDED_BY(mu_);
 };
 

@@ -109,7 +109,7 @@ class ItemStore {
 
  private:
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu POLYV_MUTEX_RANK(kStoreShard);
     std::map<ItemKey, PolyValue> items GUARDED_BY(mu);
   };
 
@@ -122,8 +122,9 @@ class ItemStore {
   DefaultFactory default_factory_;
 
   // Lock plane: one mutex, disjoint from every shard mutex. Never held
-  // together with a shard mutex, so no ordering constraint exists.
-  mutable Mutex lock_mu_;
+  // together with a shard mutex; it still gets a rank below the shards
+  // so that if the planes ever do nest, lockdep fixes the direction.
+  mutable Mutex lock_mu_ POLYV_MUTEX_RANK(kStoreLockPlane);
   std::unordered_map<ItemKey, TxnId> locks_ GUARDED_BY(lock_mu_);
   std::unordered_map<TxnId, std::vector<ItemKey>> held_ GUARDED_BY(lock_mu_);
   // Per-item wait queues (wait-die), kept sorted eldest-first.

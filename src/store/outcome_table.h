@@ -72,7 +72,7 @@ class OutcomeTable {
   std::optional<Entry> EntryFor(TxnId txn) const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_ POLYV_MUTEX_RANK(kOutcomeTable);
   std::unordered_map<TxnId, Entry> pending_ GUARDED_BY(mu_);
   // Bounded FIFO cache of resolved outcomes.
   std::unordered_map<TxnId, bool> resolved_ GUARDED_BY(mu_);

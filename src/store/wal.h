@@ -156,7 +156,7 @@ class Wal {
 
   const std::string path_;
   const Options options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_ POLYV_MUTEX_RANK(kWal);
   CondVar cv_;
   // Replaced by Reset() under mu_; flushes read it under mu_ and write
   // outside the lock, fenced by flushing_ (Reset waits for !flushing_).

@@ -219,7 +219,7 @@ std::optional<TxnResult> ThreadCluster::SubmitAndWait(
   // stack-owned; notifying under the lock keeps the cv alive until the
   // waiter can actually proceed.
   struct WaitState {
-    Mutex mu;
+    Mutex mu POLYV_MUTEX_RANK(kClientWait);
     CondVar cv;
     std::optional<TxnResult> result GUARDED_BY(mu);
   };

@@ -269,6 +269,15 @@ class TxnEngine {
   // Every private handler below runs with mu_ held: public entry points
   // (OnMessage, Submit, timer callbacks) take the lock once, dispatch,
   // and defer all side effects into the Outbox, flushed after unlock.
+  // The locked body of Submit. Every path — crashed coordinator, local
+  // fast path, empty participant set, the full prepare fan-out —
+  // returns with its side effects parked in `out`, so Submit flushes
+  // exactly once, after mu_ is released. (An earlier version flushed
+  // inside the lock on the early-return paths, running client
+  // callbacks and the group-commit fsync under mu_; lockdep caught it
+  // as a kEngine -> kClientWait rank inversion.)
+  void SubmitUnderLock(TxnSpec spec, TxnCallback callback, TxnId txn,
+                       Outbox* out) EXCLUDES(mu_);
   // Runs a transaction whose every item lives at this site without any
   // message rounds. Returns false when the fast path does not apply.
   bool TryLocalFastPath(TxnId txn, const TxnSpec& spec,
@@ -371,7 +380,7 @@ class TxnEngine {
   Wal* wal_ = nullptr;
   TraceSink* trace_ = nullptr;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ POLYV_MUTEX_RANK(kEngine);
   // Txn-id sequence. Atomic so AllocateTxnId (called on every client
   // Submit) never touches mu_; writers that raise the floor after
   // recovery use a monotonic CAS.

@@ -239,6 +239,9 @@ void TxnEngine::HandleLearnedOutcome(TxnId txn, bool committed,
   const OutcomeTable::Resolution res =
       outcomes_->LearnOutcome(txn, committed);
   if (res.already_known) {
+    // Redundant outcome information (duplicate COMPLETE/ABORT/NOTIFY or
+    // an inquiry answer that raced a push).
+    Trace(TraceEventType::kMsgIgnored, txn, committed);
     return;
   }
   Trace(TraceEventType::kOutcomeLearned, txn, committed);
@@ -290,6 +293,8 @@ void TxnEngine::HandleLearnedOutcome(TxnId txn, bool committed,
 
 void TxnEngine::HandleOutcomeReply(const Message& msg, Outbox* out) {
   if (!msg.known) {
+    Trace(TraceEventType::kMsgIgnored, msg.txn, false,
+          static_cast<uint64_t>(MsgType::kOutcomeReply));
     return;  // coordinator undecided; inquiry loop will retry
   }
   HandleLearnedOutcome(msg.txn, msg.committed, out);

@@ -18,87 +18,85 @@ TxnId TxnEngine::Submit(TxnSpec spec, TxnCallback callback, TxnId txn) {
   POLYV_CHECK_MSG(CoordinatorOf(txn) == self_,
                   "txn id " << txn << " was not allocated by " << self_);
   Outbox out;
-  {
-    MutexLock lock(&mu_);
-    ++metrics_.txns_submitted;
-    if (crashed_) {
-      out.thunks.push_back([callback = std::move(callback), txn] {
-        TxnResult r;
-        r.id = txn;
-        r.disposition = TxnDisposition::kAborted;
-        r.abort_reason = "coordinator site is down";
-        callback(r);
-      });
-      FlushOutbox(&out);
-      return txn;
-    }
-    Trace(TraceEventType::kSubmit, txn);
-    Coordination coord;
-    coord.participants = spec.Participants();
-    coord.callback = std::move(callback);
-
-    if (config_.enable_local_fast_path && coord.participants.size() == 1 &&
-        coord.participants.front() == self_) {
-      if (TryLocalFastPath(txn, spec, coord.callback, &out)) {
-        FlushOutbox(&out);
-        return txn;
-      }
-    }
-
-    if (coord.participants.empty()) {
-      // Pure computation: execute immediately against an empty read set.
-      TxnEffect effect = spec.logic(TxnReads{});
-      TxnResult r;
-      r.id = txn;
-      if (effect.abort) {
-        ++metrics_.txns_aborted;
-        Trace(TraceEventType::kDecisionAbort, txn);
-        r.disposition = TxnDisposition::kAborted;
-        r.abort_reason = effect.abort_reason;
-      } else {
-        POLYV_CHECK_MSG(effect.writes.empty(),
-                        "transaction writes items but declared no sites");
-        ++metrics_.txns_read_only;
-        Trace(TraceEventType::kReadOnlyDone, txn);
-        r.disposition = TxnDisposition::kReadOnly;
-        r.output =
-            PolyValue::Certain(effect.output.value_or(Value::Null()));
-      }
-      out.thunks.push_back(
-          [cb = std::move(coord.callback), r] { cb(r); });
-      FlushOutbox(&out);
-      return txn;
-    }
-
-    // Ask every participant to lock and read its share. Values of
-    // write-set items are collected too: §3.2 needs each written item's
-    // previous value as the fallback for non-writing alternatives, and
-    // the participant needs it to build the ¬T half on a wait timeout.
-    for (SiteId site : coord.participants) {
-      std::vector<ItemKey> reads;
-      std::vector<ItemKey> writes;
-      for (const auto& [key, owner] : spec.read_set) {
-        if (owner == site) {
-          reads.push_back(key);
-        }
-      }
-      for (const auto& [key, owner] : spec.write_set) {
-        if (owner == site) {
-          writes.push_back(key);
-        }
-      }
-      coord.awaiting.insert(site);
-      out.sends.emplace_back(
-          site, MakePrepare(txn, self_, std::move(reads), std::move(writes)));
-    }
-    coord.spec = std::move(spec);
-    coord.timer = ScheduleGuarded(
-        config_.prepare_timeout,
-        [this, txn] { CoordinatorTimeout(txn, CoordPhase::kCollecting); });
-    coordinations_.emplace(txn, std::move(coord));
-  }
+  SubmitUnderLock(std::move(spec), std::move(callback), txn, &out);
   FlushOutbox(&out);
   return txn;
+}
+
+void TxnEngine::SubmitUnderLock(TxnSpec spec, TxnCallback callback, TxnId txn,
+                                Outbox* out) {
+  MutexLock lock(&mu_);
+  ++metrics_.txns_submitted;
+  if (crashed_) {
+    out->thunks.push_back([callback = std::move(callback), txn] {
+      TxnResult r;
+      r.id = txn;
+      r.disposition = TxnDisposition::kAborted;
+      r.abort_reason = "coordinator site is down";
+      callback(r);
+    });
+    return;
+  }
+  Trace(TraceEventType::kSubmit, txn);
+  Coordination coord;
+  coord.participants = spec.Participants();
+  coord.callback = std::move(callback);
+
+  if (config_.enable_local_fast_path && coord.participants.size() == 1 &&
+      coord.participants.front() == self_) {
+    if (TryLocalFastPath(txn, spec, coord.callback, out)) {
+      return;
+    }
+  }
+
+  if (coord.participants.empty()) {
+    // Pure computation: execute immediately against an empty read set.
+    TxnEffect effect = spec.logic(TxnReads{});
+    TxnResult r;
+    r.id = txn;
+    if (effect.abort) {
+      ++metrics_.txns_aborted;
+      Trace(TraceEventType::kDecisionAbort, txn);
+      r.disposition = TxnDisposition::kAborted;
+      r.abort_reason = effect.abort_reason;
+    } else {
+      POLYV_CHECK_MSG(effect.writes.empty(),
+                      "transaction writes items but declared no sites");
+      ++metrics_.txns_read_only;
+      Trace(TraceEventType::kReadOnlyDone, txn);
+      r.disposition = TxnDisposition::kReadOnly;
+      r.output = PolyValue::Certain(effect.output.value_or(Value::Null()));
+    }
+    out->thunks.push_back([cb = std::move(coord.callback), r] { cb(r); });
+    return;
+  }
+
+  // Ask every participant to lock and read its share. Values of
+  // write-set items are collected too: §3.2 needs each written item's
+  // previous value as the fallback for non-writing alternatives, and
+  // the participant needs it to build the ¬T half on a wait timeout.
+  for (SiteId site : coord.participants) {
+    std::vector<ItemKey> reads;
+    std::vector<ItemKey> writes;
+    for (const auto& [key, owner] : spec.read_set) {
+      if (owner == site) {
+        reads.push_back(key);
+      }
+    }
+    for (const auto& [key, owner] : spec.write_set) {
+      if (owner == site) {
+        writes.push_back(key);
+      }
+    }
+    coord.awaiting.insert(site);
+    out->sends.emplace_back(
+        site, MakePrepare(txn, self_, std::move(reads), std::move(writes)));
+  }
+  coord.spec = std::move(spec);
+  coord.timer = ScheduleGuarded(
+      config_.prepare_timeout,
+      [this, txn] { CoordinatorTimeout(txn, CoordPhase::kCollecting); });
+  coordinations_.emplace(txn, std::move(coord));
 }
 
 // §2.1 in spirit: a transaction confined to one site needs no atomic
@@ -241,6 +239,8 @@ void TxnEngine::HandlePrepareReply(SiteId from, const Message& msg,
   auto it = coordinations_.find(msg.txn);
   if (it == coordinations_.end() ||
       it->second.phase != CoordPhase::kCollecting) {
+    Trace(TraceEventType::kMsgIgnored, msg.txn, false,
+          static_cast<uint64_t>(MsgType::kPrepareReply));
     return;  // stale (txn decided already)
   }
   Coordination& coord = it->second;
@@ -250,11 +250,15 @@ void TxnEngine::HandlePrepareReply(SiteId from, const Message& msg,
     return;
   }
   if (coord.awaiting.erase(from) == 0) {
+    Trace(TraceEventType::kMsgIgnored, msg.txn, false,
+          static_cast<uint64_t>(MsgType::kPrepareReply));
     return;  // duplicate
   }
   for (const auto& [key, value] : msg.values) {
     coord.collected.insert_or_assign(key, value);
   }
+  Trace(TraceEventType::kVoteCollected, msg.txn,
+        /*flag=*/coord.awaiting.empty(), coord.awaiting.size());
   if (!coord.awaiting.empty()) {
     return;
   }
@@ -374,11 +378,17 @@ void TxnEngine::HandleReady(SiteId from, const Message& msg, Outbox* out) {
   auto it = coordinations_.find(msg.txn);
   if (it == coordinations_.end() ||
       it->second.phase != CoordPhase::kWaitingReady) {
+    Trace(TraceEventType::kMsgIgnored, msg.txn, false,
+          static_cast<uint64_t>(MsgType::kReady));
     return;
   }
   if (it->second.awaiting.erase(from) == 0) {
+    Trace(TraceEventType::kMsgIgnored, msg.txn, false,
+          static_cast<uint64_t>(MsgType::kReady));
     return;
   }
+  Trace(TraceEventType::kVoteCollected, msg.txn,
+        /*flag=*/it->second.awaiting.empty(), it->second.awaiting.size());
   if (it->second.awaiting.empty()) {
     Decide(msg.txn, /*commit=*/true, "", out);
   }
@@ -426,22 +436,30 @@ void TxnEngine::HandleOutcomeRequest(SiteId from, const Message& msg,
   if (CoordinatorOf(msg.txn) == self_) {
     auto decided = decided_.find(msg.txn);
     if (decided != decided_.end()) {
+      Trace(TraceEventType::kOutcomeReplied, msg.txn, /*flag=*/true,
+            from.value());
       out->sends.emplace_back(
           from, MakeOutcomeReply(msg.txn, true, decided->second));
       return;
     }
     if (coordinations_.count(msg.txn) > 0) {
       // Still in flight: genuinely unknown.
+      Trace(TraceEventType::kOutcomeReplied, msg.txn, /*flag=*/false,
+            from.value());
       out->sends.emplace_back(from, MakeOutcomeReply(msg.txn, false, false));
       return;
     }
     // No record: we never logged a commit, so no COMPLETE was ever sent.
     // Presumed abort.
+    Trace(TraceEventType::kOutcomeReplied, msg.txn, /*flag=*/true,
+          from.value());
     out->sends.emplace_back(from, MakeOutcomeReply(msg.txn, true, false));
     return;
   }
   // Not our transaction; answer from the resolved cache if we can.
   const std::optional<bool> known = outcomes_->KnownOutcome(msg.txn);
+  Trace(TraceEventType::kOutcomeReplied, msg.txn, known.has_value(),
+        from.value());
   out->sends.emplace_back(
       from, MakeOutcomeReply(msg.txn, known.has_value(),
                              known.value_or(false)));

@@ -12,6 +12,8 @@ void TxnEngine::HandlePrepare(SiteId from, const Message& msg, Outbox* out) {
   (void)from;
   const TxnId txn = msg.txn;
   if (participations_.count(txn) > 0 || prepared_.count(txn) > 0) {
+    Trace(TraceEventType::kMsgIgnored, txn, false,
+          static_cast<uint64_t>(MsgType::kPrepare));
     return;  // duplicate PREPARE
   }
 
@@ -82,6 +84,7 @@ void TxnEngine::HandlePrepare(SiteId from, const Message& msg, Outbox* out) {
           items_->CancelWaits(txn);
           ReleaseLocks(txn, &timeout_out);
           participations_.erase(it);
+          Trace(TraceEventType::kComputeDiscard, txn);
         }
         FlushOutbox(&timeout_out);
       });
@@ -142,6 +145,7 @@ void TxnEngine::FinishPrepareReads(TxnId txn, Participation* part,
     values.emplace(key, std::move(value).value());
   }
   part->prepare_replied = true;
+  Trace(TraceEventType::kPrepareReplied, txn, /*flag=*/true);
   out->sends.emplace_back(part->coordinator,
                           MakePrepareReply(txn, std::move(values)));
 }
@@ -174,6 +178,8 @@ void TxnEngine::HandleWriteReq(SiteId from, const Message& msg,
   if (it == participations_.end() ||
       it->second.state != PartState::kCompute ||
       !it->second.prepare_replied) {
+    Trace(TraceEventType::kMsgIgnored, txn, false,
+          static_cast<uint64_t>(MsgType::kWriteReq));
     return;  // gave up on this transaction (or never replied): no READY
   }
   Participation& part = it->second;
@@ -221,6 +227,7 @@ void TxnEngine::HandleAbort(const Message& msg, Outbox* out) {
       items_->CancelWaits(msg.txn);
       ReleaseLocks(msg.txn, out);
       participations_.erase(msg.txn);
+      Trace(TraceEventType::kComputeDiscard, msg.txn);
       return;
     }
     FinishParticipation(msg.txn, &it->second, /*commit=*/false, out);
@@ -308,6 +315,8 @@ void TxnEngine::ApplyInDoubtPolicy(TxnId txn, Participation* part,
       ClearPreparedDurable(txn);
       ReleaseLocks(txn, out);
       participations_.erase(txn);
+      Trace(TraceEventType::kUncertainRelease, txn, false,
+            part->pending_writes.size());
       out->thunks.push_back([this] { EnsureInquiryLoop(); });
       break;
     }

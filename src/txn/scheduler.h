@@ -67,7 +67,7 @@ class ThreadScheduler : public Scheduler {
 
   using Clock = std::chrono::steady_clock;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ POLYV_MUTEX_RANK(kScheduler);
   CondVar cv_;
   bool stopping_ GUARDED_BY(mu_) = false;
   TimerId next_id_ GUARDED_BY(mu_) = 1;

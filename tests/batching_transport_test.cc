@@ -7,11 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/net/codec.h"
 #include "src/net/mem_transport.h"
 
@@ -171,12 +171,12 @@ TEST(BatchingTransportTest, NativeInnerReceivesOneFrame) {
   // packets.
   MemTransport inner;
   BatchingTransport batching(&inner, Manual());
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::string> got;
   ASSERT_TRUE(batching
                   .Register(kB,
                             [&mu, &got](Packet p) {
-                              std::lock_guard<std::mutex> lock(mu);
+                              MutexLock lock(&mu);
                               got.push_back(p.payload);
                             })
                   .ok());
@@ -187,14 +187,14 @@ TEST(BatchingTransportTest, NativeInnerReceivesOneFrame) {
   batching.FlushAll();
   for (int i = 0; i < 1000; ++i) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       if (got.size() == 3) {
         break;
       }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   EXPECT_EQ(got, (std::vector<std::string>{"x", "y", "z"}));
   EXPECT_EQ(inner.batched_frames(), 1u);
 }
@@ -205,12 +205,12 @@ TEST(BatchingTransportTest, AutoFlushDrainsWithoutExplicitFlush) {
   options.auto_flush = true;
   options.window_seconds = 0.0005;
   BatchingTransport batching(&inner, options);
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::string> got;
   ASSERT_TRUE(batching
                   .Register(kB,
                             [&mu, &got](Packet p) {
-                              std::lock_guard<std::mutex> lock(mu);
+                              MutexLock lock(&mu);
                               got.push_back(p.payload);
                             })
                   .ok());
@@ -219,14 +219,14 @@ TEST(BatchingTransportTest, AutoFlushDrainsWithoutExplicitFlush) {
   ASSERT_TRUE(batching.Send({kA, kB, "auto2"}).ok());
   for (int i = 0; i < 2000; ++i) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       if (got.size() == 2) {
         break;
       }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   EXPECT_EQ(got, (std::vector<std::string>{"auto1", "auto2"}));
 }
 

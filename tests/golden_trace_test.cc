@@ -80,10 +80,16 @@ TEST(GoldenTraceTest, Figure1FundsTransfer) {
   const std::vector<std::string> kGolden = {
       "submit S1",
       "prepare_recv S1",
+      "prepare_replied S1",
       "prepare_recv S2",
+      "prepare_replied S2",
+      "vote_collected S1",
+      "vote_collected S1",
       "write_shipped S1",
       "ready_sent S1",
       "ready_sent S2",
+      "vote_collected S1",
+      "vote_collected S1",
       "decision_commit S1",
       "outcome_learned S1",
       "outcome_learned S2",

@@ -7,6 +7,8 @@
 #include <chrono>
 #include <thread>
 
+#include "src/common/thread_annotations.h"
+
 namespace polyvalue {
 namespace {
 
@@ -17,12 +19,12 @@ TEST(MemTransportTest, DeliversAcrossThreads) {
   MemTransport transport;
   std::atomic<int> got{0};
   std::string payload;
-  std::mutex mu;
+  Mutex mu;
   ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
   ASSERT_TRUE(transport
                   .Register(kB,
                             [&](Packet p) {
-                              std::lock_guard<std::mutex> lock(mu);
+                              MutexLock lock(&mu);
                               payload = p.payload;
                               ++got;
                             })
@@ -30,7 +32,7 @@ TEST(MemTransportTest, DeliversAcrossThreads) {
   ASSERT_TRUE(transport.Send({kA, kB, "ping"}).ok());
   transport.Flush();
   EXPECT_EQ(got.load(), 1);
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   EXPECT_EQ(payload, "ping");
 }
 

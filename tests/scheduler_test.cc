@@ -7,6 +7,8 @@
 #include <chrono>
 #include <thread>
 
+#include "src/common/thread_annotations.h"
+
 namespace polyvalue {
 namespace {
 
@@ -43,28 +45,28 @@ TEST(ThreadSchedulerTest, FiresAfterDelay) {
 
 TEST(ThreadSchedulerTest, OrderingOfMultipleTimers) {
   ThreadScheduler scheduler;
-  std::mutex mu;
+  Mutex mu;
   std::vector<int> order;
   std::atomic<int> done{0};
   scheduler.ScheduleAfter(0.09, [&] {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     order.push_back(3);
     ++done;
   });
   scheduler.ScheduleAfter(0.03, [&] {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     order.push_back(1);
     ++done;
   });
   scheduler.ScheduleAfter(0.06, [&] {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     order.push_back(2);
     ++done;
   });
   for (int i = 0; i < 400 && done < 3; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 

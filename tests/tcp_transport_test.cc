@@ -7,6 +7,8 @@
 #include <chrono>
 #include <thread>
 
+#include "src/common/thread_annotations.h"
+
 namespace polyvalue {
 namespace {
 
@@ -37,20 +39,20 @@ TEST(TcpTransportTest, EndpointsGetPorts) {
 TEST(TcpTransportTest, RoundTripOverRealSockets) {
   TcpTransport transport;
   std::atomic<int> got{0};
-  std::mutex mu;
+  Mutex mu;
   Packet last;
   ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
   ASSERT_TRUE(transport
                   .Register(kB,
                             [&](Packet p) {
-                              std::lock_guard<std::mutex> lock(mu);
+                              MutexLock lock(&mu);
                               last = p;
                               ++got;
                             })
                   .ok());
   ASSERT_TRUE(transport.Send({kA, kB, "over tcp"}).ok());
   ASSERT_TRUE(WaitFor([&] { return got.load() == 1; }));
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   EXPECT_EQ(last.payload, "over tcp");
   EXPECT_EQ(last.from, kA);
   EXPECT_EQ(last.to, kB);
@@ -58,13 +60,13 @@ TEST(TcpTransportTest, RoundTripOverRealSockets) {
 
 TEST(TcpTransportTest, ManyFramesInOrderOverOneConnection) {
   TcpTransport transport;
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::string> payloads;
   ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
   ASSERT_TRUE(transport
                   .Register(kB,
                             [&](Packet p) {
-                              std::lock_guard<std::mutex> lock(mu);
+                              MutexLock lock(&mu);
                               payloads.push_back(p.payload);
                             })
                   .ok());
@@ -73,10 +75,10 @@ TEST(TcpTransportTest, ManyFramesInOrderOverOneConnection) {
     ASSERT_TRUE(transport.Send({kA, kB, std::to_string(i)}).ok());
   }
   ASSERT_TRUE(WaitFor([&] {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     return payloads.size() == static_cast<size_t>(n);
   }));
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   for (int i = 0; i < n; ++i) {
     EXPECT_EQ(payloads[i], std::to_string(i));
   }
@@ -86,20 +88,20 @@ TEST(TcpTransportTest, LargePayload) {
   TcpTransport transport;
   std::atomic<bool> got{false};
   std::string received;
-  std::mutex mu;
+  Mutex mu;
   const std::string big(1 << 20, 'z');  // 1 MiB frame
   ASSERT_TRUE(transport.Register(kA, [](Packet) {}).ok());
   ASSERT_TRUE(transport
                   .Register(kB,
                             [&](Packet p) {
-                              std::lock_guard<std::mutex> lock(mu);
+                              MutexLock lock(&mu);
                               received = p.payload;
                               got = true;
                             })
                   .ok());
   ASSERT_TRUE(transport.Send({kA, kB, big}).ok());
   ASSERT_TRUE(WaitFor([&] { return got.load(); }));
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   EXPECT_EQ(received.size(), big.size());
   EXPECT_EQ(received, big);
 }

@@ -5,7 +5,8 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
 
   ND01  no nondeterminism sources (std::random_device, rand(, srand(,
         time(, gettimeofday, std::chrono::system_clock) in the
-        deterministic core: src/event, src/sim, src/txn, src/condition.
+        deterministic core — src/event, src/sim, src/txn, src/condition
+        — nor in bench/ and tests/, which drive it under fixed seeds.
         All randomness must flow through src/common/rng.h (seeded) and
         all time through the Scheduler/Simulator clock.
   MSG01 every MsgType enum kind in src/txn/messages.h has a
@@ -17,9 +18,10 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
         trace taxonomy table is the contract the trace auditor and
         downstream tooling parse.
   MTX01 no raw std::mutex / std::condition_variable declarations in
-        src/ outside src/common/thread_annotations.h — concurrent state
-        must use the annotated Mutex/CondVar wrappers so Clang
-        thread-safety analysis covers it.
+        src/, bench/ or tests/ outside src/common/thread_annotations.h
+        — concurrent state must use the annotated Mutex/CondVar
+        wrappers so Clang thread-safety analysis (and the POLYV_LOCKDEP
+        runtime validator) covers it.
   LAY01 no #include of net/tcp_transport.h from the deterministic core
         (src/event, src/sim, src/txn, src/condition) — real sockets in
         simulator-driven code would break seeded reproducibility.
@@ -39,6 +41,11 @@ import sys
 import tempfile
 
 DETERMINISTIC_DIRS = ("src/event", "src/sim", "src/txn", "src/condition")
+# bench/ and tests/ drive the deterministic core under fixed seeds, so
+# ND01's nondeterminism ban and MTX01's annotated-mutex requirement
+# extend to them.
+ND01_DIRS = DETERMINISTIC_DIRS + ("bench", "tests")
+MTX01_DIRS = ("src", "bench", "tests")
 
 NONDETERMINISM_PATTERNS = [
     (re.compile(r"std::random_device"), "std::random_device"),
@@ -94,7 +101,7 @@ def relpath(root, path):
 
 def check_nondeterminism(root):
     violations = []
-    for path in iter_source_files(root, DETERMINISTIC_DIRS):
+    for path in iter_source_files(root, ND01_DIRS):
         for i, line in enumerate(read_lines(path), 1):
             stripped = line.split("//", 1)[0] if "//" in line and not ALLOW_PATTERN.search(line) else line
             for pattern, label in NONDETERMINISM_PATTERNS:
@@ -199,7 +206,7 @@ def check_trace_taxonomy(root):
 def check_raw_mutexes(root):
     violations = []
     exempt = os.path.join(root, "src/common/thread_annotations.h")
-    for path in iter_source_files(root, ("src",)):
+    for path in iter_source_files(root, MTX01_DIRS):
         if os.path.abspath(path) == os.path.abspath(exempt):
             continue
         for i, line in enumerate(read_lines(path), 1):

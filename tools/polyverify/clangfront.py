@@ -1,0 +1,133 @@
+"""Optional libclang frontend for polyverify.
+
+When the `clang.cindex` Python bindings are importable (e.g. the
+python3-clang package) this module parses translation units from
+compile_commands.json and provides full-AST implementations of the
+queries that matter most for precision: switch statements with their
+controlling expression TYPE (not a textual guess) and enum definitions.
+
+The bindings are deliberately optional — the container and default CI
+image run the internal frontend (cpplite.py) — so every import happens
+lazily and `available()` gates all use. Do NOT add a hard dependency:
+the repo's no-new-packages rule means polyverify must stay green
+without libclang installed.
+"""
+
+from __future__ import annotations
+
+
+def available():
+    try:
+        import clang.cindex  # noqa: F401
+    except Exception:
+        return False
+    try:
+        index = _index()
+        return index is not None
+    except Exception:
+        return False
+
+
+_INDEX = None
+
+
+def _index():
+    global _INDEX
+    if _INDEX is None:
+        import clang.cindex as ci
+
+        _INDEX = ci.Index.create()
+    return _INDEX
+
+
+def _iter_nodes(node):
+    yield node
+    for child in node.get_children():
+        yield from _iter_nodes(child)
+
+
+def parse_tu(compdb_entry):
+    """Parses one compile_commands.json entry into a TU, or None."""
+    import shlex
+
+    args = compdb_entry.get("arguments")
+    if args is None:
+        args = shlex.split(compdb_entry["command"])
+    # Drop the compiler binary, the -o/-c plumbing and the input file;
+    # libclang only needs the flags.
+    flags = []
+    skip = False
+    for a in args[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in ("-o", "-c"):
+            skip = a == "-o"
+            continue
+        if a == compdb_entry["file"] or a.endswith(compdb_entry["file"]):
+            continue
+        flags.append(a)
+    try:
+        return _index().parse(compdb_entry["file"], args=flags)
+    except Exception:
+        return None
+
+
+def switches_over_enums(tu, enum_names):
+    """Yields (file, line, enum_name, covered_members, has_default,
+    default_is_loud) for every switch whose condition type is one of
+    enum_names."""
+    import clang.cindex as ci
+
+    for node in _iter_nodes(tu.cursor):
+        if node.kind != ci.CursorKind.SWITCH_STMT:
+            continue
+        children = list(node.get_children())
+        if len(children) < 2:
+            continue
+        cond, body = children[0], children[-1]
+        cond_type = cond.type.get_canonical().spelling
+        enum = next(
+            (e for e in enum_names if cond_type.endswith("::" + e) or
+             cond_type == e),
+            None,
+        )
+        if enum is None:
+            continue
+        covered = set()
+        has_default = False
+        default_is_loud = False
+        for child in _iter_nodes(body):
+            if child.kind == ci.CursorKind.CASE_STMT:
+                for sub in _iter_nodes(child):
+                    if sub.kind == ci.CursorKind.DECL_REF_EXPR and (
+                        sub.referenced is not None
+                        and sub.referenced.kind
+                        == ci.CursorKind.ENUM_CONSTANT_DECL
+                    ):
+                        covered.add(sub.referenced.spelling)
+                        break
+            elif child.kind == ci.CursorKind.DEFAULT_STMT:
+                has_default = True
+                text = " ".join(
+                    t.spelling for t in child.get_tokens()
+                )
+                default_is_loud = any(
+                    k in text for k in ("return", "abort", "throw",
+                                        "POLYV_CHECK", "CHECK", "Fatal"))
+        yield (str(node.location.file), node.location.line, enum, covered,
+               has_default, default_is_loud)
+
+
+def enum_members(tu, enum_name):
+    import clang.cindex as ci
+
+    for node in _iter_nodes(tu.cursor):
+        if (node.kind == ci.CursorKind.ENUM_DECL
+                and node.spelling == enum_name):
+            return [
+                c.spelling
+                for c in node.get_children()
+                if c.kind == ci.CursorKind.ENUM_CONSTANT_DECL
+            ]
+    return None

@@ -30,8 +30,19 @@
 
 // Rank table. Rationale for the order (see docs/STATIC_ANALYSIS.md for
 // the per-edge evidence):
+//   kSvcAdmission      serving front door's admission state (token
+//                      bucket + in-flight count, src/svc/admission.h).
+//                      The admission decision gates every request
+//                      before any cluster/engine lock exists, so it is
+//                      the outermost lock in the system. Never held
+//                      across Submit().
+//   kSvcRetryBudget    the front door's shared retry budget; consulted
+//                      between attempts, with nothing else held, but
+//                      conceptually part of the serving layer above the
+//                      client wait latch.
 //   kClientWait        cluster SubmitAndWait's completion latch; held
-//                      across Submit(), so it must precede everything.
+//                      across Submit(), so it must precede everything
+//                      below the serving layer.
 //   kBatching          BatchingTransport queue; its flusher calls into
 //                      the underlying transport.
 //   kTransport         mem/tcp transport registries; Send() locks the
@@ -58,20 +69,22 @@
 //                      any of the above.
 //   kLogger            logging serialisation; innermost of all.
 #define POLYV_LOCK_RANK_LIST(X) \
-  X(kClientWait, 10)            \
-  X(kBatching, 20)              \
-  X(kTransport, 30)             \
-  X(kTransportEndpoint, 40)     \
-  X(kFaultPlan, 50)             \
-  X(kTransportStats, 60)        \
-  X(kEngine, 70)                \
-  X(kScheduler, 80)             \
-  X(kStoreLockPlane, 90)        \
-  X(kStoreShard, 100)           \
-  X(kOutcomeTable, 110)         \
-  X(kWal, 120)                  \
-  X(kTrace, 130)                \
-  X(kLogger, 140)
+  X(kSvcAdmission, 10)          \
+  X(kSvcRetryBudget, 20)        \
+  X(kClientWait, 30)            \
+  X(kBatching, 40)              \
+  X(kTransport, 50)             \
+  X(kTransportEndpoint, 60)     \
+  X(kFaultPlan, 70)             \
+  X(kTransportStats, 80)        \
+  X(kEngine, 90)                \
+  X(kScheduler, 100)            \
+  X(kStoreLockPlane, 110)       \
+  X(kStoreShard, 120)           \
+  X(kOutcomeTable, 130)         \
+  X(kWal, 140)                  \
+  X(kTrace, 150)                \
+  X(kLogger, 160)
 
 namespace polyvalue {
 
@@ -108,7 +121,7 @@ namespace lockrank {
 // order as real ACQUIRED_BEFORE attributes. Declared innermost-first
 // because an attribute argument must refer to an already-declared
 // object; the resulting chain still reads
-//   g_kClientWait < g_kBatching < ... < g_kLogger.
+//   g_kSvcAdmission < g_kSvcRetryBudget < g_kClientWait < ... < g_kLogger.
 class CAPABILITY("lock_rank") LockRankBoundary {};
 
 inline LockRankBoundary g_kLogger;
@@ -125,6 +138,8 @@ inline LockRankBoundary g_kTransportEndpoint ACQUIRED_BEFORE(g_kFaultPlan);
 inline LockRankBoundary g_kTransport ACQUIRED_BEFORE(g_kTransportEndpoint);
 inline LockRankBoundary g_kBatching ACQUIRED_BEFORE(g_kTransport);
 inline LockRankBoundary g_kClientWait ACQUIRED_BEFORE(g_kBatching);
+inline LockRankBoundary g_kSvcRetryBudget ACQUIRED_BEFORE(g_kClientWait);
+inline LockRankBoundary g_kSvcAdmission ACQUIRED_BEFORE(g_kSvcRetryBudget);
 
 }  // namespace lockrank
 }  // namespace polyvalue

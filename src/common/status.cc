@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -73,6 +77,12 @@ Status DataLossError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace polyvalue

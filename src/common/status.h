@@ -30,6 +30,8 @@ enum class StatusCode : uint8_t {
   kUncertain = 8,         // result depends on an unresolved transaction
   kDataLoss = 9,          // WAL corruption detected on recovery
   kInternal = 10,         // invariant violation (bug)
+  kResourceExhausted = 11,// load shed: admission control refused entry
+  kDeadlineExceeded = 12, // the caller's deadline budget ran out
 };
 
 // Human-readable name of a StatusCode ("OK", "ABORTED", ...).
@@ -79,6 +81,8 @@ Status TimedOutError(std::string message);
 Status UncertainError(std::string message);
 Status DataLossError(std::string message);
 Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // Result<T> holds either a value or an error Status. Accessing the value
 // of an error Result aborts the process (it is a programming error).

@@ -60,7 +60,14 @@ std::vector<AuditViolation> TraceAuditor::Audit(
   auto exempt_from_silence = [](TraceEventType type) {
     return type == TraceEventType::kRecover ||
            type == TraceEventType::kMsgDropped ||
-           type == TraceEventType::kWalReplay;
+           type == TraceEventType::kWalReplay ||
+           // Serving-layer events name the coordinator site but are
+           // emitted by the front door, which outlives a crashed site
+           // (shedding and deadline-failing traffic aimed at it).
+           type == TraceEventType::kSvcAdmitted ||
+           type == TraceEventType::kSvcShed ||
+           type == TraceEventType::kSvcDeadlineExceeded ||
+           type == TraceEventType::kSvcRetry;
   };
 
   for (size_t i = 0; i < trace.size(); ++i) {
@@ -234,6 +241,10 @@ std::vector<AuditViolation> TraceAuditor::Audit(
       case TraceEventType::kCheckpoint:
       case TraceEventType::kMsgDropped:
       case TraceEventType::kMsgDelivered:
+      case TraceEventType::kSvcAdmitted:
+      case TraceEventType::kSvcShed:
+      case TraceEventType::kSvcDeadlineExceeded:
+      case TraceEventType::kSvcRetry:
         break;
     }
   }

@@ -66,6 +66,14 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "compute_discard";
     case TraceEventType::kUncertainRelease:
       return "uncertain_release";
+    case TraceEventType::kSvcAdmitted:
+      return "svc_admitted";
+    case TraceEventType::kSvcShed:
+      return "svc_shed";
+    case TraceEventType::kSvcDeadlineExceeded:
+      return "svc_deadline_exceeded";
+    case TraceEventType::kSvcRetry:
+      return "svc_retry";
   }
   return "?";
 }

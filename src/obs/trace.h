@@ -76,6 +76,15 @@ enum class TraceEventType : uint8_t {
   kMsgIgnored,        // stale/duplicate message discarded (arg = MsgType)
   kComputeDiscard,    // compute result discarded: txn already resolved
   kUncertainRelease,  // kPolyvalue policy: locks freed, values uncertain
+  // -- serving front door (src/svc/) --
+  // Emitted by the admission/deadline layer in FRONT of the sites, with
+  // `site` naming the coordinator the request was aimed at. The auditor
+  // exempts them from A5 (crash silence): the serving layer keeps
+  // running — and keeps shedding — while the site behind it is down.
+  kSvcAdmitted,       // request admitted (arg = in-flight count after)
+  kSvcShed,           // admission refused (flag: true = rate, false = cap)
+  kSvcDeadlineExceeded,  // deadline budget ran out (arg = attempts made)
+  kSvcRetry,          // retry scheduled after an abort (arg = attempt #)
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -1,0 +1,107 @@
+#include "src/svc/admission.h"
+
+#include <algorithm>
+
+namespace polyvalue {
+
+namespace {
+
+double DefaultBurst(const AdmissionController::Options& options) {
+  if (options.burst > 0.0) {
+    return options.burst;
+  }
+  return std::max(options.rate_limit / 10.0, 1.0);
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(Options options)
+    : options_(options), tokens_(DefaultBurst(options)) {}
+
+Status AdmissionController::Admit(double now, bool* rate_limited) {
+  if (rate_limited != nullptr) {
+    *rate_limited = false;
+  }
+  MutexLock lock(&mu_);
+  if (options_.max_inflight > 0 && inflight_ >= options_.max_inflight) {
+    ++shed_capacity_;
+    return ResourceExhaustedError("admission: in-flight cap reached");
+  }
+  if (options_.rate_limit > 0.0) {
+    const double burst = DefaultBurst(options_);
+    if (now > last_refill_) {
+      tokens_ = std::min(burst,
+                         tokens_ + (now - last_refill_) * options_.rate_limit);
+    }
+    last_refill_ = std::max(last_refill_, now);
+    if (tokens_ < 1.0) {
+      ++shed_rate_;
+      if (rate_limited != nullptr) {
+        *rate_limited = true;
+      }
+      return ResourceExhaustedError("admission: rate limit exceeded");
+    }
+    tokens_ -= 1.0;
+  }
+  ++inflight_;
+  ++admitted_;
+  return OkStatus();
+}
+
+void AdmissionController::Release() {
+  MutexLock lock(&mu_);
+  if (inflight_ > 0) {
+    --inflight_;
+  }
+}
+
+size_t AdmissionController::inflight() const {
+  MutexLock lock(&mu_);
+  return inflight_;
+}
+
+uint64_t AdmissionController::admitted() const {
+  MutexLock lock(&mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::shed_rate() const {
+  MutexLock lock(&mu_);
+  return shed_rate_;
+}
+
+uint64_t AdmissionController::shed_capacity() const {
+  MutexLock lock(&mu_);
+  return shed_capacity_;
+}
+
+RetryBudget::RetryBudget(Options options)
+    : options_(options),
+      balance_(std::min(options.initial, options.cap)) {}
+
+void RetryBudget::OnAttempt() {
+  MutexLock lock(&mu_);
+  balance_ = std::min(options_.cap, balance_ + options_.ratio);
+}
+
+bool RetryBudget::TrySpend() {
+  MutexLock lock(&mu_);
+  if (balance_ < 1.0) {
+    ++denied_;
+    return false;
+  }
+  balance_ -= 1.0;
+  return true;
+}
+
+double RetryBudget::balance() const {
+  MutexLock lock(&mu_);
+  return balance_;
+}
+
+uint64_t RetryBudget::denied() const {
+  MutexLock lock(&mu_);
+  return denied_;
+}
+
+}  // namespace polyvalue

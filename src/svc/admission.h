@@ -1,0 +1,111 @@
+// Admission control for the serving front door.
+//
+// The protocol layer (src/txn, src/system) will happily accept
+// unbounded concurrent transactions; under overload that means every
+// request locks against every other, abort/retry storms, and goodput
+// collapse. SEDA-style admission control moves the refusal to the
+// FRONT of the system, where it is cheap and typed: a request that
+// would be wasted work is shed with RESOURCE_EXHAUSTED before it
+// touches an engine lock.
+//
+// Two independent gates, both enforced by AdmissionController:
+//   * a token bucket (rate `rate_limit`, depth `burst`) bounding the
+//     ADMISSION RATE — the knob that keeps offered load at or below
+//     the cluster's saturation point; and
+//   * an in-flight cap bounding CONCURRENCY — the knob that keeps the
+//     lock-conflict probability (and so the abort rate) bounded no
+//     matter how bursty the admitted traffic is.
+//
+// RetryBudget implements the tail-at-scale retry discipline (Dean &
+// Barroso): retries may consume at most ~`ratio` of the first-attempt
+// rate, cluster-wide, so a conflict burst cannot amplify itself into a
+// retry storm. First attempts earn budget; every retry spends it.
+//
+// Time is passed in by the caller (sim virtual time or a steady-clock
+// reading), so the same code is deterministic under SimCluster and
+// honest under ThreadCluster.
+#ifndef SRC_SVC_ADMISSION_H_
+#define SRC_SVC_ADMISSION_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/common/thread_annotations.h"
+
+namespace polyvalue {
+
+class AdmissionController {
+ public:
+  struct Options {
+    // Sustained admission rate, requests/second. 0 = no rate limit.
+    double rate_limit = 0.0;
+    // Token-bucket depth (burst tolerance). 0 picks max(rate_limit/10, 1).
+    double burst = 0.0;
+    // Maximum admitted-but-not-finished requests. 0 = no cap.
+    size_t max_inflight = 0;
+  };
+
+  explicit AdmissionController(Options options);
+
+  // Admission decision at time `now` (seconds on the caller's clock;
+  // must be monotonic). OK means an in-flight slot is held until
+  // Release(). Errors are RESOURCE_EXHAUSTED, with the message naming
+  // which gate refused; `rate_limited`, when non-null, is set to true
+  // iff the token bucket (not the in-flight cap) refused.
+  Status Admit(double now, bool* rate_limited = nullptr);
+
+  // Returns the in-flight slot of an admitted request.
+  void Release();
+
+  size_t inflight() const;
+  uint64_t admitted() const;
+  uint64_t shed_rate() const;      // refused by the token bucket
+  uint64_t shed_capacity() const;  // refused by the in-flight cap
+  uint64_t shed() const { return shed_rate() + shed_capacity(); }
+
+ private:
+  const Options options_;
+  mutable Mutex mu_ POLYV_MUTEX_RANK(kSvcAdmission);
+  double tokens_ GUARDED_BY(mu_);
+  double last_refill_ GUARDED_BY(mu_) = 0.0;
+  size_t inflight_ GUARDED_BY(mu_) = 0;
+  uint64_t admitted_ GUARDED_BY(mu_) = 0;
+  uint64_t shed_rate_ GUARDED_BY(mu_) = 0;
+  uint64_t shed_capacity_ GUARDED_BY(mu_) = 0;
+};
+
+class RetryBudget {
+ public:
+  struct Options {
+    // Budget earned per first attempt: retries may consume at most this
+    // fraction of the first-attempt rate.
+    double ratio = 0.1;
+    // Budget cap, in retries: bounds the burst of retries a long quiet
+    // period can bank.
+    double cap = 50.0;
+    // Initial balance, so a cold start can still retry.
+    double initial = 10.0;
+  };
+
+  explicit RetryBudget(Options options);
+
+  // A first attempt was made: earn `ratio` budget (up to `cap`).
+  void OnAttempt();
+
+  // Try to spend one retry's worth of budget. False = denied (the
+  // caller should fail the request rather than retry).
+  bool TrySpend();
+
+  double balance() const;
+  uint64_t denied() const;
+
+ private:
+  const Options options_;
+  mutable Mutex mu_ POLYV_MUTEX_RANK(kSvcRetryBudget);
+  double balance_ GUARDED_BY(mu_);
+  uint64_t denied_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_SVC_ADMISSION_H_

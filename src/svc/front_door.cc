@@ -1,0 +1,369 @@
+#include "src/svc/front_door.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/system/retry.h"
+
+namespace polyvalue {
+
+void ExportSvcMetrics(const AdmissionController& admission,
+                      const RetryBudget& budget,
+                      const SvcCounters& counters,
+                      const LogHistogram& latency,
+                      MetricsRegistry* registry) {
+  registry->SetCounter("svc.admitted", admission.admitted());
+  registry->SetCounter("svc.shed", admission.shed());
+  registry->SetCounter("svc.shed_rate", admission.shed_rate());
+  registry->SetCounter("svc.shed_capacity", admission.shed_capacity());
+  registry->SetCounter("svc.committed",
+                       counters.committed.load(std::memory_order_relaxed));
+  registry->SetCounter("svc.aborted",
+                       counters.aborted.load(std::memory_order_relaxed));
+  registry->SetCounter(
+      "svc.deadline_exceeded",
+      counters.deadline_exceeded.load(std::memory_order_relaxed));
+  registry->SetCounter(
+      "svc.retry_budget_denied",
+      counters.budget_exhausted.load(std::memory_order_relaxed));
+  registry->SetCounter("svc.retries",
+                       counters.retries.load(std::memory_order_relaxed));
+  registry->SetCounter("svc.latency_count", latency.count());
+  registry->Gauge("svc.inflight",
+                  static_cast<double>(admission.inflight()));
+  registry->Gauge("svc.retry_budget_balance", budget.balance());
+  registry->Gauge("svc.latency_p50", latency.Percentile(50));
+  registry->Gauge("svc.latency_p95", latency.Percentile(95));
+  registry->Gauge("svc.latency_p99", latency.Percentile(99));
+  registry->Gauge("svc.latency_p999", latency.Percentile(99.9));
+}
+
+// ------------------------------------------------------------------
+// SimFrontDoor
+// ------------------------------------------------------------------
+
+struct SimFrontDoor::Request {
+  size_t coordinator = 0;
+  SiteId site;
+  std::function<TxnSpec()> make_spec;
+  SvcCallback done;
+  double admit_time = 0.0;
+  double deadline = 0.0;  // absolute virtual time
+  Simulator::EventId deadline_timer = 0;
+  int attempts = 0;
+  double prev_backoff = 0.0;
+  bool settled = false;
+  TxnId last_txn;
+  Rng jitter;
+
+  explicit Request(uint64_t seed) : jitter(seed) {}
+};
+
+SimFrontDoor::SimFrontDoor(SimCluster* cluster, SvcOptions options)
+    : cluster_(cluster),
+      options_(options),
+      admission_(options.admission),
+      budget_(options.retry_budget) {}
+
+void SimFrontDoor::Emit(TraceEventType type, SiteId site, TxnId txn,
+                        bool flag, uint64_t arg) {
+  if (options_.trace == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.time = cluster_->sim().now();
+  event.type = type;
+  event.site = site;
+  event.txn = txn;
+  event.flag = flag;
+  event.arg = arg;
+  options_.trace->Emit(event);
+}
+
+void SimFrontDoor::Call(size_t coordinator,
+                        std::function<TxnSpec()> make_spec,
+                        SvcCallback done) {
+  Call(coordinator, std::move(make_spec), options_.default_deadline,
+       std::move(done));
+}
+
+void SimFrontDoor::Call(size_t coordinator,
+                        std::function<TxnSpec()> make_spec,
+                        double deadline_seconds, SvcCallback done) {
+  const double now = cluster_->sim().now();
+  const SiteId site = cluster_->site_id(coordinator);
+  bool rate_limited = false;
+  Status admit = admission_.Admit(now, &rate_limited);
+  if (!admit.ok()) {
+    Emit(TraceEventType::kSvcShed, site, TxnId(), rate_limited,
+         admission_.inflight());
+    if (done) {
+      SvcResult result;
+      result.status = std::move(admit);
+      done(result);
+    }
+    return;
+  }
+  auto req = std::make_shared<Request>(options_.seed + next_request_++);
+  req->coordinator = coordinator;
+  req->site = site;
+  req->make_spec = std::move(make_spec);
+  req->done = std::move(done);
+  req->admit_time = now;
+  req->deadline = now + deadline_seconds;
+  req->prev_backoff = options_.initial_backoff;
+  Emit(TraceEventType::kSvcAdmitted, site, TxnId(),
+       /*flag=*/false, admission_.inflight());
+  if (deadline_seconds <= 0.0) {
+    // The budget was spent before we ever saw the request.
+    Settle(req, DeadlineExceededError("deadline expired at submit"),
+           nullptr);
+    return;
+  }
+  req->deadline_timer = cluster_->sim().After(
+      deadline_seconds, [this, req] { OnDeadline(req); });
+  StartAttempt(req);
+}
+
+void SimFrontDoor::StartAttempt(const std::shared_ptr<Request>& req) {
+  if (req->settled) {
+    return;
+  }
+  ++req->attempts;
+  if (req->attempts == 1) {
+    budget_.OnAttempt();  // first attempts earn retry budget
+  }
+  req->last_txn = cluster_->Submit(
+      req->coordinator, req->make_spec(),
+      [this, req](const TxnResult& r) { OnTxnDone(req, r); });
+}
+
+void SimFrontDoor::OnTxnDone(const std::shared_ptr<Request>& req,
+                             const TxnResult& r) {
+  if (req->settled) {
+    return;  // deadline fired while this attempt was in flight
+  }
+  if (r.committed()) {
+    Settle(req, OkStatus(), &r);
+    return;
+  }
+  if (req->attempts >= options_.max_attempts) {
+    Settle(req, AbortedError("attempts exhausted: " + r.abort_reason), &r);
+    return;
+  }
+  if (!budget_.TrySpend()) {
+    Settle(req, ResourceExhaustedError("retry budget exhausted"), &r);
+    return;
+  }
+  const double now = cluster_->sim().now();
+  const double backoff = DecorrelatedJitterBackoff(
+      &req->jitter, options_.initial_backoff, options_.max_backoff,
+      req->prev_backoff);
+  req->prev_backoff = backoff;
+  if (now + backoff >= req->deadline) {
+    // Tail-at-scale discipline: never start work that cannot finish
+    // inside the deadline budget.
+    Settle(req,
+           DeadlineExceededError("no deadline budget left for a retry"),
+           &r);
+    return;
+  }
+  counters_.retries.fetch_add(1, std::memory_order_relaxed);
+  Emit(TraceEventType::kSvcRetry, req->site, r.id, /*flag=*/true,
+       static_cast<uint64_t>(req->attempts));
+  cluster_->sim().After(backoff, [this, req] { StartAttempt(req); });
+}
+
+void SimFrontDoor::OnDeadline(const std::shared_ptr<Request>& req) {
+  if (req->settled) {
+    return;
+  }
+  Settle(req, DeadlineExceededError("deadline fired"), nullptr);
+}
+
+void SimFrontDoor::Settle(const std::shared_ptr<Request>& req,
+                          Status status, const TxnResult* txn) {
+  POLYV_CHECK(!req->settled);
+  req->settled = true;
+  if (req->deadline_timer != 0) {
+    cluster_->sim().Cancel(req->deadline_timer);  // no-op if firing now
+  }
+  const double latency = cluster_->sim().now() - req->admit_time;
+  latency_.Add(latency);
+  admission_.Release();
+  const TxnId txn_id = txn != nullptr ? txn->id : req->last_txn;
+  if (status.ok()) {
+    counters_.committed.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    Emit(TraceEventType::kSvcDeadlineExceeded, req->site, txn_id,
+         /*flag=*/false, static_cast<uint64_t>(req->attempts));
+  } else if (status.code() == StatusCode::kResourceExhausted) {
+    counters_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.aborted.fetch_add(1, std::memory_order_relaxed);
+  }
+  SvcResult result;
+  result.status = std::move(status);
+  if (txn != nullptr) {
+    result.txn = *txn;
+  }
+  result.attempts = req->attempts;
+  result.latency = latency;
+  if (req->done) {
+    // Move the callback out so settling drops the last owning
+    // reference cycle (req holds done, done's captures may hold req).
+    SvcCallback done = std::move(req->done);
+    done(result);
+  }
+}
+
+SvcResult SimFrontDoor::CallAndRun(size_t coordinator,
+                                   std::function<TxnSpec()> make_spec) {
+  return CallAndRun(coordinator, std::move(make_spec),
+                    options_.default_deadline);
+}
+
+SvcResult SimFrontDoor::CallAndRun(size_t coordinator,
+                                   std::function<TxnSpec()> make_spec,
+                                   double deadline_seconds) {
+  std::optional<SvcResult> out;
+  Call(coordinator, std::move(make_spec), deadline_seconds,
+       [&out](const SvcResult& r) { out = r; });
+  // The deadline timer guarantees settlement while events remain.
+  while (!out.has_value() && cluster_->sim().Step()) {
+  }
+  POLYV_CHECK(out.has_value());
+  return *out;
+}
+
+// ------------------------------------------------------------------
+// ThreadFrontDoor
+// ------------------------------------------------------------------
+
+ThreadFrontDoor::ThreadFrontDoor(ThreadCluster* cluster, SvcOptions options)
+    : cluster_(cluster),
+      options_(options),
+      admission_(options.admission),
+      budget_(options.retry_budget),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+double ThreadFrontDoor::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void ThreadFrontDoor::Emit(TraceEventType type, SiteId site, TxnId txn,
+                           bool flag, uint64_t arg) {
+  if (options_.trace == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.time = Now();
+  event.type = type;
+  event.site = site;
+  event.txn = txn;
+  event.flag = flag;
+  event.arg = arg;
+  options_.trace->Emit(event);
+}
+
+SvcResult ThreadFrontDoor::Call(size_t coordinator,
+                                std::function<TxnSpec()> make_spec) {
+  return Call(coordinator, std::move(make_spec),
+              options_.default_deadline);
+}
+
+SvcResult ThreadFrontDoor::Call(size_t coordinator,
+                                std::function<TxnSpec()> make_spec,
+                                double deadline_seconds) {
+  const SiteId site = cluster_->site_id(coordinator);
+  const double admit_time = Now();
+  bool rate_limited = false;
+  Status admit = admission_.Admit(admit_time, &rate_limited);
+  SvcResult result;
+  if (!admit.ok()) {
+    Emit(TraceEventType::kSvcShed, site, TxnId(), rate_limited,
+         admission_.inflight());
+    result.status = std::move(admit);
+    return result;
+  }
+  Emit(TraceEventType::kSvcAdmitted, site, TxnId(), /*flag=*/false,
+       admission_.inflight());
+  const double deadline = admit_time + deadline_seconds;
+  Rng jitter(options_.seed +
+             next_request_.fetch_add(1, std::memory_order_relaxed));
+  double prev_backoff = options_.initial_backoff;
+  TxnId last_txn;
+  // Settlement bookkeeping shared by every exit path below.
+  auto settle = [&](Status status,
+                    const std::optional<TxnResult>& txn) -> SvcResult {
+    const double latency = Now() - admit_time;
+    latency_.Add(latency);
+    admission_.Release();
+    if (status.ok()) {
+      counters_.committed.fetch_add(1, std::memory_order_relaxed);
+    } else if (status.code() == StatusCode::kDeadlineExceeded) {
+      counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      Emit(TraceEventType::kSvcDeadlineExceeded, site, last_txn,
+           /*flag=*/false, static_cast<uint64_t>(result.attempts));
+    } else if (status.code() == StatusCode::kResourceExhausted) {
+      counters_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters_.aborted.fetch_add(1, std::memory_order_relaxed);
+    }
+    result.status = std::move(status);
+    result.txn = txn;
+    result.latency = latency;
+    return result;
+  };
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    const double remaining = deadline - Now();
+    if (remaining <= 0.0) {
+      return settle(DeadlineExceededError("deadline expired"),
+                    std::nullopt);
+    }
+    result.attempts = attempt;
+    if (attempt == 1) {
+      budget_.OnAttempt();
+    }
+    std::optional<TxnResult> r = cluster_->SubmitAndWait(
+        coordinator, make_spec(), remaining);
+    if (!r.has_value()) {
+      // SubmitAndWait timed out: the deadline budget is gone even if
+      // the transaction eventually resolves behind our back.
+      return settle(DeadlineExceededError("deadline expired in flight"),
+                    std::nullopt);
+    }
+    last_txn = r->id;
+    if (r->committed()) {
+      return settle(OkStatus(), r);
+    }
+    if (attempt >= options_.max_attempts) {
+      return settle(
+          AbortedError("attempts exhausted: " + r->abort_reason), r);
+    }
+    if (!budget_.TrySpend()) {
+      return settle(ResourceExhaustedError("retry budget exhausted"), r);
+    }
+    const double backoff = DecorrelatedJitterBackoff(
+        &jitter, options_.initial_backoff, options_.max_backoff,
+        prev_backoff);
+    prev_backoff = backoff;
+    if (Now() + backoff >= deadline) {
+      return settle(
+          DeadlineExceededError("no deadline budget left for a retry"), r);
+    }
+    counters_.retries.fetch_add(1, std::memory_order_relaxed);
+    Emit(TraceEventType::kSvcRetry, site, r->id, /*flag=*/true,
+         static_cast<uint64_t>(attempt));
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
+  POLYV_CHECK(false);  // the loop always settles via an exit path above
+  return result;
+}
+
+}  // namespace polyvalue

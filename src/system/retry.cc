@@ -6,10 +6,44 @@
 
 namespace polyvalue {
 
+namespace {
+
+constexpr uint64_t kDefaultJitterSeed = 0x7e7291a5u;
+
+Rng MakeJitterRng(const RetryPolicy& policy) {
+  return Rng(policy.jitter_seed != 0 ? policy.jitter_seed
+                                     : kDefaultJitterSeed);
+}
+
+}  // namespace
+
+double DecorrelatedJitterBackoff(Rng* rng, double base, double cap,
+                                 double prev) {
+  const double hi = std::max(base, 3.0 * prev);
+  const double draw = base + (hi - base) * rng->NextDouble();
+  return std::min(cap, draw);
+}
+
+double NextBackoff(const RetryPolicy& policy, Rng* rng, double prev) {
+  if (policy.decorrelated_jitter) {
+    return DecorrelatedJitterBackoff(rng, policy.initial_backoff,
+                                     policy.max_backoff, prev);
+  }
+  return std::min(prev * policy.backoff_multiplier, policy.max_backoff);
+}
+
 std::optional<TxnResult> RunWithRetries(
     SimCluster* cluster, size_t coordinator_index,
     const std::function<TxnSpec()>& make_spec, const RetryPolicy& policy) {
-  double backoff = policy.initial_backoff;
+  Rng rng = MakeJitterRng(policy);
+  // Jitter from the very first sleep: a deterministic first backoff
+  // would keep the herd synchronized for one extra round.
+  double backoff =
+      policy.decorrelated_jitter
+          ? DecorrelatedJitterBackoff(&rng, policy.initial_backoff,
+                                      policy.max_backoff,
+                                      policy.initial_backoff)
+          : policy.initial_backoff;
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     std::optional<TxnResult> result =
         cluster->SubmitAndRun(coordinator_index, make_spec());
@@ -17,8 +51,7 @@ std::optional<TxnResult> RunWithRetries(
       return result;
     }
     cluster->RunFor(backoff);
-    backoff = std::min(backoff * policy.backoff_multiplier,
-                       policy.max_backoff);
+    backoff = NextBackoff(policy, &rng, backoff);
   }
   return std::nullopt;
 }
@@ -26,7 +59,15 @@ std::optional<TxnResult> RunWithRetries(
 std::optional<TxnResult> RunWithRetries(
     ThreadCluster* cluster, size_t coordinator_index,
     const std::function<TxnSpec()>& make_spec, const RetryPolicy& policy) {
-  double backoff = policy.initial_backoff;
+  Rng rng = MakeJitterRng(policy);
+  // Jitter from the very first sleep: a deterministic first backoff
+  // would keep the herd synchronized for one extra round.
+  double backoff =
+      policy.decorrelated_jitter
+          ? DecorrelatedJitterBackoff(&rng, policy.initial_backoff,
+                                      policy.max_backoff,
+                                      policy.initial_backoff)
+          : policy.initial_backoff;
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     std::optional<TxnResult> result =
         cluster->SubmitAndWait(coordinator_index, make_spec());
@@ -35,8 +76,7 @@ std::optional<TxnResult> RunWithRetries(
     }
     std::this_thread::sleep_for(
         std::chrono::microseconds(static_cast<int64_t>(backoff * 1e6)));
-    backoff = std::min(backoff * policy.backoff_multiplier,
-                       policy.max_backoff);
+    backoff = NextBackoff(policy, &rng, backoff);
   }
   return std::nullopt;
 }

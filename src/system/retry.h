@@ -1,25 +1,51 @@
 // Client-side retry helper.
 //
 // The engine resolves lock conflicts by immediate abort (deadlock-free),
-// so real clients retry. RetryingClient wraps a cluster with bounded
-// exponential backoff and a fresh TxnSpec per attempt (specs are
-// move-consumed by Submit).
+// so real clients retry. RetryingClient wraps a cluster with jittered
+// backoff and a fresh TxnSpec per attempt (specs are move-consumed by
+// Submit).
+//
+// Backoff uses DECORRELATED JITTER by default (Brooker, "Exponential
+// Backoff and Jitter"): each sleep is uniform(base, 3 * previous sleep),
+// capped. Deterministic exponential backoff — the old default — makes
+// every client that aborted in the same conflict burst wake at the same
+// instant and collide again (retry herding); jitter spreads the herd.
+// retry_test asserts the dispersion.
 #ifndef SRC_SYSTEM_RETRY_H_
 #define SRC_SYSTEM_RETRY_H_
 
 #include <functional>
 #include <optional>
 
+#include "src/common/rng.h"
 #include "src/system/cluster.h"
 
 namespace polyvalue {
 
 struct RetryPolicy {
   int max_attempts = 8;
-  double initial_backoff = 0.02;  // seconds
-  double backoff_multiplier = 2.0;
+  double initial_backoff = 0.02;  // seconds; jitter's lower bound
+  double backoff_multiplier = 2.0;  // only used when jitter is disabled
   double max_backoff = 0.5;
+  // Decorrelated jitter (default). Disable to get the legacy
+  // deterministic exponential schedule (useful in tests that pin exact
+  // virtual-time schedules).
+  bool decorrelated_jitter = true;
+  // Seed for the jitter stream, so sim runs stay reproducible. Distinct
+  // clients should use distinct seeds (identical seeds re-synchronize
+  // the herd). 0 picks the library default.
+  uint64_t jitter_seed = 0;
 };
+
+// One decorrelated-jitter step: uniform(base, 3 * prev), capped at
+// `cap` and floored at `base`. Exposed for the serving front door
+// (src/svc/) and for tests.
+double DecorrelatedJitterBackoff(Rng* rng, double base, double cap,
+                                 double prev);
+
+// The backoff to sleep after attempt `attempt` (0-based), given the
+// previous sleep. Applies `policy`'s jitter mode.
+double NextBackoff(const RetryPolicy& policy, Rng* rng, double prev);
 
 // Runs `make_spec()` against the SimCluster until it commits (or is
 // read-only), retrying aborts with backoff in virtual time. Returns the

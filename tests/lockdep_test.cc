@@ -162,7 +162,7 @@ TEST_F(LockdepTest, DumpJsonCarriesRankTableEdgesAndReports) {
   // The declared rank table rides along so --check-lockdep can detect a
   // binary built from a different tree.
   EXPECT_TRUE(Mentions(json, "\"rank_order\"")) << json;
-  EXPECT_TRUE(Mentions(json, "{\"name\": \"kClientWait\", \"rank\": 10}"))
+  EXPECT_TRUE(Mentions(json, "{\"name\": \"kClientWait\", \"rank\": 30}"))
       << json;
   // The observed nesting appears as a ranked edge with both sites.
   EXPECT_TRUE(Mentions(json, "\"held_name\": \"kClientWait\"")) << json;

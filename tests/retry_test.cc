@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 namespace polyvalue {
 namespace {
 
@@ -84,6 +87,154 @@ TEST(RetryTest, ThreadedVariantWorks) {
   });
   ASSERT_TRUE(result.has_value());
   EXPECT_TRUE(result->committed());
+}
+
+// ----------------------------------------------------------------
+// Decorrelated jitter
+// ----------------------------------------------------------------
+
+TEST(RetryJitterTest, StepStaysWithinBounds) {
+  Rng rng(1);
+  const double base = 0.02;
+  const double cap = 0.5;
+  double prev = base;
+  for (int i = 0; i < 1000; ++i) {
+    prev = DecorrelatedJitterBackoff(&rng, base, cap, prev);
+    EXPECT_GE(prev, base);
+    EXPECT_LE(prev, cap);
+  }
+}
+
+TEST(RetryJitterTest, LegacyModeIsDeterministicExponential) {
+  RetryPolicy policy;
+  policy.decorrelated_jitter = false;
+  policy.initial_backoff = 0.02;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = 0.1;
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(NextBackoff(policy, &rng, 0.02), 0.04);
+  EXPECT_DOUBLE_EQ(NextBackoff(policy, &rng, 0.04), 0.08);
+  EXPECT_DOUBLE_EQ(NextBackoff(policy, &rng, 0.08), 0.1);  // capped
+  EXPECT_DOUBLE_EQ(NextBackoff(policy, &rng, 0.1), 0.1);
+}
+
+TEST(RetryJitterTest, SeedsDecorrelateStreams) {
+  const double base = 0.02;
+  const double cap = 0.5;
+  Rng rng_a(1);
+  Rng rng_b(2);
+  Rng rng_a_again(1);
+  double prev_a = base;
+  double prev_b = base;
+  double prev_a2 = base;
+  bool diverged = false;
+  for (int i = 0; i < 16; ++i) {
+    prev_a = DecorrelatedJitterBackoff(&rng_a, base, cap, prev_a);
+    prev_b = DecorrelatedJitterBackoff(&rng_b, base, cap, prev_b);
+    prev_a2 = DecorrelatedJitterBackoff(&rng_a_again, base, cap, prev_a2);
+    diverged |= prev_a != prev_b;
+    EXPECT_DOUBLE_EQ(prev_a, prev_a2);  // same seed -> same schedule
+  }
+  EXPECT_TRUE(diverged);  // different seeds -> different schedules
+}
+
+namespace {
+
+// Runs the always-aborting workload on a fresh (identically seeded)
+// cluster and returns the virtual times of every kSubmit — i.e. the
+// attempt schedule the retry loop produced.
+std::vector<double> AttemptTimes(const RetryPolicy& policy) {
+  SimCluster::Options options;
+  options.site_count = 2;
+  VectorTraceSink trace;
+  options.trace = &trace;
+  SimCluster cluster(options);
+  const auto result = RunWithRetries(
+      &cluster, 0,
+      [&cluster] {
+        TxnSpec spec;
+        spec.Read("missing", cluster.site_id(1));
+        spec.Logic([](const TxnReads&) { return TxnEffect{}; });
+        return spec;
+      },
+      policy);
+  EXPECT_FALSE(result.has_value());
+  std::vector<double> times;
+  for (const TraceEvent& e : trace.Snapshot()) {
+    if (e.type == TraceEventType::kSubmit) {
+      times.push_back(e.time);
+    }
+  }
+  return times;
+}
+
+}  // namespace
+
+TEST(RetryJitterTest, AttemptTimesDisperseAcrossClients) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = 0.02;
+  policy.max_backoff = 0.5;
+
+  policy.jitter_seed = 101;
+  const std::vector<double> client_a = AttemptTimes(policy);
+  policy.jitter_seed = 202;
+  const std::vector<double> client_b = AttemptTimes(policy);
+
+  ASSERT_EQ(client_a.size(), 5u);
+  ASSERT_EQ(client_b.size(), 5u);
+  // Two clients that abort at the same instant must NOT wake at the
+  // same instants afterwards — that re-collision is the herding bug.
+  int distinct = 0;
+  for (size_t i = 1; i < client_a.size(); ++i) {
+    if (client_a[i] != client_b[i]) {
+      ++distinct;
+    }
+  }
+  EXPECT_GE(distinct, 3);
+
+  // And a given seed reproduces its schedule exactly (determinism).
+  policy.jitter_seed = 101;
+  EXPECT_EQ(AttemptTimes(policy), client_a);
+}
+
+TEST(RetryJitterTest, LegacyScheduleIsSharedAcrossClients) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.decorrelated_jitter = false;
+  policy.jitter_seed = 101;
+  const std::vector<double> client_a = AttemptTimes(policy);
+  policy.jitter_seed = 202;  // irrelevant without jitter
+  const std::vector<double> client_b = AttemptTimes(policy);
+  // The control: with jitter off, the herd stays synchronized — which
+  // is exactly why decorrelated jitter is the default.
+  EXPECT_EQ(client_a, client_b);
+}
+
+TEST(RetryJitterTest, JitteredGapsAreNotDegenerate) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff = 0.02;
+  policy.max_backoff = 0.5;
+  policy.jitter_seed = 7;
+  const std::vector<double> times = AttemptTimes(policy);
+  ASSERT_EQ(times.size(), 8u);
+  std::vector<double> gaps;
+  for (size_t i = 1; i < times.size(); ++i) {
+    gaps.push_back(times[i] - times[i - 1]);
+  }
+  double mean = 0.0;
+  for (double g : gaps) {
+    mean += g;
+  }
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) {
+    var += (g - mean) * (g - mean);
+  }
+  var /= static_cast<double>(gaps.size());
+  // Non-zero spread: the schedule is not a fixed ladder.
+  EXPECT_GT(std::sqrt(var), 1e-4);
 }
 
 }  // namespace

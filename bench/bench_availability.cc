@@ -15,7 +15,7 @@
 //     (nonzero drift = atomicity violation).
 #include <cstdio>
 
-#include "src/baseline/workload.h"
+#include "src/workload/transfer.h"
 
 namespace polyvalue {
 namespace {

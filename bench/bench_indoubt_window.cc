@@ -15,7 +15,7 @@
 // combined-protocol design space the conclusion sketches.
 #include <cstdio>
 
-#include "src/baseline/workload.h"
+#include "src/workload/transfer.h"
 
 namespace polyvalue {
 namespace {

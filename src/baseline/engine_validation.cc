@@ -5,6 +5,7 @@
 
 #include "src/common/strings.h"
 #include "src/txn/messages.h"
+#include "src/workload/distribution.h"
 
 namespace polyvalue {
 
@@ -88,6 +89,7 @@ EngineValidationReport RunEngineValidation(
   // --- workload -------------------------------------------------------
   EngineValidationReport report;
   Rng workload_rng(params.seed * 2654435761ULL + 1);
+  const KeyDistribution item_dist(KeyDistParams{}, params.items);
   const double horizon = params.warmup_seconds + params.measure_seconds;
 
   std::function<void()> pump = [&] {
@@ -98,20 +100,11 @@ EngineValidationReport RunEngineValidation(
                                            params.updates_per_second),
               [&] {
                 pump();
-                // Target item + d extra read items.
-                const uint64_t target =
-                    workload_rng.NextBelow(params.items);
-                const double draw = workload_rng.NextExponential(
-                    std::max(params.dependency_degree, 1e-9));
-                uint64_t d = params.dependency_degree <= 0.0
-                                 ? 0
-                                 : static_cast<uint64_t>(draw);
-                if (params.dependency_degree > 0.0 &&
-                    workload_rng.NextBool(
-                        draw - static_cast<double>(
-                                   static_cast<uint64_t>(draw)))) {
-                  ++d;
-                }
+                // Target item + d extra read items (shared §4.2 idiom:
+                // exponential degree, probabilistically rounded).
+                const uint64_t target = item_dist.Pick(&workload_rng);
+                const uint64_t d = DrawExponentialCount(
+                    &workload_rng, params.dependency_degree);
                 const bool overwrite = workload_rng.NextBool(
                     params.overwrite_probability);
                 const int64_t salt = workload_rng.NextInt(1, 1000);
@@ -126,7 +119,7 @@ EngineValidationReport RunEngineValidation(
                 }
                 std::vector<ItemKey> dep_keys;
                 for (uint64_t k = 0; k < d; ++k) {
-                  const uint64_t dep = workload_rng.NextBelow(params.items);
+                  const uint64_t dep = item_dist.Pick(&workload_rng);
                   if (dep == target) {
                     continue;
                   }

@@ -7,8 +7,27 @@
 
 namespace polyvalue {
 
+namespace {
+
+// The §4.2 skew knobs expressed as a shared KeyDistribution: hot-set
+// when both knobs are positive, uniform otherwise.
+KeyDistParams ItemDistParams(const PolySimParams& params) {
+  KeyDistParams dist;
+  if (params.hotspot_access_probability > 0.0 &&
+      params.hotspot_fraction > 0.0) {
+    dist.kind = KeyDistKind::kHotSet;
+    dist.hot_fraction = params.hotspot_fraction;
+    dist.hot_probability = params.hotspot_access_probability;
+  }
+  return dist;
+}
+
+}  // namespace
+
 PolySim::PolySim(const PolySimParams& params)
-    : params_(params), rng_(params.seed) {
+    : params_(params),
+      rng_(params.seed),
+      item_dist_(ItemDistParams(params), params.items) {
   POLYV_CHECK_GT(params_.updates_per_second, 0.0);
   POLYV_CHECK_GT(params_.items, 0u);
   ScheduleNextUpdate();
@@ -20,30 +39,6 @@ void PolySim::ScheduleNextUpdate() {
     RunUpdate();
     ScheduleNextUpdate();
   });
-}
-
-uint64_t PolySim::DrawDependencyCount(double mean) {
-  if (mean <= 0.0) {
-    return 0;
-  }
-  const double x = rng_.NextExponential(mean);
-  const uint64_t base = static_cast<uint64_t>(x);
-  // Probabilistic rounding keeps E[d] = mean exactly (a plain floor of an
-  // exponential would bias d low by ~0.42·mean and skew the comparison
-  // against the analytic model).
-  return base + (rng_.NextBool(x - static_cast<double>(base)) ? 1 : 0);
-}
-
-uint64_t PolySim::PickItem() {
-  if (params_.hotspot_access_probability > 0.0 &&
-      params_.hotspot_fraction > 0.0 &&
-      rng_.NextBool(params_.hotspot_access_probability)) {
-    const uint64_t hot = std::max<uint64_t>(
-        1, static_cast<uint64_t>(params_.hotspot_fraction *
-                                 static_cast<double>(params_.items)));
-    return rng_.NextBelow(hot);
-  }
-  return rng_.NextBelow(params_.items);
 }
 
 void PolySim::RunUpdate() {
@@ -68,7 +63,7 @@ void PolySim::RunUpdate() {
 
   // Successful update: gather the tags of the d items the new value
   // depends on.
-  const uint64_t d = DrawDependencyCount(params_.dependency_degree);
+  const uint64_t d = DrawExponentialCount(&rng_, params_.dependency_degree);
   std::unordered_set<uint64_t> inherited;
   for (uint64_t i = 0; i < d; ++i) {
     const uint64_t source = PickItem();

@@ -34,6 +34,7 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/event/simulator.h"
+#include "src/workload/distribution.h"
 
 namespace polyvalue {
 
@@ -96,16 +97,13 @@ class PolySim {
   void Observe();
   void TrackPeak();
 
-  // Draws an integer with exact mean `mean` (exponential, probabilistic
-  // rounding).
-  uint64_t DrawDependencyCount(double mean);
-
   // Picks an item index, honouring the hotspot skew when configured.
-  uint64_t PickItem();
+  uint64_t PickItem() { return item_dist_.Pick(&rng_); }
 
   PolySimParams params_;
   Simulator sim_;
   Rng rng_;
+  KeyDistribution item_dist_;
   uint64_t next_txn_ = 1;
 
   // item -> set of transactions its (poly)value depends on.

@@ -92,6 +92,27 @@ void SimFrontDoor::Call(size_t coordinator,
 void SimFrontDoor::Call(size_t coordinator,
                         std::function<TxnSpec()> make_spec,
                         double deadline_seconds, SvcCallback done) {
+  CallWithJitterSeed(options_.seed + next_request_++, coordinator,
+                     std::move(make_spec), deadline_seconds,
+                     std::move(done));
+}
+
+void SimFrontDoor::CallAsClient(uint64_t client_id, size_t coordinator,
+                                std::function<TxnSpec()> make_spec,
+                                double deadline_seconds, SvcCallback done) {
+  // SplitMix64 decorrelates adjacent client ids into unrelated jitter
+  // streams (client n and n+1 would otherwise share most of their
+  // xoshiro seed material).
+  SplitMix64 mix(options_.seed ^ client_id);
+  CallWithJitterSeed(mix.Next(), coordinator, std::move(make_spec),
+                     deadline_seconds, std::move(done));
+}
+
+void SimFrontDoor::CallWithJitterSeed(uint64_t jitter_seed,
+                                      size_t coordinator,
+                                      std::function<TxnSpec()> make_spec,
+                                      double deadline_seconds,
+                                      SvcCallback done) {
   const double now = cluster_->sim().now();
   const SiteId site = cluster_->site_id(coordinator);
   bool rate_limited = false;
@@ -106,7 +127,7 @@ void SimFrontDoor::Call(size_t coordinator,
     }
     return;
   }
-  auto req = std::make_shared<Request>(options_.seed + next_request_++);
+  auto req = std::make_shared<Request>(jitter_seed);
   req->coordinator = coordinator;
   req->site = site;
   req->make_spec = std::move(make_spec);

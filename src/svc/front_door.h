@@ -122,6 +122,17 @@ class SimFrontDoor {
   void Call(size_t coordinator, std::function<TxnSpec()> make_spec,
             double deadline_seconds, SvcCallback done = nullptr);
 
+  // Bulk virtual-client path (src/workload): identical admission /
+  // deadline / retry machinery, but the caller supplies the client
+  // identity. The backoff-jitter stream is seeded from (options.seed,
+  // client_id), so millions of multiplexed virtual clients get
+  // decorrelated, per-client-deterministic jitter while the front door
+  // holds NO per-client state — its footprint stays O(in-flight)
+  // regardless of the client population.
+  void CallAsClient(uint64_t client_id, size_t coordinator,
+                    std::function<TxnSpec()> make_spec,
+                    double deadline_seconds, SvcCallback done = nullptr);
+
   // Convenience: Call and run the simulator until settlement.
   SvcResult CallAndRun(size_t coordinator,
                        std::function<TxnSpec()> make_spec);
@@ -141,6 +152,9 @@ class SimFrontDoor {
  private:
   struct Request;
 
+  void CallWithJitterSeed(uint64_t jitter_seed, size_t coordinator,
+                          std::function<TxnSpec()> make_spec,
+                          double deadline_seconds, SvcCallback done);
   void StartAttempt(const std::shared_ptr<Request>& req);
   void OnTxnDone(const std::shared_ptr<Request>& req, const TxnResult& r);
   void OnDeadline(const std::shared_ptr<Request>& req);

@@ -1,0 +1,130 @@
+#include "src/workload/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace polyvalue {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+const char* ArrivalCurveKindName(ArrivalCurveKind kind) {
+  switch (kind) {
+    case ArrivalCurveKind::kConstant:
+      return "constant";
+    case ArrivalCurveKind::kPoisson:
+      return "poisson";
+    case ArrivalCurveKind::kDiurnal:
+      return "diurnal";
+    case ArrivalCurveKind::kHerd:
+      return "herd";
+  }
+  return "unknown";
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalParams params, uint64_t seed)
+    : params_(params), rng_(seed) {
+  POLYV_CHECK_GT(params_.rate, 0.0);
+  if (params_.kind == ArrivalCurveKind::kDiurnal) {
+    POLYV_CHECK_GE(params_.diurnal_amplitude, 0.0);
+    POLYV_CHECK_LT(params_.diurnal_amplitude, 1.0);
+    POLYV_CHECK_GT(params_.diurnal_period, 0.0);
+  }
+  if (params_.kind == ArrivalCurveKind::kHerd) {
+    POLYV_CHECK_GE(params_.herd_background_fraction, 0.0);
+    POLYV_CHECK_LE(params_.herd_background_fraction, 1.0);
+    POLYV_CHECK_GT(params_.herd_interval, 0.0);
+    POLYV_CHECK_GE(params_.herd_spread, 0.0);
+    // Bursts must not overlap, or Next() would run backwards.
+    POLYV_CHECK_LT(params_.herd_spread, params_.herd_interval);
+    const double background_rate =
+        params_.rate * params_.herd_background_fraction;
+    next_background_ = background_rate > 0.0
+                           ? rng_.NextExponential(1.0 / background_rate)
+                           : -1.0;
+    FillBurst();
+  }
+}
+
+void ArrivalProcess::FillBurst() {
+  // Burst k fires at (k + 1) * herd_interval; its size is the herd share
+  // of the long-run rate accumulated over one interval.
+  const double herd_rate =
+      params_.rate * (1.0 - params_.herd_background_fraction);
+  const uint64_t size = static_cast<uint64_t>(
+      std::llround(herd_rate * params_.herd_interval));
+  const double start =
+      static_cast<double>(burst_index_ + 1) * params_.herd_interval;
+  burst_.clear();
+  burst_.reserve(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    burst_.push_back(start + rng_.NextDouble() * params_.herd_spread);
+  }
+  std::sort(burst_.begin(), burst_.end());
+  burst_cursor_ = 0;
+}
+
+double ArrivalProcess::Next() {
+  switch (params_.kind) {
+    case ArrivalCurveKind::kConstant:
+      last_ += 1.0 / params_.rate;
+      return last_;
+    case ArrivalCurveKind::kPoisson:
+      last_ += rng_.NextExponential(1.0 / params_.rate);
+      return last_;
+    case ArrivalCurveKind::kDiurnal: {
+      // Thinning (Lewis & Shedler): candidates at the envelope peak
+      // rate, accepted with probability rate(t) / peak.
+      const double peak =
+          params_.rate * (1.0 + params_.diurnal_amplitude);
+      for (;;) {
+        last_ += rng_.NextExponential(1.0 / peak);
+        const double rate_now =
+            params_.rate *
+            (1.0 + params_.diurnal_amplitude *
+                       std::sin(kTwoPi * last_ / params_.diurnal_period));
+        if (rng_.NextBool(rate_now / peak)) {
+          return last_;
+        }
+      }
+    }
+    case ArrivalCurveKind::kHerd: {
+      for (;;) {
+        // Exhausted the current burst: materialise the next one so its
+        // times are available for the min() below.
+        if (burst_cursor_ >= burst_.size()) {
+          ++burst_index_;
+          FillBurst();
+          if (burst_.empty() && next_background_ < 0.0) {
+            // Degenerate configuration (no background, empty bursts):
+            // fall back to plain Poisson so Next() always advances.
+            last_ += rng_.NextExponential(1.0 / params_.rate);
+            return last_;
+          }
+          if (burst_.empty()) {
+            // All-background configuration: burst stream never fires.
+            break;
+          }
+        }
+        if (next_background_ >= 0.0 &&
+            next_background_ <= burst_[burst_cursor_]) {
+          break;  // background stream fires first
+        }
+        last_ = burst_[burst_cursor_++];
+        return last_;
+      }
+      last_ = next_background_;
+      const double background_rate =
+          params_.rate * params_.herd_background_fraction;
+      next_background_ += rng_.NextExponential(1.0 / background_rate);
+      return last_;
+    }
+  }
+  POLYV_CHECK(false);
+  return last_;
+}
+
+}  // namespace polyvalue

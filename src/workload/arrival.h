@@ -1,0 +1,80 @@
+// Open-loop arrival processes for workload generators.
+//
+// Open loop means arrivals do not wait for completions — the curve is a
+// property of the CLIENT POPULATION, not of the system under test, so
+// overload actually builds up instead of being absorbed by closed-loop
+// self-throttling. Four curves:
+//
+//   kConstant — evenly spaced arrivals at `rate` (a pathological
+//               metronome: zero jitter, worst case for token buckets);
+//   kPoisson  — exponential inter-arrivals at `rate` (memoryless; the
+//               baseline assumption of the §4.1 model);
+//   kDiurnal  — Poisson with a sinusoidal rate envelope of the given
+//               period and amplitude (day/night load shape compressed
+//               onto simulation timescales), sampled by thinning;
+//   kHerd     — a background Poisson stream plus synchronized bursts
+//               every herd_interval seconds (retry storms, cache
+//               expiry stampedes, everyone's cron firing at :00).
+//
+// Next() returns absolute arrival times, non-decreasing, consuming only
+// the internal seeded Rng — the schedule is a pure function of
+// (params, seed) and is byte-identical across runs and platforms.
+#ifndef SRC_WORKLOAD_ARRIVAL_H_
+#define SRC_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace polyvalue {
+
+enum class ArrivalCurveKind {
+  kConstant,
+  kPoisson,
+  kDiurnal,
+  kHerd,
+};
+
+const char* ArrivalCurveKindName(ArrivalCurveKind kind);
+
+struct ArrivalParams {
+  ArrivalCurveKind kind = ArrivalCurveKind::kPoisson;
+  // Long-run mean arrival rate, arrivals/second (every curve honours
+  // this in expectation).
+  double rate = 100.0;
+  // kDiurnal: rate(t) = rate * (1 + amplitude * sin(2*pi*t / period)).
+  double diurnal_period = 60.0;
+  double diurnal_amplitude = 0.8;  // in [0, 1)
+  // kHerd: fraction of `rate` delivered as background Poisson traffic;
+  // the rest arrives in bursts every herd_interval seconds, each burst
+  // spread uniformly over herd_spread seconds.
+  double herd_background_fraction = 0.5;
+  double herd_interval = 10.0;
+  double herd_spread = 0.05;
+};
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalParams params, uint64_t seed);
+
+  // Absolute time of the next arrival (seconds; non-decreasing).
+  double Next();
+
+ private:
+  void FillBurst();  // kHerd: generates the offsets of burst number burst_index_
+
+  ArrivalParams params_;
+  Rng rng_;
+  double last_ = 0.0;
+  // kHerd state: the next background arrival, plus the current burst's
+  // sorted arrival times and a cursor into them.
+  double next_background_ = 0.0;
+  uint64_t burst_index_ = 0;
+  size_t burst_cursor_ = 0;
+  std::vector<double> burst_;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_WORKLOAD_ARRIVAL_H_

@@ -1,0 +1,131 @@
+#include "src/workload/distribution.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace polyvalue {
+
+const char* KeyDistKindName(KeyDistKind kind) {
+  switch (kind) {
+    case KeyDistKind::kUniform:
+      return "uniform";
+    case KeyDistKind::kZipfian:
+      return "zipfian";
+    case KeyDistKind::kHotSet:
+      return "hotset";
+  }
+  return "unknown";
+}
+
+KeyDistribution::KeyDistribution(KeyDistParams params, uint64_t universe)
+    : params_(params), universe_(universe) {
+  POLYV_CHECK_GT(universe, 0u);
+  switch (params_.kind) {
+    case KeyDistKind::kUniform:
+      break;
+    case KeyDistKind::kZipfian: {
+      POLYV_CHECK_GT(params_.zipf_theta, 0.0);
+      POLYV_CHECK_LT(params_.zipf_theta, 1.0);
+      const double theta = params_.zipf_theta;
+      double zeta2 = 0.0;
+      for (uint64_t i = 1; i <= universe_; ++i) {
+        zeta_ += 1.0 / std::pow(static_cast<double>(i), theta);
+        if (i <= 2) {
+          zeta2 = zeta_;
+        }
+      }
+      alpha_ = 1.0 / (1.0 - theta);
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(universe_),
+                             1.0 - theta)) /
+             (1.0 - zeta2 / zeta_);
+      break;
+    }
+    case KeyDistKind::kHotSet: {
+      POLYV_CHECK_GE(params_.hot_fraction, 0.0);
+      POLYV_CHECK_LE(params_.hot_fraction, 1.0);
+      POLYV_CHECK_GE(params_.hot_probability, 0.0);
+      POLYV_CHECK_LE(params_.hot_probability, 1.0);
+      hot_count_ = static_cast<uint64_t>(
+          std::ceil(params_.hot_fraction * static_cast<double>(universe_)));
+      if (hot_count_ > universe_) {
+        hot_count_ = universe_;
+      }
+      break;
+    }
+  }
+}
+
+uint64_t KeyDistribution::Pick(Rng* rng) const {
+  switch (params_.kind) {
+    case KeyDistKind::kUniform:
+      return rng->NextBelow(universe_);
+    case KeyDistKind::kZipfian: {
+      const double theta = params_.zipf_theta;
+      const double u = rng->NextDouble();
+      const double uz = u * zeta_;
+      if (uz < 1.0) {
+        return 0;
+      }
+      if (uz < 1.0 + std::pow(0.5, theta)) {
+        return 1;
+      }
+      const uint64_t rank = static_cast<uint64_t>(
+          static_cast<double>(universe_) *
+          std::pow(eta_ * u - eta_ + 1.0, alpha_));
+      return rank >= universe_ ? universe_ - 1 : rank;
+    }
+    case KeyDistKind::kHotSet: {
+      // Degenerate splits (no hot set, or all-hot) fall back to uniform
+      // over whichever population exists.
+      if (hot_count_ == 0 || hot_count_ == universe_) {
+        return rng->NextBelow(universe_);
+      }
+      if (rng->NextBool(params_.hot_probability)) {
+        return rng->NextBelow(hot_count_);
+      }
+      return hot_count_ + rng->NextBelow(universe_ - hot_count_);
+    }
+  }
+  POLYV_CHECK(false);
+  return 0;
+}
+
+double KeyDistribution::Probability(uint64_t index) const {
+  POLYV_CHECK_LT(index, universe_);
+  switch (params_.kind) {
+    case KeyDistKind::kUniform:
+      return 1.0 / static_cast<double>(universe_);
+    case KeyDistKind::kZipfian:
+      return 1.0 /
+             (std::pow(static_cast<double>(index + 1), params_.zipf_theta) *
+              zeta_);
+    case KeyDistKind::kHotSet: {
+      if (hot_count_ == 0 || hot_count_ == universe_) {
+        return 1.0 / static_cast<double>(universe_);
+      }
+      if (index < hot_count_) {
+        return params_.hot_probability / static_cast<double>(hot_count_);
+      }
+      return (1.0 - params_.hot_probability) /
+             static_cast<double>(universe_ - hot_count_);
+    }
+  }
+  POLYV_CHECK(false);
+  return 0.0;
+}
+
+uint64_t DrawExponentialCount(Rng* rng, double mean) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  const double draw = rng->NextExponential(mean);
+  uint64_t count = static_cast<uint64_t>(draw);
+  // Probabilistic rounding keeps E[count] == mean exactly.
+  if (rng->NextBool(draw - static_cast<double>(count))) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace polyvalue

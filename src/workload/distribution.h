@@ -1,0 +1,81 @@
+// Key-selection distributions for workload generators.
+//
+// §4.2 notes that "the selection of items to participate in
+// transactions is not likely to be uniform"; every workload in this
+// tree that needs a non-uniform key stream draws it from here, so the
+// skew model is implemented exactly once:
+//
+//   kUniform — every index equally likely;
+//   kZipfian — rank-frequency ~ 1/rank^theta (the YCSB closed-form
+//              generator: O(universe) setup, O(1) per draw), rank 0
+//              hottest;
+//   kHotSet  — the first hot_fraction of the universe receives
+//              hot_probability of the accesses, uniform inside each
+//              population (the 80/20 model behind bench_hotspot's
+//              I_eff analysis).
+//
+// Draws consume exactly one caller-supplied Rng, so a generator is as
+// deterministic as its seed and two distributions can share or split
+// streams as the workload requires.
+#ifndef SRC_WORKLOAD_DISTRIBUTION_H_
+#define SRC_WORKLOAD_DISTRIBUTION_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace polyvalue {
+
+enum class KeyDistKind {
+  kUniform,
+  kZipfian,
+  kHotSet,
+};
+
+const char* KeyDistKindName(KeyDistKind kind);
+
+struct KeyDistParams {
+  KeyDistKind kind = KeyDistKind::kUniform;
+  // Zipfian exponent, in (0, 1). 0.99 is the YCSB default.
+  double zipf_theta = 0.99;
+  // Hot-set model: the first ceil(hot_fraction * universe) indices
+  // receive hot_probability of all draws.
+  double hot_fraction = 0.1;
+  double hot_probability = 0.9;
+};
+
+// A frozen distribution over [0, universe). Construction does any
+// per-universe precomputation (the zipfian zeta sum); Pick() is O(1).
+class KeyDistribution {
+ public:
+  KeyDistribution(KeyDistParams params, uint64_t universe);
+
+  uint64_t universe() const { return universe_; }
+  KeyDistKind kind() const { return params_.kind; }
+
+  // Draws an index in [0, universe).
+  uint64_t Pick(Rng* rng) const;
+
+  // Exact (kUniform, kHotSet) or asymptotic (kZipfian) probability of
+  // index i — used by the property tests and by I_eff computations.
+  double Probability(uint64_t index) const;
+
+ private:
+  KeyDistParams params_;
+  uint64_t universe_;
+  uint64_t hot_count_ = 0;  // kHotSet
+  // Zipfian closed-form state (Gray et al. via YCSB).
+  double zeta_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+// Draws a non-negative integer with mean exactly `mean`: an exponential
+// draw, probabilistically rounded. The §4.2 dependency-degree idiom
+// (poly_sim, engine validation), shared so every consumer rounds the
+// same way. mean <= 0 returns 0.
+uint64_t DrawExponentialCount(Rng* rng, double mean);
+
+}  // namespace polyvalue
+
+#endif  // SRC_WORKLOAD_DISTRIBUTION_H_

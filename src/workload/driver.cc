@@ -1,0 +1,231 @@
+#include "src/workload/driver.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/common/check.h"
+
+namespace polyvalue {
+
+namespace {
+
+// FNV-1a, folded a word at a time — cheap enough to hash every arrival.
+uint64_t HashMix(uint64_t h, uint64_t word) {
+  h ^= word;
+  return h * 0x100000001b3ULL;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+std::string ClusterWorkloadReport::Summary() const {
+  std::ostringstream oss;
+  oss << "arrivals=" << arrivals << " rejected_down=" << rejected_down
+      << " offered=" << offered << " shed=" << shed
+      << " committed=" << committed << " aborted=" << aborted
+      << " deadline=" << deadline_exceeded
+      << " budget=" << budget_exhausted << " retries=" << retries
+      << " unsettled=" << unsettled << " goodput=" << goodput
+      << " p99=" << p99 << " peak_uncertain=" << peak_uncertain_items
+      << " drift=" << conservation_drift
+      << " peak_tracked=" << peak_tracked_clients
+      << " exactly_once=" << (ExactlyOnce() ? "yes" : "NO");
+  return oss.str();
+}
+
+ClusterWorkload::ClusterWorkload(ClusterWorkloadParams params)
+    : params_(params),
+      keyspace_(params.sites, params.keys),
+      key_dist_(params.key_dist, params.keys),
+      mix_(params.mix) {
+  POLYV_CHECK_GT(params_.virtual_clients, 0u);
+  // Every admitted request settles by its deadline; the settle window
+  // must cover the last admission's deadline or Run() would return with
+  // callbacks still pending.
+  POLYV_CHECK_GT(params_.settle_time, params_.deadline);
+  SimCluster::Options options;
+  options.site_count = params_.sites;
+  options.engine = params_.engine;
+  options.seed = params_.seed;
+  options.min_delay = params_.min_delay;
+  options.max_delay = params_.max_delay;
+  options.trace = params_.trace;
+  cluster_ = std::make_unique<SimCluster>(options);
+  keyspace_.LoadAll(cluster_.get(), params_.initial_balance);
+
+  SvcOptions svc = params_.svc;
+  svc.default_deadline = params_.deadline;
+  svc.seed = params_.seed ^ 0x5caff01dULL;
+  svc.trace = params_.trace;
+  door_ = std::make_unique<SimFrontDoor>(cluster_.get(), svc);
+}
+
+ClusterWorkloadReport ClusterWorkload::Run() {
+  POLYV_CHECK(!ran_);
+  ran_ = true;
+
+  ClusterWorkloadReport report;
+  report.schedule_hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+  Simulator& sim = cluster_->sim();
+
+  ArrivalProcess arrivals(params_.arrival, params_.seed ^ 0xa221ca1ULL);
+  Rng pick_rng(params_.seed ^ 0x70b0109adULL);
+
+  // Clients tracked only while a request is outstanding: id -> number
+  // of requests in flight (an open-loop client can overlap itself).
+  std::unordered_map<uint64_t, uint32_t> tracked;
+
+  // The arrival pump: one scheduled event per arrival, self-extending,
+  // so the event queue never holds more than the next arrival.
+  std::function<void(double)> pump = [&](double at) {
+    sim.At(at, [&, at] {
+      const double next = arrivals.Next();
+      if (next <= params_.duration) {
+        pump(next);
+      }
+      ++report.arrivals;
+      const uint64_t client = pick_rng.NextBelow(params_.virtual_clients);
+      const TxnShapeKind shape = mix_.Pick(&pick_rng);
+      int64_t delta = 0;
+      TxnSpec spec = MakeShapeSpec(shape, keyspace_, *cluster_, key_dist_,
+                                   &pick_rng, &delta);
+      // Home coordinator with failover: first live site at or after the
+      // client's home. A fully dark cluster rejects the arrival.
+      size_t coordinator = static_cast<size_t>(client % params_.sites);
+      size_t probes = 0;
+      while (probes < params_.sites &&
+             cluster_->site(coordinator).crashed()) {
+        coordinator = (coordinator + 1) % params_.sites;
+        ++probes;
+      }
+      report.schedule_hash = HashMix(report.schedule_hash, DoubleBits(at));
+      report.schedule_hash = HashMix(report.schedule_hash, client);
+      report.schedule_hash = HashMix(
+          report.schedule_hash, static_cast<uint64_t>(shape) * 31 +
+                                    static_cast<uint64_t>(coordinator));
+      if (probes == params_.sites) {
+        ++report.rejected_down;
+        return;
+      }
+      ++report.offered;
+      ++report.shape_offered[static_cast<int>(shape)];
+      ++report.unsettled;
+      const uint64_t count = ++tracked[client];
+      (void)count;
+      report.peak_tracked_clients = std::max(
+          report.peak_tracked_clients,
+          static_cast<uint64_t>(tracked.size()));
+      auto spec_holder = std::make_shared<TxnSpec>(std::move(spec));
+      door_->CallAsClient(
+          client, coordinator, [spec_holder] { return *spec_holder; },
+          params_.deadline,
+          [&report, &tracked, client, shape, delta](const SvcResult& r) {
+            --report.unsettled;
+            auto it = tracked.find(client);
+            if (it != tracked.end() && --it->second == 0) {
+              tracked.erase(it);
+            }
+            if (r.ok()) {
+              ++report.committed;
+              ++report.shape_committed[static_cast<int>(shape)];
+              report.conservation_drift -= delta;  // expected delta; the
+              // final-balance scan below adds the observed total back.
+            } else if (r.status.code() == StatusCode::kDeadlineExceeded) {
+              ++report.deadline_exceeded;
+            } else if (r.status.code() == StatusCode::kResourceExhausted) {
+              if (r.attempts == 0) {
+                ++report.shed;
+              } else {
+                ++report.budget_exhausted;
+              }
+            } else {
+              ++report.aborted;
+            }
+          });
+      report.peak_inflight =
+          std::max(report.peak_inflight,
+                   static_cast<uint64_t>(door_->admission().inflight()));
+    });
+  };
+  const double first = arrivals.Next();
+  if (first <= params_.duration) {
+    pump(first);
+  }
+
+  // Uncertain-item sampler (the in-doubt window series).
+  const double horizon = params_.duration + params_.settle_time;
+  double sample_sum = 0.0;
+  uint64_t sample_count = 0;
+  std::function<void()> sample = [&] {
+    const double p =
+        static_cast<double>(cluster_->TotalUncertainItems());
+    report.peak_uncertain_items = std::max(report.peak_uncertain_items, p);
+    sample_sum += p;
+    ++sample_count;
+    if (sim.now() + params_.sample_interval <= horizon) {
+      sim.After(params_.sample_interval, sample);
+    }
+  };
+  sim.After(params_.sample_interval, sample);
+
+  // Offered load, then heal everything and drain.
+  cluster_->RunFor(params_.duration);
+  for (size_t s = 0; s < params_.sites; ++s) {
+    if (cluster_->site(s).crashed()) {
+      cluster_->RecoverSite(s);
+    }
+  }
+  cluster_->faults().SetDropProbability(0.0);
+  cluster_->faults().HealAll();
+  cluster_->RunFor(params_.settle_time);
+
+  // Collect.
+  report.retries = door_->counters().retries.load();
+  report.avg_uncertain_items =
+      sample_count == 0 ? 0.0 : sample_sum / static_cast<double>(sample_count);
+  report.final_uncertain_items = cluster_->TotalUncertainItems();
+  const LogHistogram& latency = door_->latency();
+  report.p50 = latency.Percentile(50);
+  report.p95 = latency.Percentile(95);
+  report.p99 = latency.Percentile(99);
+  report.p999 = latency.Percentile(99.9);
+  report.goodput =
+      static_cast<double>(report.committed) / params_.duration;
+
+  const EngineMetrics metrics = cluster_->TotalMetrics();
+  report.polyvalue_installs = metrics.polyvalue_installs;
+  report.polyvalues_resolved = metrics.polyvalues_resolved;
+
+  // Conservation: final total == initial total + committed deltas.
+  // report.conservation_drift already holds -sum(committed deltas).
+  const int64_t initial_total =
+      params_.initial_balance * static_cast<int64_t>(params_.keys);
+  int64_t final_total = 0;
+  bool totals_exact = true;
+  for (size_t s = 0; s < params_.sites; ++s) {
+    cluster_->site(s).store().ForEach(
+        [&](const ItemKey&, const PolyValue& value) {
+          if (value.is_certain() && value.certain_value().is_int()) {
+            final_total += value.certain_value().int_value();
+          } else {
+            totals_exact = false;
+          }
+        });
+  }
+  if (totals_exact) {
+    report.conservation_drift += final_total - initial_total;
+  } else {
+    report.conservation_drift = INT64_MAX;
+  }
+  return report;
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,182 @@
+#include "src/workload/mix.h"
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace polyvalue {
+
+const char* TxnShapeKindName(TxnShapeKind kind) {
+  switch (kind) {
+    case TxnShapeKind::kReadOnly:
+      return "read_only";
+    case TxnShapeKind::kTransfer:
+      return "transfer";
+    case TxnShapeKind::kIncrement:
+      return "increment";
+    case TxnShapeKind::kMultiTransfer:
+      return "multi_transfer";
+  }
+  return "unknown";
+}
+
+MixParams ReadHeavyMix() { return {0.80, 0.10, 0.05, 0.05}; }
+MixParams WriteHeavyMix() { return {0.10, 0.60, 0.10, 0.20}; }
+MixParams IncrementHeavyMix() { return {0.05, 0.10, 0.80, 0.05}; }
+MixParams MultiSiteMix() { return {0.15, 0.25, 0.10, 0.50}; }
+
+TxnMix::TxnMix(MixParams params) {
+  const double weights[kTxnShapeCount] = {
+      params.read_only, params.transfer, params.increment,
+      params.multi_transfer};
+  total_ = 0.0;
+  for (int i = 0; i < kTxnShapeCount; ++i) {
+    POLYV_CHECK_GE(weights[i], 0.0);
+    total_ += weights[i];
+    cumulative_[i] = total_;
+  }
+  POLYV_CHECK_GT(total_, 0.0);
+}
+
+TxnShapeKind TxnMix::Pick(Rng* rng) const {
+  const double draw = rng->NextDouble() * total_;
+  for (int i = 0; i + 1 < kTxnShapeCount; ++i) {
+    if (draw < cumulative_[i]) {
+      return static_cast<TxnShapeKind>(i);
+    }
+  }
+  return static_cast<TxnShapeKind>(kTxnShapeCount - 1);
+}
+
+double TxnMix::weight(TxnShapeKind kind) const {
+  const int i = static_cast<int>(kind);
+  return (cumulative_[i] - (i == 0 ? 0.0 : cumulative_[i - 1])) / total_;
+}
+
+Keyspace::Keyspace(size_t sites, uint64_t keys)
+    : sites_(sites), keys_(keys) {
+  POLYV_CHECK_GT(sites, 0u);
+  POLYV_CHECK_GE(keys, static_cast<uint64_t>(kTxnShapeCount));
+}
+
+ItemKey Keyspace::name(uint64_t key) const {
+  return StrCat("w/", site_index(key), "/", key);
+}
+
+void Keyspace::LoadAll(SimCluster* cluster, int64_t initial_balance) const {
+  for (uint64_t k = 0; k < keys_; ++k) {
+    cluster->Load(site_index(k), name(k), Value::Int(initial_balance));
+  }
+}
+
+namespace {
+
+// Draws a key distinct from everything in `taken` (linear probing after
+// a few distribution draws, so pathological skew cannot loop forever).
+uint64_t PickDistinct(const KeyDistribution& dist, Rng* rng,
+                      const uint64_t* taken, int taken_count) {
+  uint64_t key = dist.Pick(rng);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    bool clash = false;
+    for (int i = 0; i < taken_count; ++i) {
+      clash = clash || taken[i] == key;
+    }
+    if (!clash) {
+      return key;
+    }
+    key = attempt < 4 ? dist.Pick(rng) : (key + 1) % dist.universe();
+  }
+  return key;
+}
+
+}  // namespace
+
+TxnSpec MakeShapeSpec(TxnShapeKind shape, const Keyspace& keyspace,
+                      const SimCluster& cluster,
+                      const KeyDistribution& dist, Rng* rng,
+                      int64_t* delta) {
+  POLYV_CHECK_EQ(dist.universe(), keyspace.keys());
+  *delta = 0;
+  TxnSpec spec;
+  switch (shape) {
+    case TxnShapeKind::kReadOnly: {
+      uint64_t a = dist.Pick(rng);
+      uint64_t b = PickDistinct(dist, rng, &a, 1);
+      const ItemKey ka = keyspace.name(a);
+      const ItemKey kb = keyspace.name(b);
+      spec.Read(ka, cluster.site_id(keyspace.site_index(a)));
+      spec.Read(kb, cluster.site_id(keyspace.site_index(b)));
+      spec.Logic([ka, kb](const TxnReads& reads) {
+        TxnEffect e;
+        e.output = Value::Int(reads.IntAt(ka) + reads.IntAt(kb));
+        return e;
+      });
+      return spec;
+    }
+    case TxnShapeKind::kTransfer: {
+      uint64_t from = dist.Pick(rng);
+      uint64_t to = PickDistinct(dist, rng, &from, 1);
+      const int64_t amount = rng->NextInt(1, 20);
+      const ItemKey from_key = keyspace.name(from);
+      const ItemKey to_key = keyspace.name(to);
+      spec.ReadWrite(from_key, cluster.site_id(keyspace.site_index(from)));
+      spec.ReadWrite(to_key, cluster.site_id(keyspace.site_index(to)));
+      spec.Logic([from_key, to_key, amount](const TxnReads& reads) {
+        const int64_t have = reads.IntAt(from_key);
+        if (have < amount) {
+          return TxnEffect::Abort("insufficient funds");
+        }
+        TxnEffect e;
+        e.writes[from_key] = Value::Int(have - amount);
+        e.writes[to_key] = Value::Int(reads.IntAt(to_key) + amount);
+        e.output = Value::Bool(true);
+        return e;
+      });
+      return spec;
+    }
+    case TxnShapeKind::kIncrement: {
+      const uint64_t target = dist.Pick(rng);
+      const int64_t amount = rng->NextInt(1, 5);
+      *delta = amount;
+      const ItemKey key = keyspace.name(target);
+      spec.ReadWrite(key, cluster.site_id(keyspace.site_index(target)));
+      spec.Logic([key, amount](const TxnReads& reads) {
+        TxnEffect e;
+        e.writes[key] = Value::Int(reads.IntAt(key) + amount);
+        e.output = Value::Int(reads.IntAt(key) + amount);
+        return e;
+      });
+      return spec;
+    }
+    case TxnShapeKind::kMultiTransfer: {
+      uint64_t from = dist.Pick(rng);
+      uint64_t taken[2] = {from, 0};
+      const uint64_t to_a = PickDistinct(dist, rng, taken, 1);
+      taken[1] = to_a;
+      const uint64_t to_b = PickDistinct(dist, rng, taken, 2);
+      const int64_t amount = rng->NextInt(1, 10);
+      const ItemKey from_key = keyspace.name(from);
+      const ItemKey a_key = keyspace.name(to_a);
+      const ItemKey b_key = keyspace.name(to_b);
+      spec.ReadWrite(from_key, cluster.site_id(keyspace.site_index(from)));
+      spec.ReadWrite(a_key, cluster.site_id(keyspace.site_index(to_a)));
+      spec.ReadWrite(b_key, cluster.site_id(keyspace.site_index(to_b)));
+      spec.Logic([from_key, a_key, b_key, amount](const TxnReads& reads) {
+        const int64_t have = reads.IntAt(from_key);
+        if (have < 2 * amount) {
+          return TxnEffect::Abort("insufficient funds");
+        }
+        TxnEffect e;
+        e.writes[from_key] = Value::Int(have - 2 * amount);
+        e.writes[a_key] = Value::Int(reads.IntAt(a_key) + amount);
+        e.writes[b_key] = Value::Int(reads.IntAt(b_key) + amount);
+        e.output = Value::Bool(true);
+        return e;
+      });
+      return spec;
+    }
+  }
+  POLYV_CHECK(false);
+  return spec;
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,100 @@
+// Transaction-shape mixes and the keyspace they run against.
+//
+// A workload cell is (key distribution) x (arrival curve) x (shape
+// mix). The shapes here are the four traffic archetypes the serving
+// benches care about:
+//
+//   kReadOnly      — read two items, output their sum (no write round);
+//   kTransfer      — the classic two-account funds transfer (conserves
+//                    total balance; aborts on insufficient funds);
+//   kIncrement     — read-modify-write +amount on one item (the hot
+//                    counter shape; shifts total balance by +amount);
+//   kMultiTransfer — one debit fanned out to two credit items, usually
+//                    spanning three sites (conserves total balance;
+//                    widest prepare fan-out, the shape most exposed to
+//                    coordinator failure).
+//
+// Conservation audit contract: every spec reports the delta it applies
+// to the keyspace's total balance IF it commits. Transfers report 0,
+// increments report +amount — so after a run, final_total must equal
+// initial_total + sum(delta over committed transactions), no matter
+// which mixture ran or which failures were injected. Any drift is an
+// atomicity violation.
+#ifndef SRC_WORKLOAD_MIX_H_
+#define SRC_WORKLOAD_MIX_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/system/cluster.h"
+#include "src/workload/distribution.h"
+
+namespace polyvalue {
+
+enum class TxnShapeKind {
+  kReadOnly,
+  kTransfer,
+  kIncrement,
+  kMultiTransfer,
+};
+
+inline constexpr int kTxnShapeCount = 4;
+
+const char* TxnShapeKindName(TxnShapeKind kind);
+
+// Relative weights; they need not sum to 1 (Pick normalises).
+struct MixParams {
+  double read_only = 0.0;
+  double transfer = 1.0;
+  double increment = 0.0;
+  double multi_transfer = 0.0;
+};
+
+// Canonical mixes used by the soak grid and the serving benches.
+MixParams ReadHeavyMix();       // 80 / 10 / 5 / 5
+MixParams WriteHeavyMix();      // 10 / 60 / 10 / 20
+MixParams IncrementHeavyMix();  // 5 / 10 / 80 / 5
+MixParams MultiSiteMix();       // 15 / 25 / 10 / 50
+
+class TxnMix {
+ public:
+  explicit TxnMix(MixParams params);
+
+  TxnShapeKind Pick(Rng* rng) const;
+  double weight(TxnShapeKind kind) const;
+
+ private:
+  double cumulative_[kTxnShapeCount];
+  double total_;
+};
+
+// Maps the workload's flat key indices onto per-site items: key k lives
+// on site k % sites under the name "w/<site>/<k>".
+class Keyspace {
+ public:
+  Keyspace(size_t sites, uint64_t keys);
+
+  size_t sites() const { return sites_; }
+  uint64_t keys() const { return keys_; }
+  size_t site_index(uint64_t key) const { return key % sites_; }
+  ItemKey name(uint64_t key) const;
+
+  // Seeds every key with `initial_balance` at its owning site.
+  void LoadAll(SimCluster* cluster, int64_t initial_balance) const;
+
+ private:
+  size_t sites_;
+  uint64_t keys_;
+};
+
+// Builds one transaction of the given shape. Keys are drawn from
+// `dist` (distinct where the shape requires it); `*delta` receives the
+// shape's committed-balance delta for the conservation audit.
+TxnSpec MakeShapeSpec(TxnShapeKind shape, const Keyspace& keyspace,
+                      const SimCluster& cluster,
+                      const KeyDistribution& dist, Rng* rng,
+                      int64_t* delta);
+
+}  // namespace polyvalue
+
+#endif  // SRC_WORKLOAD_MIX_H_

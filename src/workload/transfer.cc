@@ -1,10 +1,12 @@
-#include "src/baseline/workload.h"
+#include "src/workload/transfer.h"
 
 #include <sstream>
 #include <vector>
 
 #include "src/common/check.h"
 #include "src/common/strings.h"
+#include "src/workload/arrival.h"
+#include "src/workload/distribution.h"
 
 namespace polyvalue {
 
@@ -70,7 +72,16 @@ WorkloadReport RunTransferWorkload(const WorkloadParams& params) {
       static_cast<int64_t>(params.sites * params.accounts_per_site);
 
   WorkloadReport report;
-  Rng workload_rng(params.seed ^ 0x9e3779b97f4a7c15ULL);
+  // Poisson offered load from the shared arrival generator; account and
+  // site picks from the shared distribution machinery.
+  ArrivalParams arrival_params;
+  arrival_params.kind = ArrivalCurveKind::kPoisson;
+  arrival_params.rate = params.txn_rate;
+  ArrivalProcess arrivals(arrival_params,
+                          params.seed ^ 0x9e3779b97f4a7c15ULL);
+  KeyDistParams uniform;
+  const KeyDistribution account_dist(uniform, params.accounts_per_site);
+  Rng workload_rng(params.seed * 0x9e3779b97f4a7c15ULL + 1);
   Simulator& sim = cluster.sim();
 
   // Failure schedule: crash_cycles crash/recover cycles.
@@ -99,20 +110,17 @@ WorkloadReport RunTransferWorkload(const WorkloadParams& params) {
     return false;
   };
 
-  // Offered load: exponential interarrivals until `duration`.
+  // Offered load: open-loop arrivals until `duration`.
   uint64_t outstanding = 0;
-  std::function<void()> schedule_next = [&]() {
-    const double gap = workload_rng.NextExponential(1.0 / params.txn_rate);
-    const double at = sim.now() + gap;
-    if (at > params.duration) {
-      return;
-    }
+  std::function<void(double)> pump = [&](double at) {
     sim.At(at, [&]() {
-      schedule_next();
+      const double next = arrivals.Next();
+      if (next <= params.duration) {
+        pump(next);
+      }
       const bool in_outage = in_any_outage(sim.now());
       // Pick coordinator among alive sites (clients notice a dead node).
-      size_t coordinator =
-          workload_rng.NextBelow(params.sites);
+      size_t coordinator = workload_rng.NextBelow(params.sites);
       if (cluster.site(coordinator).crashed()) {
         ++report.rejected_down;
         coordinator = (coordinator + 1) % params.sites;
@@ -128,9 +136,8 @@ WorkloadReport RunTransferWorkload(const WorkloadParams& params) {
           to_site = workload_rng.NextBelow(params.sites);
         }
       }
-      const size_t from_acct =
-          workload_rng.NextBelow(params.accounts_per_site);
-      size_t to_acct = workload_rng.NextBelow(params.accounts_per_site);
+      const size_t from_acct = account_dist.Pick(&workload_rng);
+      size_t to_acct = account_dist.Pick(&workload_rng);
       if (from_site == to_site && to_acct == from_acct) {
         to_acct = (to_acct + 1) % params.accounts_per_site;
       }
@@ -173,7 +180,10 @@ WorkloadReport RunTransferWorkload(const WorkloadParams& params) {
           });
     });
   };
-  schedule_next();
+  const double first = arrivals.Next();
+  if (first <= params.duration) {
+    pump(first);
+  }
 
   // Run offered load plus the settle window (everything heals at the
   // start of settling so uncertainty can drain).

@@ -1,20 +1,29 @@
-// Failure-injection workload harness.
+// Failure-injection transfer workload (the availability benches'
+// harness), expressed on the src/workload generators.
 //
 // Drives a SimCluster with a funds-transfer workload while crashing and
 // recovering a coordinator site, then audits the outcome. This is the
-// machinery behind the availability benches (experiment X1 in DESIGN.md):
-// the same schedule runs under each in-doubt policy —
+// machinery behind the availability benches (experiment X1 in
+// DESIGN.md): the same schedule runs under each in-doubt policy —
 //
 //   kPolyvalue : the paper's mechanism,
 //   kBlock     : classic blocking 2PC (§2.2),
 //   kArbitrary : relaxed consistency (§2.3),
 //
 // and the report quantifies what the paper argues qualitatively: commit
-// throughput while a failure is outstanding, item availability, and (for
-// kArbitrary) atomicity violations via a conservation audit — transfers
-// preserve total balance, so any drift is a violation.
-#ifndef SRC_BASELINE_WORKLOAD_H_
-#define SRC_BASELINE_WORKLOAD_H_
+// throughput while a failure is outstanding, item availability, and
+// (for kArbitrary) atomicity violations via a conservation audit —
+// transfers preserve total balance, so any drift is a violation.
+//
+// Arrivals come from an ArrivalProcess (arrival.h) and account picks
+// from a KeyDistribution (distribution.h); this file owns no generator
+// logic of its own. For mixed shapes, skewed keys, admission control,
+// and virtual-client scale, use ClusterWorkload (driver.h) instead —
+// this harness deliberately keeps the raw-cluster form (no front door)
+// so the availability comparison measures the PROTOCOLS, not the
+// serving layer.
+#ifndef SRC_WORKLOAD_TRANSFER_H_
+#define SRC_WORKLOAD_TRANSFER_H_
 
 #include <cstdint>
 #include <string>
@@ -88,4 +97,4 @@ WorkloadReport RunTransferWorkload(const WorkloadParams& params);
 
 }  // namespace polyvalue
 
-#endif  // SRC_BASELINE_WORKLOAD_H_
+#endif  // SRC_WORKLOAD_TRANSFER_H_

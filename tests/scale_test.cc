@@ -1,10 +1,13 @@
 // Scale soak: a larger cluster under sustained mixed traffic and rolling
 // failures, checked against the global invariants. Complements the chaos
 // suite with size (10 sites, 60 s virtual, several hundred items) rather
-// than schedule variety.
+// than schedule variety. The virtual-client ramp at the bottom scales a
+// different axis: the CLIENT POPULATION, 1k -> 1M over the workload
+// driver, proving memory stays O(in-flight).
 #include <gtest/gtest.h>
 
 #include "src/system/cluster.h"
+#include "src/workload/driver.h"
 
 namespace polyvalue {
 namespace {
@@ -257,6 +260,77 @@ TEST(MetricsAggregationTest, ClusterMetricsEqualSumOfSites) {
             cluster.transport().packets_sent());
   EXPECT_TRUE(registry.Has("cluster.sim_time_seconds"));
 }
+
+// Virtual-client ramp: the workload driver multiplexes ever larger
+// client populations (1k -> 1M) over the same front door. Clients are
+// an id space, not objects — the driver may only track a client while
+// it has a request in flight, so the tracked-client peak must stay
+// bounded by the admission concurrency cap at EVERY population size,
+// while the schedule stays deterministic per seed.
+class VirtualClientRampTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+ClusterWorkloadParams RampParams(uint64_t clients) {
+  ClusterWorkloadParams params;
+  params.sites = 4;
+  params.keys = 64;
+  params.virtual_clients = clients;
+  params.key_dist.kind = KeyDistKind::kZipfian;
+  params.arrival.rate = 120.0;
+  params.mix = WriteHeavyMix();
+  params.duration = 10.0;
+  params.settle_time = 4.0;
+  params.deadline = 0.5;
+  params.svc.admission.rate_limit = 150.0;
+  params.svc.admission.max_inflight = 32;
+  params.seed = 0xc11e57;
+  return params;
+}
+
+TEST_P(VirtualClientRampTest, MemoryTracksInflightNotPopulation) {
+  const uint64_t clients = GetParam();
+  const ClusterWorkloadReport report =
+      ClusterWorkload(RampParams(clients)).Run();
+  SCOPED_TRACE(report.Summary());
+
+  ASSERT_GT(report.arrivals, 500u);
+  EXPECT_GT(report.committed, 0u);
+  EXPECT_TRUE(report.ExactlyOnce());
+
+  // The O(in-flight) bound: even with a million-client population the
+  // driver holds at most cap(+1 mid-admission) client records, and the
+  // front door's own concurrency honours its cap.
+  EXPECT_LE(report.peak_tracked_clients, 33u) << clients << " clients";
+  EXPECT_LE(report.peak_inflight, 32u);
+  EXPECT_GT(report.peak_tracked_clients, 1u);
+
+  // Identical seed, identical population => byte-identical schedule and
+  // identical outcome counters (full determinism at every scale).
+  const ClusterWorkloadReport again =
+      ClusterWorkload(RampParams(clients)).Run();
+  EXPECT_EQ(report.schedule_hash, again.schedule_hash);
+  EXPECT_EQ(report.arrivals, again.arrivals);
+  EXPECT_EQ(report.committed, again.committed);
+  EXPECT_EQ(report.aborted, again.aborted);
+  EXPECT_EQ(report.shed, again.shed);
+}
+
+// Different populations under the same seed must produce different
+// schedules (the client id feeds coordinator choice and jitter).
+TEST(VirtualClientRampTest, PopulationChangesTheSchedule) {
+  const ClusterWorkloadReport small =
+      ClusterWorkload(RampParams(1000)).Run();
+  const ClusterWorkloadReport large =
+      ClusterWorkload(RampParams(1u << 20)).Run();
+  EXPECT_NE(small.schedule_hash, large.schedule_hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ramp, VirtualClientRampTest,
+                         ::testing::Values(1000u, 10000u, 100000u,
+                                           1u << 20),
+                         [](const ::testing::TestParamInfo<uint64_t>& i) {
+                           return "clients_" + std::to_string(i.param);
+                         });
 
 }  // namespace
 }  // namespace polyvalue

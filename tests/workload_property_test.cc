@@ -1,0 +1,310 @@
+// Statistical and determinism properties of the workload generators
+// (src/workload): the distributions match their declared shapes, the
+// arrival curves honour their declared rates, identical seeds replay
+// byte-identical schedules, and distinct seeds actually disperse.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/arrival.h"
+#include "src/workload/distribution.h"
+#include "src/workload/mix.h"
+
+namespace polyvalue {
+namespace {
+
+// --- key distributions ------------------------------------------------
+
+TEST(KeyDistributionTest, UniformCoversUniverseEvenly) {
+  constexpr uint64_t kUniverse = 64;
+  constexpr int kDraws = 128000;
+  KeyDistribution dist(KeyDistParams{}, kUniverse);
+  Rng rng(11);
+  std::vector<int> counts(kUniverse, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const uint64_t k = dist.Pick(&rng);
+    ASSERT_LT(k, kUniverse);
+    ++counts[k];
+  }
+  const double expected = static_cast<double>(kDraws) / kUniverse;
+  for (uint64_t k = 0; k < kUniverse; ++k) {
+    EXPECT_NEAR(counts[k], expected, 0.25 * expected) << "key " << k;
+    EXPECT_DOUBLE_EQ(dist.Probability(k), 1.0 / kUniverse);
+  }
+}
+
+TEST(KeyDistributionTest, ZipfianRankFrequencyMatchesProbability) {
+  constexpr uint64_t kUniverse = 1000;
+  constexpr int kDraws = 400000;
+  KeyDistParams params;
+  params.kind = KeyDistKind::kZipfian;
+  params.zipf_theta = 0.99;
+  KeyDistribution dist(params, kUniverse);
+  Rng rng(17);
+  std::vector<int> counts(kUniverse, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[dist.Pick(&rng)];
+  }
+  // Ranks 0 and 1 are drawn exactly from the zeta sum (the closed-form
+  // generator special-cases them), so they match 1/(rank^theta * zeta)
+  // tightly; deeper ranks come from the continuous approximation, which
+  // distorts the near-head by up to ~20% — the shape holds, the exact
+  // per-rank mass only asymptotically.
+  for (uint64_t rank : {0u, 1u}) {
+    const double expected = dist.Probability(rank) * kDraws;
+    EXPECT_NEAR(counts[rank], expected, 0.10 * expected) << "rank " << rank;
+  }
+  for (uint64_t rank : {2u, 5u, 10u, 50u}) {
+    const double expected = dist.Probability(rank) * kDraws;
+    ASSERT_GT(expected, 100.0);  // enough mass to test against
+    EXPECT_NEAR(counts[rank], expected, 0.30 * expected) << "rank " << rank;
+  }
+  // Rank 0 is the hottest, and by a wide margin (theta ~ 1 puts ~2x
+  // between successive top ranks' 1/rank frequencies).
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], 3 * counts[7]);
+  // Probabilities are a distribution: monotone in rank, summing to 1.
+  double sum = 0.0;
+  for (uint64_t k = 0; k < kUniverse; ++k) {
+    sum += dist.Probability(k);
+    if (k > 0) {
+      EXPECT_LE(dist.Probability(k), dist.Probability(k - 1));
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(KeyDistributionTest, HotSetGetsConfiguredShareOfDraws) {
+  constexpr uint64_t kUniverse = 200;
+  constexpr int kDraws = 200000;
+  KeyDistParams params;
+  params.kind = KeyDistKind::kHotSet;
+  params.hot_fraction = 0.1;       // keys [0, 20)
+  params.hot_probability = 0.9;
+  KeyDistribution dist(params, kUniverse);
+  Rng rng(23);
+  int hot = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (dist.Pick(&rng) < 20) {
+      ++hot;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / kDraws, 0.9, 0.01);
+  EXPECT_NEAR(dist.Probability(0), 0.9 / 20, 1e-12);
+  EXPECT_NEAR(dist.Probability(20), 0.1 / 180, 1e-12);
+}
+
+TEST(KeyDistributionTest, DrawExponentialCountHasExactMean) {
+  constexpr int kDraws = 400000;
+  constexpr double kMean = 2.7;
+  Rng rng(31);
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(DrawExponentialCount(&rng, kMean));
+  }
+  EXPECT_NEAR(sum / kDraws, kMean, 0.05 * kMean);
+  EXPECT_EQ(DrawExponentialCount(&rng, 0.0), 0u);
+  EXPECT_EQ(DrawExponentialCount(&rng, -1.0), 0u);
+}
+
+// --- arrival curves ---------------------------------------------------
+
+// Mean and coefficient of variation of the inter-arrival gaps over the
+// first `n` arrivals.
+struct GapStats {
+  double mean;
+  double cv;
+};
+
+GapStats MeasureGaps(ArrivalProcess* arrivals, int n) {
+  double prev = 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double t = arrivals->Next();
+    const double gap = t - prev;
+    prev = t;
+    sum += gap;
+    sum_sq += gap * gap;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  return {mean, std::sqrt(std::max(0.0, var)) / mean};
+}
+
+TEST(ArrivalProcessTest, PoissonGapsAreExponential) {
+  ArrivalParams params;
+  params.kind = ArrivalCurveKind::kPoisson;
+  params.rate = 50.0;
+  ArrivalProcess arrivals(params, 41);
+  const GapStats stats = MeasureGaps(&arrivals, 100000);
+  // Exponential gaps: mean 1/rate, CV exactly 1.
+  EXPECT_NEAR(stats.mean, 1.0 / 50.0, 0.02 / 50.0);
+  EXPECT_NEAR(stats.cv, 1.0, 0.03);
+}
+
+TEST(ArrivalProcessTest, ConstantIsAMetronome) {
+  ArrivalParams params;
+  params.kind = ArrivalCurveKind::kConstant;
+  params.rate = 40.0;
+  ArrivalProcess arrivals(params, 43);
+  const GapStats stats = MeasureGaps(&arrivals, 10000);
+  EXPECT_NEAR(stats.mean, 1.0 / 40.0, 1e-9);
+  EXPECT_NEAR(stats.cv, 0.0, 1e-6);
+}
+
+TEST(ArrivalProcessTest, DiurnalPeaksAndTroughsAroundMeanRate) {
+  ArrivalParams params;
+  params.kind = ArrivalCurveKind::kDiurnal;
+  params.rate = 100.0;
+  params.diurnal_period = 40.0;
+  params.diurnal_amplitude = 0.8;
+  ArrivalProcess arrivals(params, 47);
+  // Count arrivals in the rising half-period [0, 20) (envelope above
+  // the mean) vs the falling half [20, 40), over many periods.
+  int peak = 0;
+  int trough = 0;
+  int total = 0;
+  double t = 0.0;
+  const double horizon = 400.0;  // 10 periods
+  while ((t = arrivals.Next()) < horizon) {
+    ++total;
+    const double phase = std::fmod(t, 40.0);
+    (phase < 20.0 ? peak : trough)++;
+  }
+  // Long-run mean rate is honoured...
+  EXPECT_NEAR(total / horizon, 100.0, 5.0);
+  // ...but mass concentrates in the high-envelope half. For amplitude
+  // 0.8 the half-period means are 1 +- 2*0.8/pi, i.e. ~3:1.
+  const double ratio = static_cast<double>(peak) / trough;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(ArrivalProcessTest, HerdBurstsClusterOnTheInterval) {
+  ArrivalParams params;
+  params.kind = ArrivalCurveKind::kHerd;
+  params.rate = 100.0;
+  params.herd_background_fraction = 0.5;
+  params.herd_interval = 10.0;
+  params.herd_spread = 0.05;
+  ArrivalProcess arrivals(params, 53);
+  int in_burst_window = 0;
+  int total = 0;
+  double prev = 0.0;
+  double t = 0.0;
+  const double horizon = 200.0;  // 20 bursts
+  while ((t = arrivals.Next()) < horizon) {
+    EXPECT_GE(t, prev);  // never runs backwards, even across bursts
+    prev = t;
+    ++total;
+    const double phase = std::fmod(t, 10.0);
+    if (phase < 0.05) {
+      ++in_burst_window;
+    }
+  }
+  // Mean rate honoured; the burst half of the traffic lands in windows
+  // covering 0.5% of the timeline.
+  EXPECT_NEAR(total / horizon, 100.0, 6.0);
+  const double burst_share = static_cast<double>(in_burst_window) / total;
+  EXPECT_GT(burst_share, 0.40);
+}
+
+// --- determinism and dispersion ---------------------------------------
+
+TEST(WorkloadDeterminismTest, SameSeedReplaysIdenticalSchedule) {
+  for (ArrivalCurveKind kind :
+       {ArrivalCurveKind::kConstant, ArrivalCurveKind::kPoisson,
+        ArrivalCurveKind::kDiurnal, ArrivalCurveKind::kHerd}) {
+    ArrivalParams params;
+    params.kind = kind;
+    params.rate = 80.0;
+    ArrivalProcess a(params, 97);
+    ArrivalProcess b(params, 97);
+    for (int i = 0; i < 5000; ++i) {
+      // Byte-identical, not merely close: the schedule is a pure
+      // function of (params, seed).
+      ASSERT_EQ(a.Next(), b.Next())
+          << ArrivalCurveKindName(kind) << " arrival " << i;
+    }
+  }
+  KeyDistParams zipf;
+  zipf.kind = KeyDistKind::kZipfian;
+  KeyDistribution da(zipf, 500);
+  KeyDistribution db(zipf, 500);
+  Rng ra(7);
+  Rng rb(7);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(da.Pick(&ra), db.Pick(&rb));
+  }
+}
+
+TEST(WorkloadDeterminismTest, DistinctSeedsDisperse) {
+  // Mirrors retry_test's jitter-dispersion idiom: across seeds the
+  // schedules must actually differ (no accidental seed collapse).
+  std::set<uint64_t> first_arrival_bits;
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    ArrivalParams params;
+    params.kind = ArrivalCurveKind::kPoisson;
+    params.rate = 100.0;
+    ArrivalProcess arrivals(params, seed);
+    const double first = arrivals.Next();
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(first));
+    std::memcpy(&bits, &first, sizeof(bits));
+    first_arrival_bits.insert(bits);
+  }
+  EXPECT_GE(first_arrival_bits.size(), 3u);
+}
+
+// --- transaction mixes ------------------------------------------------
+
+TEST(TxnMixTest, PickHonoursWeights) {
+  const MixParams params = WriteHeavyMix();  // 10 / 60 / 10 / 20
+  TxnMix mix(params);
+  Rng rng(61);
+  constexpr int kDraws = 100000;
+  int counts[kTxnShapeCount] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<int>(mix.Pick(&rng))];
+  }
+  const double expected[] = {0.10, 0.60, 0.10, 0.20};
+  for (int s = 0; s < kTxnShapeCount; ++s) {
+    EXPECT_NEAR(static_cast<double>(counts[s]) / kDraws, expected[s], 0.01)
+        << TxnShapeKindName(static_cast<TxnShapeKind>(s));
+  }
+}
+
+TEST(TxnMixTest, ShapeDeltasFollowTheConservationContract) {
+  SimCluster::Options options;
+  options.site_count = 3;
+  SimCluster cluster(options);
+  Keyspace keyspace(3, 60);
+  keyspace.LoadAll(&cluster, 100);
+  KeyDistribution dist(KeyDistParams{}, keyspace.keys());
+  Rng rng(71);
+  for (int i = 0; i < 200; ++i) {
+    for (TxnShapeKind shape :
+         {TxnShapeKind::kReadOnly, TxnShapeKind::kTransfer,
+          TxnShapeKind::kIncrement, TxnShapeKind::kMultiTransfer}) {
+      int64_t delta = -1;
+      MakeShapeSpec(shape, keyspace, cluster, dist, &rng, &delta);
+      if (shape == TxnShapeKind::kIncrement) {
+        // Increments grow the total balance by the written amount...
+        EXPECT_GT(delta, 0);
+        EXPECT_LE(delta, 5);
+      } else {
+        // ...every other shape conserves it exactly.
+        EXPECT_EQ(delta, 0) << TxnShapeKindName(shape);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polyvalue

@@ -1,6 +1,6 @@
 // Tests for the failure-injection workload harness (the machinery behind
 // the availability benches).
-#include "src/baseline/workload.h"
+#include "src/workload/transfer.h"
 
 #include <gtest/gtest.h>
 

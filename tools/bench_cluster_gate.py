@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""CI gate for the cluster chaos soak (bench/bench_cluster.cc).
+
+Validates BENCH_cluster.json against the expected schema, re-checks
+every per-cell invariant and regression threshold independently of the
+bench's own exit code (a truncated or hand-edited artifact must not
+pass), and prints a one-line verdict per scenario.
+
+Usage: bench_cluster_gate.py BENCH_cluster.json
+Exit: 0 iff the artifact is well-formed and every scenario passes.
+"""
+
+import json
+import sys
+
+# Scenario-level aggregate fields (name -> type). Booleans are checked
+# as real JSON booleans, not truthy strings.
+SCENARIO_FIELDS = {
+    "workload": str,
+    "chaos": str,
+    "key_dist": str,
+    "arrival": str,
+    "goodput": (int, float),
+    "shed_fraction": (int, float),
+    "commit_fraction": (int, float),
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+    "p999_ms": (int, float),
+    "peak_uncertain_items": (int, float),
+    "avg_uncertain_items": (int, float),
+    "invariants_ok": bool,
+    "min_goodput": (int, float),
+    "max_p99_ms": (int, float),
+    "pass": bool,
+    "runs": list,
+}
+
+RUN_FIELDS = {
+    "seed": int,
+    "arrivals": int,
+    "rejected_down": int,
+    "offered": int,
+    "shed": int,
+    "committed": int,
+    "aborted": int,
+    "deadline_exceeded": int,
+    "budget_exhausted": int,
+    "retries": int,
+    "goodput": (int, float),
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+    "p999_ms": (int, float),
+    "peak_uncertain_items": (int, float),
+    "avg_uncertain_items": (int, float),
+    "final_uncertain_items": int,
+    "polyvalue_installs": int,
+    "conservation_drift": int,
+    "peak_tracked_clients": int,
+    "peak_inflight": int,
+    "exactly_once": bool,
+    "audit_clean": bool,
+    "lockdep_reports": int,
+    "schedule_hash": str,
+}
+
+MIN_WORKLOADS = 4
+MIN_CHAOS = 3
+
+
+def fail(msg):
+    print(f"bench_cluster_gate: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_fields(obj, spec, where, errors):
+    for field, ftype in spec.items():
+        if field not in obj:
+            errors.append(f"{where}: missing field '{field}'")
+        elif not isinstance(obj[field], ftype):
+            errors.append(
+                f"{where}: field '{field}' has type "
+                f"{type(obj[field]).__name__}")
+
+
+def main(argv):
+    if len(argv) != 2:
+        return fail(f"usage: {argv[0]} BENCH_cluster.json")
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot parse {argv[1]}: {e}")
+
+    errors = []
+    if doc.get("schema_version") != 1:
+        errors.append("schema_version != 1")
+    if doc.get("bench") != "bench_cluster":
+        errors.append("bench != bench_cluster")
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        errors.append("missing config object")
+        config = {}
+    seeds = config.get("seeds")
+    if not isinstance(seeds, list) or len(seeds) < 2:
+        errors.append("config.seeds must list >= 2 pinned seeds")
+        seeds = []
+    if config.get("virtual_clients", 0) < 1_000_000:
+        errors.append("config.virtual_clients below the 1M contract")
+
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        for e in errors:
+            print(f"bench_cluster_gate: {e}", file=sys.stderr)
+        return fail("missing scenarios array")
+
+    workloads, chaos_kinds = set(), set()
+    all_pass = True
+    for i, cell in enumerate(scenarios):
+        where = f"scenarios[{i}]"
+        check_fields(cell, SCENARIO_FIELDS, where, errors)
+        if errors:
+            continue
+        workloads.add(cell["workload"])
+        chaos_kinds.add(cell["chaos"])
+        name = f'{cell["workload"]}/{cell["chaos"]}'
+        if len(cell["runs"]) != len(seeds):
+            errors.append(f"{where}: expected one run per pinned seed")
+        for j, run in enumerate(cell["runs"]):
+            check_fields(run, RUN_FIELDS, f"{where}.runs[{j}]", errors)
+        if errors:
+            continue
+
+        # Re-derive the verdict: invariants, then thresholds. The gate
+        # must reach the same conclusion as the bench from raw numbers.
+        problems = []
+        for run in cell["runs"]:
+            seed = run["seed"]
+            if not run["audit_clean"]:
+                problems.append(f"seed {seed}: trace audit violation")
+            if run["lockdep_reports"] != 0:
+                problems.append(f"seed {seed}: lockdep reports")
+            if not run["exactly_once"]:
+                problems.append(f"seed {seed}: arrival accounting leak")
+            if run["conservation_drift"] != 0:
+                problems.append(f"seed {seed}: conservation drift")
+            if run["final_uncertain_items"] != 0:
+                problems.append(f"seed {seed}: residual uncertainty")
+            if (run["arrivals"] != run["rejected_down"] + run["offered"]
+                    or run["offered"] != run["shed"] + run["committed"] +
+                    run["aborted"] + run["deadline_exceeded"] +
+                    run["budget_exhausted"]):
+                problems.append(f"seed {seed}: counters do not balance")
+        if cell["goodput"] < cell["min_goodput"]:
+            problems.append(
+                f'goodput {cell["goodput"]:.1f} < floor '
+                f'{cell["min_goodput"]:.1f}')
+        if cell["p99_ms"] > cell["max_p99_ms"]:
+            problems.append(
+                f'p99 {cell["p99_ms"]:.1f} ms > ceiling '
+                f'{cell["max_p99_ms"]:.1f} ms')
+        derived_pass = not problems
+        if derived_pass != cell["pass"]:
+            problems.append(
+                f'recorded pass={cell["pass"]} disagrees with the gate')
+        if problems:
+            all_pass = False
+            print(f"FAIL {name}: " + "; ".join(problems))
+        else:
+            print(f"ok   {name}: goodput {cell['goodput']:.1f}/s "
+                  f"(floor {cell['min_goodput']:.1f}), "
+                  f"p99 {cell['p99_ms']:.1f} ms "
+                  f"(ceiling {cell['max_p99_ms']:.1f})")
+
+    if len(workloads) < MIN_WORKLOADS:
+        errors.append(
+            f"only {len(workloads)} workload shapes (need {MIN_WORKLOADS})")
+    if len(chaos_kinds) < MIN_CHAOS:
+        errors.append(
+            f"only {len(chaos_kinds)} chaos scenarios (need {MIN_CHAOS})")
+    if doc.get("pass") is not True and all_pass:
+        errors.append("document pass flag is not true")
+
+    if errors:
+        for e in errors:
+            print(f"bench_cluster_gate: {e}", file=sys.stderr)
+        return fail(f"{len(errors)} schema error(s)")
+    if not all_pass:
+        return fail("at least one scenario regressed")
+    print(f"bench_cluster_gate: PASS "
+          f"({len(scenarios)} scenarios x {len(seeds)} seeds)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -40,7 +40,8 @@ import re
 import sys
 import tempfile
 
-DETERMINISTIC_DIRS = ("src/event", "src/sim", "src/txn", "src/condition")
+DETERMINISTIC_DIRS = ("src/event", "src/sim", "src/txn", "src/condition",
+                      "src/workload")
 # bench/ and tests/ drive the deterministic core under fixed seeds, so
 # ND01's nondeterminism ban and MTX01's annotated-mutex requirement
 # extend to them.

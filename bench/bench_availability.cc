@@ -1,26 +1,57 @@
-// Experiment X1 (extension): availability during failures.
+// Experiment X1 (extension): availability during failures, three ways.
 //
 // The paper argues (§1, §2, §5) that polyvalues let processing continue
 // through the in-doubt window that blocks classic 2PC, at no cost to
-// eventual consistency — and that the §2.3 "arbitrary decision"
-// alternative is fast but unsound. This bench quantifies all three with
-// an identical failure schedule: a coordinator site crashes mid-traffic
-// and stays down for an outage of swept length.
+// eventual consistency. Gray & Lamport's Paxos Commit attacks the same
+// window from the other side: replicate the DECISION so no single
+// coordinator crash can strand a prepared participant. This bench runs
+// all three protocol legs against an identical failure schedule — a
+// coordinator site crashes mid-traffic and stays down for an outage of
+// swept length — and quantifies the trade:
 //
-// Series reported per policy and outage length:
+//   block       : classic blocking 2PC (§2.2) — prepared participants
+//                 stall for the whole outage;
+//   polyvalue   : the paper's mechanism — participants convert to
+//                 polyvalues after wait_timeout and keep serving;
+//   paxos_commit: Gray-Lamport — a standby leader finishes the commit,
+//                 so the stalled window collapses to the failover
+//                 timeout regardless of outage length.
+//
+// Series reported per protocol and outage length:
 //   * commit rate during the outage (offered-load normalised),
 //   * mean latency of completed transactions during the outage,
+//   * the STALLED WINDOW: mean seconds a participant sat between
+//     casting its vote and learning the outcome (wait-phase stats) —
+//     the in-doubt exposure the three designs fight over,
 //   * polyvalue installs / uncertain client outputs,
 //   * post-heal audit: residual uncertainty and conservation drift
 //     (nonzero drift = atomicity violation).
+//
+// With POLYV_AVAILABILITY_JSON=<path> the full grid is also written as
+// one consolidated JSON artifact (schema_version 1, byte-reproducible
+// across runs: the whole sweep is a pure function of the pinned seed).
+// tools/bench_availability_gate.py re-validates it in CI. Exit status
+// is non-zero if any gated expectation fails.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "src/workload/transfer.h"
 
 namespace polyvalue {
 namespace {
 
-WorkloadParams BaseParams(InDoubtPolicy policy, double outage) {
+struct Cell {
+  double outage;
+  std::string protocol;
+  WorkloadReport report;
+  double commit_pct;
+  double stall_mean;  // mean wait-phase seconds (vote -> outcome)
+  double stall_max;
+};
+
+WorkloadParams BaseParams(double outage) {
   WorkloadParams p;
   p.sites = 4;
   p.accounts_per_site = 24;
@@ -43,32 +74,207 @@ WorkloadParams BaseParams(InDoubtPolicy policy, double outage) {
   p.engine.ready_timeout = 0.3;
   p.engine.wait_timeout = 0.1;
   p.engine.inquiry_interval = 0.25;
-  p.engine.policy = policy;
   return p;
 }
 
-void RunSweep() {
-  std::printf("Availability under coordinator failure: polyvalues vs "
-              "blocking 2PC vs relaxed\n");
-  std::printf("(4 sites, 80 txn/s offered, crash at t=5s, outage length "
-              "swept; seed fixed)\n\n");
-  std::printf("%-8s %-11s | %-9s %-9s %-9s | %-8s %-9s %-10s %-7s\n",
-              "outage", "policy", "out.subm", "out.comm", "commit%",
-              "lat(ms)", "poly-inst", "uncertain", "drift");
-  std::printf("%.*s\n", 96,
-              "-----------------------------------------------------------"
-              "---------------------------------------------");
+WorkloadParams ParamsFor(const std::string& protocol, double outage) {
+  WorkloadParams p = BaseParams(outage);
+  if (protocol == "block") {
+    p.engine.policy = InDoubtPolicy::kBlock;
+  } else if (protocol == "polyvalue") {
+    p.engine.policy = InDoubtPolicy::kPolyvalue;
+  } else {  // paxos_commit
+    p.engine.leg = ProtocolLeg::kPaxosCommit;
+    p.engine.paxos_failover_timeout = 0.2;
+  }
+  return p;
+}
+
+Cell RunCell(const std::string& protocol, double outage) {
+  Cell cell;
+  cell.outage = outage;
+  cell.protocol = protocol;
+  cell.report = RunTransferWorkload(ParamsFor(protocol, outage));
+  const WorkloadReport& r = cell.report;
+  cell.commit_pct =
+      r.outage_submitted == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(r.outage_committed) /
+                static_cast<double>(r.outage_submitted);
+  cell.stall_mean =
+      r.metrics.wait_phase_count == 0
+          ? 0.0
+          : r.metrics.wait_phase_seconds /
+                static_cast<double>(r.metrics.wait_phase_count);
+  cell.stall_max = r.metrics.wait_phase_max;
+  return cell;
+}
+
+// The gated expectations; returns a list of human-readable violations.
+std::vector<std::string> Gate(const std::vector<Cell>& cells) {
+  std::vector<std::string> problems;
+  // Index the grid for the cross-protocol comparisons.
+  auto find = [&cells](const std::string& protocol,
+                       double outage) -> const Cell* {
+    for (const Cell& c : cells) {
+      if (c.protocol == protocol && c.outage == outage) {
+        return &c;
+      }
+    }
+    return nullptr;
+  };
+  for (const Cell& c : cells) {
+    const std::string where =
+        c.protocol + "/outage=" + std::to_string(static_cast<int>(c.outage));
+    if (c.report.conservation_drift != 0) {
+      problems.push_back(where + ": conservation drift != 0");
+    }
+    if (!c.report.all_items_certain) {
+      problems.push_back(where + ": residual uncertainty after settle");
+    }
+    if (c.report.outage_submitted == 0) {
+      problems.push_back(where + ": no traffic landed in the outage");
+    }
+  }
   for (double outage : {2.0, 5.0, 10.0}) {
-    for (InDoubtPolicy policy :
-         {InDoubtPolicy::kPolyvalue, InDoubtPolicy::kBlock,
-          InDoubtPolicy::kArbitrary}) {
-      const WorkloadReport r =
-          RunTransferWorkload(BaseParams(policy, outage));
-      const double commit_pct =
-          r.outage_submitted == 0
-              ? 0.0
-              : 100.0 * static_cast<double>(r.outage_committed) /
-                    static_cast<double>(r.outage_submitted);
+    const Cell* block = find("block", outage);
+    const Cell* paxos = find("paxos_commit", outage);
+    const Cell* poly = find("polyvalue", outage);
+    if (block == nullptr || paxos == nullptr || poly == nullptr) {
+      problems.push_back("grid is missing a protocol cell");
+      continue;
+    }
+    // The tentpole claim: Paxos Commit eliminates the coordinator
+    // in-doubt window. Blocking 2PC stalls a stranded participant for
+    // roughly the outage; Paxos failover resolves it in O(failover
+    // timeout + a recovery ballot's round trips), INDEPENDENT of the
+    // outage length. The MEAN stall is dominated by the thousands of
+    // healthy wait phases (~1 RTT), so both gates are on the worst
+    // case: block must grow with the outage, paxos must stay under a
+    // constant bound (2.5x the 0.2 s failover timeout).
+    if (block->stall_max < 0.9 * outage) {
+      problems.push_back(
+          "outage=" + std::to_string(static_cast<int>(outage)) +
+          ": blocking 2PC stalled window did not track the outage");
+    }
+    if (paxos->stall_max > 0.5) {
+      problems.push_back(
+          "outage=" + std::to_string(static_cast<int>(outage)) +
+          ": paxos worst-case stalled window above the failover bound");
+    }
+    // Paxos never manufactures uncertainty: the decision completes
+    // instead of being guessed around.
+    if (paxos->report.polyvalue_installs != 0 ||
+        paxos->report.uncertain_outputs != 0) {
+      problems.push_back(
+          "outage=" + std::to_string(static_cast<int>(outage)) +
+          ": paxos leg produced polyvalues/uncertain outputs");
+    }
+    // Commit rate during the outage: polyvalue must beat blocking
+    // (stranded locks abort later transactions); Paxos pays an extra
+    // message round per commit, so it only has to stay within 10% of
+    // the blocking baseline — its win is the stall column, not
+    // throughput.
+    if (paxos->commit_pct < 0.9 * block->commit_pct) {
+      problems.push_back(
+          "outage=" + std::to_string(static_cast<int>(outage)) +
+          ": paxos outage commit% more than 10% below blocking 2PC");
+    }
+    if (poly->commit_pct < block->commit_pct) {
+      problems.push_back(
+          "outage=" + std::to_string(static_cast<int>(outage)) +
+          ": polyvalue outage commit% below blocking 2PC");
+    }
+  }
+  return problems;
+}
+
+void WriteJson(const std::string& path, const std::vector<Cell>& cells,
+               bool pass) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"bench\": \"bench_availability\",\n");
+  std::fprintf(f, "  \"config\": {\n");
+  std::fprintf(f, "    \"seed\": 1234,\n");
+  std::fprintf(f, "    \"sites\": 4,\n");
+  std::fprintf(f, "    \"txn_rate\": 80,\n");
+  std::fprintf(f, "    \"outages\": [2, 5, 10],\n");
+  std::fprintf(f,
+               "    \"protocols\": [\"block\", \"polyvalue\", "
+               "\"paxos_commit\"]\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const WorkloadReport& r = c.report;
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"outage\": %d,\n",
+                 static_cast<int>(c.outage));
+    std::fprintf(f, "      \"protocol\": \"%s\",\n", c.protocol.c_str());
+    std::fprintf(f, "      \"submitted\": %llu,\n",
+                 static_cast<unsigned long long>(r.submitted));
+    std::fprintf(f, "      \"committed\": %llu,\n",
+                 static_cast<unsigned long long>(r.committed));
+    std::fprintf(f, "      \"outage_submitted\": %llu,\n",
+                 static_cast<unsigned long long>(r.outage_submitted));
+    std::fprintf(f, "      \"outage_committed\": %llu,\n",
+                 static_cast<unsigned long long>(r.outage_committed));
+    std::fprintf(f, "      \"outage_commit_pct\": %.3f,\n", c.commit_pct);
+    std::fprintf(f, "      \"outage_latency_ms\": %.3f,\n",
+                 r.outage_latency.mean() * 1e3);
+    std::fprintf(f, "      \"stalled_window_mean_s\": %.6f,\n",
+                 c.stall_mean);
+    std::fprintf(f, "      \"stalled_window_max_s\": %.6f,\n",
+                 c.stall_max);
+    std::fprintf(f, "      \"stalled_window_count\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     r.metrics.wait_phase_count));
+    std::fprintf(f, "      \"paxos_failovers\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     r.metrics.paxos_failovers));
+    std::fprintf(f, "      \"paxos_recovery_ballots\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     r.metrics.paxos_recovery_ballots));
+    std::fprintf(f, "      \"polyvalue_installs\": %llu,\n",
+                 static_cast<unsigned long long>(r.polyvalue_installs));
+    std::fprintf(f, "      \"uncertain_outputs\": %llu,\n",
+                 static_cast<unsigned long long>(r.uncertain_outputs));
+    std::fprintf(f, "      \"conservation_drift\": %lld,\n",
+                 static_cast<long long>(r.conservation_drift));
+    std::fprintf(f, "      \"all_items_certain\": %s\n",
+                 r.all_items_certain ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"pass\": %s\n", pass ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int RunSweep() {
+  std::printf("Availability under coordinator failure: blocking 2PC vs "
+              "polyvalues vs Paxos Commit\n");
+  std::printf("(4 sites, 80 txn/s offered, flapping coordinator, outage "
+              "length swept; seed fixed)\n\n");
+  std::printf("%-8s %-13s | %-9s %-9s %-9s | %-8s %-10s %-10s | %-9s "
+              "%-10s %-7s\n",
+              "outage", "protocol", "out.subm", "out.comm", "commit%",
+              "lat(ms)", "stall-avg", "stall-max", "poly-inst",
+              "uncertain", "drift");
+  std::printf("%.*s\n", 108,
+              "-----------------------------------------------------------"
+              "-----------------------------------------------------------");
+  std::vector<Cell> cells;
+  for (double outage : {2.0, 5.0, 10.0}) {
+    for (const char* protocol : {"block", "polyvalue", "paxos_commit"}) {
+      cells.push_back(RunCell(protocol, outage));
+      const Cell& c = cells.back();
+      const WorkloadReport& r = c.report;
       char drift[24];
       if (r.conservation_drift == INT64_MAX) {
         std::snprintf(drift, sizeof(drift), "UNRESOLVED");
@@ -76,32 +282,45 @@ void RunSweep() {
         std::snprintf(drift, sizeof(drift), "%lld",
                       static_cast<long long>(r.conservation_drift));
       }
-      std::printf("%-8.0f %-11s | %-9llu %-9llu %-9.1f | %-8.1f %-9llu "
-                  "%-10llu %-7s\n",
-                  outage, InDoubtPolicyName(policy),
+      std::printf("%-8.0f %-13s | %-9llu %-9llu %-9.1f | %-8.1f %-10.4f "
+                  "%-10.4f | %-9llu %-10llu %-7s\n",
+                  c.outage, c.protocol.c_str(),
                   static_cast<unsigned long long>(r.outage_submitted),
                   static_cast<unsigned long long>(r.outage_committed),
-                  commit_pct, r.outage_latency.mean() * 1e3,
+                  c.commit_pct, r.outage_latency.mean() * 1e3,
+                  c.stall_mean, c.stall_max,
                   static_cast<unsigned long long>(r.polyvalue_installs),
                   static_cast<unsigned long long>(r.uncertain_outputs),
                   drift);
     }
     std::printf("\n");
   }
-  std::printf("Expected shape (the paper's argument, quantified):\n"
-              "  * polyvalue >= block on outage commit rate — blocked "
-              "items abort later txns;\n"
-              "  * arbitrary matches polyvalue on availability but shows "
-              "nonzero drift\n    (atomicity violations) once outages are "
-              "long enough;\n"
-              "  * polyvalue and block always end with drift = 0 and no "
-              "residual uncertainty.\n");
+  std::printf(
+      "The shape, quantified:\n"
+      "  * block pays for every crash with a stalled window ~ the "
+      "outage length;\n"
+      "  * polyvalue caps the stall at wait_timeout and keeps items "
+      "available\n    (polyvalue installs, later reduced — drift stays "
+      "0);\n"
+      "  * paxos_commit collapses the stall to the failover timeout: "
+      "the decision\n    is replicated, so no polyvalues and no guess "
+      "— the in-doubt window is\n    engineered away instead of worked "
+      "around.\n");
+
+  const std::vector<std::string> problems = Gate(cells);
+  const bool pass = problems.empty();
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "GATE FAIL: %s\n", p.c_str());
+  }
+  const char* json_path = std::getenv("POLYV_AVAILABILITY_JSON");
+  if (json_path != nullptr) {
+    WriteJson(json_path, cells, pass);
+  }
+  std::printf("\nbench_availability: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace polyvalue
 
-int main() {
-  polyvalue::RunSweep();
-  return 0;
-}
+int main() { return polyvalue::RunSweep(); }

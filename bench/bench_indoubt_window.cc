@@ -1,18 +1,23 @@
-// Ablation: the in-doubt window length (wait_timeout).
+// Ablation: the in-doubt window length, three ways.
 //
 // §6 notes the polyvalue mechanism "can be combined with other atomic
 // distributed update protocols to decrease the chance that polyvalues
-// will be created." The engine's wait_timeout is exactly that dial: it
-// is how long a participant behaves like blocking 2PC before switching
-// to polyvalues.
+// will be created." Two dials live in that design space:
 //
-//   wait_timeout -> 0     : polyvalues on the slightest hiccup
-//                           (max availability, max polyvalue churn);
-//   wait_timeout -> inf   : classic blocking 2PC.
+//   * the engine's wait_timeout — how long a 2PC participant behaves
+//     like blocking 2PC before switching to polyvalues
+//     (wait_timeout -> 0: polyvalues on the slightest hiccup;
+//      wait_timeout -> inf: classic blocking 2PC);
+//   * Paxos Commit's paxos_failover_timeout — how long a prepared RM
+//     waits for the decision before nudging a standby leader to finish
+//     the tally (the window is then CLOSED by consensus, not worked
+//     around with polyvalues).
 //
-// The sweep reports, for a fixed flapping-coordinator schedule, how the
-// choice trades lock-hold time against polyvalue creation — the
-// combined-protocol design space the conclusion sketches.
+// Both sweeps run the same fixed flapping-coordinator schedule. The 2PC
+// sweep trades lock-hold time against polyvalue creation; the Paxos
+// sweep shows the worst-case stalled window tracking the failover
+// timeout itself — the knob bounds the exposure directly, and no
+// polyvalues ever appear. The blocking baseline anchors both tables.
 #include <cstdio>
 
 #include "src/workload/transfer.h"
@@ -20,7 +25,7 @@
 namespace polyvalue {
 namespace {
 
-WorkloadParams BaseParams(double wait_timeout) {
+WorkloadParams BaseParams() {
   WorkloadParams p;
   p.sites = 4;
   p.accounts_per_site = 24;
@@ -38,10 +43,45 @@ WorkloadParams BaseParams(double wait_timeout) {
   p.max_delay = 0.02;
   p.engine.prepare_timeout = 0.3;
   p.engine.ready_timeout = 0.3;
-  p.engine.wait_timeout = wait_timeout;
   p.engine.inquiry_interval = 0.25;
+  return p;
+}
+
+WorkloadParams PolyParams(double wait_timeout) {
+  WorkloadParams p = BaseParams();
+  p.engine.wait_timeout = wait_timeout;
   p.engine.policy = InDoubtPolicy::kPolyvalue;
   return p;
+}
+
+WorkloadParams BlockParams() {
+  WorkloadParams p = BaseParams();
+  p.engine.wait_timeout = 0.1;
+  p.engine.policy = InDoubtPolicy::kBlock;
+  return p;
+}
+
+WorkloadParams PaxosParams(double failover_timeout) {
+  WorkloadParams p = BaseParams();
+  p.engine.leg = ProtocolLeg::kPaxosCommit;
+  p.engine.paxos_failover_timeout = failover_timeout;
+  return p;
+}
+
+void PrintRow(const char* label, double dial, const WorkloadReport& r) {
+  const double commit_pct =
+      r.outage_submitted == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(r.outage_committed) /
+                static_cast<double>(r.outage_submitted);
+  std::printf("%-13s %-9.2f | %-9llu %-9.1f | %-10.4f | %-9llu %-10llu "
+              "%-7lld\n",
+              label, dial,
+              static_cast<unsigned long long>(r.outage_committed),
+              commit_pct, r.metrics.wait_phase_max,
+              static_cast<unsigned long long>(r.polyvalue_installs),
+              static_cast<unsigned long long>(r.uncertain_outputs),
+              static_cast<long long>(r.conservation_drift));
 }
 
 }  // namespace
@@ -49,34 +89,36 @@ WorkloadParams BaseParams(double wait_timeout) {
 
 int main() {
   using namespace polyvalue;
-  std::printf("Ablation: in-doubt window length (wait_timeout) under a "
-              "flapping coordinator\n");
-  std::printf("(polyvalue policy throughout; wait_timeout -> inf "
-              "degenerates to blocking 2PC)\n\n");
-  std::printf("%-12s | %-9s %-9s | %-9s %-10s %-7s\n", "window (s)",
-              "out.comm", "commit%", "poly-inst", "uncertain", "drift");
-  std::printf("%.*s\n", 66,
+  std::printf("Ablation: in-doubt window dials under a flapping "
+              "coordinator\n");
+  std::printf("(2PC sweeps wait_timeout; Paxos Commit sweeps "
+              "paxos_failover_timeout;\n blocking 2PC anchors both — its "
+              "window is the whole outage)\n\n");
+  std::printf("%-13s %-9s | %-9s %-9s | %-10s | %-9s %-10s %-7s\n",
+              "protocol", "dial (s)", "out.comm", "commit%", "stall-max",
+              "poly-inst", "uncertain", "drift");
+  std::printf("%.*s\n", 84,
               "-----------------------------------------------------------"
-              "-------");
+              "-------------------------");
+  PrintRow("block", 0.0, RunTransferWorkload(BlockParams()));
+  std::printf("\n");
   for (double window : {0.05, 0.1, 0.2, 0.5, 1.0, 3.0}) {
-    const WorkloadReport r = RunTransferWorkload(BaseParams(window));
-    const double commit_pct =
-        r.outage_submitted == 0
-            ? 0.0
-            : 100.0 * static_cast<double>(r.outage_committed) /
-                  static_cast<double>(r.outage_submitted);
-    std::printf("%-12.2f | %-9llu %-9.1f | %-9llu %-10llu %-7lld\n", window,
-                static_cast<unsigned long long>(r.outage_committed),
-                commit_pct,
-                static_cast<unsigned long long>(r.polyvalue_installs),
-                static_cast<unsigned long long>(r.uncertain_outputs),
-                static_cast<long long>(r.conservation_drift));
+    PrintRow("polyvalue", window, RunTransferWorkload(PolyParams(window)));
+  }
+  std::printf("\n");
+  for (double failover : {0.1, 0.2, 0.5, 1.0}) {
+    PrintRow("paxos_commit", failover,
+             RunTransferWorkload(PaxosParams(failover)));
   }
   std::printf(
-      "\nExpected shape: shorter windows create more polyvalues and commit\n"
-      "at least as much during outages; longer windows converge on the\n"
-      "blocking baseline (fewer installs, availability paid in lock-hold\n"
-      "time). Drift is always 0 — the dial trades performance, never\n"
-      "correctness. This is the §6 'combine with other protocols' space.\n");
+      "\nExpected shape: the blocking anchor's worst-case stall is the\n"
+      "outage length. Shorter 2PC windows create more polyvalues and\n"
+      "commit at least as much during outages; longer windows converge\n"
+      "on the blocking baseline. The Paxos stall-max tracks the failover\n"
+      "timeout (plus a recovery ballot's round trips) with zero\n"
+      "polyvalues — the window is closed by consensus rather than\n"
+      "tolerated. Drift is always 0 — every dial trades performance,\n"
+      "never correctness. This is the §6 'combine with other protocols'\n"
+      "design space.\n");
   return 0;
 }

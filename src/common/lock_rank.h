@@ -57,6 +57,10 @@
 //                      it (side effects to peers go through the Outbox
 //                      AFTER unlock, so kEngine < kTransport edges
 //                      never form).
+//   kPaxosEngine       the Paxos Commit engine's one protocol mutex;
+//                      same discipline as kEngine (Outbox after
+//                      unlock), ordered after it so a site hosting
+//                      both legs can never invert them.
 //   kScheduler         timer wheel; ScheduleAfter is called under the
 //                      engine mutex.
 //   kStoreLockPlane    item-store lock plane (disjoint from shards by
@@ -78,6 +82,7 @@
   X(kFaultPlan, 70)             \
   X(kTransportStats, 80)        \
   X(kEngine, 90)                \
+  X(kPaxosEngine, 95)           \
   X(kScheduler, 100)            \
   X(kStoreLockPlane, 110)       \
   X(kStoreShard, 120)           \
@@ -131,7 +136,8 @@ inline LockRankBoundary g_kOutcomeTable ACQUIRED_BEFORE(g_kWal);
 inline LockRankBoundary g_kStoreShard ACQUIRED_BEFORE(g_kOutcomeTable);
 inline LockRankBoundary g_kStoreLockPlane ACQUIRED_BEFORE(g_kStoreShard);
 inline LockRankBoundary g_kScheduler ACQUIRED_BEFORE(g_kStoreLockPlane);
-inline LockRankBoundary g_kEngine ACQUIRED_BEFORE(g_kScheduler);
+inline LockRankBoundary g_kPaxosEngine ACQUIRED_BEFORE(g_kScheduler);
+inline LockRankBoundary g_kEngine ACQUIRED_BEFORE(g_kPaxosEngine);
 inline LockRankBoundary g_kTransportStats ACQUIRED_BEFORE(g_kEngine);
 inline LockRankBoundary g_kFaultPlan ACQUIRED_BEFORE(g_kTransportStats);
 inline LockRankBoundary g_kTransportEndpoint ACQUIRED_BEFORE(g_kFaultPlan);

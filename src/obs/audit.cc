@@ -18,6 +18,10 @@ struct TxnState {
   int commits = 0;
   int aborts = 0;
   int read_onlys = 0;
+  // Paxos Commit leg: decide events may fire at several sites (the
+  // original leader and any recovery leader); they must all agree and a
+  // commit one counts as provenance for A3.
+  int paxos_commits = 0;
   bool outcome_known = false;  // some learned/decision flag seen
   bool outcome_flag = false;   // ...and its value
   bool terminal() const { return commits + aborts + read_onlys > 0; }
@@ -50,6 +54,12 @@ std::vector<AuditViolation> TraceAuditor::Audit(
   std::unordered_map<uint64_t, size_t> last_crash_index;
   std::unordered_set<uint64_t> ready_voted;     // SiteTxnKey
   std::unordered_set<uint64_t> learned_here;    // SiteTxnKey
+  // Paxos acceptors: highest ballot seen per (site, txn) — A9 requires
+  // promises to strictly increase and accepts to never regress.
+  std::unordered_map<uint64_t, uint64_t> paxos_ballot_floor;  // SiteTxnKey
+  // Chosen value per (instance rm, txn) — A10 requires every chooser to
+  // agree on each instance's value.
+  std::unordered_map<uint64_t, bool> paxos_chosen;  // SiteTxnKey(rm, txn)
   // Outstanding uncertain items: "site|key" -> index of the install.
   std::map<std::string, size_t> uncertain_items;
 
@@ -143,8 +153,9 @@ std::vector<AuditViolation> TraceAuditor::Audit(
                          polyvalue::ToString(e.txn) +
                          " contradicting the known outcome");
         }
-        // A3: commits must originate from a coordinator decision.
-        if (e.flag && txn->commits == 0) {
+        // A3: commits must originate from a coordinator decision (2PC)
+        // or a Paxos decide (any tally-completing leader).
+        if (e.flag && txn->commits == 0 && txn->paxos_commits == 0) {
           violate(i, polyvalue::ToString(e.site) + " learned COMMIT for " +
                          polyvalue::ToString(e.txn) +
                          " before any coordinator commit decision");
@@ -224,6 +235,70 @@ std::vector<AuditViolation> TraceAuditor::Audit(
         down_sites.erase(e.site.value());
         break;
 
+      case TraceEventType::kPaxosDecide: {
+        if (txn == nullptr) {
+          break;
+        }
+        // A11: every Paxos decide for a transaction fixes the same
+        // outcome (Paxos safety), and it agrees with anything learned.
+        if (txn->outcome_known && txn->outcome_flag != e.flag) {
+          violate(i, polyvalue::ToString(e.site) + " paxos-decided " +
+                         (e.flag ? "COMMIT" : "ABORT") + " for " +
+                         polyvalue::ToString(e.txn) +
+                         " contradicting the known outcome");
+        }
+        if (e.flag) {
+          ++txn->paxos_commits;
+        }
+        txn->outcome_known = true;
+        txn->outcome_flag = e.flag;
+        break;
+      }
+
+      case TraceEventType::kPaxosPromise: {
+        // A9: an acceptor's promised ballot strictly increases.
+        uint64_t& floor = paxos_ballot_floor[SiteTxnKey(e.site, e.txn)];
+        if (e.arg <= floor) {
+          violate(i, polyvalue::ToString(e.site) + " promised ballot " +
+                         std::to_string(e.arg) + " for " +
+                         polyvalue::ToString(e.txn) +
+                         " at or below its prior ballot " +
+                         std::to_string(floor));
+        }
+        floor = std::max(floor, e.arg);
+        break;
+      }
+
+      case TraceEventType::kPaxosAccept: {
+        // A9: accepts never regress below the promised ballot.
+        uint64_t& floor = paxos_ballot_floor[SiteTxnKey(e.site, e.txn)];
+        if (e.arg < floor) {
+          violate(i, polyvalue::ToString(e.site) + " accepted ballot " +
+                         std::to_string(e.arg) + " for " +
+                         polyvalue::ToString(e.txn) +
+                         " below its promised ballot " +
+                         std::to_string(floor));
+        }
+        floor = std::max(floor, e.arg);
+        break;
+      }
+
+      case TraceEventType::kPaxosChosen: {
+        // A10: once an instance (txn, rm) chooses a value, every later
+        // chooser — e.g. a recovery leader re-running the tally — sees
+        // the same value.
+        const auto [it, inserted] = paxos_chosen.emplace(
+            SiteTxnKey(e.peer, e.txn), e.flag);
+        if (!inserted && it->second != e.flag) {
+          violate(i, polyvalue::ToString(e.site) + " chose " +
+                         (e.flag ? "PREPARED" : "ABORTED") +
+                         " for instance (" + polyvalue::ToString(e.txn) +
+                         ", " + polyvalue::ToString(e.peer) +
+                         ") contradicting an earlier choice");
+        }
+        break;
+      }
+
       // Observed but not (yet) constrained by an invariant. Spelled out
       // rather than `default:` so that adding a TraceEventType forces a
       // decision about how the auditor treats it (polyverify SW01).
@@ -245,6 +320,9 @@ std::vector<AuditViolation> TraceAuditor::Audit(
       case TraceEventType::kSvcShed:
       case TraceEventType::kSvcDeadlineExceeded:
       case TraceEventType::kSvcRetry:
+      case TraceEventType::kPaxosVote:
+      case TraceEventType::kPaxosFailover:
+      case TraceEventType::kPaxosRecoveryBallot:
         break;
     }
   }

@@ -74,6 +74,20 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "svc_deadline_exceeded";
     case TraceEventType::kSvcRetry:
       return "svc_retry";
+    case TraceEventType::kPaxosVote:
+      return "paxos_vote";
+    case TraceEventType::kPaxosAccept:
+      return "paxos_accept";
+    case TraceEventType::kPaxosPromise:
+      return "paxos_promise";
+    case TraceEventType::kPaxosChosen:
+      return "paxos_chosen";
+    case TraceEventType::kPaxosDecide:
+      return "paxos_decide";
+    case TraceEventType::kPaxosFailover:
+      return "paxos_failover";
+    case TraceEventType::kPaxosRecoveryBallot:
+      return "paxos_recovery_ballot";
   }
   return "?";
 }

@@ -85,6 +85,20 @@ enum class TraceEventType : uint8_t {
   kSvcShed,           // admission refused (flag: true = rate, false = cap)
   kSvcDeadlineExceeded,  // deadline budget ran out (arg = attempts made)
   kSvcRetry,          // retry scheduled after an abort (arg = attempt #)
+  // -- Paxos Commit leg (src/paxos/) --
+  // One consensus instance per participant RM; `peer` carries the
+  // instance owner (the RM) where noted, `arg` carries the ballot.
+  kPaxosVote,         // RM broadcast Phase2a(ballot 0) (flag = prepared)
+  kPaxosAccept,       // acceptor accepted a Phase2a (peer = rm,
+                      //   arg = ballot, flag = prepared)
+  kPaxosPromise,      // acceptor promised a Phase1a ballot (arg = ballot)
+  kPaxosChosen,       // leader saw a majority for one instance (peer = rm,
+                      //   arg = ballot, flag = prepared)
+  kPaxosDecide,       // a leader fixed the global outcome (flag = commit);
+                      //   may fire at several sites, values must agree
+  kPaxosFailover,     // RM nudged a standby leader (peer = standby,
+                      //   arg = attempt #)
+  kPaxosRecoveryBallot,  // standby started Phase1a (arg = ballot)
 };
 
 const char* TraceEventTypeName(TraceEventType type);

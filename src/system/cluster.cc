@@ -7,6 +7,11 @@ namespace polyvalue {
 
 SimCluster::SimCluster(Options options)
     : options_(std::move(options)), rng_(options_.seed) {
+  if (options_.engine.cluster_sites == 0) {
+    // The Paxos leg needs the acceptor-set size; default to "every site
+    // in this cluster is an acceptor" (2F+1 = N).
+    options_.engine.cluster_sites = options_.site_count;
+  }
   faults_.SetDelayRange(options_.min_delay, options_.max_delay);
   transport_ = std::make_unique<SimTransport>(&sim_, &faults_, &rng_);
   transport_->set_trace(options_.trace);
@@ -91,7 +96,7 @@ size_t SimCluster::TotalUncertainItems() const {
 EngineMetrics SimCluster::TotalMetrics() const {
   EngineMetrics total;
   for (const auto& site : sites_) {
-    total.Accumulate(site->engine().metrics());
+    total.Accumulate(site->GetStats().engine);
   }
   return total;
 }
@@ -141,7 +146,7 @@ void ExportBatchingMetrics(const BatchingTransport* batching,
 void SimCluster::ExportMetrics(MetricsRegistry* registry) const {
   EngineMetrics total;
   for (size_t i = 0; i < sites_.size(); ++i) {
-    const EngineMetrics m = sites_[i]->engine().metrics();
+    const EngineMetrics m = sites_[i]->GetStats().engine;
     m.ExportTo(registry, StrCat("site", i, "."));
     registry->SetCounter(StrCat("site", i, ".uncertain_items"),
                          sites_[i]->store().UncertainCount());
@@ -163,6 +168,9 @@ void SimCluster::ExportMetrics(MetricsRegistry* registry) const {
 
 ThreadCluster::ThreadCluster(Options options)
     : options_(std::move(options)) {
+  if (options_.engine.cluster_sites == 0) {
+    options_.engine.cluster_sites = options_.site_count;
+  }
   if (options_.transport != nullptr) {
     transport_ = options_.transport;
   } else {
@@ -244,7 +252,7 @@ std::optional<TxnResult> ThreadCluster::SubmitAndWait(
 EngineMetrics ThreadCluster::TotalMetrics() const {
   EngineMetrics total;
   for (const auto& site : sites_) {
-    total.Accumulate(site->engine().metrics());
+    total.Accumulate(site->GetStats().engine);
   }
   return total;
 }
@@ -252,7 +260,7 @@ EngineMetrics ThreadCluster::TotalMetrics() const {
 void ThreadCluster::ExportMetrics(MetricsRegistry* registry) const {
   EngineMetrics total;
   for (size_t i = 0; i < sites_.size(); ++i) {
-    const EngineMetrics m = sites_[i]->engine().metrics();
+    const EngineMetrics m = sites_[i]->GetStats().engine;
     m.ExportTo(registry, StrCat("site", i, "."));
     registry->SetCounter(StrCat("site", i, ".uncertain_items"),
                          sites_[i]->store().UncertainCount());

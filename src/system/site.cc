@@ -24,8 +24,29 @@ Site::Site(SiteId id, Transport* transport, Scheduler* scheduler,
         }
       },
       options_.engine);
+  if (options_.engine.leg == ProtocolLeg::kPaxosCommit) {
+    paxos_ = std::make_unique<PaxosEngine>(
+        id_, &items_, scheduler,
+        [this](SiteId to, const Message& msg) {
+          const Status s =
+              transport_->Send(Packet{id_, to, msg.Encode()});
+          if (!s.ok()) {
+            POLYV_DEBUG << id_ << " send to " << to << " failed: " << s;
+          }
+        },
+        options_.engine);
+    active_ = paxos_.get();
+  } else {
+    active_ = engine_.get();
+  }
+  // Only the active leg traces: the idle engine would otherwise emit
+  // spurious kCrash/kRecover events into the audited stream.
   if (options_.trace != nullptr) {
-    engine_->AttachTrace(options_.trace);
+    if (paxos_ != nullptr) {
+      paxos_->AttachTrace(options_.trace);
+    } else {
+      engine_->AttachTrace(options_.trace);
+    }
   }
 }
 
@@ -90,7 +111,7 @@ void Site::OnPacket(Packet packet) {
                << ": " << msg.status();
     return;
   }
-  engine_->OnMessage(packet.from, msg.value());
+  active_->OnMessage(packet.from, msg.value());
 }
 
 void Site::Load(const ItemKey& key, Value value) {
@@ -98,7 +119,7 @@ void Site::Load(const ItemKey& key, Value value) {
 }
 
 TxnId Site::Submit(TxnSpec spec, TxnCallback callback) {
-  return engine_->Submit(std::move(spec), std::move(callback));
+  return active_->Submit(std::move(spec), std::move(callback));
 }
 
 Result<PolyValue> Site::Peek(const ItemKey& key) const {
@@ -112,7 +133,14 @@ Site::Stats Site::GetStats() const {
   stats.locked_items = items_.locked_count();
   stats.tracked_transactions = outcomes_.tracked_count();
   stats.engine = engine_->metrics();
+  if (paxos_ != nullptr) {
+    stats.engine.Accumulate(paxos_->metrics());
+  }
   return stats;
+}
+
+std::optional<bool> Site::DecidedOutcome(TxnId txn) const {
+  return active_->DecidedOutcome(txn);
 }
 
 void Site::AwaitCertain(const PolyValue& value,
@@ -154,6 +182,9 @@ void Site::Crash(FaultPlan* faults) {
     faults->SetSiteDown(id_, true);
   }
   engine_->Crash();
+  if (paxos_ != nullptr) {
+    paxos_->Crash();
+  }
 }
 
 void Site::Recover(FaultPlan* faults) {
@@ -162,6 +193,9 @@ void Site::Recover(FaultPlan* faults) {
     faults->SetSiteDown(id_, false);
   }
   engine_->Recover();
+  if (paxos_ != nullptr) {
+    paxos_->Recover();
+  }
 }
 
 }  // namespace polyvalue

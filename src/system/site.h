@@ -14,6 +14,7 @@
 #include "src/common/ids.h"
 #include "src/common/status.h"
 #include "src/net/transport.h"
+#include "src/paxos/paxos_engine.h"
 #include "src/store/item_store.h"
 #include "src/store/outcome_table.h"
 #include "src/store/wal.h"
@@ -68,6 +69,10 @@ class Site {
   const ItemStore& store() const { return items_; }
   OutcomeTable& outcomes() { return outcomes_; }
   TxnEngine& engine() { return *engine_; }
+  // Null unless Options::engine.leg == ProtocolLeg::kPaxosCommit.
+  PaxosEngine* paxos() { return paxos_.get(); }
+  // The protocol leg this site actually runs (Submit/packet routing).
+  CommitProtocol& protocol() { return *active_; }
   // Null until Start(), or when no WAL path is configured.
   const Wal* wal() const { return wal_.get(); }
 
@@ -79,6 +84,10 @@ class Site {
 
   // Reads an item's current (poly)value directly (local inspection).
   Result<PolyValue> Peek(const ItemKey& key) const;
+
+  // The outcome the active protocol leg has durably decided for `txn`
+  // at this site, if any (protocol-agnostic audit hook).
+  std::optional<bool> DecidedOutcome(TxnId txn) const;
 
   // One-look operational summary of a site.
   struct Stats {
@@ -117,6 +126,10 @@ class Site {
   OutcomeTable outcomes_;
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<TxnEngine> engine_;
+  std::unique_ptr<PaxosEngine> paxos_;
+  // Whichever engine the configured ProtocolLeg selects; all Submit
+  // calls and incoming packets route here.
+  CommitProtocol* active_ = nullptr;
   bool started_ = false;
   bool crashed_ = false;
 };

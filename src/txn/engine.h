@@ -73,6 +73,18 @@ enum class InDoubtPolicy {
 
 const char* InDoubtPolicyName(InDoubtPolicy policy);
 
+// Which commit protocol a site runs. All legs share the transports,
+// stores, scheduler, trace taxonomy and workload generators; cluster
+// assemblies pick one leg for the whole (homogeneous) cluster.
+enum class ProtocolLeg {
+  kTwoPhase,     // coordinator-driven 2PC + the in-doubt policy above
+  kPaxosCommit,  // Gray-Lamport Paxos Commit: the decision is chosen by
+                 // one Paxos instance per participant RM, so a crashed
+                 // coordinator never strands prepared participants
+};
+
+const char* ProtocolLegName(ProtocolLeg leg);
+
 // How a participant treats a lock conflict during PREPARE.
 enum class LockWaitPolicy {
   kNoWait,   // immediate refusal (deadlock-free by construction)
@@ -110,6 +122,16 @@ struct EngineConfig {
   // §2.1 observation that such transactions need no distributed atomic
   // update. Disable to force every transaction through full 2PC.
   bool enable_local_fast_path = true;
+  // --- protocol leg selection ---
+  ProtocolLeg leg = ProtocolLeg::kTwoPhase;
+  // Paxos leg: total number of sites in the cluster. Every site is an
+  // acceptor (2F+1 acceptors tolerate F failures; majority = N/2 + 1).
+  // Cluster assemblies fill this in; it must be >= 1 for the Paxos leg.
+  size_t cluster_sites = 0;
+  // Paxos leg: how long an RM waits for the decision after voting before
+  // nudging the next standby leader — the Paxos analogue of the in-doubt
+  // window dial (bench_indoubt_window sweeps it three-way).
+  double paxos_failover_timeout = 0.3;
 };
 
 struct EngineMetrics {
@@ -131,6 +153,12 @@ struct EngineMetrics {
   uint64_t lock_waits = 0;            // wait-die: prepares that queued
   uint64_t lock_wait_resumes = 0;     // parked prepares later granted
 
+  // Paxos Commit leg (src/paxos/): zero on the 2PC legs.
+  uint64_t paxos_votes = 0;             // RM Phase2a(ballot 0) broadcasts
+  uint64_t paxos_accepts = 0;           // acceptor-side accepted values
+  uint64_t paxos_failovers = 0;         // standby-leader nudges sent
+  uint64_t paxos_recovery_ballots = 0;  // Phase1a rounds started
+
   // Phase-duration instrumentation (§2.2: the vulnerable window should
   // be short relative to the computation): per-participation seconds
   // spent in the compute phase (PREPARE -> WRITE_REQ) and in the wait
@@ -139,6 +167,10 @@ struct EngineMetrics {
   uint64_t compute_phase_count = 0;
   double wait_phase_seconds = 0;
   uint64_t wait_phase_count = 0;
+  // Longest single wait phase: the worst in-doubt exposure any one
+  // participant suffered. Under blocking 2PC this grows with the
+  // outage; under Paxos Commit it is bounded by the failover timeout.
+  double wait_phase_max = 0;
 
   // Adds `other` field-by-field (cluster-wide aggregation).
   void Accumulate(const EngineMetrics& other);
@@ -148,13 +180,34 @@ struct EngineMetrics {
   void ExportTo(MetricsRegistry* registry, const std::string& prefix) const;
 };
 
-class TxnEngine {
+// The commit-protocol seam: everything a Site needs from whichever
+// protocol leg it runs. TxnEngine (2PC + in-doubt policies) and
+// PaxosEngine (src/paxos/) both implement it; Site routes Submit and
+// incoming packets through a CommitProtocol*, so the cluster
+// assemblies, workload generators and benches are leg-agnostic.
+class CommitProtocol {
+ public:
+  virtual ~CommitProtocol() = default;
+  // Runs `spec` with this site as coordinator; the callback fires
+  // exactly once (possibly much later, after failures heal).
+  virtual TxnId Submit(TxnSpec spec, TxnCallback callback) = 0;
+  // Transport entry point.
+  virtual void OnMessage(SiteId from, const Message& msg) = 0;
+  // Failure simulation hooks: drop volatile state / restart.
+  virtual void Crash() = 0;
+  virtual void Recover() = 0;
+  virtual EngineMetrics metrics() const = 0;
+  // Durable local decision for `txn`, if this site fixed or learned one.
+  virtual std::optional<bool> DecidedOutcome(TxnId txn) const = 0;
+};
+
+class TxnEngine : public CommitProtocol {
  public:
   using SendFn = std::function<void(SiteId to, const Message& msg)>;
 
   TxnEngine(SiteId self, ItemStore* items, OutcomeTable* outcomes,
             Scheduler* scheduler, SendFn send, EngineConfig config);
-  ~TxnEngine();
+  ~TxnEngine() override;
 
   // Optional durability: every install / outcome / tracking mutation is
   // logged. The engine does not own the WAL.
@@ -183,21 +236,21 @@ class TxnEngine {
   // Runs `spec` with this site as coordinator. The callback fires exactly
   // once, possibly synchronously (local-only read) or much later (after
   // failures heal). Pass a pre-allocated id via `txn` to correlate.
-  TxnId Submit(TxnSpec spec, TxnCallback callback);
+  TxnId Submit(TxnSpec spec, TxnCallback callback) override;
   TxnId Submit(TxnSpec spec, TxnCallback callback, TxnId txn);
 
   // --- transport entry point ---
-  void OnMessage(SiteId from, const Message& msg);
+  void OnMessage(SiteId from, const Message& msg) override;
 
   // --- failure simulation hooks ---
   // Drops all volatile state: in-flight coordinations (their clients
   // never hear back until recovery-time inquiry), participations, locks,
   // timers. Durable state — items, outcome table, decided outcomes,
   // prepared writes — survives (it is WAL-backed when a WAL is attached).
-  void Crash();
+  void Crash() override;
   // Post-crash restart: re-applies the in-doubt policy to prepared-but-
   // undecided participations and restarts outcome inquiries.
-  void Recover();
+  void Recover() override;
 
   // Starts the periodic inquiry loop (idempotent). Called by Recover()
   // and by the first polyvalue install; exposed for tests.
@@ -211,10 +264,10 @@ class TxnEngine {
   using OutcomeCallback = std::function<void(bool committed)>;
   void SubscribeOutcome(TxnId txn, OutcomeCallback callback);
 
-  EngineMetrics metrics() const;
+  EngineMetrics metrics() const override;
 
   // Durable coordinator decision, if any (tests / audits).
-  std::optional<bool> DecidedOutcome(TxnId txn) const;
+  std::optional<bool> DecidedOutcome(TxnId txn) const override;
 
   // Rebuilds durable engine state from replayed WAL records. Call before
   // any traffic, after store/outcome-table recovery.

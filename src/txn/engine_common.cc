@@ -2,6 +2,8 @@
 // outcome learning/propagation, crash/recovery, durability plumbing.
 #include "src/txn/engine.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
@@ -16,6 +18,16 @@ const char* InDoubtPolicyName(InDoubtPolicy policy) {
       return "block";
     case InDoubtPolicy::kArbitrary:
       return "arbitrary";
+  }
+  return "?";
+}
+
+const char* ProtocolLegName(ProtocolLeg leg) {
+  switch (leg) {
+    case ProtocolLeg::kTwoPhase:
+      return "two_phase";
+    case ProtocolLeg::kPaxosCommit:
+      return "paxos_commit";
   }
   return "?";
 }
@@ -38,10 +50,15 @@ void EngineMetrics::Accumulate(const EngineMetrics& other) {
   local_fast_path += other.local_fast_path;
   lock_waits += other.lock_waits;
   lock_wait_resumes += other.lock_wait_resumes;
+  paxos_votes += other.paxos_votes;
+  paxos_accepts += other.paxos_accepts;
+  paxos_failovers += other.paxos_failovers;
+  paxos_recovery_ballots += other.paxos_recovery_ballots;
   compute_phase_seconds += other.compute_phase_seconds;
   compute_phase_count += other.compute_phase_count;
   wait_phase_seconds += other.wait_phase_seconds;
   wait_phase_count += other.wait_phase_count;
+  wait_phase_max = std::max(wait_phase_max, other.wait_phase_max);
 }
 
 void EngineMetrics::ExportTo(MetricsRegistry* registry,
@@ -64,10 +81,16 @@ void EngineMetrics::ExportTo(MetricsRegistry* registry,
   registry->SetCounter(prefix + "local_fast_path", local_fast_path);
   registry->SetCounter(prefix + "lock_waits", lock_waits);
   registry->SetCounter(prefix + "lock_wait_resumes", lock_wait_resumes);
+  registry->SetCounter(prefix + "paxos_votes", paxos_votes);
+  registry->SetCounter(prefix + "paxos_accepts", paxos_accepts);
+  registry->SetCounter(prefix + "paxos_failovers", paxos_failovers);
+  registry->SetCounter(prefix + "paxos_recovery_ballots",
+                       paxos_recovery_ballots);
   registry->SetCounter(prefix + "compute_phase_count", compute_phase_count);
   registry->SetCounter(prefix + "wait_phase_count", wait_phase_count);
   registry->Gauge(prefix + "compute_phase_seconds", compute_phase_seconds);
   registry->Gauge(prefix + "wait_phase_seconds", wait_phase_seconds);
+  registry->Gauge(prefix + "wait_phase_max", wait_phase_max);
 }
 
 TxnEngine::TxnEngine(SiteId self, ItemStore* items, OutcomeTable* outcomes,
@@ -147,6 +170,17 @@ void TxnEngine::OnMessage(SiteId from, const Message& msg) {
         break;
       case MsgType::kOutcomeNotify:
         HandleOutcomeNotify(from, msg, &out);
+        break;
+      case MsgType::kPaxosPhase1a:
+      case MsgType::kPaxosPhase1b:
+      case MsgType::kPaxosPhase2a:
+      case MsgType::kPaxosPhase2b:
+      case MsgType::kPaxosDecision:
+      case MsgType::kPaxosNudge:
+        // Paxos Commit traffic belongs to the PaxosEngine leg; a 2PC
+        // engine that receives it discards it loudly.
+        Trace(TraceEventType::kMsgIgnored, msg.txn, false,
+              static_cast<uint64_t>(msg.type));
         break;
     }
   }

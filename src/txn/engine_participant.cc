@@ -2,6 +2,8 @@
 // three in-doubt policies at the wait-timeout edge.
 #include "src/txn/engine.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
@@ -245,9 +247,10 @@ void TxnEngine::FinishParticipation(TxnId txn, Participation* part,
     part->wait_timer = 0;
   }
   if (part->state == PartState::kWait && part->wait_entered_at > 0) {
-    metrics_.wait_phase_seconds +=
-        scheduler_->Now() - part->wait_entered_at;
+    const double waited = scheduler_->Now() - part->wait_entered_at;
+    metrics_.wait_phase_seconds += waited;
     ++metrics_.wait_phase_count;
+    metrics_.wait_phase_max = std::max(metrics_.wait_phase_max, waited);
     part->wait_entered_at = 0;
   }
   if (commit) {

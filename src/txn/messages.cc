@@ -25,6 +25,18 @@ const char* MsgTypeName(MsgType type) {
       return "OUTCOME_REPLY";
     case MsgType::kOutcomeNotify:
       return "OUTCOME_NOTIFY";
+    case MsgType::kPaxosPhase1a:
+      return "PAXOS_PHASE1A";
+    case MsgType::kPaxosPhase1b:
+      return "PAXOS_PHASE1B";
+    case MsgType::kPaxosPhase2a:
+      return "PAXOS_PHASE2A";
+    case MsgType::kPaxosPhase2b:
+      return "PAXOS_PHASE2B";
+    case MsgType::kPaxosDecision:
+      return "PAXOS_DECISION";
+    case MsgType::kPaxosNudge:
+      return "PAXOS_NUDGE";
   }
   return "?";
 }
@@ -74,6 +86,55 @@ Result<std::map<ItemKey, PolyValue>> DecodeValueMap(ByteReader* r) {
   return m;
 }
 
+void EncodeSiteList(const std::vector<SiteId>& sites, ByteWriter* w) {
+  w->PutVarint(sites.size());
+  for (SiteId site : sites) {
+    w->PutVarint(site.value());
+  }
+}
+
+Result<std::vector<SiteId>> DecodeSiteList(ByteReader* r) {
+  POLYV_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > (1u << 20)) {
+    return DataLossError("site list too large");
+  }
+  std::vector<SiteId> sites;
+  sites.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    POLYV_ASSIGN_OR_RETURN(uint64_t site, r->GetVarint());
+    sites.push_back(SiteId(site));
+  }
+  return sites;
+}
+
+void EncodeInstanceList(const std::vector<Message::PaxosInstance>& instances,
+                        ByteWriter* w) {
+  w->PutVarint(instances.size());
+  for (const Message::PaxosInstance& inst : instances) {
+    w->PutVarint(inst.rm.value());
+    w->PutVarint(inst.ballot);
+    w->PutBool(inst.prepared);
+  }
+}
+
+Result<std::vector<Message::PaxosInstance>> DecodeInstanceList(ByteReader* r) {
+  POLYV_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > (1u << 20)) {
+    return DataLossError("instance list too large");
+  }
+  std::vector<Message::PaxosInstance> instances;
+  instances.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Message::PaxosInstance inst;
+    POLYV_ASSIGN_OR_RETURN(uint64_t rm, r->GetVarint());
+    inst.rm = SiteId(rm);
+    POLYV_ASSIGN_OR_RETURN(inst.ballot, r->GetVarint());
+    POLYV_ASSIGN_OR_RETURN(inst.prepared, r->GetBool());
+    instances.push_back(inst);
+  }
+  return instances;
+}
+
 }  // namespace
 
 std::string Message::Encode() const {
@@ -86,6 +147,9 @@ std::string Message::Encode() const {
       w.PutVarint(coordinator.value());
       EncodeKeyList(read_keys, &w);
       EncodeKeyList(write_keys, &w);
+      // Participant group: empty for the 2PC leg, the RM set for the
+      // Paxos leg (RMs embed it in their Phase2a votes).
+      EncodeSiteList(group, &w);
       break;
     case MsgType::kPrepareReply:
       w.PutBool(ok);
@@ -106,6 +170,31 @@ std::string Message::Encode() const {
       break;
     case MsgType::kOutcomeNotify:
       w.PutBool(committed);
+      break;
+    case MsgType::kPaxosPhase1a:
+      w.PutVarint(ballot);
+      break;
+    case MsgType::kPaxosPhase1b:
+      w.PutVarint(ballot);
+      EncodeInstanceList(instances, &w);
+      EncodeSiteList(group, &w);
+      break;
+    case MsgType::kPaxosPhase2a:
+      w.PutVarint(ballot);
+      w.PutVarint(rm.value());
+      w.PutBool(ok);
+      EncodeSiteList(group, &w);
+      break;
+    case MsgType::kPaxosPhase2b:
+      w.PutVarint(ballot);
+      w.PutVarint(rm.value());
+      w.PutBool(ok);
+      break;
+    case MsgType::kPaxosDecision:
+      w.PutBool(committed);
+      break;
+    case MsgType::kPaxosNudge:
+      EncodeSiteList(group, &w);
       break;
   }
   return w.Take();
@@ -129,6 +218,7 @@ Result<Message> Message::Decode(const std::string& bytes) {
       m.coordinator = SiteId(coord);
       POLYV_ASSIGN_OR_RETURN(m.read_keys, DecodeKeyList(&r));
       POLYV_ASSIGN_OR_RETURN(m.write_keys, DecodeKeyList(&r));
+      POLYV_ASSIGN_OR_RETURN(m.group, DecodeSiteList(&r));
       break;
     }
     case MsgType::kPrepareReply: {
@@ -153,6 +243,39 @@ Result<Message> Message::Decode(const std::string& bytes) {
     }
     case MsgType::kOutcomeNotify: {
       POLYV_ASSIGN_OR_RETURN(m.committed, r.GetBool());
+      break;
+    }
+    case MsgType::kPaxosPhase1a: {
+      POLYV_ASSIGN_OR_RETURN(m.ballot, r.GetVarint());
+      break;
+    }
+    case MsgType::kPaxosPhase1b: {
+      POLYV_ASSIGN_OR_RETURN(m.ballot, r.GetVarint());
+      POLYV_ASSIGN_OR_RETURN(m.instances, DecodeInstanceList(&r));
+      POLYV_ASSIGN_OR_RETURN(m.group, DecodeSiteList(&r));
+      break;
+    }
+    case MsgType::kPaxosPhase2a: {
+      POLYV_ASSIGN_OR_RETURN(m.ballot, r.GetVarint());
+      POLYV_ASSIGN_OR_RETURN(uint64_t rm, r.GetVarint());
+      m.rm = SiteId(rm);
+      POLYV_ASSIGN_OR_RETURN(m.ok, r.GetBool());
+      POLYV_ASSIGN_OR_RETURN(m.group, DecodeSiteList(&r));
+      break;
+    }
+    case MsgType::kPaxosPhase2b: {
+      POLYV_ASSIGN_OR_RETURN(m.ballot, r.GetVarint());
+      POLYV_ASSIGN_OR_RETURN(uint64_t rm, r.GetVarint());
+      m.rm = SiteId(rm);
+      POLYV_ASSIGN_OR_RETURN(m.ok, r.GetBool());
+      break;
+    }
+    case MsgType::kPaxosDecision: {
+      POLYV_ASSIGN_OR_RETURN(m.committed, r.GetBool());
+      break;
+    }
+    case MsgType::kPaxosNudge: {
+      POLYV_ASSIGN_OR_RETURN(m.group, DecodeSiteList(&r));
       break;
     }
     default:
@@ -244,6 +367,65 @@ Message MakeOutcomeNotify(TxnId txn, bool committed) {
   m.type = MsgType::kOutcomeNotify;
   m.txn = txn;
   m.committed = committed;
+  return m;
+}
+
+Message MakePaxosPhase1a(TxnId txn, uint64_t ballot) {
+  Message m;
+  m.type = MsgType::kPaxosPhase1a;
+  m.txn = txn;
+  m.ballot = ballot;
+  return m;
+}
+
+Message MakePaxosPhase1b(TxnId txn, uint64_t ballot,
+                         std::vector<Message::PaxosInstance> instances,
+                         std::vector<SiteId> group) {
+  Message m;
+  m.type = MsgType::kPaxosPhase1b;
+  m.txn = txn;
+  m.ballot = ballot;
+  m.instances = std::move(instances);
+  m.group = std::move(group);
+  return m;
+}
+
+Message MakePaxosPhase2a(TxnId txn, uint64_t ballot, SiteId rm, bool prepared,
+                         std::vector<SiteId> group) {
+  Message m;
+  m.type = MsgType::kPaxosPhase2a;
+  m.txn = txn;
+  m.ballot = ballot;
+  m.rm = rm;
+  m.ok = prepared;
+  m.group = std::move(group);
+  return m;
+}
+
+Message MakePaxosPhase2b(TxnId txn, uint64_t ballot, SiteId rm,
+                         bool prepared) {
+  Message m;
+  m.type = MsgType::kPaxosPhase2b;
+  m.txn = txn;
+  m.ballot = ballot;
+  m.rm = rm;
+  m.ok = prepared;
+  return m;
+}
+
+Message MakePaxosDecision(TxnId txn, bool committed) {
+  Message m;
+  m.type = MsgType::kPaxosDecision;
+  m.txn = txn;
+  m.committed = committed;
+  return m;
+}
+
+Message MakePaxosNudge(TxnId txn, std::vector<SiteId> group) {
+  Message m;
+  m.type = MsgType::kPaxosNudge;
+  m.txn = txn;
+  m.group = std::move(group);
   return m;
 }
 

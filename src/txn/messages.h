@@ -13,6 +13,18 @@
 //                                (recovery-time inquiry)
 //   any site    -> any site    : OUTCOME_NOTIFY (decentralised §3.3 push)
 //
+// The Paxos Commit leg (Gray & Lamport, "Consensus on Transaction
+// Commit") reuses PREPARE / PREPARE_REPLY / WRITE_REQ for its compute
+// phase and replaces the READY/COMPLETE decision round with one Paxos
+// instance per participant RM:
+//
+//   RM          -> acceptors   : PAXOS_PHASE2A (ballot 0, its own vote)
+//   acceptor    -> leader      : PAXOS_PHASE2B (accepted vote)
+//   new leader  -> acceptors   : PAXOS_PHASE1A (higher ballot)
+//   acceptor    -> new leader  : PAXOS_PHASE1B (promise + accepted state)
+//   any decider -> all sites   : PAXOS_DECISION (global outcome)
+//   RM          -> standby     : PAXOS_NUDGE (leader appears dead)
+//
 // All messages serialise through the wire codecs; the transports carry
 // opaque bytes.
 #ifndef SRC_TXN_MESSAGES_H_
@@ -38,6 +50,12 @@ enum class MsgType : uint8_t {
   kOutcomeRequest = 7,
   kOutcomeReply = 8,
   kOutcomeNotify = 9,
+  kPaxosPhase1a = 10,
+  kPaxosPhase1b = 11,
+  kPaxosPhase2a = 12,
+  kPaxosPhase2b = 13,
+  kPaxosDecision = 14,
+  kPaxosNudge = 15,
 };
 
 const char* MsgTypeName(MsgType type);
@@ -68,6 +86,21 @@ struct Message {
   bool known = false;
   bool committed = false;
 
+  // Paxos Commit leg. One consensus instance per participant RM; the
+  // instance is identified by (txn, rm). `ok` doubles as the instance
+  // value (true = Prepared, false = Aborted) in kPaxosPhase2a/2b, and
+  // `committed` carries the global outcome in kPaxosDecision.
+  uint64_t ballot = 0;        // kPaxosPhase1a/1b/2a/2b
+  SiteId rm;                  // instance owner: kPaxosPhase2a/2b
+  std::vector<SiteId> group;  // participant RM set: kPrepare (paxos leg),
+                              // kPaxosPhase1b, kPaxosPhase2a, kPaxosNudge
+  struct PaxosInstance {
+    SiteId rm;
+    uint64_t ballot = 0;
+    bool prepared = false;
+  };
+  std::vector<PaxosInstance> instances;  // kPaxosPhase1b accepted state
+
   std::string Encode() const;
   static Result<Message> Decode(const std::string& bytes);
 };
@@ -85,6 +118,15 @@ Message MakeAbort(TxnId txn);
 Message MakeOutcomeRequest(TxnId txn);
 Message MakeOutcomeReply(TxnId txn, bool known, bool committed);
 Message MakeOutcomeNotify(TxnId txn, bool committed);
+Message MakePaxosPhase1a(TxnId txn, uint64_t ballot);
+Message MakePaxosPhase1b(TxnId txn, uint64_t ballot,
+                         std::vector<Message::PaxosInstance> instances,
+                         std::vector<SiteId> group);
+Message MakePaxosPhase2a(TxnId txn, uint64_t ballot, SiteId rm, bool prepared,
+                         std::vector<SiteId> group);
+Message MakePaxosPhase2b(TxnId txn, uint64_t ballot, SiteId rm, bool prepared);
+Message MakePaxosDecision(TxnId txn, bool committed);
+Message MakePaxosNudge(TxnId txn, std::vector<SiteId> group);
 
 }  // namespace polyvalue
 

@@ -28,6 +28,7 @@ struct ChaosParams {
   InDoubtPolicy policy;
   double drop_probability;
   LockWaitPolicy lock_wait = LockWaitPolicy::kNoWait;
+  ProtocolLeg leg = ProtocolLeg::kTwoPhase;
 };
 
 class ChaosTest : public ::testing::TestWithParam<ChaosParams> {};
@@ -45,6 +46,8 @@ TEST_P(ChaosTest, InvariantsHoldThroughRandomFailures) {
   options.engine.inquiry_interval = 0.25;
   options.engine.policy = params.policy;
   options.engine.lock_wait = params.lock_wait;
+  options.engine.leg = params.leg;
+  options.engine.paxos_failover_timeout = 0.2;
   options.engine.validate_installs = true;
   options.min_delay = 0.005;
   options.max_delay = 0.02;
@@ -163,8 +166,7 @@ TEST_P(ChaosTest, InvariantsHoldThroughRandomFailures) {
     if (outcome.committed) {
       const size_t coord_index =
           TxnEngine::CoordinatorOf(txn).value() - 1;
-      EXPECT_EQ(cluster.site(coord_index).engine().DecidedOutcome(txn),
-                true);
+      EXPECT_EQ(cluster.site(coord_index).DecidedOutcome(txn), true);
     }
   }
 
@@ -184,8 +186,12 @@ TEST_P(ChaosTest, InvariantsHoldThroughRandomFailures) {
 
 // Full grid: every (policy, lock-wait, drop-rate) combination, plus
 // extra polyvalue-policy schedules (the paper's configuration gets the
-// widest seed coverage). Seeds are distinct across the whole grid, so
-// the auditor sees 24 different randomized failure schedules.
+// widest seed coverage), plus Paxos Commit cells — the same random
+// crash/recovery schedules exercise leader crashes mid-Phase2a,
+// acceptor minority loss (one of four acceptors down still leaves the
+// 3-site majority), and vote/decision drops. Seeds are distinct across
+// the whole grid, so the auditor sees 33 different randomized failure
+// schedules.
 std::vector<ChaosParams> ChaosGrid() {
   std::vector<ChaosParams> grid;
   uint64_t seed = 1;
@@ -204,18 +210,27 @@ std::vector<ChaosParams> ChaosGrid() {
                                              : LockWaitPolicy::kNoWait});
     ++seed;
   }
+  for (double drop : {0.0, 0.02, 0.05}) {
+    for (int i = 0; i < 3; ++i) {
+      grid.push_back(ChaosParams{seed++, InDoubtPolicy::kPolyvalue, drop,
+                                 LockWaitPolicy::kNoWait,
+                                 ProtocolLeg::kPaxosCommit});
+    }
+  }
   return grid;
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Schedules, ChaosTest, ::testing::ValuesIn(ChaosGrid()),
-    [](const ::testing::TestParamInfo<ChaosParams>& info) {
-      return "seed" + std::to_string(info.param.seed) + "_" +
-             InDoubtPolicyName(info.param.policy) + "_drop" +
+    [](const ::testing::TestParamInfo<ChaosParams>& i) {
+      const bool paxos = i.param.leg == ProtocolLeg::kPaxosCommit;
+      return "seed" + std::to_string(i.param.seed) + "_" +
+             (paxos ? "paxos" : InDoubtPolicyName(i.param.policy)) +
+             "_drop" +
              std::to_string(
-                 static_cast<int>(info.param.drop_probability * 100)) +
-             (info.param.lock_wait == LockWaitPolicy::kWaitDie ? "_waitdie"
-                                                               : "_nowait");
+                 static_cast<int>(i.param.drop_probability * 100)) +
+             (i.param.lock_wait == LockWaitPolicy::kWaitDie ? "_waitdie"
+                                                            : "_nowait");
     });
 
 }  // namespace

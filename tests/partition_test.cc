@@ -221,5 +221,106 @@ TEST(PartitionTest, FlappingPartitionConvergesAfterFinalHeal) {
   EXPECT_TRUE(audit.ok()) << audit.message();
 }
 
+// --- Paxos Commit under partitions -----------------------------------
+//
+// The protocol's whole point: a cut that strands the ballot-0 leader
+// must not strand the decision. Once the RMs have voted at a majority
+// of acceptors, any standby on the majority side can finish the commit.
+
+SimCluster::Options PaxosClusterOptions() {
+  SimCluster::Options options = ClusterOptions();
+  options.engine.leg = ProtocolLeg::kPaxosCommit;
+  options.engine.paxos_failover_timeout = 0.15;
+  return options;
+}
+
+TEST(PartitionTest, PaxosMajoritySideFinishesAfterLeaderCut) {
+  VectorTraceSink trace;
+  SimCluster::Options options = PaxosClusterOptions();
+  options.trace = &trace;
+  SimCluster cluster(options);
+  cluster.Load(1, "a", Value::Int(100));
+  cluster.Load(2, "b", Value::Int(50));
+  std::optional<TxnResult> result;
+  const TxnId txn = cluster.Submit(
+      0, Transfer("a", cluster.site_id(1), "b", cluster.site_id(2), 30),
+      [&result](const TxnResult& r) { result = r; });
+  // With the fixed 0.01 delay, both RMs broadcast Phase2a at t=0.03;
+  // the acceptors accept at t=0.04 and echo Phase2b back. Cut the
+  // leader away at t=0.035 — after the vote broadcasts left the wire
+  // (in-flight messages still deliver; the cut blocks sends), before
+  // the echoes are sent: votes are durable at a majority, the tally is
+  // not.
+  cluster.sim().At(0.035, [&cluster] {
+    cluster.faults().Partition(
+        {cluster.site_id(0)},
+        {cluster.site_id(1), cluster.site_id(2), cluster.site_id(3)});
+  });
+  cluster.RunFor(3.0);
+
+  // The majority side failed over and committed without the leader.
+  for (size_t i : {size_t{1}, size_t{2}}) {
+    SCOPED_TRACE(i);
+    const std::optional<bool> outcome = cluster.site(i).DecidedOutcome(txn);
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_TRUE(*outcome);
+  }
+  EXPECT_EQ(cluster.site(1).Peek("a").value().certain_value(),
+            Value::Int(70));
+  EXPECT_EQ(cluster.site(2).Peek("b").value().certain_value(),
+            Value::Int(80));
+  // The client, stranded with the leader, has heard nothing yet.
+  EXPECT_FALSE(result.has_value());
+
+  // Heal: the leader's escalating recovery ballots reach a decided
+  // acceptor, which short-circuits with the outcome; the client finally
+  // hears COMMIT — the same decision, never a contradictory one.
+  cluster.faults().HealLinks();
+  cluster.RunFor(3.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed());
+  EXPECT_EQ(cluster.site(0).DecidedOutcome(txn), true);
+  const Status audit = TraceAuditor::Check(trace.Snapshot());
+  EXPECT_TRUE(audit.ok()) << audit.message();
+}
+
+TEST(PartitionTest, PaxosCutBeforeVotesAbortsAndDrainsClean) {
+  VectorTraceSink trace;
+  SimCluster::Options options = PaxosClusterOptions();
+  options.trace = &trace;
+  SimCluster cluster(options);
+  cluster.Load(1, "a", Value::Int(100));
+  cluster.Load(2, "b", Value::Int(50));
+  std::optional<TxnResult> result;
+  const TxnId txn = cluster.Submit(
+      0, Transfer("a", cluster.site_id(1), "b", cluster.site_id(2), 30),
+      [&result](const TxnResult& r) { result = r; });
+  // Cut at t=0.005: the prepares (sent at t=0) are in flight and still
+  // land, but every reply is blocked. No RM ever votes, so the leader
+  // times out collecting and the only safe outcome is abort — which
+  // must not leave a lock or a prepared record anywhere.
+  cluster.sim().At(0.005, [&cluster] {
+    cluster.faults().Partition(
+        {cluster.site_id(0)},
+        {cluster.site_id(1), cluster.site_id(2), cluster.site_id(3)});
+  });
+  cluster.RunFor(3.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->committed());
+  EXPECT_EQ(cluster.site(0).DecidedOutcome(txn), false);
+  cluster.faults().HealLinks();
+  cluster.RunFor(3.0);
+  EXPECT_EQ(cluster.site(1).Peek("a").value().certain_value(),
+            Value::Int(100));
+  EXPECT_EQ(cluster.site(2).Peek("b").value().certain_value(),
+            Value::Int(50));
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(cluster.site(i).store().locked_count(), 0u);
+  }
+  const Status audit = TraceAuditor::Check(trace.Snapshot());
+  EXPECT_TRUE(audit.ok()) << audit.message();
+}
+
 }  // namespace
 }  // namespace polyvalue

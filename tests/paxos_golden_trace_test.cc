@@ -1,0 +1,299 @@
+// Golden traces for the Paxos Commit leg: the protocol's choreography,
+// byte-stable under a fixed seed and fixed network delay, for the three
+// shapes that matter — a nominal commit, a leader crash bridged by
+// standby failover, and a compute-phase abort. Any reordering of the
+// Gray-Lamport steps diffs against the sequences below.
+//
+// Regenerate after an intentional protocol change with
+//   POLYV_REGEN_GOLDEN=1 ./paxos_golden_trace_test
+// and paste the printed lines.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/audit.h"
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+namespace {
+
+// "type site" (plus key/peer where present) for every engine-level
+// event; transport deliveries are elided — they carry no protocol
+// decision, only latency.
+std::vector<std::string> EngineEventLines(
+    const std::vector<TraceEvent>& events) {
+  std::vector<std::string> lines;
+  for (const TraceEvent& e : events) {
+    if (e.type == TraceEventType::kMsgDelivered ||
+        e.type == TraceEventType::kMsgDropped) {
+      continue;
+    }
+    std::string line =
+        std::string(TraceEventTypeName(e.type)) + " " + ToString(e.site);
+    if (!e.key.empty()) {
+      line += " " + e.key;
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+void MaybePrint(const std::vector<std::string>& lines) {
+  if (std::getenv("POLYV_REGEN_GOLDEN") == nullptr) {
+    return;
+  }
+  for (const std::string& line : lines) {
+    std::cout << "      \"" << line << "\",\n";
+  }
+}
+
+SimCluster::Options PaxosOptions(size_t sites) {
+  SimCluster::Options options;
+  options.site_count = sites;
+  options.seed = 7;
+  options.min_delay = 0.001;
+  options.max_delay = 0.001;
+  options.engine.leg = ProtocolLeg::kPaxosCommit;
+  options.engine.paxos_failover_timeout = 0.05;
+  return options;
+}
+
+TxnSpec TransferSpec(SimCluster& cluster) {
+  TxnSpec spec;
+  spec.ReadWrite("acct/savings", cluster.site_id(0));
+  spec.ReadWrite("acct/checking", cluster.site_id(1));
+  spec.Logic([](const TxnReads& reads) {
+    TxnEffect e;
+    e.writes["acct/savings"] = Value::Int(reads.IntAt("acct/savings") - 10);
+    e.writes["acct/checking"] =
+        Value::Int(reads.IntAt("acct/checking") + 10);
+    e.output = Value::Bool(true);
+    return e;
+  });
+  return spec;
+}
+
+TEST(PaxosGoldenTraceTest, NominalCommit) {
+  VectorTraceSink trace;
+  SimCluster::Options options = PaxosOptions(3);
+  options.trace = &trace;
+  SimCluster cluster(options);
+
+  cluster.Load(0, "acct/savings", Value::Int(100));
+  cluster.Load(1, "acct/checking", Value::Int(50));
+
+  const std::optional<TxnResult> result =
+      cluster.SubmitAndRun(0, TransferSpec(cluster));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed());
+  cluster.RunAll();  // drain the decision broadcast
+
+  EXPECT_EQ(
+      cluster.site(0).Peek("acct/savings")->certain_value().int_value(), 90);
+  EXPECT_EQ(
+      cluster.site(1).Peek("acct/checking")->certain_value().int_value(),
+      60);
+
+  // Every site must know the outcome (no in-doubt residue anywhere).
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    SCOPED_TRACE(i);
+    const std::optional<bool> outcome =
+        cluster.site(i).DecidedOutcome(result->id);
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_TRUE(*outcome);
+  }
+
+  const std::vector<std::string> actual = EngineEventLines(trace.Snapshot());
+  MaybePrint(actual);
+  const std::vector<std::string> kGolden = {
+      "submit S1",
+      "prepare_recv S1",
+      "prepare_replied S1",
+      "prepare_recv S2",
+      "prepare_replied S2",
+      "vote_collected S1",
+      "vote_collected S1",
+      "write_shipped S1",
+      "paxos_vote S1",
+      "paxos_vote S2",
+      "paxos_accept S1",
+      "paxos_accept S2",
+      "paxos_accept S3",
+      "paxos_accept S1",
+      "paxos_accept S2",
+      "paxos_accept S3",
+      "vote_collected S1",
+      "paxos_chosen S1",
+      "msg_ignored S1",
+      "vote_collected S1",
+      "paxos_chosen S1",
+      "paxos_decide S1",
+      "decision_commit S1",
+      "msg_ignored S1",
+      "outcome_learned S1",
+      "outcome_learned S2",
+      "outcome_learned S3",
+  };
+  EXPECT_EQ(actual, kGolden);
+
+  const Status audit = TraceAuditor::Check(trace.Snapshot());
+  EXPECT_TRUE(audit.ok()) << audit.message();
+}
+
+TEST(PaxosGoldenTraceTest, LeaderCrashFailoverFinishesCommit) {
+  VectorTraceSink trace;
+  SimCluster::Options options = PaxosOptions(3);
+  options.trace = &trace;
+  SimCluster cluster(options);
+
+  cluster.Load(0, "acct/savings", Value::Int(100));
+  cluster.Load(1, "acct/checking", Value::Int(50));
+
+  std::optional<TxnResult> result;
+  const TxnId txn = cluster.Submit(0, TransferSpec(cluster),
+                                   [&result](const TxnResult& r) {
+                                     result = r;
+                                   });
+  // Both RMs have broadcast Phase2a(ballot 0, Prepared) by t=0.004;
+  // kill the leader before the Phase2b echoes reach it at t=0.005. The
+  // votes are durable at a majority of acceptors, so the standby can —
+  // and must — finish the commit.
+  cluster.sim().At(0.0045, [&cluster] { cluster.CrashSite(0); });
+  cluster.RunFor(2.0);
+
+  // The client channel died with the leader...
+  EXPECT_FALSE(result.has_value());
+  // ...but the decision completed: both surviving sites committed.
+  for (size_t i : {size_t{1}, size_t{2}}) {
+    SCOPED_TRACE(i);
+    const std::optional<bool> outcome = cluster.site(i).DecidedOutcome(txn);
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_TRUE(*outcome);
+  }
+  EXPECT_EQ(
+      cluster.site(1).Peek("acct/checking")->certain_value().int_value(),
+      60);
+
+  // The crashed leader recovers, re-votes, and learns the outcome from
+  // the standby's durable decision.
+  cluster.RecoverSite(0);
+  cluster.RunFor(2.0);
+  const std::optional<bool> recovered = cluster.site(0).DecidedOutcome(txn);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(*recovered);
+  EXPECT_EQ(
+      cluster.site(0).Peek("acct/savings")->certain_value().int_value(), 90);
+
+  const std::vector<std::string> actual = EngineEventLines(trace.Snapshot());
+  MaybePrint(actual);
+  const std::vector<std::string> kGolden = {
+      "submit S1",
+      "prepare_recv S1",
+      "prepare_replied S1",
+      "prepare_recv S2",
+      "prepare_replied S2",
+      "vote_collected S1",
+      "vote_collected S1",
+      "write_shipped S1",
+      "paxos_vote S1",
+      "paxos_vote S2",
+      "paxos_accept S1",
+      "paxos_accept S2",
+      "paxos_accept S3",
+      "paxos_accept S1",
+      "paxos_accept S2",
+      "paxos_accept S3",
+      "crash S1",
+      "paxos_failover S2",
+      "paxos_recovery_ballot S2",
+      "paxos_promise S2",
+      "paxos_promise S3",
+      "vote_collected S2",
+      "vote_collected S2",
+      "paxos_accept S2",
+      "paxos_accept S3",
+      "paxos_accept S2",
+      "paxos_accept S3",
+      "vote_collected S2",
+      "paxos_chosen S2",
+      "vote_collected S2",
+      "paxos_chosen S2",
+      "paxos_decide S2",
+      "outcome_learned S2",
+      "outcome_learned S3",
+      "recover S1",
+      "paxos_vote S1",
+      "paxos_accept S1",
+      "msg_ignored S2",
+      "msg_ignored S3",
+      "msg_ignored S1",
+      "paxos_failover S1",
+      "outcome_replied S2",
+      "outcome_learned S1",
+  };
+  EXPECT_EQ(actual, kGolden);
+
+  const Status audit = TraceAuditor::Check(trace.Snapshot());
+  EXPECT_TRUE(audit.ok()) << audit.message();
+}
+
+TEST(PaxosGoldenTraceTest, ComputePhaseAbort) {
+  VectorTraceSink trace;
+  SimCluster::Options options = PaxosOptions(3);
+  options.trace = &trace;
+  SimCluster cluster(options);
+
+  cluster.Load(0, "acct/savings", Value::Int(100));
+  cluster.Load(1, "acct/checking", Value::Int(50));
+
+  TxnSpec spec = TransferSpec(cluster);
+  spec.Logic([](const TxnReads& reads) {
+    (void)reads;
+    TxnEffect e;
+    e.abort = true;
+    e.abort_reason = "insufficient funds";
+    return e;
+  });
+
+  const std::optional<TxnResult> result =
+      cluster.SubmitAndRun(0, std::move(spec));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->committed());
+  EXPECT_EQ(result->abort_reason, "insufficient funds");
+  cluster.RunAll();
+
+  // No vote was ever cast: the unilateral abort is safe and nothing is
+  // left locked or prepared anywhere.
+  EXPECT_EQ(
+      cluster.site(0).Peek("acct/savings")->certain_value().int_value(),
+      100);
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(cluster.site(i).store().locked_count(), 0u);
+  }
+
+  const std::vector<std::string> actual = EngineEventLines(trace.Snapshot());
+  MaybePrint(actual);
+  const std::vector<std::string> kGolden = {
+      "submit S1",
+      "prepare_recv S1",
+      "prepare_replied S1",
+      "prepare_recv S2",
+      "prepare_replied S2",
+      "vote_collected S1",
+      "vote_collected S1",
+      "decision_abort S1",
+      "outcome_learned S1",
+      "outcome_learned S2",
+  };
+  EXPECT_EQ(actual, kGolden);
+
+  const Status audit = TraceAuditor::Check(trace.Snapshot());
+  EXPECT_TRUE(audit.ok()) << audit.message();
+}
+
+}  // namespace
+}  // namespace polyvalue

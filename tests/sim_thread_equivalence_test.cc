@@ -117,19 +117,22 @@ std::vector<std::map<std::string, Value>> SnapshotDb(Cluster& cluster) {
   return db;
 }
 
-EngineConfig Config() {
+EngineConfig Config(ProtocolLeg leg = ProtocolLeg::kTwoPhase) {
   EngineConfig config;
   config.prepare_timeout = 1.0;
   config.ready_timeout = 1.0;
   config.wait_timeout = 0.5;
   config.inquiry_interval = 0.1;
+  config.leg = leg;
+  config.paxos_failover_timeout = 0.3;
   return config;
 }
 
-RunResult RunOnSim(bool batching) {
+RunResult RunOnSim(bool batching,
+                   ProtocolLeg leg = ProtocolLeg::kTwoPhase) {
   SimCluster::Options options;
   options.site_count = kSites;
-  options.engine = Config();
+  options.engine = Config(leg);
   options.seed = kSeed;
   options.enable_batching = batching;
   SimCluster cluster(options);
@@ -153,10 +156,11 @@ RunResult RunOnSim(bool batching) {
   return run;
 }
 
-RunResult RunOnThreads(bool batching, const std::string& wal_dir) {
+RunResult RunOnThreads(bool batching, const std::string& wal_dir,
+                       ProtocolLeg leg = ProtocolLeg::kTwoPhase) {
   ThreadCluster::Options options;
   options.site_count = kSites;
-  options.engine = Config();
+  options.engine = Config(leg);
   options.seed = kSeed;
   options.enable_batching = batching;
   if (!wal_dir.empty()) {
@@ -246,6 +250,28 @@ TEST(SimThreadEquivalenceTest, SimBatchingIsDeterministicPerSeed) {
       EXPECT_EQ(first_packets, cluster.transport().packets_sent());
     }
   }
+}
+
+TEST(SimThreadEquivalenceTest, PaxosLegAgreesAcrossRuntimes) {
+  // The Paxos Commit leg must make the SAME decisions as it does on the
+  // simulator when run on real threads: runtimes change scheduling,
+  // never protocol outcomes. The sequential workload commits everywhere
+  // and both runtimes land on the identical database — which must also
+  // equal what 2PC commits for this contention-free history.
+  const RunResult sim_paxos =
+      RunOnSim(/*batching=*/false, ProtocolLeg::kPaxosCommit);
+  for (bool committed : sim_paxos.outcomes) {
+    EXPECT_TRUE(committed);
+  }
+
+  const RunResult threads_paxos =
+      RunOnThreads(/*batching=*/false, "", ProtocolLeg::kPaxosCommit);
+  EXPECT_TRUE(sim_paxos == threads_paxos)
+      << "threaded Paxos runtime diverged from simulator";
+
+  const RunResult sim_2pc = RunOnSim(/*batching=*/false);
+  EXPECT_TRUE(sim_paxos.db == sim_2pc.db)
+      << "Paxos Commit and 2PC disagree on a contention-free history";
 }
 
 }  // namespace

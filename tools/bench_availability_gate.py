@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""CI gate for the three-way availability bench (bench_availability.cc).
+
+Validates BENCH_availability.json against the expected schema and
+re-derives every gated expectation from the raw numbers, independently
+of the bench's own exit code (a truncated or hand-edited artifact must
+not pass):
+
+  * every cell: conservation drift 0, no residual uncertainty, traffic
+    actually landed inside the outage window;
+  * blocking 2PC's worst-case stalled window tracks the outage length;
+  * Paxos Commit's worst-case stalled window stays under a constant
+    bound (the failover timeout, not the outage) and the leg never
+    manufactures polyvalues or uncertain outputs;
+  * outage commit rates: polyvalue >= block, paxos >= 0.9 * block.
+
+Usage: bench_availability_gate.py BENCH_availability.json
+Exit: 0 iff the artifact is well-formed and every expectation holds.
+"""
+
+import json
+import sys
+
+CELL_FIELDS = {
+    "outage": int,
+    "protocol": str,
+    "submitted": int,
+    "committed": int,
+    "outage_submitted": int,
+    "outage_committed": int,
+    "outage_commit_pct": (int, float),
+    "outage_latency_ms": (int, float),
+    "stalled_window_mean_s": (int, float),
+    "stalled_window_max_s": (int, float),
+    "stalled_window_count": int,
+    "paxos_failovers": int,
+    "paxos_recovery_ballots": int,
+    "polyvalue_installs": int,
+    "uncertain_outputs": int,
+    "conservation_drift": int,
+    "all_items_certain": bool,
+}
+
+PROTOCOLS = ("block", "polyvalue", "paxos_commit")
+OUTAGES = (2, 5, 10)
+PAXOS_STALL_BOUND_S = 0.5
+
+
+def fail(msg):
+    print(f"bench_availability_gate: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) != 2:
+        return fail(f"usage: {argv[0]} BENCH_availability.json")
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot parse {argv[1]}: {e}")
+
+    errors = []
+    if doc.get("schema_version") != 1:
+        errors.append("schema_version != 1")
+    if doc.get("bench") != "bench_availability":
+        errors.append("bench != bench_availability")
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        errors.append("missing config object")
+        config = {}
+    if sorted(config.get("protocols", [])) != sorted(PROTOCOLS):
+        errors.append("config.protocols must list the three legs")
+
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        for e in errors:
+            print(f"bench_availability_gate: {e}", file=sys.stderr)
+        return fail("missing cells array")
+
+    grid = {}
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        for field, ftype in CELL_FIELDS.items():
+            if field not in cell:
+                errors.append(f"{where}: missing field '{field}'")
+            elif not isinstance(cell[field], ftype) or (
+                    ftype is int and isinstance(cell[field], bool)):
+                errors.append(f"{where}: field '{field}' has type "
+                              f"{type(cell[field]).__name__}")
+        if errors:
+            continue
+        grid[(cell["protocol"], cell["outage"])] = cell
+
+    if errors:
+        for e in errors:
+            print(f"bench_availability_gate: {e}", file=sys.stderr)
+        return fail(f"{len(errors)} schema error(s)")
+
+    problems = []
+    for outage in OUTAGES:
+        for protocol in PROTOCOLS:
+            cell = grid.get((protocol, outage))
+            name = f"{protocol}/outage={outage}"
+            if cell is None:
+                problems.append(f"{name}: cell missing from the grid")
+                continue
+            if cell["conservation_drift"] != 0:
+                problems.append(f"{name}: conservation drift")
+            if not cell["all_items_certain"]:
+                problems.append(f"{name}: residual uncertainty")
+            if cell["outage_submitted"] == 0:
+                problems.append(f"{name}: no outage traffic")
+
+    for outage in OUTAGES:
+        block = grid.get(("block", outage))
+        poly = grid.get(("polyvalue", outage))
+        paxos = grid.get(("paxos_commit", outage))
+        if block is None or poly is None or paxos is None:
+            continue
+        name = f"outage={outage}"
+        if block["stalled_window_max_s"] < 0.9 * outage:
+            problems.append(
+                f"{name}: block stall max "
+                f"{block['stalled_window_max_s']:.3f}s does not track "
+                f"the outage")
+        if paxos["stalled_window_max_s"] > PAXOS_STALL_BOUND_S:
+            problems.append(
+                f"{name}: paxos stall max "
+                f"{paxos['stalled_window_max_s']:.3f}s above the "
+                f"{PAXOS_STALL_BOUND_S}s failover bound")
+        if paxos["polyvalue_installs"] != 0 or paxos["uncertain_outputs"]:
+            problems.append(f"{name}: paxos manufactured uncertainty")
+        if paxos["outage_commit_pct"] < 0.9 * block["outage_commit_pct"]:
+            problems.append(f"{name}: paxos commit% too far below block")
+        if poly["outage_commit_pct"] < block["outage_commit_pct"]:
+            problems.append(f"{name}: polyvalue commit% below block")
+
+    derived_pass = not problems
+    if doc.get("pass") is not derived_pass:
+        problems.append(
+            f"recorded pass={doc.get('pass')} disagrees with the gate")
+
+    if problems:
+        for p in problems:
+            print(f"FAIL {p}")
+        return fail("at least one expectation regressed")
+    for outage in OUTAGES:
+        block = grid[("block", outage)]
+        paxos = grid[("paxos_commit", outage)]
+        print(f"ok   outage={outage}: stall max block "
+              f"{block['stalled_window_max_s']:.2f}s vs paxos "
+              f"{paxos['stalled_window_max_s']:.2f}s")
+    print(f"bench_availability_gate: PASS ({len(cells)} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -22,8 +22,9 @@ above tools/polylint.py:
         core (src/event/, src/sim/, sim_transport). Deeper than
         polylint's include-only LAY01.
 
-  TR01  Every TxnEngine message handler (TxnEngine::Handle* taking a
-        Message) emits a trace event on every return path — directly
+  TR01  Every commit-engine message handler (TxnEngine::Handle* /
+        PaxosEngine::Handle* taking a Message, per ENGINE_SCOPES)
+        emits a trace event on every return path — directly
         via Trace()/TraceKey() or by unconditionally calling another
         all-paths-emitting engine method. Closes the loop with the
         TraceAuditor: an untraced return path is protocol behaviour
@@ -458,55 +459,71 @@ def check_cg01(root, sources):
 # --------------------------------------------------------------------
 
 
+# Each commit-protocol leg owns an engine class whose message handlers
+# must trace every return path. New legs register here.
+ENGINE_SCOPES = (
+    ("src/txn", "TxnEngine"),
+    ("src/paxos", "PaxosEngine"),
+)
+
+
 def check_tr01(root, sources):
     violations = []
-    engine_methods = []
     srcs_by_path = {s.path: s for s in sources}
-    for src in sources:
-        if "/src/txn/" not in src.path.replace(os.sep, "/") and not \
-                src.path.replace(os.sep, "/").endswith("src/txn"):
+    for scope_dir, engine_cls in ENGINE_SCOPES:
+        scoped = [
+            src for src in sources
+            if "/" + scope_dir + "/" in src.path.replace(os.sep, "/") or
+            src.path.replace(os.sep, "/").endswith(scope_dir)
+        ]
+        if not scoped:
+            # A tree without this leg (e.g. the self-test fixture) is
+            # not a TR01 failure — the check is scoped per engine.
             continue
-        for fn in cpplite.parse_functions(src):
-            if fn.cls == "TxnEngine":
-                engine_methods.append(fn)
+        engine_methods = []
+        for src in scoped:
+            for fn in cpplite.parse_functions(src):
+                if fn.cls == engine_cls:
+                    engine_methods.append(fn)
 
-    # Fixpoint: the set of engine methods that emit on ALL paths. Base
-    # emitters are the Trace helpers themselves.
-    emitting = set()
-    method_names = {fn.name for fn in engine_methods}
-    changed = True
-    while changed:
-        changed = False
-        emitters = {"Trace", "TraceKey"} | emitting
-        for fn in engine_methods:
-            if fn.name in emitting:
-                continue
-            if not cpplite.uncovered_returns(fn.body, emitters):
-                emitting.add(fn.name)
-                changed = True
+        # Fixpoint: the set of engine methods that emit on ALL paths.
+        # Base emitters are the Trace helpers themselves.
+        emitting = set()
+        changed = True
+        while changed:
+            changed = False
+            emitters = {"Trace", "TraceKey"} | emitting
+            for fn in engine_methods:
+                if fn.name in emitting:
+                    continue
+                if not cpplite.uncovered_returns(fn.body, emitters):
+                    emitting.add(fn.name)
+                    changed = True
 
-    handlers = [
-        fn for fn in engine_methods
-        if fn.name.startswith("Handle") and "Message" in fn.params
-    ]
-    if not handlers:
-        violations.append(Violation(
-            "TR01", root, 1,
-            "found no TxnEngine::Handle*(... Message ...) handlers — "
-            "frontend drift? (TR01 would be vacuous)"))
-    emitters = {"Trace", "TraceKey"} | emitting
-    for fn in handlers:
-        src = srcs_by_path[fn.file]
-        for off in cpplite.uncovered_returns(fn.body, emitters):
-            line = src.line_of(fn.body_offset + min(off, len(fn.body) - 1))
-            if allowed(src, line, "TR01"):
-                continue
+        handlers = [
+            fn for fn in engine_methods
+            if fn.name.startswith("Handle") and "Message" in fn.params
+        ]
+        if not handlers:
             violations.append(Violation(
-                "TR01", fn.file, line,
-                f"return path in message handler TxnEngine::{fn.name} "
-                "emits no trace event (Trace/TraceKey or an "
-                "all-paths-emitting callee); the TraceAuditor cannot see "
-                "this protocol step"))
+                "TR01", root, 1,
+                f"found no {engine_cls}::Handle*(... Message ...) handlers "
+                f"under {scope_dir} — frontend drift? (TR01 would be "
+                "vacuous)"))
+        emitters = {"Trace", "TraceKey"} | emitting
+        for fn in handlers:
+            src = srcs_by_path[fn.file]
+            for off in cpplite.uncovered_returns(fn.body, emitters):
+                line = src.line_of(
+                    fn.body_offset + min(off, len(fn.body) - 1))
+                if allowed(src, line, "TR01"):
+                    continue
+                violations.append(Violation(
+                    "TR01", fn.file, line,
+                    f"return path in message handler {engine_cls}::"
+                    f"{fn.name} emits no trace event (Trace/TraceKey or "
+                    "an all-paths-emitting callee); the TraceAuditor "
+                    "cannot see this protocol step"))
     return violations
 
 

@@ -79,7 +79,10 @@ class PaxosEngine : public CommitProtocol {
   ~PaxosEngine() override;
 
   // Optional observability; same cost contract as TxnEngine.
-  void AttachTrace(TraceSink* sink) { trace_ = sink; }
+  void AttachTrace(TraceSink* sink) {
+    MutexLock lock(&mu_);
+    trace_ = sink;
+  }
 
   SiteId self() const { return self_; }
   const EngineConfig& config() const { return config_; }
@@ -241,7 +244,7 @@ class PaxosEngine : public CommitProtocol {
 
   // Trace emission; null check first, same cost contract as TxnEngine.
   void Trace(TraceEventType type, TxnId txn, bool flag = false,
-             uint64_t arg = 0) {
+             uint64_t arg = 0) REQUIRES(mu_) {
     if (trace_ == nullptr) {
       return;
     }
@@ -255,7 +258,7 @@ class PaxosEngine : public CommitProtocol {
     trace_->Emit(event);
   }
   void Trace(TraceEventType type, TxnId txn, SiteId peer, bool flag,
-             uint64_t arg) {
+             uint64_t arg) REQUIRES(mu_) {
     if (trace_ == nullptr) {
       return;
     }
@@ -275,7 +278,7 @@ class PaxosEngine : public CommitProtocol {
   Scheduler* const scheduler_;
   const SendFn send_;
   const EngineConfig config_;
-  TraceSink* trace_ = nullptr;
+  TraceSink* trace_ GUARDED_BY(mu_) = nullptr;
 
   mutable Mutex mu_ POLYV_MUTEX_RANK(kPaxosEngine);
   std::atomic<uint64_t> next_seq_{1};

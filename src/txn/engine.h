@@ -217,7 +217,10 @@ class TxnEngine : public CommitProtocol {
   // `sink` (src/obs/trace.h). Attach before traffic; the engine does not
   // own the sink. With no sink attached every emission point is a single
   // null-pointer check (verified free by bench_throughput).
-  void AttachTrace(TraceSink* sink) { trace_ = sink; }
+  void AttachTrace(TraceSink* sink) {
+    MutexLock lock(&mu_);
+    trace_ = sink;
+  }
 
   SiteId self() const { return self_; }
   const EngineConfig& config() const { return config_; }
@@ -394,7 +397,7 @@ class TxnEngine : public CommitProtocol {
   // sink costs one predictable branch and nothing is constructed; call
   // sites that must *compute* event arguments guard on trace_ themselves.
   void Trace(TraceEventType type, TxnId txn, bool flag = false,
-             uint64_t arg = 0) {
+             uint64_t arg = 0) REQUIRES(mu_) {
     if (trace_ == nullptr) {
       return;
     }
@@ -408,7 +411,7 @@ class TxnEngine : public CommitProtocol {
     trace_->Emit(event);
   }
   void TraceKey(TraceEventType type, TxnId txn, const ItemKey& key,
-                bool flag = false) {
+                bool flag = false) REQUIRES(mu_) {
     if (trace_ == nullptr) {
       return;
     }
@@ -431,7 +434,7 @@ class TxnEngine : public CommitProtocol {
   const SendFn send_;
   const EngineConfig config_;
   Wal* wal_ = nullptr;
-  TraceSink* trace_ = nullptr;
+  TraceSink* trace_ GUARDED_BY(mu_) = nullptr;
 
   mutable Mutex mu_ POLYV_MUTEX_RANK(kEngine);
   // Txn-id sequence. Atomic so AllocateTxnId (called on every client

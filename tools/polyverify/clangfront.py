@@ -16,16 +16,30 @@ without libclang installed.
 from __future__ import annotations
 
 
-def available():
+def probe():
+    """Returns (ok, reason). ok=True means libclang is importable AND a
+    working Index can be created; reason explains why not (missing
+    bindings vs. bindings present but the shared library is absent or
+    version-mismatched), so callers can print a one-line warning
+    instead of a stack trace."""
     try:
         import clang.cindex  # noqa: F401
-    except Exception:
-        return False
+    except Exception as e:
+        return False, f"clang.cindex not importable ({e.__class__.__name__})"
     try:
         index = _index()
-        return index is not None
-    except Exception:
-        return False
+    except Exception as e:
+        # Typical causes: libclang.so missing from the loader path, or
+        # python bindings built for a different libclang major version.
+        return False, ("clang.cindex imports but libclang failed to "
+                       f"load: {e}")
+    if index is None:
+        return False, "clang.cindex Index.create() returned None"
+    return True, "libclang loaded"
+
+
+def available():
+    return probe()[0]
 
 
 _INDEX = None

@@ -79,6 +79,46 @@ def line_of(text, offset):
     return text.count("\n", 0, offset) + 1
 
 
+_PP_COND_RE = re.compile(r"^\s*#\s*(if|ifdef|ifndef|elif|else|endif)\b")
+
+
+def blank_preprocessor_alternatives(text):
+    """Resolves preprocessor conditionals offset-preservingly.
+
+    The first branch of every #if/#ifdef/#ifndef is kept; #elif/#else
+    alternatives are blanked, as are the directive lines themselves —
+    so a function body split across `#if A ... #else ... #endif`
+    parses as the primary configuration instead of as doubled
+    (possibly brace-unbalanced) text. #define bodies (including
+    multi-line X-macro lists, which LK01 reads) are never touched:
+    only the six conditional directives and suppressed branches blank.
+    """
+    out = []
+    # stack of booleans: is the *current* branch of each open
+    # conditional kept?
+    stack = []
+    for line in text.split("\n"):
+        m = _PP_COND_RE.match(line)
+        keep_ctx = all(stack)
+        if m:
+            d = m.group(1)
+            if d in ("if", "ifdef", "ifndef"):
+                stack.append(True)  # first branch kept
+            elif d in ("elif", "else"):
+                if stack:
+                    stack[-1] = False  # alternatives blanked
+            elif d == "endif":
+                if stack:
+                    stack.pop()
+            out.append(" " * len(line))  # directive line itself
+            continue
+        if keep_ctx:
+            out.append(line)
+        else:
+            out.append(" " * len(line))
+    return "\n".join(out)
+
+
 def match_brace(text, open_idx):
     """Returns the offset of the '}' matching the '{' at open_idx."""
     depth = 0
@@ -100,7 +140,8 @@ class SourceFile:
     lines: list = field(default_factory=list)
 
     def __post_init__(self):
-        self.clean = strip_comments_and_strings(self.text)
+        self.clean = blank_preprocessor_alternatives(
+            strip_comments_and_strings(self.text))
         self.lines = self.text.splitlines()
 
     def line_of(self, offset):
@@ -227,16 +268,20 @@ class Function:
     params: str
     body: str     # cleaned body text, braces excluded
     body_offset: int  # offset of the body in the cleaned file text
+    annotations: str = ""  # trailing qualifiers (const, REQUIRES(...), ...)
 
 
 # A function definition header: qualified name, parameter list, optional
 # qualifiers/annotations, then `{`. Control-flow keywords are excluded
-# at match time.
+# at match time. Names cover identifiers, destructors, and operator
+# overloads (operator() and the symbolic forms).
 FUNC_RE = re.compile(
     r"(?:^|[;}{])\s*"                       # statement position
     r"(?:template\s*<[^>]*>\s*)?"
     r"(?P<prefix>[\w:<>,*&~\[\]\s]*?)"      # return type etc. (may be empty)
-    r"\b(?P<qual>(?:\w+::)*)(?P<name>~?\w+)\s*"
+    r"\b(?P<qual>(?:\w+::)*)"
+    r"(?P<name>operator\s*\(\s*\)|operator\s*(?:\[\s*\]|[+\-*/%^&|~!=<>]{1,3})"
+    r"|~?\w+)\s*"
     r"\((?P<params>[^;{}()]*(?:\([^()]*\)[^;{}()]*)*)\)\s*"
     r"(?P<post>(?:const|noexcept|override|final|mutable|->\s*[\w:<>&*]+"
     r"|REQUIRES(?:_SHARED)?\s*\([^)]*\)|EXCLUDES\s*\([^)]*\)"
@@ -285,6 +330,8 @@ def parse_functions(src):
         name = m.group("name")
         if name in KEYWORDS or name.startswith("~"):
             continue
+        if name.startswith("operator"):
+            name = "operator" + re.sub(r"\s+", "", name[len("operator"):])
         qual = m.group("qual").rstrip(":")
         body_open = m.end() - 1
         body_close = match_brace(src.clean, body_open)
@@ -300,6 +347,7 @@ def parse_functions(src):
                 params=m.group("params"),
                 body=src.clean[body_open + 1 : body_close],
                 body_offset=body_open + 1,
+                annotations=m.group("post") or "",
             )
         )
     return functions
@@ -344,6 +392,123 @@ def parse_member_types(src):
                 members[m.group("name")] = ty
         result.setdefault(name, {}).update(members)
     return result
+
+
+# --- member fields (rule GD01 / HP01) -------------------------------
+
+# A type name with up to two levels of template nesting, e.g.
+# `std::map<TxnId, std::pair<uint64_t, bool>>`.
+_TMPL_TYPE = (
+    r"\w+(?:::\w+)*"
+    r"(?:\s*<[^<>;]*(?:<[^<>;]*(?:<[^<>;]*>[^<>;]*)*>[^<>;]*)*>)?"
+)
+
+MEMBER_FIELD_RE = re.compile(
+    # The delimiter is a lookbehind so one declaration's `;` can anchor
+    # the next (finditer matches never overlap).
+    r"(?:^|(?<=[;{}])|\b(?:public|private|protected)\s*:)\s*"
+    r"(?P<spec>(?:static\s+|mutable\s+|const\s+|constexpr\s+|inline\s+)*)"
+    r"(?P<type>" + _TMPL_TYPE + r")(?:\s*const\b)?(?:\s*[*&]+)?\s+"
+    r"(?P<name>\w+)\s*"
+    r"(?P<ann>(?:(?:GUARDED_BY|PT_GUARDED_BY|POLYV_MUTEX_RANK|"
+    r"ACQUIRED_BEFORE|ACQUIRED_AFTER)\s*\([^()]*\)\s*)*)"
+    r"(?:=\s*[^;]*|\{[^{};]*\})?\s*;"
+)
+
+
+@dataclass
+class MemberField:
+    file: str
+    line: int
+    cls: str
+    name: str
+    type: str
+    spec: str         # static/mutable/const/... specifiers
+    annotations: str  # GUARDED_BY(...) etc., "" when unannotated
+
+
+def parse_member_fields(src):
+    """Returns {class: [MemberField, ...]} for data-member declarations,
+    handling nested template types. Method definitions don't match (a
+    '(' in the declarator breaks the pattern before the ';')."""
+    tracker = ClassTracker(src.clean)
+    result = {}
+    for open_idx, close_idx, cls in tracker.spans:
+        body = src.clean[open_idx + 1 : close_idx]
+        # Blank nested class/struct bodies so inner members are not
+        # attributed to the outer class (the tracker visits them too).
+        chars = list(body)
+        for o2, c2, _ in tracker.spans:
+            if open_idx < o2 and c2 < close_idx:
+                for k in range(o2 - open_idx - 1, c2 - open_idx):
+                    if 0 <= k < len(chars) and chars[k] != "\n":
+                        chars[k] = " "
+        scan = "".join(chars)
+        fields = []
+        for m in MEMBER_FIELD_RE.finditer(scan):
+            ty = m.group("type").strip()
+            base = ty.split("<")[0].split("::")[-1]
+            if base in KEYWORDS or ty in ("return",):
+                continue
+            fields.append(MemberField(
+                file=src.path,
+                line=src.line_of(open_idx + 1 + m.start("name")),
+                cls=cls,
+                name=m.group("name"),
+                type=ty,
+                spec=m.group("spec") or "",
+                annotations=(m.group("ann") or "").strip(),
+            ))
+        if fields:
+            result.setdefault(cls, []).extend(fields)
+    return result
+
+
+# --- lock scopes (rule GD01) ----------------------------------------
+
+LOCK_GUARD_RE = re.compile(r"\bMutexLock\s+\w+\s*[({]\s*&\s*(\w+)\s*[)}]")
+LOCK_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*Lock\s*\(\s*\)")
+UNLOCK_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*Unlock\s*\(\s*\)")
+
+
+def _block_spans(body):
+    """Returns (open, close) offset pairs for every brace block."""
+    spans = []
+    stack = []
+    for i, c in enumerate(body):
+        if c == "{":
+            stack.append(i)
+        elif c == "}" and stack:
+            spans.append((stack.pop(), i))
+    return spans
+
+
+def lock_regions(body):
+    """Returns [(mutex_name, start, end)] offset ranges of `body` that
+    execute with the named mutex held: the lexical scope of each RAII
+    `MutexLock l(&mu_)` guard, and the textual span between explicit
+    `mu_.Lock()` / `mu_.Unlock()` pairs."""
+    spans = _block_spans(body)
+    regions = []
+    for m in LOCK_GUARD_RE.finditer(body):
+        end = len(body)
+        best = None
+        for o, c in spans:
+            if o < m.start() < c and (best is None or c - o < best[1] -
+                                      best[0]):
+                best = (o, c)
+        if best is not None:
+            end = best[1]
+        regions.append((m.group(1), m.start(), end))
+    for m in LOCK_CALL_RE.finditer(body):
+        mu = m.group(1)
+        end = len(body)
+        for u in UNLOCK_CALL_RE.finditer(body, m.end()):
+            if u.group(1) == mu:
+                end = u.start()
+                break
+        regions.append((mu, m.start(), end))
+    return regions
 
 
 # --- return-path coverage (rule TR01) -------------------------------

@@ -1,0 +1,549 @@
+"""Intraprocedural CFG + path-sensitive dataflow for polyverify.
+
+Lowers a cleaned C++ function body (cpplite hands us comment/string
+stripped text with byte offsets preserved) onto a statement-level
+control-flow graph: branches, early returns, switches with
+fallthrough, break/continue, and loops as back-edges. On top of the
+CFG sit two small path-sensitive walks used by the WA01
+write-ahead-ordering rule:
+
+  * may-walk  — "a durable mutation may still be un-logged when this
+    send executes" (pending-set forward propagation, union over paths)
+  * must-walk — "some path from function entry reaches this send
+    without passing a required record/append first" (obligation walk)
+
+Both walks carry a tiny boolean-fact environment so that correlated
+branches do not produce false positives: branch edges assert facts
+about plain bool locals (`if (commit || made_writes)`'s else-edge
+knows both are false), infeasible edges are pruned, and
+ternary-guarded tokens (`commit ? MakeComplete(..) : MakeAbort(..)`)
+are skipped when the facts contradict their guard. Lambda bodies are
+opaque: deferred thunks run after the barrier point, not at the
+enqueue site, so their contents never count as sends or barriers.
+
+This is NOT a general C++ CFG builder. It relies on the tree's
+enforced formatting (clang-format, Google style) and fails safe: any
+shape it cannot lower becomes a straight-line statement, which keeps
+every token visible to the walks in source order.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+# ---------------------------------------------------------------------
+# Statement parsing
+# ---------------------------------------------------------------------
+
+_KW_RE = re.compile(
+    r"\b(if|else|while|do|for|switch|return|break|continue|try|catch)\b")
+_LAMBDA_INTRO = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\)\s*)?(?:mutable\s*)?"
+    r"(?:noexcept\s*)?(?:->\s*[\w:<>&*\s]+?\s*)?\{")
+
+
+def _match(text, open_idx, open_ch="{", close_ch="}"):
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def blank_lambdas(body):
+    """Replaces every lambda body (braces included) with spaces.
+
+    Keeps offsets stable; repeated until no lambda intro remains so
+    nested lambdas vanish inside-out.
+    """
+    out = list(body)
+    while True:
+        m = _LAMBDA_INTRO.search("".join(out))
+        if m is None:
+            break
+        text = "".join(out)
+        open_idx = m.end() - 1
+        close_idx = _match(text, open_idx)
+        for k in range(open_idx, close_idx + 1):
+            if out[k] != "\n":
+                out[k] = " "
+        # Also blank the intro (capture list / params) so `[this]`
+        # captures and lambda parameters never look like accesses.
+        for k in range(m.start(), open_idx):
+            if out[k] != "\n":
+                out[k] = " "
+    return "".join(out)
+
+
+@dataclass
+class Stmt:
+    kind: str            # simple if while do for switch return break
+    #                      continue block
+    offset: int
+    text: str = ""       # simple/return: statement; others: condition
+    body: list = field(default_factory=list)
+    orelse: list = field(default_factory=list)
+    cases: list = field(default_factory=list)  # switch: [(is_default,
+    #                                              [stmts])]
+
+
+def _skip_ws(text, i, end):
+    while i < end and (text[i].isspace() or text[i] == ";"):
+        i += 1
+    return i
+
+
+def _paren_span(text, i, end):
+    """Given i at or before '(', returns (inner_text, open, after)."""
+    p = text.find("(", i, end)
+    if p == -1:
+        return "", i, i
+    close = _match(text, p, "(", ")")
+    return text[p + 1:close], p, close + 1
+
+
+def _simple_span(text, i, end):
+    """Scans one plain statement: to the ';' at depth 0, skipping
+    paren groups and brace groups (braced initialisers)."""
+    j = i
+    while j < end:
+        c = text[j]
+        if c == "(":
+            j = _match(text, j, "(", ")") + 1
+        elif c == "{":
+            j = _match(text, j) + 1
+        elif c == ";":
+            return j + 1
+        else:
+            j += 1
+    return end
+
+
+def parse_stmts(text, i=0, end=None):
+    """Parses text[i:end] into a list of Stmt."""
+    if end is None:
+        end = len(text)
+    stmts = []
+    while True:
+        i = _skip_ws(text, i, end)
+        if i >= end:
+            break
+        st, i = _parse_one(text, i, end)
+        if st is not None:
+            stmts.append(st)
+    return stmts
+
+
+def _parse_one(text, i, end):
+    c = text[i]
+    if c == "{":
+        close = _match(text, i)
+        return Stmt("block", i, body=parse_stmts(text, i + 1, close)), \
+            close + 1
+    m = _KW_RE.match(text, i)
+    if m is None:
+        nxt = _simple_span(text, i, end)
+        return Stmt("simple", i, text=text[i:nxt]), nxt
+    kw = m.group(1)
+    if kw in ("return",):
+        nxt = _simple_span(text, i, end)
+        return Stmt("return", i, text=text[i:nxt]), nxt
+    if kw in ("break", "continue"):
+        nxt = _simple_span(text, i, end)
+        return Stmt(kw, i), nxt
+    if kw == "if":
+        j = m.end()
+        # skip `constexpr`
+        j2 = _skip_ws(text, j, end)
+        if text.startswith("constexpr", j2):
+            j = j2 + len("constexpr")
+        cond, _, after = _paren_span(text, j, end)
+        then_stmt, nxt = _parse_one(text, _skip_ws(text, after, end), end)
+        body = then_stmt.body if then_stmt.kind == "block" else [then_stmt]
+        orelse = []
+        k = _skip_ws(text, nxt, end)
+        if text.startswith("else", k) and \
+                not (k + 4 < end and (text[k + 4].isalnum() or
+                                      text[k + 4] == "_")):
+            else_stmt, nxt = _parse_one(
+                text, _skip_ws(text, k + 4, end), end)
+            orelse = else_stmt.body if else_stmt.kind == "block" \
+                else [else_stmt]
+        return Stmt("if", i, text=cond, body=body, orelse=orelse), nxt
+    if kw == "while":
+        cond, _, after = _paren_span(text, m.end(), end)
+        body_stmt, nxt = _parse_one(text, _skip_ws(text, after, end), end)
+        body = body_stmt.body if body_stmt.kind == "block" else [body_stmt]
+        return Stmt("while", i, text=cond, body=body), nxt
+    if kw == "do":
+        body_stmt, nxt = _parse_one(text, _skip_ws(text, m.end(), end), end)
+        body = body_stmt.body if body_stmt.kind == "block" else [body_stmt]
+        k = _skip_ws(text, nxt, end)
+        cond = ""
+        if text.startswith("while", k):
+            cond, _, nxt = _paren_span(text, k + 5, end)
+            nxt = _skip_ws(text, nxt, end)
+        return Stmt("do", i, text=cond, body=body), nxt
+    if kw == "for":
+        header, _, after = _paren_span(text, m.end(), end)
+        body_stmt, nxt = _parse_one(text, _skip_ws(text, after, end), end)
+        body = body_stmt.body if body_stmt.kind == "block" else [body_stmt]
+        return Stmt("for", i, text=header, body=body), nxt
+    if kw == "switch":
+        cond, _, after = _paren_span(text, m.end(), end)
+        bo = text.find("{", after, end)
+        if bo == -1:
+            nxt = _simple_span(text, i, end)
+            return Stmt("simple", i, text=text[i:nxt]), nxt
+        bc = _match(text, bo)
+        cases = _parse_cases(text, bo + 1, bc)
+        return Stmt("switch", i, text=cond, cases=cases), bc + 1
+    if kw in ("try", "catch"):
+        # `try { A } catch (...) { B }`: both blocks are possible
+        # continuations; model as sequential blocks (conservative).
+        j = _skip_ws(text, m.end(), end)
+        if kw == "catch":
+            _, _, j = _paren_span(text, j, end)
+            j = _skip_ws(text, j, end)
+        body_stmt, nxt = _parse_one(text, j, end)
+        body = body_stmt.body if body_stmt.kind == "block" else [body_stmt]
+        return Stmt("block", i, body=body), nxt
+    nxt = _simple_span(text, i, end)
+    return Stmt("simple", i, text=text[i:nxt]), nxt
+
+
+_CASE_LABEL_RE = re.compile(r"\b(case\b[^:]*|default\s*)(:)(?!:)")
+
+
+def _parse_cases(text, i, end):
+    """Splits a switch body into [(is_default, [stmts])] groups.
+    Consecutive labels fall into one group."""
+    labels = []
+    j = i
+    while j < end:
+        c = text[j]
+        if c == "{":
+            j = _match(text, j) + 1
+            continue
+        if c == "(":
+            j = _match(text, j, "(", ")") + 1
+            continue
+        m = _CASE_LABEL_RE.match(text, j)
+        if m:
+            labels.append((m.start(), m.end(), m.group(1).startswith(
+                "default")))
+            j = m.end()
+            continue
+        j += 1
+    groups = []
+    for idx, (s, lend, is_default) in enumerate(labels):
+        nxt = labels[idx + 1][0] if idx + 1 < len(labels) else end
+        if nxt <= lend:
+            continue
+        stmts = parse_stmts(text, lend, nxt)
+        if idx + 1 < len(labels) and not stmts:
+            # consecutive labels: merge by letting the previous group
+            # fall through (handled in CFG lowering); keep the empty
+            # group so the default flag is not lost
+            groups.append((is_default, []))
+        else:
+            groups.append((is_default, stmts))
+    return groups
+
+
+# ---------------------------------------------------------------------
+# Boolean branch facts
+# ---------------------------------------------------------------------
+
+_SIMPLE_VAR = re.compile(r"\s*(!?)\s*([A-Za-z_]\w*)\s*$")
+_FACT_KEYWORDS = {"true", "false", "nullptr", "this"}
+
+
+def _atom_fact(expr):
+    m = _SIMPLE_VAR.match(expr)
+    if m is None or m.group(2) in _FACT_KEYWORDS:
+        return None
+    return (m.group(2), m.group(1) != "!")
+
+
+def _split_top(expr, sep):
+    parts = []
+    depth = 0
+    last = 0
+    i = 0
+    while i < len(expr) - 1:
+        c = expr[i]
+        if c in "([{<":
+            depth += 1
+        elif c in ")]}>":
+            depth = max(0, depth - 1)
+        elif depth == 0 and expr[i:i + 2] == sep:
+            parts.append(expr[last:i])
+            last = i + 2
+            i += 1
+        i += 1
+    parts.append(expr[last:])
+    return parts
+
+
+def branch_facts(cond):
+    """Returns (then_facts, else_facts): tuples of (var, bool) known on
+    each edge of `if (cond)`. Only plain bool locals are tracked."""
+    cond = cond.strip()
+    atom = _atom_fact(cond)
+    if atom is not None:
+        var, val = atom
+        return ((var, val),), ((var, not val),)
+    ors = _split_top(cond, "||")
+    if len(ors) > 1:
+        atoms = [_atom_fact(p) for p in ors]
+        if all(a is not None for a in atoms):
+            # `a || b` false => every disjunct false
+            return (), tuple((v, not val) for v, val in atoms)
+        return (), ()
+    ands = _split_top(cond, "&&")
+    if len(ands) > 1:
+        atoms = [_atom_fact(p) for p in ands]
+        if all(a is not None for a in atoms):
+            return tuple(atoms), ()
+        return (), ()
+    return (), ()
+
+
+# ---------------------------------------------------------------------
+# CFG
+# ---------------------------------------------------------------------
+
+
+@dataclass
+class Node:
+    id: int
+    items: list = field(default_factory=list)   # [(offset, text)]
+    succs: list = field(default_factory=list)   # [(node_id, facts)]
+
+
+class CFG:
+    def __init__(self):
+        self.nodes = []
+        self.entry = self._new().id
+        self.exit = self._new().id
+
+    def _new(self):
+        n = Node(id=len(self.nodes))
+        self.nodes.append(n)
+        return n
+
+    def edge(self, a, b, facts=()):
+        self.nodes[a].succs.append((b, tuple(facts)))
+
+
+def build_cfg(body):
+    """Builds a CFG from a cleaned function body (lambdas should be
+    pre-blanked with blank_lambdas)."""
+    cfg = CFG()
+    stmts = parse_stmts(body)
+    last = _lower(cfg, stmts, cfg.entry, None, None)
+    cfg.edge(last, cfg.exit)
+    return cfg
+
+
+def _lower(cfg, stmts, cur, brk, cont):
+    for st in stmts:
+        if st.kind == "simple":
+            cfg.nodes[cur].items.append((st.offset, st.text))
+        elif st.kind == "return":
+            cfg.nodes[cur].items.append((st.offset, st.text))
+            cfg.edge(cur, cfg.exit)
+            cur = cfg._new().id  # unreachable continuation
+        elif st.kind == "break":
+            cfg.edge(cur, brk if brk is not None else cfg.exit)
+            cur = cfg._new().id
+        elif st.kind == "continue":
+            cfg.edge(cur, cont if cont is not None else cfg.exit)
+            cur = cfg._new().id
+        elif st.kind == "block":
+            cur = _lower(cfg, st.body, cur, brk, cont)
+        elif st.kind == "if":
+            if st.text:
+                cfg.nodes[cur].items.append((st.offset, st.text))
+            tf, ef = branch_facts(st.text)
+            join = cfg._new().id
+            tnode = cfg._new().id
+            cfg.edge(cur, tnode, tf)
+            tend = _lower(cfg, st.body, tnode, brk, cont)
+            cfg.edge(tend, join)
+            if st.orelse:
+                enode = cfg._new().id
+                cfg.edge(cur, enode, ef)
+                eend = _lower(cfg, st.orelse, enode, brk, cont)
+                cfg.edge(eend, join)
+            else:
+                cfg.edge(cur, join, ef)
+            cur = join
+        elif st.kind in ("while", "for"):
+            header = cfg._new().id
+            cfg.edge(cur, header)
+            if st.text:
+                cfg.nodes[header].items.append((st.offset, st.text))
+            exitn = cfg._new().id
+            tf, ef = branch_facts(st.text) if st.kind == "while" \
+                else ((), ())
+            bnode = cfg._new().id
+            cfg.edge(header, bnode, tf)
+            bend = _lower(cfg, st.body, bnode, exitn, header)
+            cfg.edge(bend, header)  # back-edge
+            cfg.edge(header, exitn, ef)
+            cur = exitn
+        elif st.kind == "do":
+            bnode = cfg._new().id
+            exitn = cfg._new().id
+            condn = cfg._new().id
+            cfg.edge(cur, bnode)
+            bend = _lower(cfg, st.body, bnode, exitn, condn)
+            cfg.edge(bend, condn)
+            if st.text:
+                cfg.nodes[condn].items.append((st.offset, st.text))
+            cfg.edge(condn, bnode)  # back-edge
+            cfg.edge(condn, exitn)
+            cur = exitn
+        elif st.kind == "switch":
+            condn = cur
+            if st.text:
+                cfg.nodes[condn].items.append((st.offset, st.text))
+            exitn = cfg._new().id
+            group_nodes = []
+            for _ in st.cases:
+                group_nodes.append(cfg._new().id)
+            has_default = any(d for d, _ in st.cases)
+            for gi, (gnode, (_, gstmts)) in enumerate(
+                    zip(group_nodes, st.cases)):
+                cfg.edge(condn, gnode)
+                gend = _lower(cfg, gstmts, gnode, exitn, cont)
+                nxt = group_nodes[gi + 1] if gi + 1 < len(group_nodes) \
+                    else exitn
+                cfg.edge(gend, nxt)  # fallthrough
+            if not has_default or not st.cases:
+                cfg.edge(condn, exitn)
+            cur = exitn
+    return cur
+
+
+# ---------------------------------------------------------------------
+# Path-sensitive walks
+# ---------------------------------------------------------------------
+
+_ASSIGN_RE = re.compile(r"\b([A-Za-z_]\w*)\s*=(?![=])")
+_TERNARY_RE = re.compile(r"(!?)\s*\b([A-Za-z_]\w*)\s*\?")
+
+MAX_STATES = 20000
+
+
+def _ternary_guard(text, pos):
+    """If the token at `pos` sits inside `v ? A : B`, returns the fact
+    (v, True/False) it is guarded by, else None."""
+    best = None
+    for m in _TERNARY_RE.finditer(text, 0, pos):
+        # find the matching top-level ':' after '?'
+        depth = 0
+        colon = None
+        i = m.end()
+        while i < len(text):
+            c = text[i]
+            if c in "([{":
+                depth += 1
+            elif c in ")]}":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif c == "?" and depth == 0:
+                depth += 100  # nested ternary: give up on this one
+                break
+            elif c == ":" and depth == 0 and text[i - 1] != ":" and \
+                    (i + 1 >= len(text) or text[i + 1] != ":"):
+                colon = i
+                break
+            i += 1
+        if colon is None:
+            continue
+        val = m.group(1) != "!"
+        if m.end() <= pos <= colon:
+            best = (m.group(2), val)
+        elif pos > colon:
+            best = (m.group(2), not val)
+    return best
+
+
+def _facts_apply(facts, new_facts):
+    """Merges branch facts into a fact frozenset; returns None when
+    contradictory (the edge is infeasible)."""
+    d = dict(facts)
+    for var, val in new_facts:
+        if var in d and d[var] != val:
+            return None
+        d[var] = val
+    return frozenset(d.items())
+
+
+def _facts_kill(facts, text):
+    killed = {m.group(1) for m in _ASSIGN_RE.finditer(text)}
+    if not killed:
+        return facts
+    return frozenset((v, b) for v, b in facts if v not in killed)
+
+
+def walk(cfg, init_payload, transfer):
+    """Runs a path-sensitive forward walk.
+
+    transfer(offset, text, payload, facts) -> payload. It may consult
+    facts (frozenset of (var, bool)) and use _ternary_guard itself via
+    guarded_tokens(). Returns the set of payloads that reach the CFG
+    exit. State = (node, payload, facts); payloads must be hashable.
+    """
+    seen = set()
+    exits = set()
+    stack = [(cfg.entry, init_payload, frozenset())]
+    while stack:
+        node_id, payload, facts = stack.pop()
+        key = (node_id, payload, facts)
+        if key in seen:
+            continue
+        seen.add(key)
+        if len(seen) > MAX_STATES:
+            # State blow-up: fail safe by treating the function as
+            # exiting with whatever we have (callers stay conservative).
+            exits.add(payload)
+            return exits
+        for off, text in cfg.nodes[node_id].items:
+            payload = transfer(off, text, payload, facts)
+            facts = _facts_kill(facts, text)
+        if node_id == cfg.exit:
+            exits.add(payload)
+            continue
+        succs = cfg.nodes[node_id].succs
+        if not succs and node_id != cfg.exit:
+            exits.add(payload)  # dangling node (unreachable tail)
+            continue
+        for succ, efacts in succs:
+            nfacts = _facts_apply(facts, efacts)
+            if nfacts is None:
+                continue  # infeasible edge
+            stack.append((succ, payload, nfacts))
+    return exits
+
+
+def guarded_tokens(token_re, text, facts):
+    """Yields match objects for token_re in text whose ternary guard
+    (if any) is consistent with the known facts."""
+    for m in token_re.finditer(text):
+        guard = _ternary_guard(text, m.start())
+        if guard is not None:
+            var, val = guard
+            if (var, not val) in facts:
+                continue  # provably not evaluated on this path
+        yield m

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """polyverify: semantic static analysis for the polyvalue tree.
 
-Four rules that need (at least) an AST, not a regex — the deeper layer
+Seven rules that need (at least) an AST — and for the WA01/GD01/HP01
+tier, a control-flow graph — rather than a regex; the deeper layer
 above tools/polylint.py:
 
   LK01  Declared lock-rank order. Every `Mutex` declared in src/ must
@@ -30,11 +31,49 @@ above tools/polylint.py:
         TraceAuditor: an untraced return path is protocol behaviour
         the auditor can never see.
 
+  WA01  Write-ahead ordering, proven per-path on an intraprocedural
+        CFG (tools/polyverify/dataflow.py) with interprocedural
+        summaries. Two obligations per ENGINE_SCOPES class: (a) a
+        mutation of durable protocol state (prepared/decided tables,
+        item versions) must reach a Wal append before ANY outbound
+        send / FlushOutbox on every path; (b) specific protocol acks
+        (READY, COMPLETE, outcome replies, Paxos phase/decision
+        messages) must be dominated by the record they acknowledge
+        (promised=/accepted[]/RecordDecision/...). Boolean-correlated
+        branches (`if (commit || made_writes) Record(..)` ...
+        `commit ? MakeComplete(..) : MakeAbort(..)`) are understood;
+        lambda bodies are opaque (deferred thunks run post-barrier).
+
+  GD01  Guard inference: for every class with exactly one Mutex
+        member, infer which unannotated fields are lock-protected from
+        the lock context of their accessors (RAII MutexLock scopes,
+        explicit Lock/Unlock spans, REQUIRES annotations, and a
+        call-graph fixpoint over functions only ever called under the
+        lock) and flag fields accessed BOTH under and outside the
+        inferred guard — the unannotated shared state Clang TSA is
+        blind to. The fix is a GUARDED_BY annotation (see
+        CONTRIBUTING.md's mutex recipe), which moves the field into
+        TSA's jurisdiction.
+
+  HP01  Hot-path allocation census: every heap-allocation site (new,
+        make_unique/make_shared, container-growth calls) reachable
+        through the static call graph from the hot roots
+        (TxnEngine/PaxosEngine Submit + message handlers, the
+        condition algebra in src/condition/, transport encode/decode)
+        is enumerated into tools/polyverify/hp01_baseline.json. The
+        checked-in baseline may only SHRINK: any new site or count
+        growth fails, so the arena/flat-condition work (ROADMAP item
+        3) starts from a quantified, monotonically improving map.
+        Regenerate with --hp01-update after intentional reductions.
+
 Frontends: libclang over compile_commands.json when the clang.cindex
 bindings are importable (--frontend=clang to require it), otherwise a
 self-contained internal parser (cpplite.py). The compilation database
 also provides the translation-unit list; generate it with the normal
-CMake configure (CMAKE_EXPORT_COMPILE_COMMANDS is ON).
+CMake configure (CMAKE_EXPORT_COMPILE_COMMANDS is ON). When libclang
+is requested-by-auto but missing or mismatched, a one-line warning
+names the reason and the internal frontend takes over; the final
+report line always names the frontend that produced it.
 
 Suppression: a line ending in `// polyverify: allow(RULE)` is exempt
 from RULE. Policy (docs/STATIC_ANALYSIS.md): the tree carries ZERO
@@ -46,6 +85,12 @@ treats new ones as review flags.
   --check-lockdep D validate runtime lockdep JSON dumps (produced by a
                     POLYV_LOCKDEP build with POLYV_LOCKDEP_JSON_DIR set)
                     against the declared rank order
+  --json PATH       write a machine-readable report (frontend, per-rule
+                    violations, HP01 census summary, wall-clock)
+  --budget-seconds N fail when the full scan exceeds N seconds — keeps
+                    the pass cheap enough for the default CI gate
+  --hp01-update     regenerate tools/polyverify/hp01_baseline.json from
+                    the current tree and exit
 
 Exit status: 0 clean, 1 violations, 2 usage/environment error.
 """
@@ -59,11 +104,13 @@ import os
 import re
 import sys
 import tempfile
+import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import cpplite  # noqa: E402
 import clangfront  # noqa: E402
+import dataflow  # noqa: E402
 
 ALLOW_PATTERN = re.compile(r"//\s*polyverify:\s*allow\(([A-Z0-9]+)\)")
 
@@ -82,10 +129,14 @@ BLOCKING_PRIMITIVES = {
 # IS its job. Everything else stays forbidden even there.
 WAL_EXEMPT = {"fsync", "fdatasync"}
 
-# CG01 roots: the deterministic core. Every function *defined* in these
+# CG01 roots: the deterministic core, plus the sim-driven benchmarks —
+# bench_cluster/bench_availability drive the simulator under fixed
+# seeds, so a blocking call reachable from them breaks reproducibility
+# exactly like one in src/sim. Every function *defined* in these
 # locations must not reach a blocking primitive.
 DETERMINISTIC_DIRS = ("src/event/", "src/sim/")
-DETERMINISTIC_BASENAMES = ("sim_transport",)
+DETERMINISTIC_BASENAMES = ("sim_transport", "bench_cluster",
+                           "bench_availability")
 
 SW01_ENUMS = ("MsgType", "TraceEventType")
 
@@ -125,13 +176,15 @@ def find_compdb(root, explicit):
 
 def load_tree(root, compdb_path):
     """Returns (sources, compdb_entries). Sources covers every .h/.cc
-    under src/; the compilation database (when present) defines the
+    under src/ plus bench/ (the sim-driven benchmarks are CG01 roots);
+    the compilation database (when present) defines the
     translation-unit subset handed to the libclang frontend."""
     paths = set()
-    for dirpath, _, filenames in os.walk(os.path.join(root, "src")):
-        for name in filenames:
-            if name.endswith((".h", ".cc")):
-                paths.add(os.path.join(dirpath, name))
+    for top in ("src", "bench"):
+        for dirpath, _, filenames in os.walk(os.path.join(root, top)):
+            for name in filenames:
+                if name.endswith((".h", ".cc")):
+                    paths.add(os.path.join(dirpath, name))
     entries = []
     if compdb_path:
         with open(compdb_path) as f:
@@ -145,6 +198,17 @@ def load_tree(root, compdb_path):
 
 def rel(root, path):
     return os.path.relpath(path, root)
+
+
+def in_src(root, path):
+    return rel(root, path).replace(os.sep, "/").startswith("src/")
+
+
+def src_only(root, sources):
+    """bench/ sources participate in the call graph (CG01 roots) but
+    declaration-level rules stay scoped to src/: bench mutexes may be
+    unranked, bench switches/fields are not protocol state."""
+    return [s for s in sources if in_src(root, s.path)]
 
 
 # --------------------------------------------------------------------
@@ -250,7 +314,7 @@ def check_lk01(root, sources):
 
     # Every Mutex declaration in src/ must be ranked with a known rank,
     # spelled via the macro (raw attributes bypass the runtime half).
-    for src in sources:
+    for src in src_only(root, sources):
         if src.path.endswith(LK01_EXEMPT_FILES):
             continue
         for decl in cpplite.parse_mutex_decls(src):
@@ -291,6 +355,7 @@ def collect_enums(sources):
 
 
 def check_sw01(root, sources, compdb_entries, frontend):
+    sources = src_only(root, sources)
     enums = collect_enums(sources)
     violations = []
     for name in SW01_ENUMS:
@@ -376,41 +441,53 @@ def _is_deterministic(root, path):
     return os.path.basename(r).startswith(DETERMINISTIC_BASENAMES)
 
 
-def check_cg01(root, sources):
-    violations = []
+def fkey(fn):
+    return (fn.cls, fn.name)
+
+
+def gather_functions(sources):
+    """Parses every source once: (functions, member_types)."""
     functions = []
     member_types = {}
     for src in sources:
         functions.extend(cpplite.parse_functions(src))
         for cls, members in cpplite.parse_member_types(src).items():
             member_types.setdefault(cls, {}).update(members)
+    return functions, member_types
 
-    def fkey(fn):
-        return (fn.cls, fn.name)
 
+def build_call_graph(functions, member_types, primitive_check=None):
+    """Conservative static call graph, shared by CG01 and HP01.
+
+    Edges are resolved conservatively: same-class members, receiver
+    types known from the member index, then tree-wide unique names.
+    Unresolvable calls (std::function indirection, overloaded names
+    with unknown receivers) produce no edge — reachability
+    under-approximates so that every report is a real static chain.
+
+    primitive_check(fn, name) may return "taint" (record the name as a
+    direct primitive hit, no edge) or "skip" (no edge); anything else
+    resolves normally. Returns (by_key, by_name, calls, taint).
+    """
     by_key = {}
     by_name = {}
     for fn in functions:
         by_key.setdefault(fkey(fn), []).append(fn)
         by_name.setdefault(fn.name, []).append(fn)
 
-    # Direct taint + call edges. Edges are resolved conservatively:
-    # same-class members, receiver types known from the member index,
-    # then tree-wide unique names. Unresolvable calls (std::function
-    # indirection, overloaded names with unknown receivers) produce no
-    # edge — CG01 under-approximates reachability so that every report
-    # is a real static call chain.
     taint = {}  # fkey -> primitive name
     calls = {}  # fkey -> set of callee fkeys
     for fn in functions:
         key = fkey(fn)
         callees = calls.setdefault(key, set())
         for recv, op, name in cpplite.parse_calls(fn.body):
-            if name in BLOCKING_PRIMITIVES:
-                if name in WAL_EXEMPT and fn.cls == "Wal":
+            if primitive_check is not None:
+                verdict = primitive_check(fn, name)
+                if verdict == "taint":
+                    taint.setdefault(key, name)
                     continue
-                taint.setdefault(key, name)
-                continue
+                if verdict == "skip":
+                    continue
             if recv and op:
                 recv_type = member_types.get(fn.cls, {}).get(recv)
                 if recv_type and (recv_type, name) in by_key:
@@ -421,6 +498,22 @@ def check_cg01(root, sources):
             elif len(by_name.get(name, [])) == 1:
                 target = by_name[name][0]
                 callees.add(fkey(target))
+    return by_key, by_name, calls, taint
+
+
+def check_cg01(root, sources):
+    violations = []
+    functions, member_types = gather_functions(sources)
+
+    def primitive_check(fn, name):
+        if name in BLOCKING_PRIMITIVES:
+            if name in WAL_EXEMPT and fn.cls == "Wal":
+                return "skip"
+            return "taint"
+        return None
+
+    _, _, calls, taint = build_call_graph(functions, member_types,
+                                          primitive_check)
 
     # Propagate taint backwards to a fixpoint, remembering one concrete
     # chain per function for the report.
@@ -528,6 +621,564 @@ def check_tr01(root, sources):
 
 
 # --------------------------------------------------------------------
+# WA01 — write-ahead ordering, proven per-path
+# --------------------------------------------------------------------
+
+# Mode A: a durable-state mutation must reach a Wal append before ANY
+# outbound send on every path. Configured per engine class; Paxos is
+# durable-by-contract (no WAL member), so only TxnEngine participates.
+WA01_BARRIER_RES = (r"\bWal_\s*\(", r"\bwal_\s*->\s*Append\s*\(")
+WA01_SEND_RES = (r"\bsends\s*\.\s*(?:emplace_back|push_back)\s*\(",
+                 r"\bsend_\s*\(", r"\bFlushOutbox\s*\(")
+WA01_MODE_A = {
+    "TxnEngine": {
+        "mutations": (
+            ("prepared_",
+             r"\bprepared_\s*(?:\[|\.\s*(?:emplace|erase|insert|clear)\b)"),
+            ("decided_",
+             r"\bdecided_\s*(?:\[|\.\s*(?:emplace|erase|insert|clear)\b)"),
+            ("items_->Write", r"\bitems_\s*->\s*Write\s*\("),
+        ),
+        # WAL replay / snapshot import re-applies already-durable state;
+        # logging it again would double every record on recovery.
+        "exempt": ("RestoreDurableState", "ImportDurableState"),
+    },
+}
+
+# Mode B: protocol acks must be dominated by the record they
+# acknowledge — per-send-token obligations, (label, send regex,
+# record regexes). A record anywhere earlier on the path (including
+# inside an always-recording callee) discharges the obligation;
+# obligations that reach a function entry unsatisfied bubble to every
+# call site.
+WA01_OBLIGATIONS = {
+    "TxnEngine": (
+        ("MakeComplete", r"\bMakeComplete\s*\(",
+         (r"\bRecordDecisionDurable\s*\(", r"\bWal_\s*\(",
+          r"\bdecided_\b")),
+        ("MakeReady", r"\bMakeReady\s*\(",
+         (r"\bMarkPreparedDurable\s*\(", r"\bWal_\s*\(",
+          r"\bprepared_\b")),
+        ("MakeOutcomeReply", r"\bMakeOutcomeReply\s*\(",
+         (r"\bRecordDecisionDurable\s*\(", r"\bdecided_\b",
+          r"\boutcomes_\s*->")),
+        ("MakeOutcomeNotify", r"\bMakeOutcomeNotify\s*\(",
+         (r"\bWal_\s*\(", r"\boutcomes_\s*->", r"\bdecided_\b")),
+    ),
+    "PaxosEngine": (
+        ("MakePaxosPhase1b", r"\bMakePaxosPhase1b\s*\(",
+         (r"\bpromised\s*=(?!=)", r"\bdecided_\b")),
+        ("MakePaxosPhase2b", r"\bMakePaxosPhase2b\s*\(",
+         (r"\baccepted\s*\[",)),
+        ("MakePaxosDecision", r"\bMakePaxosDecision\s*\(",
+         (r"\bRecordDecision\s*\(", r"\bdecided_\b")),
+        ("MakePaxosPhase2a", r"\bMakePaxosPhase2a\s*\(",
+         (r"\bprepared_\b", r"\bproposed\s*\[", r"\bbest_accepted\b")),
+    ),
+}
+
+
+class _WaInfo:
+    """Per-function CFG + source context for the WA01 walks."""
+
+    def __init__(self, fn, src):
+        self.fn = fn
+        self.src = src
+        self.body = dataflow.blank_lambdas(fn.body)
+        self.cfg = dataflow.build_cfg(self.body)
+
+    def line(self, body_off):
+        return self.src.line_of(
+            self.fn.body_offset + min(body_off, len(self.fn.body) - 1))
+
+
+def _wa01_infos(root, sources, engine_cls):
+    infos = []
+    for src in src_only(root, sources):
+        for fn in cpplite.parse_functions(src):
+            if fn.cls == engine_cls:
+                infos.append(_WaInfo(fn, src))
+    return infos
+
+
+def _wa01_mode_a(root, engine_cls, infos, conf):
+    barrier_re = re.compile("|".join(WA01_BARRIER_RES))
+    send_re = re.compile("|".join(WA01_SEND_RES))
+    mut_res = [(label, re.compile(rx)) for label, rx in conf["mutations"]]
+    exempt = set(conf.get("exempt", ()))
+    names = {i.fn.name for i in infos}
+    call_re = re.compile(
+        r"\b(" + "|".join(sorted(map(re.escape, names), key=len,
+                                 reverse=True)) + r")\s*\(")
+    by_name = {}
+    for i in infos:
+        by_name.setdefault(i.fn.name, []).append(i)
+
+    # summary per function name: (exit_pending, always_barrier,
+    # sends_unbarriered). Overloads merge conservatively.
+    summ = {n: (frozenset(), False, False) for n in names}
+    for n in exempt:
+        summ[n] = (frozenset(), False, False)
+
+    def analyze(info, report=None):
+        obs = {"send_unbarriered": False}
+
+        def transfer(off, text, payload, facts):
+            pending, barriered = payload
+            events = []
+            for m in barrier_re.finditer(text):
+                events.append((m.start(), 0, "bar", None))
+            for label, rx in mut_res:
+                for m in dataflow.guarded_tokens(rx, text, facts):
+                    events.append((m.start(), 1, "mut", label))
+            for m in dataflow.guarded_tokens(send_re, text, facts):
+                events.append((m.start(), 2, "send", None))
+            for m in call_re.finditer(text):
+                nm = m.group(1)
+                if nm != info.fn.name:
+                    events.append((m.start(), 3, "call", nm))
+            events.sort(key=lambda e: (e[0], e[1]))
+            for pos, _, kind, arg in events:
+                if kind == "bar":
+                    pending, barriered = frozenset(), True
+                elif kind == "mut":
+                    pending = pending | {arg}
+                elif kind == "send":
+                    if not barriered:
+                        obs["send_unbarriered"] = True
+                    if pending and report:
+                        report(info, off + pos, pending, None)
+                elif kind == "call":
+                    s = summ.get(arg)
+                    if s is None:
+                        continue
+                    ep, ab, su = s
+                    if pending and su and report:
+                        report(info, off + pos, pending, arg)
+                    if ab:
+                        pending, barriered = frozenset(), True
+                    if ep:
+                        pending = pending | ep
+            return (pending, barriered)
+
+        exits = dataflow.walk(info.cfg, (frozenset(), False), transfer)
+        ep = frozenset().union(*(p for p, _ in exits)) if exits \
+            else frozenset()
+        ab = bool(exits) and all(b for _, b in exits)
+        return (ep, ab, obs["send_unbarriered"])
+
+    for _ in range(len(names) + 3):
+        changed = False
+        for n, group in by_name.items():
+            if n in exempt:
+                continue
+            results = [analyze(i) for i in group]
+            merged = (frozenset().union(*(r[0] for r in results)),
+                      all(r[1] for r in results),
+                      any(r[2] for r in results))
+            if merged != summ[n]:
+                summ[n] = merged
+                changed = True
+        if not changed:
+            break
+
+    violations = []
+    seen = set()
+
+    def report(info, off, pending, via):
+        line = info.line(off)
+        key = (info.fn.file, line, tuple(sorted(pending)))
+        if key in seen or allowed(info.src, line, "WA01"):
+            return
+        seen.add(key)
+        what = ", ".join(sorted(pending))
+        via_txt = f" (send inside callee {via})" if via else ""
+        violations.append(Violation(
+            "WA01", info.fn.file, line,
+            f"durable mutation of {what} may reach an outbound "
+            f"send{via_txt} without a Wal append on some path in "
+            f"{engine_cls}::{info.fn.name}; append before the send is "
+            "enqueued"))
+
+    for info in infos:
+        if info.fn.name in exempt:
+            continue
+        analyze(info, report=report)
+    return violations
+
+
+def _wa01_mode_b(root, engine_cls, infos, obligation):
+    send_label, send_rx, rec_rxs = obligation
+    send_re = re.compile(send_rx)
+    rec_re = re.compile("|".join(rec_rxs))
+    names = {i.fn.name for i in infos}
+    call_re = re.compile(
+        r"\b(" + "|".join(sorted(map(re.escape, names), key=len,
+                                 reverse=True)) + r")\s*\(")
+    by_name = {}
+    for i in infos:
+        by_name.setdefault(i.fn.name, []).append(i)
+
+    # always_records[name]: every entry->exit path hits a record (or an
+    # always-recording callee) — calling such a function discharges the
+    # obligation in the caller.
+    always = {n: False for n in names}
+    for _ in range(len(names) + 3):
+        changed = False
+        for n, group in by_name.items():
+            if always[n]:
+                continue
+            ok = True
+            for info in group:
+                def transfer(off, text, sat, facts):
+                    if sat:
+                        return sat
+                    for m in rec_re.finditer(text):
+                        return True
+                    for m in call_re.finditer(text):
+                        if m.group(1) != info.fn.name and \
+                                always.get(m.group(1)):
+                            return True
+                    return sat
+                exits = dataflow.walk(info.cfg, False, transfer)
+                if not exits or not all(exits):
+                    ok = False
+                    break
+            if ok:
+                always[n] = True
+                changed = True
+        if not changed:
+            break
+
+    # needs[name]: an obligation site reachable from entry with no
+    # record first — (file, line, chain) of the innermost site.
+    needs = {n: None for n in names}
+    for _ in range(len(names) + 3):
+        changed = False
+        for n, group in by_name.items():
+            if needs[n] is not None:
+                continue
+            for info in group:
+                esc = []
+
+                def transfer(off, text, sat, facts):
+                    events = []
+                    for m in rec_re.finditer(text):
+                        events.append((m.start(), 0, "rec", None))
+                    for m in dataflow.guarded_tokens(send_re, text,
+                                                     facts):
+                        events.append((m.start(), 1, "send", None))
+                    for m in call_re.finditer(text):
+                        nm = m.group(1)
+                        if nm != info.fn.name:
+                            events.append((m.start(), 2, "call", nm))
+                    events.sort(key=lambda e: (e[0], e[1]))
+                    for pos, _, kind, arg in events:
+                        if kind == "rec":
+                            sat = True
+                        elif kind == "send":
+                            if not sat:
+                                esc.append((info.fn.file,
+                                            info.line(off + pos),
+                                            (info.fn.name,)))
+                        elif kind == "call":
+                            if not sat and needs.get(arg):
+                                f, ln, chain = needs[arg]
+                                esc.append((f, ln,
+                                            (info.fn.name,) + chain))
+                            if always.get(arg):
+                                sat = True
+                    return sat
+
+                dataflow.walk(info.cfg, False, transfer)
+                if esc:
+                    needs[n] = esc[0]
+                    changed = True
+                    break
+        if not changed:
+            break
+
+    # Roots: class functions never called from another class function
+    # (lambda-scheduled callbacks count as entry points — their bodies
+    # are opaque, and they run later with fresh context).
+    called = set()
+    for info in infos:
+        for m in call_re.finditer(info.body):
+            if m.group(1) != info.fn.name:
+                called.add(m.group(1))
+
+    violations = []
+    seen = set()
+    recs = ", ".join(r.replace("\\b", "").replace("\\s*", " ").strip()
+                     for r in rec_rxs)
+    for n, group in by_name.items():
+        if n in called or needs[n] is None:
+            continue
+        f, ln, chain = needs[n]
+        src = group[0].src if group[0].fn.file == f else \
+            next((i.src for i in infos if i.fn.file == f), group[0].src)
+        if allowed(src, ln, "WA01"):
+            continue
+        key = (f, ln, send_label)
+        if key in seen:
+            continue
+        seen.add(key)
+        via = " [via " + " -> ".join(chain) + "]" if len(chain) > 1 \
+            else ""
+        violations.append(Violation(
+            "WA01", f, ln,
+            f"{engine_cls}::{chain[-1]} sends {send_label}(...) on a "
+            f"path with no prior record ({recs}); the ack can outrun "
+            f"the state it acknowledges{via}"))
+    return violations
+
+
+def check_wa01(root, sources):
+    violations = []
+    for scope_dir, engine_cls in ENGINE_SCOPES:
+        infos = _wa01_infos(root, sources, engine_cls)
+        if not infos:
+            continue
+        conf = WA01_MODE_A.get(engine_cls)
+        if conf:
+            violations.extend(
+                _wa01_mode_a(root, engine_cls, infos, conf))
+        for obligation in WA01_OBLIGATIONS.get(engine_cls, ()):
+            violations.extend(
+                _wa01_mode_b(root, engine_cls, infos, obligation))
+    return violations
+
+
+# --------------------------------------------------------------------
+# GD01 — guard inference for unannotated fields
+# --------------------------------------------------------------------
+
+GD01_EXEMPT_TYPES = ("Mutex", "CondVar", "MutexLock", "LockRankBoundary")
+
+
+def check_gd01(root, sources):
+    violations = []
+    fields_by_cls = {}
+    fns_by_cls = {}
+    srcs = {}
+    for src in src_only(root, sources):
+        srcs[src.path] = src
+        for cls, fl in cpplite.parse_member_fields(src).items():
+            fields_by_cls.setdefault(cls, []).extend(fl)
+        for fn in cpplite.parse_functions(src):
+            if fn.cls:
+                fns_by_cls.setdefault(fn.cls, []).append(fn)
+
+    for cls, fields in sorted(fields_by_cls.items()):
+        mutexes = [f for f in fields if f.type == "Mutex"]
+        if len(mutexes) != 1:
+            continue  # no guard to infer, or ambiguous
+        mu = mutexes[0].name
+        fns = fns_by_cls.get(cls, [])
+        if not fns:
+            continue
+
+        bodies = {id(fn): dataflow.blank_lambdas(fn.body) for fn in fns}
+        regions = {id(fn): [r for r in cpplite.lock_regions(bodies[id(fn)])
+                            if r[0] == mu]
+                   for fn in fns}
+        req_re = re.compile(r"\bREQUIRES(?:_SHARED)?\s*\(\s*" +
+                            re.escape(mu) + r"\s*\)")
+        locked_fns = {fn.name for fn in fns
+                      if req_re.search(fn.annotations)}
+
+        # Call-graph fixpoint: a function called ONLY from locked
+        # contexts inherits the lock.
+        name_set = {fn.name for fn in fns}
+        call_re = re.compile(
+            r"\b(" + "|".join(sorted(map(re.escape, name_set), key=len,
+                                     reverse=True)) + r")\s*\(")
+        sites = {}  # callee name -> [(caller fn, offset)]
+        for fn in fns:
+            for m in call_re.finditer(bodies[id(fn)]):
+                nm = m.group(1)
+                if nm != fn.name:
+                    sites.setdefault(nm, []).append((fn, m.start()))
+
+        def under_lock(fn, off):
+            if fn.name in locked_fns:
+                return True
+            return any(s <= off < e for _, s, e in regions[id(fn)])
+
+        changed = True
+        while changed:
+            changed = False
+            for fn in fns:
+                if fn.name in locked_fns:
+                    continue
+                ss = sites.get(fn.name, [])
+                if ss and all(under_lock(cfn, off) for cfn, off in ss):
+                    locked_fns.add(fn.name)
+                    changed = True
+
+        for f in fields:
+            if f.annotations or f.type in GD01_EXEMPT_TYPES:
+                continue
+            # const members are immutable after the ctor; unguarded
+            # reads are benign. ("const" also covers constexpr.)
+            if "static" in f.spec or "const" in f.spec:
+                continue
+            if f.type.startswith(("std::atomic", "atomic")):
+                continue
+            if not f.name.endswith("_"):
+                continue
+            acc_re = re.compile(r"\b" + re.escape(f.name) + r"\b")
+            locked_n = 0
+            unlocked = []
+            for fn in fns:
+                is_ctor = fn.name == cls
+                for m in acc_re.finditer(bodies[id(fn)]):
+                    if under_lock(fn, m.start()):
+                        locked_n += 1
+                    elif not is_ctor:
+                        unlocked.append((fn, m.start()))
+            if locked_n >= 2 and unlocked and locked_n > len(unlocked):
+                fn, off = unlocked[0]
+                src = srcs.get(fn.file)
+                line = src.line_of(fn.body_offset +
+                                   min(off, len(fn.body) - 1))
+                if allowed(src, line, "GD01") or \
+                        allowed(src, f.line, "GD01"):
+                    continue
+                violations.append(Violation(
+                    "GD01", fn.file, line,
+                    f"{cls}::{f.name} is accessed under {mu} "
+                    f"{locked_n}x but here in {cls}::{fn.name} without "
+                    f"it ({len(unlocked)} unguarded access(es)); "
+                    f"annotate the field GUARDED_BY({mu}) (declared "
+                    f"line {f.line}) or move the access under the "
+                    "lock"))
+        del under_lock
+    return violations
+
+
+# --------------------------------------------------------------------
+# HP01 — hot-path allocation census (shrink-only baseline)
+# --------------------------------------------------------------------
+
+HP01_BASELINE = os.path.join("tools", "polyverify", "hp01_baseline.json")
+
+HP01_ALLOC_KINDS = (
+    ("new", re.compile(r"\bnew\b")),
+    ("make_unique", re.compile(r"\bmake_unique\s*<")),
+    ("make_shared", re.compile(r"\bmake_shared\s*<")),
+    ("container_growth", re.compile(
+        r"(?:\.|->)\s*(?:push_back|emplace_back|emplace|insert|resize|"
+        r"reserve|append)\s*\(")),
+)
+
+HP01_ENGINE_CLASSES = ("TxnEngine", "PaxosEngine")
+HP01_CONDITION_CLASSES = ("Condition", "Term")
+
+
+def _hp01_is_root(root, fn):
+    r = rel(root, fn.file).replace(os.sep, "/")
+    if fn.cls in HP01_ENGINE_CLASSES and (
+            fn.name == "Submit" or fn.name == "OnMessage" or
+            fn.name.startswith("Handle")):
+        return True
+    if r.startswith("src/condition/") and fn.cls in \
+            HP01_CONDITION_CLASSES:
+        return True
+    if (r.startswith("src/net/") or
+            os.path.basename(r) == "messages.cc") and \
+            re.match(r"(Encode|Decode)", fn.name):
+        return True
+    return False
+
+
+def hp01_census(root, sources):
+    """Returns (census, lines): census maps
+    "file::Class::Function::kind" -> count over every allocation site
+    whose enclosing function is statically reachable from a hot root;
+    lines maps each key to its first occurrence for reporting."""
+    functions, member_types = gather_functions(sources)
+    by_key, _, calls, _ = build_call_graph(functions, member_types)
+
+    roots = {fkey(fn) for fn in functions if _hp01_is_root(root, fn)}
+    reachable = set(roots)
+    frontier = list(roots)
+    while frontier:
+        k = frontier.pop()
+        for callee in calls.get(k, ()):
+            if callee not in reachable:
+                reachable.add(callee)
+                frontier.append(callee)
+
+    census = {}
+    lines = {}
+    srcs = {s.path: s for s in sources}
+    for fn in functions:
+        if fkey(fn) not in reachable:
+            continue
+        r = rel(root, fn.file).replace(os.sep, "/")
+        if not r.startswith("src/"):
+            continue
+        for kind, rx in HP01_ALLOC_KINDS:
+            for m in rx.finditer(fn.body):
+                key = f"{r}::{fn.cls}::{fn.name}::{kind}"
+                census[key] = census.get(key, 0) + 1
+                if key not in lines:
+                    lines[key] = srcs[fn.file].line_of(
+                        fn.body_offset + m.start())
+    return census, lines
+
+
+def hp01_write_baseline(root, census):
+    path = os.path.join(root, HP01_BASELINE)
+    payload = {
+        "comment": "HP01 hot-path allocation census. CI enforces this "
+                   "baseline may only shrink; regenerate with "
+                   "`polyverify.py --hp01-update` after intentional "
+                   "allocation reductions (see docs/STATIC_ANALYSIS.md).",
+        "total_sites": len(census),
+        "total_allocations": sum(census.values()),
+        "entries": {k: census[k] for k in sorted(census)},
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=False)
+        f.write("\n")
+    return path
+
+
+def check_hp01(root, sources):
+    census, lines = hp01_census(root, sources)
+    path = os.path.join(root, HP01_BASELINE)
+    if not os.path.isfile(path):
+        return [Violation(
+            "HP01", path, 1,
+            "hot-path allocation baseline is missing; generate it with "
+            "`python3 tools/polyverify/polyverify.py --hp01-update` "
+            "and commit it")]
+    with open(path) as f:
+        baseline = json.load(f).get("entries", {})
+    violations = []
+    for key in sorted(census):
+        base = baseline.get(key, 0)
+        if census[key] > base:
+            grew = "new hot-path allocation site" if base == 0 else \
+                f"count grew {base} -> {census[key]}"
+            violations.append(Violation(
+                "HP01", key.split("::")[0], lines[key],
+                f"{grew}: {key} — the census may only shrink; avoid "
+                "the allocation (arena/small-vector/reuse) or, if "
+                "genuinely required, update the baseline with "
+                "--hp01-update and justify it in the PR"))
+    shrunk = [k for k in baseline
+              if census.get(k, 0) < baseline[k]]
+    if shrunk and not violations:
+        print(f"polyverify HP01: {len(shrunk)} baseline entr"
+              f"{'y' if len(shrunk) == 1 else 'ies'} shrank — run "
+              "--hp01-update to ratchet the baseline down")
+    return violations
+
+
+# --------------------------------------------------------------------
 # lockdep JSON validation (CI gate for the runtime half)
 # --------------------------------------------------------------------
 
@@ -604,6 +1255,9 @@ CHECKS = {
     "SW01": check_sw01,
     "CG01": lambda root, sources, compdb, fe: check_cg01(root, sources),
     "TR01": lambda root, sources, compdb, fe: check_tr01(root, sources),
+    "WA01": lambda root, sources, compdb, fe: check_wa01(root, sources),
+    "GD01": lambda root, sources, compdb, fe: check_gd01(root, sources),
+    "HP01": lambda root, sources, compdb, fe: check_hp01(root, sources),
 }
 
 
@@ -686,14 +1340,124 @@ void TxnEngine::HandlePing(SiteId from, const Message& msg, Outbox* out) {
   Trace(TraceEventType::kSubmit, msg.txn);
 }
 """,
+    # CG01 bench seed: a sim-driven benchmark reaching sleep_for
+    # through one hop (bench_cluster is in DETERMINISTIC_BASENAMES).
+    "bench/bench_cluster.cc": """
+void Drive() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+int main() {
+  Drive();
+  return 0;
+}
+""",
+    # WA01 seeds. Mode A: HandleLoseAck mutates prepared_ then sends
+    # with no Wal append on the path. Mode B: HandleProbe sends
+    # MakePaxosPhase2b without touching acceptor state. FP guards:
+    # Decide's commit||made_writes correlation via a ternary send must
+    # stay clean (DecideLike), and records buried in an always-records
+    # helper must discharge the obligation (HandleTell via
+    # RecordCleanly).
+    "src/txn/engine_seed.cc": """
+void TxnEngine::HandleLoseAck(SiteId from, const Message& msg, Outbox* sends) {
+  prepared_.erase(msg.txn);
+  sends.emplace_back(from, MakePing(msg.txn));
+  Trace(TraceEventType::kSubmit, msg.txn);
+}
+void TxnEngine::RecordCleanly(TxnId txn, bool commit) {
+  decided_[txn] = commit;
+  Wal_(WalRecord::Outcome(txn, commit));
+}
+void TxnEngine::HandleTell(SiteId from, const Message& msg, Outbox* sends) {
+  RecordCleanly(msg.txn, true);
+  sends.emplace_back(from, MakeComplete(msg.txn));
+  Trace(TraceEventType::kSubmit, msg.txn);
+}
+void TxnEngine::DecideLike(TxnId txn, bool commit, bool made_writes,
+                           Outbox* sends) {
+  if (commit || made_writes) {
+    decided_[txn] = commit;
+    Wal_(WalRecord::Outcome(txn, commit));
+  }
+  sends.emplace_back(0, commit ? MakeComplete(txn) : MakeAbort(txn));
+}
+""",
+    "src/paxos/paxos_seed.cc": """
+void PaxosEngine::HandleProbe(SiteId from, const Message& msg, Outbox* sends) {
+  sends.emplace_back(from, MakePaxosPhase2b(msg.txn, msg.ballot));
+  Trace(TraceEventType::kSubmit, msg.txn);
+}
+""",
+    # GD01 seed: count_ is accessed twice under mu_ but once outside in
+    # Peek (fires); pending_ is only ever touched under the lock
+    # (clean); ctor initialisation of count_ must not count.
+    "src/store/tracker.h": """
+class Tracker {
+ public:
+  Tracker() { count_ = 0; }
+  void Add(int n) {
+    MutexLock l(&mu_);
+    count_ += n;
+    pending_.push_back(n);
+  }
+  int Drain() {
+    MutexLock l(&mu_);
+    pending_.clear();
+    return count_;
+  }
+  int Peek() { return count_; }
+
+ private:
+  Mutex mu_;
+  int count_;
+  std::vector<int> pending_;
+};
+""",
+    # HP01 seed: HandleHot is a hot root with a push_back, a
+    # make_unique and a `new` one hop away in Grow(); the fixture
+    # baseline below only admits the container_growth site, so the
+    # other two kinds must fire as growth.
+    "src/txn/engine_hot.cc": """
+void TxnEngine::Grow() {
+  slab_ = new char[4096];
+}
+void TxnEngine::HandleHot(SiteId from, const Message& msg, Outbox* sends) {
+  queue_.push_back(msg.txn);
+  auto tmp = std::make_unique<Message>(msg);
+  Grow();
+  sends.emplace_back(from, MakePing(msg.txn));
+  Trace(TraceEventType::kSubmit, msg.txn);
+}
+""",
+}
+
+SELF_TEST_HP01_BASELINE = {
+    "entries": {
+        "src/txn/engine_hot.cc::TxnEngine::HandleHot::container_growth": 2,
+        "src/txn/engine_seed.cc::TxnEngine::HandleLoseAck"
+        "::container_growth": 1,
+        "src/txn/engine_seed.cc::TxnEngine::HandleTell"
+        "::container_growth": 1,
+        "src/paxos/paxos_seed.cc::PaxosEngine::HandleProbe"
+        "::container_growth": 1,
+    },
 }
 
 SELF_TEST_EXPECT = {
     "LK01": 4,  # contradicting edge + chain gap + unranked + raw attr
     "SW01": 2,  # missing enumerator + silent default
-    "CG01": 1,  # Tick -> Settle -> sleep_for
+    "CG01": 3,  # Tick -> Settle -> sleep_for, plus the bench seed
     "TR01": 1,  # HandlePing's early return
+    "WA01": 2,  # HandleLoseAck (mode A) + HandleProbe (mode B)
+    "GD01": 1,  # Tracker::count_ read outside mu_ in Peek
+    "HP01": 2,  # make_unique in HandleHot + new in Grow
 }
+
+# Seeds that must NOT fire — each names a pattern the engine has to
+# prove clean (path correlation, interprocedural records, ctor writes,
+# locked-only fields, baselined allocations).
+SELF_TEST_FP_GUARDS = ("ranked_", "HandleTell", "DecideLike", "pending_",
+                       "container_growth")
 
 
 def self_test():
@@ -713,6 +1477,10 @@ def self_test():
         os.makedirs(os.path.dirname(compdb_path))
         with open(compdb_path, "w") as f:
             json.dump(compdb, f)
+        baseline_path = os.path.join(tmp, HP01_BASELINE)
+        os.makedirs(os.path.dirname(baseline_path))
+        with open(baseline_path, "w") as f:
+            json.dump(SELF_TEST_HP01_BASELINE, f)
 
         violations = run_rules(tmp, compdb_path, frontend="internal")
         fired = {}
@@ -724,10 +1492,12 @@ def self_test():
                 failures.append(
                     f"{rule}: expected >= {expect} seeded violation(s), "
                     f"got {got}")
-        # The properly ranked seed must NOT fire (false-positive guard).
+        # Clean seeds must NOT fire (false-positive guards).
         for v in violations:
-            if "ranked_" in v.message:
-                failures.append(f"false positive on ranked seed: {v}")
+            for guard in SELF_TEST_FP_GUARDS:
+                if guard in v.message:
+                    failures.append(
+                        f"false positive on clean seed '{guard}': {v}")
 
     if failures:
         print("polyverify self-test FAILED:", file=sys.stderr)
@@ -758,6 +1528,16 @@ def main(argv=None):
     parser.add_argument("--check-lockdep", metavar="DIR",
                         help="validate lockdep JSON dumps in DIR against "
                              "the declared rank order, then exit")
+    parser.add_argument("--json", metavar="PATH", dest="json_out",
+                        help="write a machine-readable report (rules run, "
+                             "violations, frontend, wall-clock) to PATH")
+    parser.add_argument("--budget-seconds", type=float, default=None,
+                        help="fail (exit 3) if the scan wall-clock "
+                             "exceeds this many seconds")
+    parser.add_argument("--hp01-update", action="store_true",
+                        help="regenerate tools/polyverify/"
+                             "hp01_baseline.json from the current tree "
+                             "and exit")
     args = parser.parse_args(argv)
 
     root = args.root or os.path.dirname(
@@ -774,12 +1554,18 @@ def main(argv=None):
     if args.check_lockdep:
         return check_lockdep_dumps(root, args.check_lockdep)
 
+    clang_ok, clang_reason = clangfront.probe()
     frontend = args.frontend
     if frontend == "auto":
-        frontend = "clang" if clangfront.available() else "internal"
-    if frontend == "clang" and not clangfront.available():
-        print("polyverify: --frontend=clang but clang.cindex is not "
-              "importable", file=sys.stderr)
+        if clang_ok:
+            frontend = "clang"
+        else:
+            frontend = "internal"
+            print(f"polyverify: {clang_reason}; falling back to the "
+                  "internal cpplite frontend", file=sys.stderr)
+    elif frontend == "clang" and not clang_ok:
+        print(f"polyverify: --frontend=clang but {clang_reason}",
+              file=sys.stderr)
         return 2
 
     compdb = find_compdb(root, args.compdb)
@@ -789,16 +1575,57 @@ def main(argv=None):
               file=sys.stderr)
         return 2
 
-    violations = run_rules(root, compdb, frontend,
-                           set(args.rules) if args.rules else None)
+    if args.hp01_update:
+        sources, _ = load_tree(root, compdb)
+        census, _ = hp01_census(root, sources)
+        path = hp01_write_baseline(root, census)
+        print(f"polyverify: wrote {rel(root, path)} "
+              f"({len(census)} hot-path allocation sites, "
+              f"{sum(census.values())} allocations)")
+        return 0
+
+    started = time.monotonic()
+    rules = set(args.rules) if args.rules else None
+    violations = run_rules(root, compdb, frontend, rules)
+    elapsed = time.monotonic() - started
     for v in violations:
         print(v)
+
+    if args.json_out:
+        report = {
+            "tool": "polyverify",
+            "frontend": frontend,
+            "frontend_note": clang_reason,
+            "rules": sorted(rules) if rules else sorted(CHECKS),
+            "wall_clock_seconds": round(elapsed, 3),
+            "budget_seconds": args.budget_seconds,
+            "violation_count": len(violations),
+            "violations": [
+                {"rule": v.rule, "file": rel(root, v.path),
+                 "line": v.line, "message": v.message}
+                for v in violations
+            ],
+        }
+        os.makedirs(os.path.dirname(os.path.abspath(args.json_out)),
+                    exist_ok=True)
+        with open(args.json_out, "w") as f:
+            json.dump(report, f, indent=1)
+            f.write("\n")
+
+    over_budget = (args.budget_seconds is not None and
+                   elapsed > args.budget_seconds)
     if violations:
         print(f"polyverify: {len(violations)} violation(s) "
-              f"[frontend={frontend}]", file=sys.stderr)
+              f"[frontend={frontend}, {elapsed:.1f}s]", file=sys.stderr)
         return 1
+    if over_budget:
+        print(f"polyverify: scan took {elapsed:.1f}s, over the "
+              f"{args.budget_seconds:.0f}s budget — the analyzer is too "
+              "slow for the default CI gate; profile the new pass",
+              file=sys.stderr)
+        return 3
     print(f"polyverify: clean [frontend={frontend}, "
-          f"compdb={'yes' if compdb else 'no'}]")
+          f"compdb={'yes' if compdb else 'no'}, {elapsed:.1f}s]")
     return 0
 
 

@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Parser-corner tests for the internal polyverify frontend.
+
+Runs as ctest `polyverify_selftest` (tests/CMakeLists.txt) and from CI.
+Covers the corners that historically broke statement-level C++
+scanners — lambdas capturing `this`, nested templates in declarations,
+operator() definitions, preprocessor-conditional function bodies — plus
+a CFG/branch-fact smoke and the full polyverify --self-test in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cpplite  # noqa: E402
+import dataflow  # noqa: E402
+import polyverify  # noqa: E402
+
+
+def _src(text, path="src/t/t.cc"):
+    return cpplite.SourceFile(path=path, text=text)
+
+
+class LambdaTest(unittest.TestCase):
+    def test_lambda_capturing_this_is_opaque(self):
+        body = """
+  scheduler_->ScheduleAfter(1.0, [this, txn] {
+    sends.emplace_back(0, MakeComplete(txn));
+  });
+  Trace(TraceEventType::kSubmit, txn);
+"""
+        blanked = dataflow.blank_lambdas(body)
+        self.assertNotIn("MakeComplete", blanked)
+        self.assertNotIn("[this", blanked)
+        self.assertIn("Trace(", blanked)
+        self.assertIn("ScheduleAfter", blanked)
+        self.assertEqual(len(blanked), len(body))
+
+    def test_nested_lambdas(self):
+        body = "f([a] { g([b] { h(); }); }); tail();"
+        blanked = dataflow.blank_lambdas(body)
+        self.assertNotIn("h()", blanked)
+        self.assertIn("tail()", blanked)
+
+    def test_array_subscript_is_not_a_lambda(self):
+        body = "decided_[txn] = true; pending_[0].clear();"
+        self.assertEqual(dataflow.blank_lambdas(body), body)
+
+
+class FunctionParseTest(unittest.TestCase):
+    def test_nested_template_decls(self):
+        src = _src("""
+std::map<TxnId, std::vector<std::pair<SiteId, int>>> Snapshot::Flatten(
+    const std::unordered_map<SiteId, std::set<TxnId>>& in) {
+  return {};
+}
+""")
+        fns = cpplite.parse_functions(src)
+        self.assertEqual([(f.cls, f.name) for f in fns],
+                         [("Snapshot", "Flatten")])
+
+    def test_operator_call_definition(self):
+        src = _src("""
+struct Hasher {
+  size_t operator()(const ItemKey& k) const { return k.value(); }
+  bool operator==(const Hasher&) const { return true; }
+};
+""")
+        fns = cpplite.parse_functions(src)
+        names = {(f.cls, f.name) for f in fns}
+        self.assertIn(("Hasher", "operator()"), names)
+        self.assertIn(("Hasher", "operator=="), names)
+
+    def test_inline_method_class_attribution(self):
+        src = _src("""
+class Outer {
+  void A() { x_ = 1; }
+  class Inner {
+    void B() { y_ = 2; }
+  };
+  void C() { z_ = 3; }
+};
+""")
+        by_name = {f.name: f.cls for f in cpplite.parse_functions(src)}
+        self.assertEqual(by_name["A"], "Outer")
+        self.assertEqual(by_name["B"], "Inner")
+        self.assertEqual(by_name["C"], "Outer")
+
+    def test_annotations_captured(self):
+        src = _src("""
+void Engine::Step(TxnId txn) REQUIRES(mu_) { tick_++; }
+""")
+        fn = cpplite.parse_functions(src)[0]
+        self.assertIn("REQUIRES", fn.annotations)
+
+
+class PreprocessorTest(unittest.TestCase):
+    def test_conditional_body_keeps_first_branch(self):
+        src = _src("""
+int Pick() {
+#ifdef FAST
+  return 1;
+#else
+  return 2;
+#endif
+}
+""")
+        fn = cpplite.parse_functions(src)[0]
+        self.assertIn("return 1", fn.body)
+        self.assertNotIn("return 2", fn.body)
+
+    def test_elif_chain_blanked(self):
+        src = _src("""
+int Pick() {
+#if A
+  int a = f();
+#elif B
+  int b = broken(;
+#else
+  int c = also_broken{;
+#endif
+  return 0;
+}
+""")
+        fn = cpplite.parse_functions(src)[0]
+        self.assertIn("f()", fn.body)
+        self.assertNotIn("broken", fn.body)
+
+    def test_define_bodies_untouched(self):
+        text = """
+#define POLYV_LOCK_RANK_LIST(X) \\
+  X(kAlpha, 10)                 \\
+  X(kBeta, 20)
+"""
+        src = _src(text, path="src/common/lock_rank.h")
+        self.assertIn("X(kAlpha, 10)", src.clean)
+        self.assertIn("X(kBeta, 20)", src.clean)
+
+    def test_unbalanced_alternative_brace_blanked(self):
+        # The #else branch closes a brace the #if branch also closes;
+        # keeping both would desync match_brace for the rest of the
+        # file.
+        src = _src("""
+void F() {
+#ifdef X
+  if (a) { g(); }
+#else
+  }
+  void rogue() {
+#endif
+  h();
+}
+void After() { k(); }
+""")
+        names = [f.name for f in cpplite.parse_functions(src)]
+        self.assertIn("F", names)
+        self.assertIn("After", names)
+        self.assertNotIn("rogue", names)
+
+
+class MemberFieldTest(unittest.TestCase):
+    def test_consecutive_fields_all_parsed(self):
+        src = _src("""
+class T {
+ private:
+  Mutex mu_;
+  int count_;
+  std::vector<int> pending_;
+  const EngineConfig config_;
+  TraceSink* trace_ GUARDED_BY(mu_) = nullptr;
+};
+""", path="src/t/t.h")
+        fields = {f.name: f for f in
+                  cpplite.parse_member_fields(src)["T"]}
+        self.assertEqual(
+            set(fields), {"mu_", "count_", "pending_", "config_",
+                          "trace_"})
+        self.assertIn("const", fields["config_"].spec)
+        self.assertIn("GUARDED_BY", fields["trace_"].annotations)
+
+
+class CfgTest(unittest.TestCase):
+    def test_branch_facts_prune_infeasible_paths(self):
+        # `if (a || b) record();` then `a ? send() : other()`: the path
+        # that skips record() has a=false, so the guarded send() arm is
+        # infeasible.
+        body = """
+  if (a || b) {
+    record();
+  }
+  sends.emplace_back(0, a ? Send() : Other());
+"""
+        cfg = dataflow.build_cfg(body)
+        import re
+        send_re = re.compile(r"\bSend\s*\(")
+        rec_re = re.compile(r"\brecord\s*\(")
+        bad = []
+
+        def transfer(off, text, sat, facts):
+            if rec_re.search(text):
+                return True
+            for m in dataflow.guarded_tokens(send_re, text, facts):
+                if not sat:
+                    bad.append(off + m.start())
+            return sat
+
+        dataflow.walk(cfg, False, transfer)
+        self.assertEqual(bad, [])
+
+    def test_loop_back_edge_and_early_return(self):
+        body = """
+  while (busy) {
+    if (done) {
+      return;
+    }
+    step();
+  }
+  finish();
+"""
+        cfg = dataflow.build_cfg(body)
+        import re
+        hits = set()
+
+        def transfer(off, text, acc, facts):
+            for kw in ("step", "finish", "return"):
+                if re.search(r"\b" + kw + r"\b", text):
+                    hits.add(kw)
+            return acc
+
+        exits = dataflow.walk(cfg, 0, transfer)
+        self.assertEqual(hits, {"step", "finish", "return"})
+        self.assertTrue(exits)
+
+
+class SelfTestTest(unittest.TestCase):
+    def test_polyverify_self_test_passes(self):
+        self.assertEqual(polyverify.self_test(), 0)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """polyverify: semantic static analysis for the polyvalue tree.
 
-Seven rules that need (at least) an AST — and for the WA01/GD01/HP01
-tier, a control-flow graph — rather than a regex; the deeper layer
-above tools/polylint.py:
+Ten rules that need (at least) an AST — and for the deeper tiers, a
+control-flow graph or the extracted protocol automaton — rather than
+a regex; the deeper layer above tools/polylint.py:
 
   LK01  Declared lock-rank order. Every `Mutex` declared in src/ must
         carry POLYV_MUTEX_RANK(<rank>); the ACQUIRED_BEFORE boundary
@@ -66,6 +66,30 @@ above tools/polylint.py:
         3) starts from a quantified, monotonically improving map.
         Regenerate with --hp01-update after intentional reductions.
 
+  SM01  Message-flow completeness over the extracted protocol state
+        machine (tools/polyverify/statemachine.py): every MsgType
+        constructed anywhere in src/ must have a receiving OnMessage
+        handler arm in some engine, Message::Encode AND Decode codec
+        arms, and a trace event in the receiving handler's closure —
+        cross-TU, closing the per-file gap of polylint MSG01. SM01
+        also gates that extraction matches the committed automaton
+        spec (tools/polyverify/sm_{txn,paxos}.json + DOT); a handler
+        change shows up as a reviewable protocol-spec diff.
+        Regenerate with --sm-update.
+
+  LV01  Static liveness over the automaton: every method that creates
+        a waiting entry (participations_/coordinations_/leaderships_)
+        must reach a ScheduleGuarded escape timer, and every timer
+        callback that seeks an outcome remotely (OutcomeRequest,
+        Paxos nudge/recovery) must consult the local decided_ table
+        and re-arm — the static form of Gray & Lamport's non-blocking
+        property, and exactly the shape of the PR-7 FailoverTick bug.
+
+  DC01  Decision consistency, path-sensitive on the PR-8 CFG: an
+        engine method executes each terminal action family (Decide,
+        ApplyOutcome, outcome replies, client callbacks, ...) at most
+        once per feasible path — no path both replies and re-decides.
+
 Frontends: libclang over compile_commands.json when the clang.cindex
 bindings are importable (--frontend=clang to require it), otherwise a
 self-contained internal parser (cpplite.py). The compilation database
@@ -86,13 +110,20 @@ treats new ones as review flags.
                     POLYV_LOCKDEP build with POLYV_LOCKDEP_JSON_DIR set)
                     against the declared rank order
   --json PATH       write a machine-readable report (frontend, per-rule
-                    violations, HP01 census summary, wall-clock)
+                    violations and wall-clock timings, HP01 census
+                    summary)
   --budget-seconds N fail when the full scan exceeds N seconds — keeps
-                    the pass cheap enough for the default CI gate
+                    the pass cheap enough for the default CI gate; the
+                    failure names the slowest rule
   --hp01-update     regenerate tools/polyverify/hp01_baseline.json from
                     the current tree and exit
+  --sm-update       regenerate the committed protocol automaton specs
+                    (tools/polyverify/sm_*.json + .dot) and exit
+  --sm-emit DIR     write freshly extracted automata into DIR and exit
+                    (CI diffs them against the committed specs)
 
-Exit status: 0 clean, 1 violations, 2 usage/environment error.
+Exit status: 0 clean, 1 violations, 2 usage/environment error,
+3 over --budget-seconds.
 """
 
 from __future__ import annotations
@@ -111,6 +142,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import cpplite  # noqa: E402
 import clangfront  # noqa: E402
 import dataflow  # noqa: E402
+import statemachine  # noqa: E402
 
 ALLOW_PATTERN = re.compile(r"//\s*polyverify:\s*allow\(([A-Z0-9]+)\)")
 
@@ -134,9 +166,18 @@ WAL_EXEMPT = {"fsync", "fdatasync"}
 # seeds, so a blocking call reachable from them breaks reproducibility
 # exactly like one in src/sim. Every function *defined* in these
 # locations must not reach a blocking primitive.
-DETERMINISTIC_DIRS = ("src/event/", "src/sim/")
+# src/workload/ generators and the src/svc/ serving plane run inside
+# SimFrontDoor-driven sims too, so they carry the same obligation.
+DETERMINISTIC_DIRS = ("src/event/", "src/sim/", "src/workload/",
+                      "src/svc/")
 DETERMINISTIC_BASENAMES = ("sim_transport", "bench_cluster",
                            "bench_availability")
+# Classes that block BY CONTRACT: ThreadFrontDoor is the real-thread
+# adapter (its retry backoff sleeps deliberately) and is never driven
+# from the simulator — SimFrontDoor is the deterministic twin. Its own
+# sanctioned primitives don't taint it, but any blocking call it
+# reaches through OTHER classes still does.
+BLOCKING_BY_CONTRACT = ("ThreadFrontDoor",)
 
 SW01_ENUMS = ("MsgType", "TraceEventType")
 
@@ -508,6 +549,8 @@ def check_cg01(root, sources):
     def primitive_check(fn, name):
         if name in BLOCKING_PRIMITIVES:
             if name in WAL_EXEMPT and fn.cls == "Wal":
+                return "skip"
+            if fn.cls in BLOCKING_BY_CONTRACT:
                 return "skip"
             return "taint"
         return None
@@ -1250,6 +1293,21 @@ def check_lockdep_dumps(root, dump_dir):
 # Driver
 # --------------------------------------------------------------------
 
+def _statemachine_rule(check):
+    """Wraps a statemachine.py rule (returning raw finding tuples)
+    into the Violation + allow-comment regime."""
+    def run(root, sources, compdb, fe):
+        by_path = {s.path: s for s in sources}
+        out = []
+        for rule, path, line, message in check(root, sources):
+            src = by_path.get(path)
+            if src is not None and allowed(src, line, rule):
+                continue
+            out.append(Violation(rule, path, line, message))
+        return out
+    return run
+
+
 CHECKS = {
     "LK01": lambda root, sources, compdb, fe: check_lk01(root, sources),
     "SW01": check_sw01,
@@ -1258,18 +1316,25 @@ CHECKS = {
     "WA01": lambda root, sources, compdb, fe: check_wa01(root, sources),
     "GD01": lambda root, sources, compdb, fe: check_gd01(root, sources),
     "HP01": lambda root, sources, compdb, fe: check_hp01(root, sources),
+    "SM01": _statemachine_rule(statemachine.check_sm01),
+    "LV01": _statemachine_rule(statemachine.check_lv01),
+    "DC01": _statemachine_rule(statemachine.check_dc01),
 }
 
 
 def run_rules(root, compdb_path, frontend, rules=None):
+    """Returns (violations, per-rule wall-clock seconds)."""
     sources, compdb_entries = load_tree(root, compdb_path)
     violations = []
+    timings = {}
     for rule, check in CHECKS.items():
         if rules and rule not in rules:
             continue
+        rule_started = time.monotonic()
         violations.extend(check(root, sources, compdb_entries, frontend))
+        timings[rule] = round(time.monotonic() - rule_started, 3)
     violations.sort(key=Violation.sort_key)
-    return violations
+    return violations, timings
 
 
 # --------------------------------------------------------------------
@@ -1303,7 +1368,135 @@ class Cache {
 enum class MsgType : uint8_t {
   kPrepare = 1,
   kAbort = 2,
+  kPing = 3,
 };
+""",
+    # Codec fixture: complete Encode/Decode switches (SW01-clean) so
+    # SM01's codec-arm sub-check sees kPrepare/kAbort/kPing covered —
+    # kPaxosNudge below is deliberately constructed without arms.
+    "src/txn/messages.cc": """
+Message MakePing(TxnId txn) {
+  Message m;
+  m.type = MsgType::kPing;
+  m.txn = txn;
+  return m;
+}
+Message MakePrepare(TxnId txn) {
+  Message m;
+  m.type = MsgType::kPrepare;
+  m.txn = txn;
+  return m;
+}
+Message MakeAbort(TxnId txn) {
+  Message m;
+  m.type = MsgType::kAbort;
+  m.txn = txn;
+  return m;
+}
+Message MakePaxosNudge(TxnId txn) {
+  Message m;
+  m.type = MsgType::kPaxosNudge;
+  m.txn = txn;
+  return m;
+}
+const char* Message::Encode() const {
+  switch (type) {
+    case MsgType::kPrepare:
+      return "P";
+    case MsgType::kAbort:
+      return "A";
+    case MsgType::kPing:
+      return "G";
+  }
+  return "";
+}
+Message Message::Decode(const char* buf) {
+  Message m;
+  switch (m.type) {
+    case MsgType::kPrepare:
+      break;
+    case MsgType::kAbort:
+      break;
+    case MsgType::kPing:
+      break;
+    default:
+      return m;
+  }
+  return m;
+}
+""",
+    # SM01 + DC01 seeds. OnMessage gives kPrepare/kAbort real handler
+    # arms but discards kPing (constructed in engine_seed/engine_hot)
+    # without a handler -> SM01. HandleAsk replies twice on the
+    # known-outcome path -> DC01; FanOut's single looped reply site
+    # must stay clean (distinct-site counting), and its decided_
+    # consult discharges the WA01 outcome-reply obligation.
+    "src/txn/engine_sm.cc": """
+void TxnEngine::OnMessage(SiteId from, const Message& msg, Outbox* out) {
+  switch (msg.type) {
+    case MsgType::kPrepare:
+      HandleFlow(from, msg, out);
+      break;
+    case MsgType::kAbort:
+      HandleFlow(from, msg, out);
+      break;
+    case MsgType::kPing:
+      break;
+  }
+}
+void TxnEngine::HandleFlow(SiteId from, const Message& msg, Outbox* out) {
+  Trace(TraceEventType::kSubmit, msg.txn);
+}
+void TxnEngine::HandleAsk(SiteId from, const Message& msg, Outbox* sends) {
+  const bool known = decided_.count(msg.txn) > 0;
+  if (known) {
+    sends.emplace_back(from, MakeOutcomeReply(msg.txn, true));
+  }
+  sends.emplace_back(from, MakeOutcomeReply(msg.txn, false));
+  Trace(TraceEventType::kSubmit, msg.txn);
+}
+void TxnEngine::FanOut(TxnId txn, Outbox* sends) {
+  if (decided_.count(txn) == 0) {
+    return;
+  }
+  for (SiteId peer : peers_) {
+    sends->emplace_back(peer, MakeOutcomeReply(txn, true));
+  }
+}
+""",
+    # LV01 seeds. HandleParkForever creates a waiting entry with no
+    # reachable escape timer (rule a). FailoverPoke is an armed timer
+    # callback that nudges for an outcome without consulting decided_
+    # and without re-arming — the PR-7 dropped-self-decision stuck-wait
+    # shape (rule b, two findings). SteadyTick does both and must stay
+    # clean.
+    "src/paxos/paxos_live.cc": """
+void PaxosEngine::HandleParkForever(SiteId from, const Message& msg,
+                                    Outbox* out) {
+  participations_.emplace(msg.txn, Participation{});
+  Trace(TraceEventType::kSubmit, msg.txn);
+}
+void PaxosEngine::HandleKickoff(SiteId from, const Message& msg,
+                                Outbox* out) {
+  ScheduleGuarded(config_.paxos_failover_timeout,
+                  [this, msg] { FailoverPoke(msg.txn); });
+  ScheduleGuarded(config_.inquiry_interval,
+                  [this, msg] { SteadyTick(msg.txn); });
+  Trace(TraceEventType::kSubmit, msg.txn);
+}
+void PaxosEngine::FailoverPoke(TxnId txn) {
+  outbox_.emplace_back(0, MakePaxosNudge(txn));
+  Trace(TraceEventType::kCrash, txn);
+}
+void PaxosEngine::SteadyTick(TxnId txn) {
+  if (decided_.count(txn) > 0) {
+    return;
+  }
+  outbox_.emplace_back(0, MakePaxosNudge(txn));
+  ScheduleGuarded(config_.inquiry_interval,
+                  [this, txn] { SteadyTick(txn); });
+  Trace(TraceEventType::kCrash, txn);
+}
 """,
     "src/obs/trace.h": """
 enum class TraceEventType : uint8_t {
@@ -1440,6 +1633,14 @@ SELF_TEST_HP01_BASELINE = {
         "::container_growth": 1,
         "src/paxos/paxos_seed.cc::PaxosEngine::HandleProbe"
         "::container_growth": 1,
+        "src/txn/engine_sm.cc::TxnEngine::HandleAsk"
+        "::container_growth": 2,
+        "src/paxos/paxos_live.cc::PaxosEngine::HandleParkForever"
+        "::container_growth": 1,
+        "src/paxos/paxos_live.cc::PaxosEngine::FailoverPoke"
+        "::container_growth": 1,
+        "src/paxos/paxos_live.cc::PaxosEngine::SteadyTick"
+        "::container_growth": 1,
     },
 }
 
@@ -1451,13 +1652,20 @@ SELF_TEST_EXPECT = {
     "WA01": 2,  # HandleLoseAck (mode A) + HandleProbe (mode B)
     "GD01": 1,  # Tracker::count_ read outside mu_ in Peek
     "HP01": 2,  # make_unique in HandleHot + new in Grow
+    "SM01": 4,  # kPing discard arm + kPaxosNudge unrouted + 2 missing
+                # committed automaton specs (sm_txn/sm_paxos)
+    "LV01": 3,  # HandleParkForever timerless wait + FailoverPoke's
+                # missing decided_ consult AND missing re-arm
+    "DC01": 1,  # HandleAsk replies twice on the known-outcome path
 }
 
 # Seeds that must NOT fire — each names a pattern the engine has to
 # prove clean (path correlation, interprocedural records, ctor writes,
-# locked-only fields, baselined allocations).
+# locked-only fields, baselined allocations, loop-send sites, self-
+# re-arming decided_-consulting ticks).
 SELF_TEST_FP_GUARDS = ("ranked_", "HandleTell", "DecideLike", "pending_",
-                       "container_growth")
+                       "container_growth", "FanOut", "SteadyTick",
+                       "HandleFlow", "HandleKickoff")
 
 
 def self_test():
@@ -1482,7 +1690,8 @@ def self_test():
         with open(baseline_path, "w") as f:
             json.dump(SELF_TEST_HP01_BASELINE, f)
 
-        violations = run_rules(tmp, compdb_path, frontend="internal")
+        violations, timings = run_rules(tmp, compdb_path,
+                                        frontend="internal")
         fired = {}
         for v in violations:
             fired[v.rule] = fired.get(v.rule, 0) + 1
@@ -1498,6 +1707,11 @@ def self_test():
                 if guard in v.message:
                     failures.append(
                         f"false positive on clean seed '{guard}': {v}")
+        # Every rule must report a wall-clock timing (the --json /
+        # budget-attribution contract).
+        for rule in CHECKS:
+            if rule not in timings:
+                failures.append(f"{rule}: no wall-clock timing recorded")
 
     if failures:
         print("polyverify self-test FAILED:", file=sys.stderr)
@@ -1538,6 +1752,14 @@ def main(argv=None):
                         help="regenerate tools/polyverify/"
                              "hp01_baseline.json from the current tree "
                              "and exit")
+    parser.add_argument("--sm-update", action="store_true",
+                        help="regenerate the committed protocol automaton "
+                             "specs (tools/polyverify/sm_*.json + .dot) "
+                             "from the current tree and exit")
+    parser.add_argument("--sm-emit", metavar="DIR",
+                        help="write freshly extracted automata (sm_*.json "
+                             "+ .dot) into DIR and exit — CI diffs them "
+                             "against the committed specs")
     args = parser.parse_args(argv)
 
     root = args.root or os.path.dirname(
@@ -1584,9 +1806,21 @@ def main(argv=None):
               f"{sum(census.values())} allocations)")
         return 0
 
+    if args.sm_update or args.sm_emit:
+        sources, _ = load_tree(root, compdb)
+        paths = statemachine.write_specs(root, sources,
+                                         out_dir=args.sm_emit)
+        for path in paths:
+            print(f"polyverify: wrote {rel(root, path)}")
+        if not paths:
+            print("polyverify: no engine scopes found under "
+                  f"{root}; nothing written", file=sys.stderr)
+            return 2
+        return 0
+
     started = time.monotonic()
     rules = set(args.rules) if args.rules else None
-    violations = run_rules(root, compdb, frontend, rules)
+    violations, rule_seconds = run_rules(root, compdb, frontend, rules)
     elapsed = time.monotonic() - started
     for v in violations:
         print(v)
@@ -1598,6 +1832,8 @@ def main(argv=None):
             "frontend_note": clang_reason,
             "rules": sorted(rules) if rules else sorted(CHECKS),
             "wall_clock_seconds": round(elapsed, 3),
+            "rule_seconds": {r: rule_seconds[r]
+                             for r in sorted(rule_seconds)},
             "budget_seconds": args.budget_seconds,
             "violation_count": len(violations),
             "violations": [
@@ -1619,10 +1855,14 @@ def main(argv=None):
               f"[frontend={frontend}, {elapsed:.1f}s]", file=sys.stderr)
         return 1
     if over_budget:
+        slowest = max(rule_seconds, key=rule_seconds.get, default=None)
+        blame = (f"slowest rule: {slowest} at "
+                 f"{rule_seconds[slowest]:.1f}s" if slowest
+                 else "no per-rule timings")
         print(f"polyverify: scan took {elapsed:.1f}s, over the "
-              f"{args.budget_seconds:.0f}s budget — the analyzer is too "
-              "slow for the default CI gate; profile the new pass",
-              file=sys.stderr)
+              f"{args.budget_seconds:.0f}s budget ({blame}) — the "
+              "analyzer is too slow for the default CI gate; profile "
+              "that pass", file=sys.stderr)
         return 3
     print(f"polyverify: clean [frontend={frontend}, "
           f"compdb={'yes' if compdb else 'no'}, {elapsed:.1f}s]")

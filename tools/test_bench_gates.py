@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Unit tests for the CI bench gates (wired as ctest `bench_gates_test`).
+
+Feeds tools/bench_cluster_gate.py and tools/bench_availability_gate.py
+synthetic artifacts — a passing grid, a regressed cell, malformed JSON,
+a schema violation, and bad usage — and asserts the documented exit
+codes through the real CLI entry point (subprocess), so the contract CI
+depends on is what's tested.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS = os.path.dirname(os.path.abspath(__file__))
+CLUSTER_GATE = os.path.join(TOOLS, "bench_cluster_gate.py")
+AVAIL_GATE = os.path.join(TOOLS, "bench_availability_gate.py")
+
+WORKLOADS = ("transfer", "readmost", "increment", "mixed")
+CHAOS = ("none", "crash", "partition")
+
+
+def cluster_run(seed):
+    # Counters balance: arrivals = rejected_down + offered;
+    # offered = shed + committed + aborted + deadline + budget.
+    return {
+        "seed": seed, "arrivals": 100, "rejected_down": 10, "offered": 90,
+        "shed": 5, "committed": 70, "aborted": 10, "deadline_exceeded": 3,
+        "budget_exhausted": 2, "retries": 4, "goodput": 700.0,
+        "p50_ms": 1.0, "p99_ms": 5.0, "p999_ms": 9.0,
+        "peak_uncertain_items": 3, "avg_uncertain_items": 0.5,
+        "final_uncertain_items": 0, "polyvalue_installs": 12,
+        "conservation_drift": 0, "peak_tracked_clients": 1000,
+        "peak_inflight": 64, "exactly_once": True, "audit_clean": True,
+        "lockdep_reports": 0, "schedule_hash": "deadbeef",
+    }
+
+
+def cluster_scenario(workload, chaos):
+    return {
+        "workload": workload, "chaos": chaos, "key_dist": "zipfian",
+        "arrival": "poisson", "goodput": 700.0, "shed_fraction": 0.05,
+        "commit_fraction": 0.8, "p50_ms": 1.0, "p99_ms": 5.0,
+        "p999_ms": 9.0, "peak_uncertain_items": 3,
+        "avg_uncertain_items": 0.5, "invariants_ok": True,
+        "min_goodput": 500.0, "max_p99_ms": 20.0, "pass": True,
+        "runs": [cluster_run(1), cluster_run(2)],
+    }
+
+
+def cluster_doc():
+    return {
+        "schema_version": 1,
+        "bench": "bench_cluster",
+        "config": {"seeds": [1, 2], "virtual_clients": 1 << 20},
+        "scenarios": [cluster_scenario(w, c)
+                      for w in WORKLOADS for c in CHAOS],
+        "pass": True,
+    }
+
+
+def avail_cell(protocol, outage):
+    cell = {
+        "outage": outage, "protocol": protocol, "submitted": 1000,
+        "committed": 800, "outage_submitted": 200,
+        "outage_committed": 100, "outage_commit_pct": 50.0,
+        "outage_latency_ms": 12.0, "stalled_window_mean_s": 0.1,
+        "stalled_window_max_s": 0.3, "stalled_window_count": 1,
+        "paxos_failovers": 0, "paxos_recovery_ballots": 0,
+        "polyvalue_installs": 0, "uncertain_outputs": 0,
+        "conservation_drift": 0, "all_items_certain": True,
+    }
+    if protocol == "block":
+        cell["stalled_window_max_s"] = float(outage)
+    elif protocol == "polyvalue":
+        cell["outage_commit_pct"] = 60.0
+        cell["polyvalue_installs"] = 7
+    else:  # paxos_commit: under the failover bound, no uncertainty
+        cell["outage_commit_pct"] = 48.0
+        cell["paxos_failovers"] = 2
+    return cell
+
+
+def avail_doc():
+    return {
+        "schema_version": 1,
+        "bench": "bench_availability",
+        "config": {"protocols": ["block", "polyvalue", "paxos_commit"]},
+        "cells": [avail_cell(p, o)
+                  for o in (2, 5, 10)
+                  for p in ("block", "polyvalue", "paxos_commit")],
+        "pass": True,
+    }
+
+
+class GateTestBase(unittest.TestCase):
+    gate = None
+
+    def run_gate(self, *argv):
+        proc = subprocess.run(
+            [sys.executable, self.gate, *argv],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+    def run_on_doc(self, doc):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            if isinstance(doc, str):
+                f.write(doc)
+            else:
+                json.dump(doc, f)
+            path = f.name
+        try:
+            return self.run_gate(path)
+        finally:
+            os.unlink(path)
+
+
+class ClusterGateTest(GateTestBase):
+    gate = CLUSTER_GATE
+
+    def test_good_artifact_passes(self):
+        code, out = self.run_on_doc(cluster_doc())
+        self.assertEqual(code, 0, out)
+        self.assertIn("PASS", out)
+
+    def test_goodput_regression_fails(self):
+        doc = cluster_doc()
+        doc["scenarios"][3]["goodput"] = 100.0  # below min_goodput
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("goodput", out)
+
+    def test_invariant_violation_fails(self):
+        doc = cluster_doc()
+        doc["scenarios"][0]["runs"][1]["audit_clean"] = False
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("trace audit", out)
+
+    def test_recorded_pass_must_match_derivation(self):
+        doc = cluster_doc()
+        doc["scenarios"][2]["runs"][0]["conservation_drift"] = 5
+        # The cell still claims pass=True: the gate re-derives and
+        # must refuse the hand-edited verdict.
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("disagrees", out)
+
+    def test_malformed_json_fails(self):
+        code, out = self.run_on_doc("{not json")
+        self.assertEqual(code, 1, out)
+        self.assertIn("cannot parse", out)
+
+    def test_missing_field_fails(self):
+        doc = cluster_doc()
+        del doc["scenarios"][0]["runs"][0]["schedule_hash"]
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("schedule_hash", out)
+
+    def test_truncated_grid_fails(self):
+        doc = cluster_doc()
+        doc["scenarios"] = doc["scenarios"][:2]  # one workload shape
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("workload shapes", out)
+
+    def test_usage_error_fails(self):
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("usage", out)
+
+
+class AvailabilityGateTest(GateTestBase):
+    gate = AVAIL_GATE
+
+    def test_good_artifact_passes(self):
+        code, out = self.run_on_doc(avail_doc())
+        self.assertEqual(code, 0, out)
+        self.assertIn("PASS", out)
+
+    def test_paxos_stall_regression_fails(self):
+        doc = avail_doc()
+        for cell in doc["cells"]:
+            if cell["protocol"] == "paxos_commit" and cell["outage"] == 5:
+                cell["stalled_window_max_s"] = 3.0
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("failover bound", out)
+
+    def test_paxos_manufactured_uncertainty_fails(self):
+        doc = avail_doc()
+        for cell in doc["cells"]:
+            if cell["protocol"] == "paxos_commit" and cell["outage"] == 2:
+                cell["uncertain_outputs"] = 1
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("manufactured uncertainty", out)
+
+    def test_missing_cell_fails(self):
+        doc = avail_doc()
+        doc["cells"] = [c for c in doc["cells"]
+                        if not (c["protocol"] == "block" and
+                                c["outage"] == 10)]
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("cell missing", out)
+
+    def test_malformed_json_fails(self):
+        code, out = self.run_on_doc("]]")
+        self.assertEqual(code, 1, out)
+        self.assertIn("cannot parse", out)
+
+    def test_bool_masquerading_as_int_fails(self):
+        doc = avail_doc()
+        doc["cells"][0]["stalled_window_count"] = True
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("stalled_window_count", out)
+
+    def test_usage_error_fails(self):
+        code, out = self.run_gate("a.json", "b.json")
+        self.assertEqual(code, 1, out)
+        self.assertIn("usage", out)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -14,14 +14,25 @@
 //     coordinator_flap  site 0 crashes and recovers twice mid-load
 //     rolling_outage  each site takes a staggered outage in turn
 //     lossy_net       3% of messages silently dropped during load
+//   replicated chaos scenarios (read_heavy and multi_site mixes only,
+//   run over a 2-region x 2-site topology with k=2 placement so every
+//   logical item has one copy per region):
+//     region_loss      region r1 dark from 30% of the load window until
+//                      the end-of-load heal
+//     split_brain      one-way cut r0 -> r1 mid-load (r1 hears r0, the
+//                      replies vanish)
+//     rolling_recovery region r0 lost, then healed site-by-site while
+//                      load still flows
 //
 // Each cell multiplexes a MILLION virtual clients over the front door
 // and soaks for minutes of virtual time; the whole grid covers hours of
 // simulated operation per seed. After every run the full correctness
-// battery fires: TraceAuditor invariants A1-A8 over the protocol trace,
-// lockdep must stay silent, the exactly-once arrival accounting must
-// balance, the conservation audit must read zero drift, and no item may
-// stay uncertain after healing. Any violation fails the bench.
+// battery fires: TraceAuditor invariants A1-A13 over the protocol trace
+// (replicated cells exercise A12 copy convergence and A13 read
+// integrity), lockdep must stay silent, the exactly-once arrival
+// accounting must balance, the conservation audit must read zero drift,
+// and no item may stay uncertain after healing. Any violation fails the
+// bench.
 //
 // Results go to stdout as a table and to BENCH_cluster.json (override
 // with POLYV_CLUSTER_JSON). The JSON is a pure function of the pinned
@@ -38,6 +49,7 @@
 #include "src/common/lockdep.h"
 #include "src/obs/audit.h"
 #include "src/obs/trace.h"
+#include "src/replica/wan.h"
 #include "src/workload/driver.h"
 
 namespace polyvalue {
@@ -53,6 +65,10 @@ constexpr double kDeadline = 0.8;     // per-request deadline (seconds)
 constexpr double kRateLimit = 80.0;   // front-door token bucket
 constexpr size_t kMaxInflight = 64;
 constexpr uint64_t kSeeds[] = {101, 202};
+// Replicated chaos cells: 2 regions x 2 sites, every item replicated
+// across both regions.
+constexpr size_t kRegions = 2;
+constexpr size_t kReplicationFactor = 2;
 
 struct WorkloadCell {
   const char* name;
@@ -72,19 +88,39 @@ const WorkloadCell kWorkloads[] = {
      &MultiSiteMix},
 };
 
-enum class Chaos { kSteady, kCoordinatorFlap, kRollingOutage, kLossyNet };
+enum class Chaos {
+  kSteady,
+  kCoordinatorFlap,
+  kRollingOutage,
+  kLossyNet,
+  kRegionLoss,
+  kSplitBrain,
+  kRollingRecovery,
+};
 
 struct ChaosCell {
   const char* name;
   Chaos kind;
+  // Replicated cells run the workload over the 2-region k=2 replica
+  // catalog (and only on the read_heavy / multi_site mixes — the two
+  // that bracket the read- and write-fan-out extremes).
+  bool replicated;
 };
 
 const ChaosCell kChaos[] = {
-    {"steady", Chaos::kSteady},
-    {"coordinator_flap", Chaos::kCoordinatorFlap},
-    {"rolling_outage", Chaos::kRollingOutage},
-    {"lossy_net", Chaos::kLossyNet},
+    {"steady", Chaos::kSteady, false},
+    {"coordinator_flap", Chaos::kCoordinatorFlap, false},
+    {"rolling_outage", Chaos::kRollingOutage, false},
+    {"lossy_net", Chaos::kLossyNet, false},
+    {"region_loss", Chaos::kRegionLoss, true},
+    {"split_brain", Chaos::kSplitBrain, true},
+    {"rolling_recovery", Chaos::kRollingRecovery, true},
 };
+
+bool RunsReplicatedChaos(const WorkloadCell& workload) {
+  const std::string name = workload.name;
+  return name == "read_heavy" || name == "multi_site";
+}
 
 // Per-cell regression thresholds, recorded from the pinned-seed run at
 // the time the bench landed (goodput floors ~20% below measured, p99
@@ -122,6 +158,16 @@ Threshold ThresholdFor(const std::string& workload,
       {"multi_site", "coordinator_flap", {35.0, 400.0}},
       {"multi_site", "rolling_outage", {31.0, 400.0}},
       {"multi_site", "lossy_net", {24.0, 510.0}},
+      // Replicated geo-chaos cells (2 regions, k=2): goodput gives back
+      // what the region outage costs — every write fans to both
+      // regions, so a dark region stalls the write shapes for the
+      // outage window.
+      {"read_heavy", "region_loss", {23.0, 800.0}},
+      {"read_heavy", "split_brain", {35.0, 800.0}},
+      {"read_heavy", "rolling_recovery", {33.0, 800.0}},
+      {"multi_site", "region_loss", {12.0, 800.0}},
+      {"multi_site", "split_brain", {23.0, 800.0}},
+      {"multi_site", "rolling_recovery", {22.0, 800.0}},
   };
   for (const auto& row : kTable) {
     if (workload == row.workload && chaos == row.chaos) {
@@ -158,6 +204,25 @@ void InstallChaos(Chaos kind, ClusterWorkload* wl) {
       // the fault plane before the settle window).
       cluster.faults().SetDropProbability(0.03);
       break;
+    case Chaos::kRegionLoss:
+      // Region r1 — half of every replica set — dark from 30% of the
+      // load window until the driver's end-of-load heal.
+      ScheduleRegionLoss(&cluster, *wl->topology(), 1, 0.30 * kDuration);
+      break;
+    case Chaos::kSplitBrain:
+      // One-way cut r0 -> r1 mid-load: region 1 keeps hearing region 0
+      // but its replies vanish, the asymmetric half-partition a
+      // symmetric link cut cannot model.
+      ScheduleOneWayPartition(&cluster, *wl->topology(), 0, 1,
+                              0.25 * kDuration, 0.60 * kDuration);
+      break;
+    case Chaos::kRollingRecovery:
+      // Region r0 lost, then healed one site every 20 s while load is
+      // still flowing.
+      ScheduleRegionLoss(&cluster, *wl->topology(), 0, 0.20 * kDuration);
+      ScheduleRollingRecovery(&cluster, *wl->topology(), 0,
+                              0.55 * kDuration, 20.0);
+      break;
   }
 }
 
@@ -186,6 +251,10 @@ RunOutcome RunCell(const WorkloadCell& workload, const ChaosCell& chaos,
   params.svc.admission.max_inflight = kMaxInflight;
   params.seed = seed;
   params.trace = &trace;
+  if (chaos.replicated) {
+    params.replication_factor = kReplicationFactor;
+    params.regions = kRegions;
+  }
 
   const int lockdep_before = lockdep::ReportCount();
   ClusterWorkload wl(params);
@@ -305,7 +374,7 @@ void AppendCell(std::string* json, const CellSummary& cell, bool first) {
   std::snprintf(
       buf, sizeof(buf),
       "%s\n    {\"workload\": \"%s\", \"chaos\": \"%s\", "
-      "\"key_dist\": \"%s\", \"arrival\": \"%s\",\n"
+      "\"key_dist\": \"%s\", \"arrival\": \"%s\", \"replicated\": %s,\n"
       "     \"goodput\": %.3f, \"shed_fraction\": %.4f, "
       "\"commit_fraction\": %.4f,\n"
       "     \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f,\n"
@@ -316,7 +385,8 @@ void AppendCell(std::string* json, const CellSummary& cell, bool first) {
       "     \"runs\": [",
       first ? "" : ",", cell.workload->name, cell.chaos->name,
       KeyDistKindName(cell.workload->key_dist),
-      ArrivalCurveKindName(cell.workload->arrival), cell.goodput,
+      ArrivalCurveKindName(cell.workload->arrival),
+      cell.chaos->replicated ? "true" : "false", cell.goodput,
       cell.shed_fraction, cell.commit_fraction, cell.p50_ms, cell.p99_ms,
       cell.p999_ms, cell.peak_uncertain, cell.avg_uncertain,
       cell.invariants_ok ? "true" : "false", cell.threshold.min_goodput,
@@ -335,12 +405,14 @@ int Run() {
       "Cluster chaos soak: %zu sites, %llu keys, %llu virtual clients,\n"
       "%.0f arrivals/s for %.0f virtual s per cell (+%.0f s settle), "
       "seeds {%llu, %llu}.\n"
-      "Grid: 4 workload mixes x 4 chaos scenarios; every run audited "
-      "(A1-A8, lockdep,\nexactly-once, conservation).\n\n",
+      "Grid: 4 workload mixes x 4 chaos scenarios, plus 2 geo mixes x 3 "
+      "replicated\nchaos scenarios (%zu regions, k=%zu); every run audited "
+      "(A1-A13, lockdep,\nexactly-once, conservation).\n\n",
       kSites, static_cast<unsigned long long>(kKeys),
       static_cast<unsigned long long>(kVirtualClients), kRate, kDuration,
       kSettle, static_cast<unsigned long long>(kSeeds[0]),
-      static_cast<unsigned long long>(kSeeds[1]));
+      static_cast<unsigned long long>(kSeeds[1]), kRegions,
+      kReplicationFactor);
   std::printf("%-16s %-17s %8s %7s %7s %9s %9s %6s %5s\n", "workload",
               "chaos", "goodput", "shed%", "commit%", "p99 ms",
               "p99.9 ms", "inv", "pass");
@@ -351,6 +423,9 @@ int Run() {
   bool all_pass = true;
   for (const WorkloadCell& workload : kWorkloads) {
     for (const ChaosCell& chaos : kChaos) {
+      if (chaos.replicated && !RunsReplicatedChaos(workload)) {
+        continue;
+      }
       std::vector<RunOutcome> runs;
       for (uint64_t seed : kSeeds) {
         runs.push_back(RunCell(workload, chaos, seed));
@@ -383,11 +458,12 @@ int Run() {
       "\"sites\": %zu, \"keys\": %llu, \"virtual_clients\": %llu, "
       "\"rate\": %.1f, \"duration_s\": %.1f, \"settle_s\": %.1f, "
       "\"deadline_s\": %.3f, \"rate_limit\": %.1f, \"max_inflight\": %zu, "
+      "\"regions\": %zu, \"replication_factor\": %zu, "
       "\"seeds\": [%llu, %llu]},\n  \"scenarios\": [",
       kSites, static_cast<unsigned long long>(kKeys),
       static_cast<unsigned long long>(kVirtualClients), kRate, kDuration,
-      kSettle, kDeadline, kRateLimit, kMaxInflight,
-      static_cast<unsigned long long>(kSeeds[0]),
+      kSettle, kDeadline, kRateLimit, kMaxInflight, kRegions,
+      kReplicationFactor, static_cast<unsigned long long>(kSeeds[0]),
       static_cast<unsigned long long>(kSeeds[1]));
   json += buf;
   for (size_t i = 0; i < cells.size(); ++i) {

@@ -56,7 +56,7 @@ Status SimTransport::Send(Packet packet) {
     TracePacket(TraceEventType::kMsgDropped, packet);
     return OkStatus();
   }
-  const double delay = faults_->SampleDelay(rng_);
+  const double delay = faults_->SampleDelay(packet.from, packet.to, rng_);
   sim_->After(delay, [this, packet = std::move(packet)]() mutable {
     // Re-check the receiver at delivery time.
     if (faults_->IsSiteDown(packet.to)) {
@@ -104,7 +104,7 @@ Status SimTransport::SendBatch(std::vector<Packet> packets) {
     TracePacket(TraceEventType::kMsgDropped, envelope);
     return OkStatus();
   }
-  const double delay = faults_->SampleDelay(rng_);
+  const double delay = faults_->SampleDelay(from, to, rng_);
   sim_->After(delay,
               [this, count, packets = std::move(packets),
                envelope = std::move(envelope)]() mutable {

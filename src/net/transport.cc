@@ -45,6 +45,16 @@ void FaultPlan::SetLinkDown(SiteId a, SiteId b, bool down) {
   }
 }
 
+void FaultPlan::SetOneWayDown(SiteId from, SiteId to, bool down) {
+  MutexLock lock(&mu_);
+  const std::pair<uint64_t, uint64_t> key{from.value(), to.value()};
+  if (down) {
+    down_one_way_.insert(key);
+  } else {
+    down_one_way_.erase(key);
+  }
+}
+
 void FaultPlan::Partition(const std::vector<SiteId>& side_a,
                           const std::vector<SiteId>& side_b) {
   MutexLock lock(&mu_);
@@ -55,14 +65,26 @@ void FaultPlan::Partition(const std::vector<SiteId>& side_a,
   }
 }
 
+void FaultPlan::PartitionOneWay(const std::vector<SiteId>& from_side,
+                                const std::vector<SiteId>& to_side) {
+  MutexLock lock(&mu_);
+  for (SiteId from : from_side) {
+    for (SiteId to : to_side) {
+      down_one_way_.insert({from.value(), to.value()});
+    }
+  }
+}
+
 void FaultPlan::HealLinks() {
   MutexLock lock(&mu_);
   down_links_.clear();
+  down_one_way_.clear();
 }
 
 void FaultPlan::HealAll() {
   MutexLock lock(&mu_);
   down_links_.clear();
+  down_one_way_.clear();
   down_sites_.clear();
 }
 
@@ -81,12 +103,28 @@ void FaultPlan::SetDelayRange(double min_seconds, double max_seconds) {
   delay_max_ = max_seconds;
 }
 
+void FaultPlan::SetLinkDelayRange(SiteId from, SiteId to,
+                                  double min_seconds, double max_seconds) {
+  POLYV_CHECK_GE(min_seconds, 0.0);
+  POLYV_CHECK_LE(min_seconds, max_seconds);
+  MutexLock lock(&mu_);
+  link_delays_[{from.value(), to.value()}] = {min_seconds, max_seconds};
+}
+
+void FaultPlan::ClearLinkDelays() {
+  MutexLock lock(&mu_);
+  link_delays_.clear();
+}
+
 bool FaultPlan::ShouldDeliver(SiteId from, SiteId to, Rng* rng) const {
   MutexLock lock(&mu_);
   if (down_sites_.count(from.value()) || down_sites_.count(to.value())) {
     return false;
   }
   if (down_links_.count(LinkKey(from, to))) {
+    return false;
+  }
+  if (down_one_way_.count({from.value(), to.value()})) {
     return false;
   }
   if (drop_probability_ > 0.0 && rng->NextBool(drop_probability_)) {
@@ -101,6 +139,21 @@ double FaultPlan::SampleDelay(Rng* rng) const {
     return delay_min_;
   }
   return delay_min_ + rng->NextDouble() * (delay_max_ - delay_min_);
+}
+
+double FaultPlan::SampleDelay(SiteId from, SiteId to, Rng* rng) const {
+  MutexLock lock(&mu_);
+  double lo = delay_min_;
+  double hi = delay_max_;
+  auto it = link_delays_.find({from.value(), to.value()});
+  if (it != link_delays_.end()) {
+    lo = it->second.first;
+    hi = it->second.second;
+  }
+  if (hi <= lo) {
+    return lo;
+  }
+  return lo + rng->NextDouble() * (hi - lo);
 }
 
 double FaultPlan::min_delay() const {

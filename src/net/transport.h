@@ -71,23 +71,50 @@ class FaultPlan {
   // Cuts the (symmetric) link between two sites.
   void SetLinkDown(SiteId a, SiteId b, bool down);
 
+  // Cuts only the `from` -> `to` direction of a link: packets the other
+  // way still flow. Models the asymmetric routing failures WAN paths
+  // actually suffer (one-way BGP blackholes, asymmetric congestion
+  // loss) that symmetric link cuts cannot express.
+  void SetOneWayDown(SiteId from, SiteId to, bool down);
+
   // Splits the network into two halves; traffic crossing halves is cut.
   void Partition(const std::vector<SiteId>& side_a,
                  const std::vector<SiteId>& side_b);
-  // Restores every cut link (sites marked down stay down).
+  // Cuts only the `from_side` -> `to_side` direction between two site
+  // groups (split-brain where one side can still hear the other).
+  void PartitionOneWay(const std::vector<SiteId>& from_side,
+                       const std::vector<SiteId>& to_side);
+  // Restores every cut link, symmetric and one-way (sites marked down
+  // stay down; per-link delay shaping is topology, not a fault, and is
+  // untouched).
   void HealLinks();
-  // Restores everything.
+  // Restores everything except delay shaping.
   void HealAll();
 
   // Uniform random drop probability applied to every packet.
   void SetDropProbability(double p);
 
-  // Per-packet latency sampled uniformly from [min, max] seconds.
+  // Per-packet latency sampled uniformly from [min, max] seconds — the
+  // default for links without their own shaping below.
   void SetDelayRange(double min_seconds, double max_seconds);
+
+  // Per-directed-link latency override: packets `from` -> `to` sample
+  // uniformly from [min, max] seconds instead of the default range.
+  // This is the WAN model's substrate — region-pair latency
+  // distributions compile down to one entry per cross-region site pair
+  // (src/replica/wan.h does the compiling).
+  void SetLinkDelayRange(SiteId from, SiteId to, double min_seconds,
+                         double max_seconds);
+  // Drops every per-link delay override, restoring the default range.
+  void ClearLinkDelays();
 
   // Decision point: should a packet sent now be delivered?
   bool ShouldDeliver(SiteId from, SiteId to, Rng* rng) const;
   double SampleDelay(Rng* rng) const;
+  // Link-aware variant: honours SetLinkDelayRange overrides. With no
+  // override installed for the link it is draw-for-draw identical to
+  // the default SampleDelay, so existing schedules are unperturbed.
+  double SampleDelay(SiteId from, SiteId to, Rng* rng) const;
 
   double min_delay() const;
 
@@ -104,6 +131,13 @@ class FaultPlan {
   };
   std::unordered_set<std::pair<uint64_t, uint64_t>, PairHash> down_links_
       GUARDED_BY(mu_);
+  // Directed cuts, keyed (from, to) — NOT canonicalised like down_links_.
+  std::unordered_set<std::pair<uint64_t, uint64_t>, PairHash>
+      down_one_way_ GUARDED_BY(mu_);
+  // Directed per-link delay overrides, keyed (from, to).
+  std::unordered_map<std::pair<uint64_t, uint64_t>,
+                     std::pair<double, double>, PairHash>
+      link_delays_ GUARDED_BY(mu_);
   double drop_probability_ GUARDED_BY(mu_) = 0.0;
   double delay_min_ GUARDED_BY(mu_) = 0.001;  // 1 ms default one-way latency
   double delay_max_ GUARDED_BY(mu_) = 0.003;

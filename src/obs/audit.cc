@@ -77,7 +77,67 @@ std::vector<AuditViolation> TraceAuditor::Audit(
            type == TraceEventType::kSvcAdmitted ||
            type == TraceEventType::kSvcShed ||
            type == TraceEventType::kSvcDeadlineExceeded ||
-           type == TraceEventType::kSvcRetry;
+           type == TraceEventType::kSvcRetry ||
+           // Replica-layer events name copy sites but are emitted by
+           // the routing/auditing layer above the sites, which keeps
+           // running — and failing over — while a copy's site is down.
+           type == TraceEventType::kReplicaWrite ||
+           type == TraceEventType::kReplicaRead ||
+           type == TraceEventType::kReplicaFailover ||
+           type == TraceEventType::kReplicaSetInfo ||
+           type == TraceEventType::kReplicaDigest ||
+           type == TraceEventType::kReplicaRepair;
+  };
+
+  // A13 pre-pass: committed-value digests announced per logical item,
+  // collected over the WHOLE trace (see audit.h for why order-free).
+  // Post-quiescence sweep digests count too: a converged copy value is
+  // committed-branch by definition (an aborted branch persisting to
+  // quiescence is an atomicity violation other audits flag), and it
+  // covers the one commit no client-side announcement can — a write
+  // whose client abandoned it at the deadline and that resolved to
+  // commit during recovery.
+  std::unordered_map<std::string, std::unordered_set<uint64_t>> announced;
+  for (const TraceEvent& e : trace) {
+    if (e.type == TraceEventType::kReplicaWrite ||
+        e.type == TraceEventType::kReplicaRepair ||
+        (e.type == TraceEventType::kReplicaDigest && e.arg != 0)) {
+      announced[e.key].insert(e.arg);
+    }
+  }
+
+  // A12 sweeps currently open, by logical item.
+  struct ReplicaSweep {
+    size_t opened_at = 0;
+    uint64_t expected = 0;
+    std::vector<uint64_t> digests;
+  };
+  std::unordered_map<std::string, ReplicaSweep> open_sweeps;
+  auto finalize_sweep = [&violate](const std::string& key,
+                                   const ReplicaSweep& sweep) {
+    if (sweep.digests.size() != sweep.expected) {
+      violate(sweep.opened_at,
+              "replica sweep of '" + key + "' reported " +
+                  std::to_string(sweep.digests.size()) + " copies, set has " +
+                  std::to_string(sweep.expected));
+    }
+    uint64_t reference = 0;
+    for (uint64_t digest : sweep.digests) {
+      if (digest == 0) {
+        violate(sweep.opened_at,
+                "replica sweep of '" + key +
+                    "' found a copy with no certain value "
+                    "(missing or unconverged)");
+        return;
+      }
+      if (reference == 0) {
+        reference = digest;
+      } else if (digest != reference) {
+        violate(sweep.opened_at,
+                "replica copies of '" + key + "' diverge after quiescence");
+        return;
+      }
+    }
   };
 
   for (size_t i = 0; i < trace.size(); ++i) {
@@ -320,11 +380,56 @@ std::vector<AuditViolation> TraceAuditor::Audit(
       case TraceEventType::kSvcShed:
       case TraceEventType::kSvcDeadlineExceeded:
       case TraceEventType::kSvcRetry:
+        break;
+
+      case TraceEventType::kReplicaSetInfo: {
+        // A12: open a sweep (finalizing any prior one for the item).
+        auto it = open_sweeps.find(e.key);
+        if (it != open_sweeps.end()) {
+          finalize_sweep(e.key, it->second);
+          open_sweeps.erase(it);
+        }
+        open_sweeps[e.key] = ReplicaSweep{i, e.arg, {}};
+        break;
+      }
+
+      case TraceEventType::kReplicaDigest: {
+        auto it = open_sweeps.find(e.key);
+        if (it == open_sweeps.end()) {
+          violate(i, "replica digest for '" + e.key +
+                         "' outside any sweep (no replica_set_info)");
+          break;
+        }
+        it->second.digests.push_back(e.arg);
+        break;
+      }
+
+      case TraceEventType::kReplicaRead:
+        // A13: a certain read must return an announced committed value.
+        if (e.flag && announced[e.key].count(e.arg) == 0) {
+          violate(i, polyvalue::ToString(e.site) + " served a read of '" +
+                         e.key +
+                         "' with a value no committed write announced "
+                         "(possible aborted-branch leak)");
+        }
+        break;
+
+      case TraceEventType::kReplicaWrite:
+      case TraceEventType::kReplicaRepair:
+        // Collected in the A13 pre-pass.
+        break;
+
       case TraceEventType::kPaxosVote:
       case TraceEventType::kPaxosFailover:
       case TraceEventType::kPaxosRecoveryBallot:
+      case TraceEventType::kReplicaFailover:
         break;
     }
+  }
+
+  // A12: finalize sweeps still open at end of trace.
+  for (const auto& [key, sweep] : open_sweeps) {
+    finalize_sweep(key, sweep);
   }
 
   if (options_.expect_quiescent) {

@@ -30,6 +30,31 @@
 //   A8  Submits terminate — every submit reaches a terminal decision,
 //       unless its coordinator crashed after the submit (the client
 //       is legitimately orphaned; its outcome resolves by inquiry).
+//   A9–A11 (Paxos Commit leg) — ballot monotonicity, chosen-value
+//       agreement, decide uniqueness; see the switch arms below.
+//   Partial replication (src/replica/, PR 10):
+//   A12 Replica convergence — within each consistency sweep
+//       (`replica_set_info` opener plus its `replica_digest` events),
+//       every copy of the logical item reports the same nonzero
+//       digest and the copy count matches the set size. The harness
+//       emits sweeps only once no outcome is in doubt for the set, so
+//       a 0 digest (missing / still-uncertain copy) or a divergent
+//       digest is a convergence failure.
+//   A13 Read provenance — every certain value served by the read
+//       router (`replica_read` with the certain flag) carries a digest
+//       some committed write (`replica_write`, including initial loads
+//       and repairs) announced for that logical item, ANYWHERE in the
+//       trace — never a value from an aborted branch. Announcements
+//       are collected over the whole trace before checking because a
+//       commit whose output was still uncertain at settlement
+//       announces its resolved value later than dependent reads may
+//       observe it. Nonzero post-quiescence sweep digests also count
+//       as announcements: a converged value is committed-branch by
+//       definition, which covers writes whose client abandoned them at
+//       the deadline and that resolved to commit during recovery — no
+//       client-side callback ever sees those. (Digest equality
+//       approximates value equality; 64-bit FNV collisions are
+//       accepted.)
 //
 // Events are checked in recorded (execution) order; see trace.h for
 // the ordering guarantee on the deterministic simulator.

@@ -88,6 +88,18 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "paxos_failover";
     case TraceEventType::kPaxosRecoveryBallot:
       return "paxos_recovery_ballot";
+    case TraceEventType::kReplicaWrite:
+      return "replica_write";
+    case TraceEventType::kReplicaRead:
+      return "replica_read";
+    case TraceEventType::kReplicaFailover:
+      return "replica_failover";
+    case TraceEventType::kReplicaSetInfo:
+      return "replica_set_info";
+    case TraceEventType::kReplicaDigest:
+      return "replica_digest";
+    case TraceEventType::kReplicaRepair:
+      return "replica_repair";
   }
   return "?";
 }

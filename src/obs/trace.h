@@ -99,6 +99,27 @@ enum class TraceEventType : uint8_t {
   kPaxosFailover,     // RM nudged a standby leader (peer = standby,
                       //   arg = attempt #)
   kPaxosRecoveryBallot,  // standby started Phase1a (arg = ballot)
+  // -- partial replication (src/replica/) --
+  // Emitted by the replica routing/auditing layer ABOVE the sites (the
+  // read router, the consistency sweep, the repair tool, the workload
+  // harness), never by the engines — so the engine state machines and
+  // their extracted sm_*.json specs are untouched. Like the svc_*
+  // events they are exempt from A5: the routing layer keeps running
+  // (and keeps failing over) while a site behind it is down. `key`
+  // always carries the LOGICAL item name, not a per-site copy key.
+  // Digests are FNV-1a over Value::ToString and never 0 (0 means
+  // "no certain value" in a sweep).
+  kReplicaWrite,      // committed write announced (arg = value digest);
+                      //   also emitted for initial loads and repairs
+  kReplicaRead,       // router served a read (site = serving replica,
+                      //   arg = digest, flag = value was certain)
+  kReplicaFailover,   // router abandoned a copy (site = abandoned,
+                      //   peer = next tried, arg = attempt #)
+  kReplicaSetInfo,    // consistency sweep opened (arg = copy count)
+  kReplicaDigest,     // one copy's digest in a sweep (site = copy's
+                      //   site, arg = digest, 0 = missing/uncertain)
+  kReplicaRepair,     // repair tool rewrote a copy (site = copy's site,
+                      //   arg = digest written)
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -1,0 +1,59 @@
+#include "src/replica/catalog.h"
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+#include "src/replica/consistency.h"
+
+namespace polyvalue {
+
+ReplicaCatalog::ReplicaCatalog(const ReplicaPlacement& placement,
+                               std::vector<std::string> logical_names) {
+  sets_.reserve(logical_names.size());
+  for (std::string& name : logical_names) {
+    const auto [it, inserted] = by_name_.emplace(name, sets_.size());
+    (void)it;
+    POLYV_CHECK(inserted);  // names must be distinct
+    sets_.push_back(placement.MakeReplicaSet(name));
+  }
+}
+
+ReplicaCatalog ReplicaCatalog::Uniform(const ReplicaPlacement& placement,
+                                       const std::string& prefix,
+                                       uint64_t count) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    names.push_back(StrCat(prefix, i));
+  }
+  return ReplicaCatalog(placement, std::move(names));
+}
+
+const ReplicaSet& ReplicaCatalog::at(size_t index) const {
+  POLYV_CHECK_LT(index, sets_.size());
+  return sets_[index];
+}
+
+const ReplicaSet& ReplicaCatalog::Find(
+    const std::string& logical_name) const {
+  auto it = by_name_.find(logical_name);
+  POLYV_CHECK(it != by_name_.end());
+  return sets_[it->second];
+}
+
+void ReplicaCatalog::LoadAll(SimCluster* cluster, const Value& initial,
+                             TraceSink* trace) const {
+  for (const ReplicaSet& set : sets_) {
+    LoadReplicated(cluster, set, initial);
+    if (trace != nullptr) {
+      TraceEvent event;
+      event.time = cluster->sim().now();
+      event.type = TraceEventType::kReplicaWrite;
+      event.site = set.sites().front();
+      event.key = set.logical_name();
+      event.arg = DigestValue(initial);
+      trace->Emit(event);
+    }
+  }
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,51 @@
+// ReplicaCatalog: the logical-key -> replica-set mapping consumers use
+// instead of hand-listing sites.
+//
+// A catalog materializes one ReplicaSet per registered logical item
+// from a ReplicaPlacement, addressable by name or by dense index (the
+// workload generators draw flat key indices). LoadAll seeds every copy
+// and announces the initial digests to the trace, so TraceAuditor A13
+// treats pre-loaded values as committed provenance.
+#ifndef SRC_REPLICA_CATALOG_H_
+#define SRC_REPLICA_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/replica/placement.h"
+#include "src/system/cluster.h"
+#include "src/system/replication.h"
+
+namespace polyvalue {
+
+class ReplicaCatalog {
+ public:
+  ReplicaCatalog(const ReplicaPlacement& placement,
+                 std::vector<std::string> logical_names);
+
+  // The canonical workload catalog: `count` items named
+  // "<prefix><index>" ("g/0", "g/1", ...).
+  static ReplicaCatalog Uniform(const ReplicaPlacement& placement,
+                                const std::string& prefix, uint64_t count);
+
+  size_t size() const { return sets_.size(); }
+  const ReplicaSet& at(size_t index) const;
+  // CHECK-fails for unregistered names.
+  const ReplicaSet& Find(const std::string& logical_name) const;
+
+  // Seeds every copy of every item with `initial` and, when `trace` is
+  // non-null, announces each item's initial digest (replica_write).
+  void LoadAll(SimCluster* cluster, const Value& initial,
+               TraceSink* trace = nullptr) const;
+
+ private:
+  std::vector<ReplicaSet> sets_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_REPLICA_CATALOG_H_

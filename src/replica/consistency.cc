@@ -1,0 +1,177 @@
+#include "src/replica/consistency.h"
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace polyvalue {
+
+uint64_t DigestValue(const Value& value) {
+  const std::string repr = value.ToString();
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : repr) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h == 0 ? 1 : h;  // 0 is reserved for "no certain value"
+}
+
+namespace {
+
+// The certain value of one copy, nullopt when the copy is missing,
+// uncertain, or its site is down.
+std::optional<Value> CopyValue(SimCluster* cluster,
+                               const ReplicaSet& replicas, SiteId site) {
+  Site& s = cluster->site(site.value() - 1);
+  if (s.crashed()) {
+    return std::nullopt;
+  }
+  const Result<PolyValue> copy = s.Peek(replicas.KeyAt(site));
+  if (!copy.ok() || !copy.value().is_certain()) {
+    return std::nullopt;
+  }
+  return copy.value().certain_value();
+}
+
+}  // namespace
+
+ReplicaCheckReport CheckReplicaSet(SimCluster* cluster,
+                                   const ReplicaSet& replicas) {
+  ReplicaCheckReport report;
+  struct CopyState {
+    SiteId site;
+    std::optional<Value> value;  // nullopt = missing or uncertain
+  };
+  std::vector<CopyState> copies;
+  for (SiteId site : replicas.sites()) {
+    Site& s = cluster->site(site.value() - 1);
+    if (s.crashed()) {
+      ++report.skipped_down;
+      continue;
+    }
+    ++report.copies_checked;
+    CopyState state{site, std::nullopt};
+    const Result<PolyValue> copy = s.Peek(replicas.KeyAt(site));
+    if (!copy.ok()) {
+      ++report.missing;
+      report.problems.push_back(StrCat("copy '", replicas.KeyAt(site),
+                                       "' missing at site ", site.value()));
+    } else if (!copy.value().is_certain()) {
+      ++report.uncertain;
+      report.problems.push_back(StrCat("copy '", replicas.KeyAt(site),
+                                       "' uncertain at site ", site.value()));
+    } else {
+      state.value = copy.value().certain_value();
+    }
+    copies.push_back(std::move(state));
+  }
+
+  // Majority vote over the certain copies, digest-keyed. std::map keeps
+  // the tally deterministic; ties break to the first digest reaching
+  // the best count, i.e. the earliest-listed copy's value.
+  std::map<uint64_t, size_t> votes;
+  std::optional<uint64_t> majority;
+  size_t best = 0;
+  for (const CopyState& copy : copies) {
+    if (!copy.value.has_value()) {
+      continue;
+    }
+    const size_t count = ++votes[DigestValue(*copy.value)];
+    if (count > best) {
+      best = count;
+      majority = DigestValue(*copy.value);
+    }
+  }
+  if (majority.has_value()) {
+    for (const CopyState& copy : copies) {
+      if (copy.value.has_value() && DigestValue(*copy.value) != *majority) {
+        ++report.divergent;
+        report.problems.push_back(StrCat("copy '", replicas.KeyAt(copy.site),
+                                         "' diverges at site ",
+                                         copy.site.value()));
+      }
+    }
+  }
+  return report;
+}
+
+size_t RepairReplicaSet(SimCluster* cluster, const ReplicaSet& replicas,
+                        TraceSink* trace) {
+  // Majority certain value among live copies.
+  std::map<uint64_t, std::pair<size_t, Value>> votes;
+  std::optional<Value> majority;
+  size_t best = 0;
+  for (SiteId site : replicas.sites()) {
+    const std::optional<Value> value = CopyValue(cluster, replicas, site);
+    if (!value.has_value()) {
+      continue;
+    }
+    auto& entry = votes.emplace(DigestValue(*value),
+                                std::make_pair(size_t{0}, *value))
+                      .first->second;
+    if (++entry.first > best) {
+      best = entry.first;
+      majority = entry.second;
+    }
+  }
+  if (!majority.has_value()) {
+    return 0;  // nothing certain to repair from
+  }
+  const uint64_t majority_digest = DigestValue(*majority);
+
+  size_t repaired = 0;
+  for (SiteId site : replicas.sites()) {
+    Site& s = cluster->site(site.value() - 1);
+    if (s.crashed()) {
+      continue;
+    }
+    const Result<PolyValue> copy = s.Peek(replicas.KeyAt(site));
+    const bool missing = !copy.ok();
+    const bool divergent =
+        copy.ok() && copy.value().is_certain() &&
+        DigestValue(copy.value().certain_value()) != majority_digest;
+    if (!missing && !divergent) {
+      continue;  // consistent, or uncertain (left to propagation)
+    }
+    s.Load(replicas.KeyAt(site), *majority);
+    ++repaired;
+    if (trace != nullptr) {
+      TraceEvent event;
+      event.time = cluster->sim().now();
+      event.type = TraceEventType::kReplicaRepair;
+      event.site = site;
+      event.key = replicas.logical_name();
+      event.arg = majority_digest;
+      trace->Emit(event);
+    }
+  }
+  return repaired;
+}
+
+void EmitReplicaDigests(SimCluster* cluster, const ReplicaSet& replicas,
+                        TraceSink* trace) {
+  if (trace == nullptr) {
+    return;
+  }
+  TraceEvent opener;
+  opener.time = cluster->sim().now();
+  opener.type = TraceEventType::kReplicaSetInfo;
+  opener.site = replicas.sites().front();
+  opener.key = replicas.logical_name();
+  opener.arg = replicas.size();
+  trace->Emit(opener);
+  for (SiteId site : replicas.sites()) {
+    const std::optional<Value> value = CopyValue(cluster, replicas, site);
+    TraceEvent event;
+    event.time = cluster->sim().now();
+    event.type = TraceEventType::kReplicaDigest;
+    event.site = site;
+    event.key = replicas.logical_name();
+    event.arg = value.has_value() ? DigestValue(*value) : 0;
+    trace->Emit(event);
+  }
+}
+
+}  // namespace polyvalue

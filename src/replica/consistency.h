@@ -1,0 +1,71 @@
+// Replica-consistency auditing and repair.
+//
+// Three tools over one ReplicaSet:
+//   CheckReplicaSet    — classify every copy (ok / missing / uncertain /
+//                        divergent) against the live majority value.
+//   RepairReplicaSet   — write the majority value back over divergent or
+//                        missing copies (direct store load, the offline
+//                        repair path), announcing each rewrite.
+//   EmitReplicaDigests — the A12 sweep: one replica_set_info opener plus
+//                        one replica_digest per copy; TraceAuditor
+//                        checks count and digest agreement.
+//
+// Digests are 64-bit FNV-1a over Value::ToString and never 0 — a 0 in a
+// sweep means "this copy has no certain value" (missing, uncertain, or
+// its site is down). Digest equality approximates value equality;
+// collisions are accepted (the same approximation the auditor states).
+#ifndef SRC_REPLICA_CONSISTENCY_H_
+#define SRC_REPLICA_CONSISTENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/system/cluster.h"
+#include "src/system/replication.h"
+#include "src/value/value.h"
+
+namespace polyvalue {
+
+// Nonzero digest of a simple value.
+uint64_t DigestValue(const Value& value);
+
+struct ReplicaCheckReport {
+  size_t copies_checked = 0;  // live copies examined
+  size_t skipped_down = 0;    // copies on crashed sites (not examined)
+  size_t missing = 0;         // live site has no copy of the item
+  size_t uncertain = 0;       // copy still holds a polyvalue
+  size_t divergent = 0;       // certain copy != the majority value
+  std::vector<std::string> problems;  // one line per defect
+
+  // True when every live copy exists, is certain, and agrees.
+  bool consistent() const {
+    return missing == 0 && uncertain == 0 && divergent == 0;
+  }
+};
+
+ReplicaCheckReport CheckReplicaSet(SimCluster* cluster,
+                                   const ReplicaSet& replicas);
+
+// Rewrites divergent and missing copies with the majority certain value
+// among live copies (ties break to the first-listed copy's value).
+// Returns the number of copies rewritten; 0 when already consistent or
+// when no live certain copy exists to repair from. Uncertain copies are
+// never overwritten — outcome propagation, not repair, resolves them.
+// Each rewrite emits replica_repair (and counts as announced provenance
+// for A13) when `trace` is non-null.
+size_t RepairReplicaSet(SimCluster* cluster, const ReplicaSet& replicas,
+                        TraceSink* trace = nullptr);
+
+// Emits the A12 consistency sweep for one replica set: replica_set_info
+// with arg = copy count, then one replica_digest per copy (arg = the
+// copy's digest, or 0 when the copy is missing, uncertain, or down).
+// Call at quiescence — the auditor treats any 0 or disagreement as a
+// convergence violation.
+void EmitReplicaDigests(SimCluster* cluster, const ReplicaSet& replicas,
+                        TraceSink* trace);
+
+}  // namespace polyvalue
+
+#endif  // SRC_REPLICA_CONSISTENCY_H_

@@ -1,0 +1,93 @@
+#include "src/replica/placement.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace polyvalue {
+
+namespace {
+
+// FNV-1a over a byte string, mixed with the policy seed via SplitMix64
+// so distinct seeds give unrelated rings.
+uint64_t HashBytes(uint64_t seed, const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return SplitMix64(seed ^ h).Next();
+}
+
+}  // namespace
+
+ReplicaPlacement::ReplicaPlacement(RegionTopology topology,
+                                   PlacementPolicy policy)
+    : topology_(std::move(topology)), policy_(policy) {
+  POLYV_CHECK_GT(policy_.replication_factor, 0u);
+  POLYV_CHECK_LE(policy_.replication_factor, topology_.site_count());
+  POLYV_CHECK_GT(policy_.virtual_nodes, 0u);
+  for (SiteId site : topology_.AllSites()) {
+    for (size_t v = 0; v < policy_.virtual_nodes; ++v) {
+      const uint64_t point = HashBytes(
+          policy_.seed, std::to_string(site.value()) + "#" +
+                            std::to_string(v));
+      ring_.emplace_back(point, site);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const auto& a, const auto& b) {
+              // Break hash ties by site so the ring order is total.
+              return a.first != b.first ? a.first < b.first
+                                        : a.second.value() < b.second.value();
+            });
+}
+
+std::vector<SiteId> ReplicaPlacement::SitesFor(
+    const std::string& logical_name) const {
+  const uint64_t start = HashBytes(policy_.seed ^ 0x517e5eedULL,
+                                   logical_name);
+  // First ring point at or after the item's hash (wrapping).
+  size_t index = std::lower_bound(
+                     ring_.begin(), ring_.end(),
+                     std::make_pair(start, SiteId(0)),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     }) -
+                 ring_.begin();
+
+  std::vector<SiteId> chosen;
+  std::unordered_set<uint64_t> taken_sites;
+  std::unordered_set<size_t> taken_regions;
+  const size_t k = policy_.replication_factor;
+  // Pass 1 honours region spread; pass 2 relaxes it for k > regions
+  // (or spread disabled): any distinct site qualifies.
+  for (int pass = 0; pass < 2 && chosen.size() < k; ++pass) {
+    const bool spread = policy_.spread_regions && pass == 0;
+    for (size_t step = 0; step < ring_.size() && chosen.size() < k;
+         ++step) {
+      const SiteId site = ring_[(index + step) % ring_.size()].second;
+      if (taken_sites.count(site.value())) {
+        continue;
+      }
+      const size_t region = topology_.RegionOf(site);
+      if (spread && taken_regions.count(region)) {
+        continue;
+      }
+      taken_sites.insert(site.value());
+      taken_regions.insert(region);
+      chosen.push_back(site);
+    }
+  }
+  POLYV_CHECK_EQ(chosen.size(), k);
+  return chosen;
+}
+
+ReplicaSet ReplicaPlacement::MakeReplicaSet(
+    const std::string& logical_name) const {
+  return ReplicaSet(logical_name, SitesFor(logical_name));
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,63 @@
+// Deterministic k-of-n replica placement.
+//
+// ReplicaPlacement maps a logical item name to the k sites that hold
+// its copies, using a seeded consistent-hash ring with region
+// awareness: each site contributes `virtual_nodes` points to the ring,
+// the item's hash picks a start, and the ring walk collects distinct
+// sites — preferring unused REGIONS first (so k copies spread over
+// min(k, regions) regions), then distinct sites within already-used
+// regions.
+//
+// Placement is a pure function of (topology, policy, name): every
+// process that shares the seed computes the same replica sets with no
+// coordination, and re-running a seeded sim re-derives the identical
+// layout — the property every byte-reproducible bench relies on.
+#ifndef SRC_REPLICA_PLACEMENT_H_
+#define SRC_REPLICA_PLACEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/replica/topology.h"
+#include "src/system/replication.h"
+
+namespace polyvalue {
+
+struct PlacementPolicy {
+  // k: copies per logical item. Must be <= the topology's site count.
+  size_t replication_factor = 3;
+  // Prefer placing copies in distinct regions before reusing one.
+  bool spread_regions = true;
+  // Seeds the ring point hashes; two placements with the same seed and
+  // topology agree everywhere.
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  // Ring points per site; more points smooth the load distribution.
+  size_t virtual_nodes = 16;
+};
+
+class ReplicaPlacement {
+ public:
+  ReplicaPlacement(RegionTopology topology, PlacementPolicy policy);
+
+  // The k sites holding `logical_name`, in placement order: the
+  // first-listed site is the item's primary copy.
+  std::vector<SiteId> SitesFor(const std::string& logical_name) const;
+
+  // Convenience: the ReplicaSet for `logical_name`.
+  ReplicaSet MakeReplicaSet(const std::string& logical_name) const;
+
+  const RegionTopology& topology() const { return topology_; }
+  const PlacementPolicy& policy() const { return policy_; }
+
+ private:
+  RegionTopology topology_;
+  PlacementPolicy policy_;
+  // Sorted (hash, site) ring points.
+  std::vector<std::pair<uint64_t, SiteId>> ring_;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_REPLICA_PLACEMENT_H_

@@ -1,0 +1,181 @@
+#include "src/replica/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+#include "src/replica/consistency.h"
+
+namespace polyvalue {
+
+// One routed read in flight. `generation` fences the attempt's timer
+// against its transaction callback: whichever fires first bumps it, so
+// the loser sees a stale generation and stands down.
+struct RoutedRead {
+  ReplicaSet replicas;
+  std::vector<SiteId> order;
+  size_t limit = 0;      // copies this read may try
+  size_t next = 0;       // next index in `order`
+  uint64_t generation = 0;
+  bool settled = false;
+  // Fixed submission site; SiteId() = submit at each copy's own site.
+  SiteId coordinator;
+  ReadRouter::ReadCallback done;
+
+  RoutedRead(ReplicaSet r, ReadRouter::ReadCallback d)
+      : replicas(std::move(r)), done(std::move(d)) {}
+};
+
+ReadRouter::ReadRouter(SimCluster* cluster, const RegionTopology* topology,
+                       ReadRouterOptions options)
+    : cluster_(cluster), topology_(topology), options_(options) {
+  POLYV_CHECK(cluster != nullptr);
+  POLYV_CHECK(topology != nullptr);
+  POLYV_CHECK_GT(options_.failover_timeout, 0.0);
+}
+
+std::vector<SiteId> ReadRouter::PreferenceOrder(
+    const ReplicaSet& replicas) const {
+  std::vector<SiteId> order;
+  order.reserve(replicas.size());
+  if (options_.prefer_local) {
+    for (SiteId site : replicas.sites()) {
+      if (topology_->RegionOf(site) == options_.local_region) {
+        order.push_back(site);
+      }
+    }
+  }
+  for (SiteId site : replicas.sites()) {
+    bool taken = false;
+    for (SiteId t : order) {
+      taken = taken || t == site;
+    }
+    if (!taken) {
+      order.push_back(site);
+    }
+  }
+  return order;
+}
+
+void ReadRouter::Read(const ReplicaSet& replicas, ReadCallback done) {
+  Read(replicas, SiteId(), std::move(done));
+}
+
+void ReadRouter::Read(const ReplicaSet& replicas, SiteId coordinator,
+                      ReadCallback done) {
+  ++counters_.reads;
+  auto state = std::make_shared<RoutedRead>(replicas, std::move(done));
+  state->order = PreferenceOrder(replicas);
+  state->limit = options_.max_attempts == 0
+                     ? state->order.size()
+                     : std::min(options_.max_attempts, state->order.size());
+  state->coordinator = coordinator;
+  Attempt(std::move(state));
+}
+
+void ReadRouter::Attempt(std::shared_ptr<RoutedRead> state) {
+  if (state->settled) {
+    return;  // polyverify: allow(TR01) duplicate wake-up, no step taken
+  }
+  if (state->next >= state->limit) {
+    state->settled = true;
+    ++counters_.failed;
+    // Terminal failover event (no next site): exhausted routed reads
+    // are protocol outcomes too, and the auditor should see them.
+    Emit(TraceEventType::kReplicaFailover, SiteId(), SiteId(),
+         state->replicas.logical_name(), false, state->next);
+    state->done(UnavailableError(
+        StrCat("no replica of '", state->replicas.logical_name(),
+               "' answered after ", state->next, " attempt(s)")));
+    return;
+  }
+  const size_t attempt = state->next++;
+  const SiteId site = state->order[attempt];
+  const SiteId next_site =
+      state->next < state->limit ? state->order[state->next] : SiteId();
+
+  // Liveness hint: a copy on a known-crashed site is skipped without
+  // burning the failover timeout. Timeouts still cover the cases the
+  // hint cannot see (partitions, one-way cuts, slow links).
+  if (cluster_->site(site.value() - 1).crashed()) {
+    ++counters_.failovers;
+    Emit(TraceEventType::kReplicaFailover, site, next_site,
+         state->replicas.logical_name(), false, attempt + 1);
+    Attempt(std::move(state));
+    return;
+  }
+
+  const uint64_t generation = ++state->generation;
+  const std::string logical = state->replicas.logical_name();
+  const size_t submit_index = state->coordinator.valid()
+                                  ? state->coordinator.value() - 1
+                                  : site.value() - 1;
+
+  cluster_->Submit(
+      submit_index, state->replicas.MakeRead(site),
+      [this, state, generation, site, next_site,
+       logical](const TxnResult& result) {
+        if (state->settled || state->generation != generation) {
+          return;  // a timer already abandoned this attempt
+        }
+        ++state->generation;  // fence out this attempt's timer
+        if (result.committed() && result.output.is_certain()) {
+          state->settled = true;
+          ++counters_.served;
+          if (topology_->RegionOf(site) == options_.local_region) {
+            ++counters_.local_served;
+          }
+          const Value& value = result.output.certain_value();
+          Emit(TraceEventType::kReplicaRead, site, SiteId(), logical, true,
+               DigestValue(value));
+          state->done(value);
+          return;
+        }
+        // Refusal: aborted, or the copy is still a polyvalue mid-
+        // propagation — serving it could leak an aborted branch (A13).
+        ++counters_.failovers;
+        Emit(TraceEventType::kReplicaFailover, site, next_site, logical,
+             false, state->next);
+        Attempt(state);
+      });
+
+  cluster_->sim().After(
+      options_.failover_timeout,
+      [this, state, generation, site, next_site, logical] {
+        if (state->settled || state->generation != generation) {
+          return;  // the attempt already settled or failed over
+        }
+        ++state->generation;  // fence out the late transaction callback
+        ++counters_.failovers;
+        Emit(TraceEventType::kReplicaFailover, site, next_site, logical,
+             false, state->next);
+        Attempt(state);
+      });  // polyverify: allow(TR01) async: the callbacks above emit
+}
+
+void ReadRouter::Emit(TraceEventType type, SiteId site, SiteId peer,
+                      const std::string& key, bool flag, uint64_t arg) {
+  if (options_.trace == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.time = cluster_->sim().now();
+  event.type = type;
+  event.site = site;
+  event.peer = peer;
+  event.key = key;
+  event.flag = flag;
+  event.arg = arg;
+  options_.trace->Emit(event);
+}
+
+void ReadRouter::ExportMetrics(MetricsRegistry* registry) const {
+  registry->SetCounter("replica.reads", counters_.reads);
+  registry->SetCounter("replica.served", counters_.served);
+  registry->SetCounter("replica.failed", counters_.failed);
+  registry->SetCounter("replica.failovers", counters_.failovers);
+  registry->SetCounter("replica.local_served", counters_.local_served);
+}
+
+}  // namespace polyvalue

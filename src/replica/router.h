@@ -1,0 +1,97 @@
+// ReadRouter: serve reads from any live replica, failing over to the
+// next copy on timeout or refusal.
+//
+// A routed read picks a preference order over the item's copies —
+// same-region replicas first (local-read strategy) or placement order
+// (primary-read strategy) — and submits a single-copy read transaction
+// at the preferred copy's own site. If the copy's site is down, the
+// attempt aborts, the result is still uncertain (a polyvalue mid-
+// propagation), or no answer arrives within the failover timeout, the
+// router abandons the attempt and tries the next copy. Only CERTAIN
+// values are served: returning a polyvalue could leak an aborted
+// branch, exactly what invariant A13 forbids.
+//
+// The router lives ABOVE the sites (like the serving front door): it
+// emits replica_read / replica_failover trace events, keeps running
+// while copies crash, and never touches engine state machines.
+#ifndef SRC_REPLICA_ROUTER_H_
+#define SRC_REPLICA_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/replica/topology.h"
+#include "src/system/cluster.h"
+#include "src/system/replication.h"
+
+namespace polyvalue {
+
+struct RoutedRead;  // one in-flight routed read (router.cc)
+
+struct ReadRouterOptions {
+  // Abandon an attempt after this much virtual time without an answer.
+  double failover_timeout = 0.05;
+  // Prefer copies in `local_region` (then placement order); false =
+  // strict placement order (primary first).
+  bool prefer_local = true;
+  size_t local_region = 0;
+  // Cap on copies tried per read; 0 = try every copy once.
+  size_t max_attempts = 0;
+  // Optional sink for replica_read / replica_failover events.
+  TraceSink* trace = nullptr;
+};
+
+struct RouterCounters {
+  uint64_t reads = 0;        // Read() calls
+  uint64_t served = 0;       // settled with a certain value
+  uint64_t failed = 0;       // exhausted every permitted copy
+  uint64_t failovers = 0;    // abandoned attempts (all causes)
+  uint64_t local_served = 0; // served by a copy in local_region
+};
+
+class ReadRouter {
+ public:
+  // `topology` must outlive the router.
+  ReadRouter(SimCluster* cluster, const RegionTopology* topology,
+             ReadRouterOptions options);
+
+  using ReadCallback = std::function<void(const Result<Value>&)>;
+
+  // Asynchronous: `done` fires during simulator steps (drive the sim).
+  // Each attempt's read transaction is submitted at the consulted
+  // copy's own site.
+  void Read(const ReplicaSet& replicas, ReadCallback done);
+
+  // Like Read(), but submits every attempt at `coordinator` (a live
+  // front-end site, usually in the client's region): the engine's
+  // prepares then cross the simulated WAN to the copy, so routed-read
+  // latency reflects the client's distance to the replica consulted —
+  // the quantity bench_georep compares across read strategies.
+  void Read(const ReplicaSet& replicas, SiteId coordinator,
+            ReadCallback done);
+
+  // The copy order Read() tries for `replicas`.
+  std::vector<SiteId> PreferenceOrder(const ReplicaSet& replicas) const;
+
+  const RouterCounters& counters() const { return counters_; }
+
+  // Publishes the `replica.*` metric family (docs/OBSERVABILITY.md).
+  void ExportMetrics(MetricsRegistry* registry) const;
+
+ private:
+  void Attempt(std::shared_ptr<RoutedRead> state);
+  void Emit(TraceEventType type, SiteId site, SiteId peer,
+            const std::string& key, bool flag, uint64_t arg);
+
+  SimCluster* cluster_;
+  const RegionTopology* topology_;
+  ReadRouterOptions options_;
+  RouterCounters counters_;
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_REPLICA_ROUTER_H_

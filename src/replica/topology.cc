@@ -1,0 +1,67 @@
+#include "src/replica/topology.h"
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace polyvalue {
+
+RegionTopology::RegionTopology(std::vector<RegionSpec> regions)
+    : regions_(std::move(regions)) {
+  POLYV_CHECK(!regions_.empty());
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    POLYV_CHECK(!regions_[r].sites.empty());
+    for (SiteId site : regions_[r].sites) {
+      const auto [it, inserted] = region_of_.emplace(site.value(), r);
+      (void)it;
+      POLYV_CHECK(inserted);  // a site belongs to exactly one region
+    }
+  }
+}
+
+RegionTopology RegionTopology::SymmetricGrid(size_t regions,
+                                             size_t sites_per_region) {
+  POLYV_CHECK_GT(regions, 0u);
+  POLYV_CHECK_GT(sites_per_region, 0u);
+  std::vector<RegionSpec> specs;
+  specs.reserve(regions);
+  uint64_t next_site = 1;
+  for (size_t r = 0; r < regions; ++r) {
+    RegionSpec spec;
+    spec.name = StrCat("r", r);
+    for (size_t s = 0; s < sites_per_region; ++s) {
+      spec.sites.push_back(SiteId(next_site++));
+    }
+    specs.push_back(std::move(spec));
+  }
+  return RegionTopology(std::move(specs));
+}
+
+const RegionSpec& RegionTopology::region(size_t index) const {
+  POLYV_CHECK_LT(index, regions_.size());
+  return regions_[index];
+}
+
+bool RegionTopology::Contains(SiteId site) const {
+  return region_of_.count(site.value()) > 0;
+}
+
+size_t RegionTopology::RegionOf(SiteId site) const {
+  auto it = region_of_.find(site.value());
+  POLYV_CHECK(it != region_of_.end());
+  return it->second;
+}
+
+const std::string& RegionTopology::RegionNameOf(SiteId site) const {
+  return regions_[RegionOf(site)].name;
+}
+
+std::vector<SiteId> RegionTopology::AllSites() const {
+  std::vector<SiteId> sites;
+  sites.reserve(region_of_.size());
+  for (const RegionSpec& region : regions_) {
+    sites.insert(sites.end(), region.sites.begin(), region.sites.end());
+  }
+  return sites;
+}
+
+}  // namespace polyvalue

@@ -1,0 +1,58 @@
+// Region topology: names the geography the cluster is deployed over.
+//
+// A RegionTopology groups SiteIds into named regions ("us-east",
+// "eu-west", ...). It is pure metadata — sites do not know their
+// region; the replica placement policy (placement.h), the WAN latency
+// model (wan.h), and the read router (router.h) consult the topology to
+// spread copies across regions, shape cross-region link delays, and
+// prefer same-region replicas for reads.
+#ifndef SRC_REPLICA_TOPOLOGY_H_
+#define SRC_REPLICA_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace polyvalue {
+
+struct RegionSpec {
+  std::string name;
+  std::vector<SiteId> sites;
+};
+
+class RegionTopology {
+ public:
+  // Regions must be non-empty and site membership disjoint.
+  explicit RegionTopology(std::vector<RegionSpec> regions);
+
+  // The canonical bench/test shape: `regions` regions of
+  // `sites_per_region` sites each, named "r0", "r1", ..., covering
+  // SiteIds 1..regions*sites_per_region row-major (region 0 holds
+  // sites 1..sites_per_region, and so on) — matching how SimCluster
+  // numbers its sites.
+  static RegionTopology SymmetricGrid(size_t regions,
+                                      size_t sites_per_region);
+
+  size_t region_count() const { return regions_.size(); }
+  const RegionSpec& region(size_t index) const;
+  size_t site_count() const { return region_of_.size(); }
+
+  bool Contains(SiteId site) const;
+  // Region index of `site`; CHECK-fails for unknown sites.
+  size_t RegionOf(SiteId site) const;
+  const std::string& RegionNameOf(SiteId site) const;
+
+  // Every site, region by region, in declaration order.
+  std::vector<SiteId> AllSites() const;
+
+ private:
+  std::vector<RegionSpec> regions_;
+  std::unordered_map<uint64_t, size_t> region_of_;  // SiteId -> index
+};
+
+}  // namespace polyvalue
+
+#endif  // SRC_REPLICA_TOPOLOGY_H_

@@ -1,0 +1,87 @@
+#include "src/replica/wan.h"
+
+#include "src/common/check.h"
+
+namespace polyvalue {
+
+void InstallWanProfile(const RegionTopology& topology,
+                       const WanProfile& profile, FaultPlan* faults) {
+  POLYV_CHECK(faults != nullptr);
+  // Per-pair overrides win over the defaults; build a directed lookup.
+  auto pair_delay = [&profile](size_t from, size_t to, double* lo,
+                               double* hi) {
+    for (const WanProfile::PairDelay& pair : profile.pairs) {
+      if (pair.from_region == from && pair.to_region == to) {
+        *lo = pair.min_seconds;
+        *hi = pair.max_seconds;
+        return;
+      }
+    }
+  };
+  const std::vector<SiteId> sites = topology.AllSites();
+  for (SiteId from : sites) {
+    for (SiteId to : sites) {
+      if (from == to) {
+        continue;
+      }
+      const size_t rf = topology.RegionOf(from);
+      const size_t rt = topology.RegionOf(to);
+      double lo = rf == rt ? profile.intra_min : profile.inter_min;
+      double hi = rf == rt ? profile.intra_max : profile.inter_max;
+      if (rf != rt) {
+        pair_delay(rf, rt, &lo, &hi);
+      }
+      faults->SetLinkDelayRange(from, to, lo, hi);
+    }
+  }
+}
+
+void ScheduleRegionLoss(SimCluster* cluster,
+                        const RegionTopology& topology, size_t region,
+                        double at) {
+  const RegionSpec& spec = topology.region(region);
+  cluster->sim().At(at, [cluster, sites = spec.sites] {
+    for (SiteId site : sites) {
+      if (!cluster->site(site.value() - 1).crashed()) {
+        cluster->CrashSite(site.value() - 1);
+      }
+    }
+  });
+}
+
+void ScheduleRollingRecovery(SimCluster* cluster,
+                             const RegionTopology& topology, size_t region,
+                             double at, double stagger) {
+  POLYV_CHECK_GE(stagger, 0.0);
+  const RegionSpec& spec = topology.region(region);
+  for (size_t i = 0; i < spec.sites.size(); ++i) {
+    const SiteId site = spec.sites[i];
+    cluster->sim().At(at + stagger * static_cast<double>(i),
+                      [cluster, site] {
+                        if (cluster->site(site.value() - 1).crashed()) {
+                          cluster->RecoverSite(site.value() - 1);
+                        }
+                      });
+  }
+}
+
+void ScheduleOneWayPartition(SimCluster* cluster,
+                             const RegionTopology& topology,
+                             size_t from_region, size_t to_region,
+                             double at, double until) {
+  POLYV_CHECK_LT(at, until);
+  const std::vector<SiteId> from_sites = topology.region(from_region).sites;
+  const std::vector<SiteId> to_sites = topology.region(to_region).sites;
+  cluster->sim().At(at, [cluster, from_sites, to_sites] {
+    cluster->faults().PartitionOneWay(from_sites, to_sites);
+  });
+  cluster->sim().At(until, [cluster, from_sites, to_sites] {
+    for (SiteId from : from_sites) {
+      for (SiteId to : to_sites) {
+        cluster->faults().SetOneWayDown(from, to, false);
+      }
+    }
+  });
+}
+
+}  // namespace polyvalue

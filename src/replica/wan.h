@@ -1,0 +1,73 @@
+// WAN model: region-aware latency shaping and geo-scale chaos events
+// for the deterministic simulator.
+//
+// InstallWanProfile compiles a region-pair latency table down to the
+// FaultPlan's per-directed-link delay overrides: every site pair whose
+// regions differ samples from the inter-region (or per-pair) range,
+// same-region pairs from the intra-region range. The fault plan applies
+// them on every Send, so the whole protocol stack — prepares, votes,
+// outcome propagation, routed reads — crosses the simulated WAN.
+//
+// The Schedule* helpers script geo-scale failures on the simulator
+// clock: losing a whole region, healing it site-by-site (rolling
+// recovery), and one-way partitions between regions (split-brain where
+// one side still hears the other). They compose with the existing
+// chaos vocabulary (crash/drop/symmetric cuts) in bench_cluster and
+// bench_georep scenarios.
+#ifndef SRC_REPLICA_WAN_H_
+#define SRC_REPLICA_WAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/replica/topology.h"
+#include "src/system/cluster.h"
+
+namespace polyvalue {
+
+struct WanProfile {
+  // Same-region one-way latency range (seconds).
+  double intra_min = 0.0005;
+  double intra_max = 0.002;
+  // Default cross-region one-way latency range.
+  double inter_min = 0.03;
+  double inter_max = 0.08;
+  // Optional per-region-pair overrides (applied both directions unless
+  // two entries with swapped regions say otherwise — asymmetric WAN
+  // paths are expressible).
+  struct PairDelay {
+    size_t from_region;
+    size_t to_region;
+    double min_seconds;
+    double max_seconds;
+  };
+  std::vector<PairDelay> pairs;
+};
+
+// Installs per-directed-link delay ranges for every site pair in the
+// topology. Idempotent; call again after changing the profile.
+void InstallWanProfile(const RegionTopology& topology,
+                       const WanProfile& profile, FaultPlan* faults);
+
+// At virtual time `at`, crashes every site in `region`.
+void ScheduleRegionLoss(SimCluster* cluster,
+                        const RegionTopology& topology, size_t region,
+                        double at);
+
+// Starting at `at`, recovers `region`'s sites one every `stagger`
+// seconds (0 = all at once) in declaration order.
+void ScheduleRollingRecovery(SimCluster* cluster,
+                             const RegionTopology& topology, size_t region,
+                             double at, double stagger);
+
+// Cuts the `from_region` -> `to_region` direction at `at` and restores
+// it at `until` (packets the other way keep flowing).
+void ScheduleOneWayPartition(SimCluster* cluster,
+                             const RegionTopology& topology,
+                             size_t from_region, size_t to_region,
+                             double at, double until);
+
+}  // namespace polyvalue
+
+#endif  // SRC_REPLICA_WAN_H_

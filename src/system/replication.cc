@@ -22,8 +22,17 @@ void ReplicaSet::AddToWriteSet(TxnSpec* spec) const {
   }
 }
 
+void ReplicaSet::AddToReadSet(TxnSpec* spec, SiteId preferred) const {
+  bool member = false;
+  for (SiteId site : sites_) {
+    member = member || site == preferred;
+  }
+  POLYV_CHECK(member);
+  spec->Read(KeyAt(preferred), preferred);
+}
+
 void ReplicaSet::AddToReadSet(TxnSpec* spec) const {
-  spec->Read(KeyAt(sites_.front()), sites_.front());
+  AddToReadSet(spec, sites_.front());
 }
 
 TxnSpec ReplicaSet::MakeUpdate(
@@ -52,17 +61,19 @@ TxnSpec ReplicaSet::MakeUpdate(
   return spec;
 }
 
-TxnSpec ReplicaSet::MakeRead() const {
+TxnSpec ReplicaSet::MakeRead(SiteId preferred) const {
   TxnSpec spec;
-  AddToReadSet(&spec);
-  const ItemKey primary = KeyAt(sites_.front());
-  spec.Logic([primary](const TxnReads& reads) {
+  AddToReadSet(&spec, preferred);
+  const ItemKey copy = KeyAt(preferred);
+  spec.Logic([copy](const TxnReads& reads) {
     TxnEffect e;
-    e.output = reads.at(primary);
+    e.output = reads.at(copy);
     return e;
   });
   return spec;
 }
+
+TxnSpec ReplicaSet::MakeRead() const { return MakeRead(sites_.front()); }
 
 void LoadReplicated(SimCluster* cluster, const ReplicaSet& replicas,
                     const Value& value) {

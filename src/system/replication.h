@@ -37,8 +37,10 @@ class ReplicaSet {
 
   // Adds every copy to `spec`'s read and write sets.
   void AddToWriteSet(TxnSpec* spec) const;
-  // Adds one copy (the first listed site) to the read set.
-  void AddToReadSet(TxnSpec* spec) const;
+  // Adds the copy at `preferred` to the read set. `preferred` must be
+  // one of this set's sites (CHECK-failed otherwise) — the caller (a
+  // read router, a region-aware workload) picks which replica serves.
+  void AddToReadSet(TxnSpec* spec, SiteId preferred) const;
 
   // Builds a read-modify-write transaction that applies `update` to the
   // logical value and writes the result to every copy. The update sees
@@ -46,8 +48,16 @@ class ReplicaSet {
   TxnSpec MakeUpdate(
       std::function<Result<Value>(const Value&)> update) const;
 
-  // Builds a read-only transaction returning the logical value.
-  TxnSpec MakeRead() const;
+  // Builds a read-only transaction returning the logical value as seen
+  // by the copy at `preferred`.
+  TxnSpec MakeRead(SiteId preferred) const;
+
+  // Deprecated first-listed-copy defaults. Hardwiring the first copy
+  // made every read hit one site regardless of where the caller runs;
+  // pass the replica you actually want to serve the read.
+  [[deprecated("pass a preferred site")]] void AddToReadSet(
+      TxnSpec* spec) const;
+  [[deprecated("pass a preferred site")]] TxnSpec MakeRead() const;
 
  private:
   std::string logical_name_;

@@ -1,11 +1,13 @@
 #include "src/workload/driver.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <unordered_map>
 
 #include "src/common/check.h"
+#include "src/replica/consistency.h"
 
 namespace polyvalue {
 
@@ -22,6 +24,35 @@ uint64_t DoubleBits(double d) {
   static_assert(sizeof(bits) == sizeof(d));
   std::memcpy(&bits, &d, sizeof(bits));
   return bits;
+}
+
+// Parses a replicated shape's "<logical>=<int>;..." output (the
+// contract documented on MakeReplicatedShapeSpec) and emits one `type`
+// event per entry, digesting the Int value the copies hold.
+void AnnounceEntries(const std::string& encoded, TraceEventType type,
+                     SiteId site, double now, TraceSink* trace) {
+  size_t pos = 0;
+  while (pos < encoded.size()) {
+    size_t semi = encoded.find(';', pos);
+    if (semi == std::string::npos) {
+      semi = encoded.size();
+    }
+    const std::string entry = encoded.substr(pos, semi - pos);
+    pos = semi + 1;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    TraceEvent event;
+    event.time = now;
+    event.type = type;
+    event.site = site;
+    event.key = entry.substr(0, eq);
+    event.flag = type == TraceEventType::kReplicaRead;
+    event.arg = DigestValue(
+        Value::Int(std::strtoll(entry.c_str() + eq + 1, nullptr, 10)));
+    trace->Emit(event);
+  }
 }
 
 }  // namespace
@@ -59,7 +90,21 @@ ClusterWorkload::ClusterWorkload(ClusterWorkloadParams params)
   options.max_delay = params_.max_delay;
   options.trace = params_.trace;
   cluster_ = std::make_unique<SimCluster>(options);
-  keyspace_.LoadAll(cluster_.get(), params_.initial_balance);
+  if (params_.replication_factor > 1) {
+    POLYV_CHECK_GT(params_.regions, 0u);
+    POLYV_CHECK_EQ(params_.sites % params_.regions, 0u);
+    topology_ = std::make_unique<RegionTopology>(RegionTopology::SymmetricGrid(
+        params_.regions, params_.sites / params_.regions));
+    PlacementPolicy policy;
+    policy.replication_factor = params_.replication_factor;
+    policy.seed = params_.seed ^ 0x9e3779b97f4a7c15ULL;
+    catalog_ = std::make_unique<ReplicaCatalog>(ReplicaCatalog::Uniform(
+        ReplicaPlacement(*topology_, policy), "g/", params_.keys));
+    catalog_->LoadAll(cluster_.get(), Value::Int(params_.initial_balance),
+                      params_.trace);
+  } else {
+    keyspace_.LoadAll(cluster_.get(), params_.initial_balance);
+  }
 
   SvcOptions svc = params_.svc;
   svc.default_deadline = params_.deadline;
@@ -94,11 +139,11 @@ ClusterWorkloadReport ClusterWorkload::Run() {
       ++report.arrivals;
       const uint64_t client = pick_rng.NextBelow(params_.virtual_clients);
       const TxnShapeKind shape = mix_.Pick(&pick_rng);
-      int64_t delta = 0;
-      TxnSpec spec = MakeShapeSpec(shape, keyspace_, *cluster_, key_dist_,
-                                   &pick_rng, &delta);
       // Home coordinator with failover: first live site at or after the
       // client's home. A fully dark cluster rejects the arrival.
+      // (Resolved before the spec is built — the replicated shapes aim
+      // reads at the coordinator's copy; the probe loop draws nothing,
+      // so the unreplicated rng schedule is unchanged.)
       size_t coordinator = static_cast<size_t>(client % params_.sites);
       size_t probes = 0;
       while (probes < params_.sites &&
@@ -106,6 +151,14 @@ ClusterWorkloadReport ClusterWorkload::Run() {
         coordinator = (coordinator + 1) % params_.sites;
         ++probes;
       }
+      int64_t delta = 0;
+      TxnSpec spec =
+          catalog_ != nullptr
+              ? MakeReplicatedShapeSpec(shape, *catalog_,
+                                        cluster_->site_id(coordinator),
+                                        key_dist_, &pick_rng, &delta)
+              : MakeShapeSpec(shape, keyspace_, *cluster_, key_dist_,
+                              &pick_rng, &delta);
       report.schedule_hash = HashMix(report.schedule_hash, DoubleBits(at));
       report.schedule_hash = HashMix(report.schedule_hash, client);
       report.schedule_hash = HashMix(
@@ -127,7 +180,8 @@ ClusterWorkloadReport ClusterWorkload::Run() {
       door_->CallAsClient(
           client, coordinator, [spec_holder] { return *spec_holder; },
           params_.deadline,
-          [&report, &tracked, client, shape, delta](const SvcResult& r) {
+          [this, &report, &tracked, client, shape, delta,
+           coordinator](const SvcResult& r) {
             --report.unsettled;
             auto it = tracked.find(client);
             if (it != tracked.end() && --it->second == 0) {
@@ -138,6 +192,36 @@ ClusterWorkloadReport ClusterWorkload::Run() {
               ++report.shape_committed[static_cast<int>(shape)];
               report.conservation_drift -= delta;  // expected delta; the
               // final-balance scan below adds the observed total back.
+              if (catalog_ != nullptr && params_.trace != nullptr &&
+                  r.txn.has_value()) {
+                const PolyValue& out = r.txn->output;
+                const TraceEventType type =
+                    shape == TxnShapeKind::kReadOnly
+                        ? TraceEventType::kReplicaRead
+                        : TraceEventType::kReplicaWrite;
+                const double now = cluster_->sim().now();
+                const SiteId coord = cluster_->site_id(coordinator);
+                if (out.is_certain()) {
+                  if (out.certain_value().is_string()) {
+                    AnnounceEntries(out.certain_value().string_value(), type,
+                                    coord, now, params_.trace);
+                  }
+                } else if (type == TraceEventType::kReplicaWrite) {
+                  // Committed, but the client saw the output while the
+                  // outcome was still in doubt. Over-announce every
+                  // branch the copies might settle to: extra write
+                  // announcements can only mask an A13 violation, never
+                  // invent one, so the audit stays sound. Uncertain
+                  // READS are simply not announced (A13 constrains only
+                  // certain reads).
+                  for (const Value& v : out.PossibleValues()) {
+                    if (v.is_string()) {
+                      AnnounceEntries(v.string_value(), type, coord, now,
+                                      params_.trace);
+                    }
+                  }
+                }
+              }
             } else if (r.status.code() == StatusCode::kDeadlineExceeded) {
               ++report.deadline_exceeded;
             } else if (r.status.code() == StatusCode::kResourceExhausted) {
@@ -210,20 +294,47 @@ ClusterWorkloadReport ClusterWorkload::Run() {
       params_.initial_balance * static_cast<int64_t>(params_.keys);
   int64_t final_total = 0;
   bool totals_exact = true;
-  for (size_t s = 0; s < params_.sites; ++s) {
-    cluster_->site(s).store().ForEach(
-        [&](const ItemKey&, const PolyValue& value) {
-          if (value.is_certain() && value.certain_value().is_int()) {
-            final_total += value.certain_value().int_value();
-          } else {
-            totals_exact = false;
-          }
-        });
+  if (catalog_ != nullptr) {
+    // Replicated: the logical total is the sum over LOGICAL items, each
+    // counted once through its first-listed copy (copies are identical
+    // when consistent; the A12 digest sweep below catches divergence).
+    for (size_t i = 0; i < catalog_->size(); ++i) {
+      const ReplicaSet& set = catalog_->at(i);
+      const SiteId site = set.sites().front();
+      const Result<PolyValue> copy =
+          cluster_->site(site.value() - 1).Peek(set.KeyAt(site));
+      if (copy.ok() && copy.value().is_certain() &&
+          copy.value().certain_value().is_int()) {
+        final_total += copy.value().certain_value().int_value();
+      } else {
+        totals_exact = false;
+      }
+    }
+  } else {
+    for (size_t s = 0; s < params_.sites; ++s) {
+      cluster_->site(s).store().ForEach(
+          [&](const ItemKey&, const PolyValue& value) {
+            if (value.is_certain() && value.certain_value().is_int()) {
+              final_total += value.certain_value().int_value();
+            } else {
+              totals_exact = false;
+            }
+          });
+    }
   }
   if (totals_exact) {
     report.conservation_drift += final_total - initial_total;
   } else {
     report.conservation_drift = INT64_MAX;
+  }
+
+  // A12 evidence: after the healed drain, sweep every replica set's
+  // copy digests into the trace — the auditor flags any set whose
+  // copies failed to converge once no outcome was left in doubt.
+  if (catalog_ != nullptr && params_.trace != nullptr) {
+    for (size_t i = 0; i < catalog_->size(); ++i) {
+      EmitReplicaDigests(cluster_.get(), catalog_->at(i), params_.trace);
+    }
   }
   return report;
 }

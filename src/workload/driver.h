@@ -33,6 +33,9 @@
 #include <memory>
 #include <string>
 
+#include "src/replica/catalog.h"
+#include "src/replica/placement.h"
+#include "src/replica/topology.h"
 #include "src/svc/front_door.h"
 #include "src/system/cluster.h"
 #include "src/workload/arrival.h"
@@ -49,6 +52,19 @@ struct ClusterWorkloadParams {
   double min_delay = 0.002;  // one-way link latency range (seconds)
   double max_delay = 0.01;
   EngineConfig engine;
+
+  // Replication: with replication_factor > 1 the workload runs over
+  // LOGICAL items instead of per-site keys. Sites are grouped into
+  // `regions` equal named regions (sites must divide evenly), each of
+  // the `keys` logical items gets k copies placed by the seeded
+  // consistent-hash policy (spread across regions first), reads consult
+  // the copy nearest the submitting coordinator, and writes fan to
+  // every copy so the commit protocol keeps them identical. When a
+  // trace sink is attached the driver announces replica_write /
+  // replica_read digests at settlement and sweeps per-set copy digests
+  // after the drain, feeding the A12/A13 audits.
+  size_t replication_factor = 1;
+  size_t regions = 1;
 
   // Workload cell.
   uint64_t virtual_clients = 1 << 20;
@@ -137,6 +153,11 @@ class ClusterWorkload {
   SimFrontDoor& door() { return *door_; }
   const Keyspace& keyspace() const { return keyspace_; }
 
+  // Replicated-mode assembly (null when replication_factor == 1).
+  bool replicated() const { return catalog_ != nullptr; }
+  const ReplicaCatalog* catalog() const { return catalog_.get(); }
+  const RegionTopology* topology() const { return topology_.get(); }
+
   // Drives the offered-load window, heals every injected fault, settles,
   // and reports. Call once.
   ClusterWorkloadReport Run();
@@ -146,6 +167,8 @@ class ClusterWorkload {
   Keyspace keyspace_;
   KeyDistribution key_dist_;
   TxnMix mix_;
+  std::unique_ptr<RegionTopology> topology_;
+  std::unique_ptr<ReplicaCatalog> catalog_;
   std::unique_ptr<SimCluster> cluster_;
   std::unique_ptr<SimFrontDoor> door_;
   bool ran_ = false;

@@ -90,6 +90,156 @@ uint64_t PickDistinct(const KeyDistribution& dist, Rng* rng,
 
 }  // namespace
 
+SiteId PreferredCopy(const ReplicaSet& replicas, SiteId coordinator) {
+  for (SiteId site : replicas.sites()) {
+    if (site == coordinator) {
+      return site;
+    }
+  }
+  return replicas.sites().front();
+}
+
+namespace {
+
+// One "<logical>=<value>" output entry.
+std::string Entry(const std::string& logical, int64_t value) {
+  return StrCat(logical, "=", value);
+}
+
+// Adds every copy of `replicas` to the write set and returns the copy
+// keys (writes must cover them all).
+std::vector<ItemKey> WriteCopies(const ReplicaSet& replicas,
+                                 TxnSpec* spec) {
+  replicas.AddToWriteSet(spec);
+  std::vector<ItemKey> keys;
+  keys.reserve(replicas.size());
+  for (SiteId site : replicas.sites()) {
+    keys.push_back(replicas.KeyAt(site));
+  }
+  return keys;
+}
+
+}  // namespace
+
+TxnSpec MakeReplicatedShapeSpec(TxnShapeKind shape,
+                                const ReplicaCatalog& catalog,
+                                SiteId coordinator,
+                                const KeyDistribution& dist, Rng* rng,
+                                int64_t* delta) {
+  POLYV_CHECK_EQ(dist.universe(), catalog.size());
+  *delta = 0;
+  TxnSpec spec;
+  switch (shape) {
+    case TxnShapeKind::kReadOnly: {
+      uint64_t a = dist.Pick(rng);
+      uint64_t b = PickDistinct(dist, rng, &a, 1);
+      const ReplicaSet& ra = catalog.at(a);
+      const ReplicaSet& rb = catalog.at(b);
+      const SiteId pa = PreferredCopy(ra, coordinator);
+      const SiteId pb = PreferredCopy(rb, coordinator);
+      ra.AddToReadSet(&spec, pa);
+      rb.AddToReadSet(&spec, pb);
+      const ItemKey ka = ra.KeyAt(pa);
+      const ItemKey kb = rb.KeyAt(pb);
+      spec.Logic([ka, kb, la = ra.logical_name(),
+                  lb = rb.logical_name()](const TxnReads& reads) {
+        TxnEffect e;
+        e.output = Value::Str(StrCat(Entry(la, reads.IntAt(ka)), ";",
+                                     Entry(lb, reads.IntAt(kb))));
+        return e;
+      });
+      return spec;
+    }
+    case TxnShapeKind::kTransfer: {
+      uint64_t from = dist.Pick(rng);
+      uint64_t to = PickDistinct(dist, rng, &from, 1);
+      const int64_t amount = rng->NextInt(1, 20);
+      const ReplicaSet& rf = catalog.at(from);
+      const ReplicaSet& rt = catalog.at(to);
+      const std::vector<ItemKey> from_copies = WriteCopies(rf, &spec);
+      const std::vector<ItemKey> to_copies = WriteCopies(rt, &spec);
+      spec.Logic([from_copies, to_copies, amount, lf = rf.logical_name(),
+                  lt = rt.logical_name()](const TxnReads& reads) {
+        const int64_t have = reads.IntAt(from_copies.front());
+        if (have < amount) {
+          return TxnEffect::Abort("insufficient funds");
+        }
+        const int64_t to_next = reads.IntAt(to_copies.front()) + amount;
+        TxnEffect e;
+        for (const ItemKey& key : from_copies) {
+          e.writes[key] = Value::Int(have - amount);
+        }
+        for (const ItemKey& key : to_copies) {
+          e.writes[key] = Value::Int(to_next);
+        }
+        e.output = Value::Str(StrCat(Entry(lf, have - amount), ";",
+                                     Entry(lt, to_next)));
+        return e;
+      });
+      return spec;
+    }
+    case TxnShapeKind::kIncrement: {
+      const uint64_t target = dist.Pick(rng);
+      const int64_t amount = rng->NextInt(1, 5);
+      *delta = amount;
+      const ReplicaSet& r = catalog.at(target);
+      const std::vector<ItemKey> copies = WriteCopies(r, &spec);
+      spec.Logic([copies, amount,
+                  logical = r.logical_name()](const TxnReads& reads) {
+        const int64_t next = reads.IntAt(copies.front()) + amount;
+        TxnEffect e;
+        for (const ItemKey& key : copies) {
+          e.writes[key] = Value::Int(next);
+        }
+        e.output = Value::Str(Entry(logical, next));
+        return e;
+      });
+      return spec;
+    }
+    case TxnShapeKind::kMultiTransfer: {
+      uint64_t from = dist.Pick(rng);
+      uint64_t taken[2] = {from, 0};
+      const uint64_t to_a = PickDistinct(dist, rng, taken, 1);
+      taken[1] = to_a;
+      const uint64_t to_b = PickDistinct(dist, rng, taken, 2);
+      const int64_t amount = rng->NextInt(1, 10);
+      const ReplicaSet& rf = catalog.at(from);
+      const ReplicaSet& ra = catalog.at(to_a);
+      const ReplicaSet& rb = catalog.at(to_b);
+      const std::vector<ItemKey> from_copies = WriteCopies(rf, &spec);
+      const std::vector<ItemKey> a_copies = WriteCopies(ra, &spec);
+      const std::vector<ItemKey> b_copies = WriteCopies(rb, &spec);
+      spec.Logic([from_copies, a_copies, b_copies, amount,
+                  lf = rf.logical_name(), la = ra.logical_name(),
+                  lb = rb.logical_name()](const TxnReads& reads) {
+        const int64_t have = reads.IntAt(from_copies.front());
+        if (have < 2 * amount) {
+          return TxnEffect::Abort("insufficient funds");
+        }
+        const int64_t a_next = reads.IntAt(a_copies.front()) + amount;
+        const int64_t b_next = reads.IntAt(b_copies.front()) + amount;
+        TxnEffect e;
+        for (const ItemKey& key : from_copies) {
+          e.writes[key] = Value::Int(have - 2 * amount);
+        }
+        for (const ItemKey& key : a_copies) {
+          e.writes[key] = Value::Int(a_next);
+        }
+        for (const ItemKey& key : b_copies) {
+          e.writes[key] = Value::Int(b_next);
+        }
+        e.output = Value::Str(StrCat(Entry(lf, have - 2 * amount), ";",
+                                     Entry(la, a_next), ";",
+                                     Entry(lb, b_next)));
+        return e;
+      });
+      return spec;
+    }
+  }
+  POLYV_CHECK(false);
+  return spec;
+}
+
 TxnSpec MakeShapeSpec(TxnShapeKind shape, const Keyspace& keyspace,
                       const SimCluster& cluster,
                       const KeyDistribution& dist, Rng* rng,

@@ -26,6 +26,7 @@
 #include <cstdint>
 
 #include "src/common/rng.h"
+#include "src/replica/catalog.h"
 #include "src/system/cluster.h"
 #include "src/workload/distribution.h"
 
@@ -94,6 +95,27 @@ TxnSpec MakeShapeSpec(TxnShapeKind shape, const Keyspace& keyspace,
                       const SimCluster& cluster,
                       const KeyDistribution& dist, Rng* rng,
                       int64_t* delta);
+
+// Replicated variants: the same four archetypes over LOGICAL items from
+// a ReplicaCatalog (dist's universe must equal the catalog size). Reads
+// consult each item's copy nearest the submitting coordinator (the
+// coordinator's own copy when it holds one, the primary otherwise);
+// writes fan to every copy of every touched item, so the commit
+// protocol keeps the copies identical — §3's replicated-item model.
+//
+// The transaction output is a Str encoding "<logical>=<int>" entries
+// joined by ';' — the values READ (kReadOnly) or WRITTEN (the write
+// shapes). The workload driver parses it at settlement to announce
+// replica_read / replica_write digests for the A12/A13 audit without
+// touching engine internals.
+TxnSpec MakeReplicatedShapeSpec(TxnShapeKind shape,
+                                const ReplicaCatalog& catalog,
+                                SiteId coordinator,
+                                const KeyDistribution& dist, Rng* rng,
+                                int64_t* delta);
+
+// The copy of `replicas` a reader at `coordinator` should consult.
+SiteId PreferredCopy(const ReplicaSet& replicas, SiteId coordinator);
 
 }  // namespace polyvalue
 

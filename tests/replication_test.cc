@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/trace.h"
+#include "src/replica/consistency.h"
+
 namespace polyvalue {
 namespace {
 
@@ -52,7 +55,8 @@ TEST(ReplicationTest, ReadReturnsLogicalValue) {
   SimCluster cluster(Options());
   const ReplicaSet replicas("cfg", {SiteId(2), SiteId(3)});
   LoadReplicated(&cluster, replicas, Value::Str("v1"));
-  const auto result = cluster.SubmitAndRun(0, replicas.MakeRead());
+  const auto result =
+      cluster.SubmitAndRun(0, replicas.MakeRead(SiteId(2)));
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->output.certain_value(), Value::Str("v1"));
 }
@@ -110,10 +114,112 @@ TEST(ReplicationTest, SurvivingReplicasServeReadsDuringSiteOutage) {
   const ReplicaSet primary_down("cfg", {SiteId(2), SiteId(3)});
   LoadReplicated(&cluster, primary_down, Value::Int(7));
   cluster.CrashSite(2);  // site 3 = the second replica holder
-  // Read through the first replica (site 2... site index 1) still works.
-  const auto result = cluster.SubmitAndRun(0, primary_down.MakeRead());
+  // Read through the surviving replica (site 2, index 1) still works.
+  const auto result =
+      cluster.SubmitAndRun(0, primary_down.MakeRead(SiteId(2)));
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->output.certain_value(), Value::Int(7));
+}
+
+// --- Consistency checker and repair tool (src/replica/consistency.h) --
+
+TEST(ReplicaConsistencyTest, CleanSetReportsConsistent) {
+  SimCluster cluster(Options());
+  const ReplicaSet replicas("cfg", {SiteId(1), SiteId(2), SiteId(3)});
+  LoadReplicated(&cluster, replicas, Value::Int(5));
+  const ReplicaCheckReport report = CheckReplicaSet(&cluster, replicas);
+  EXPECT_TRUE(report.consistent());
+  EXPECT_EQ(report.copies_checked, 3u);
+  EXPECT_EQ(report.divergent, 0u);
+  EXPECT_TRUE(report.problems.empty());
+}
+
+TEST(ReplicaConsistencyTest, DetectsDivergentCopy) {
+  SimCluster cluster(Options());
+  const ReplicaSet replicas("cfg", {SiteId(1), SiteId(2), SiteId(3)});
+  LoadReplicated(&cluster, replicas, Value::Int(5));
+  // Corrupt the minority copy behind the protocol's back.
+  cluster.site(2).Load(replicas.KeyAt(SiteId(3)), Value::Int(999));
+  const ReplicaCheckReport report = CheckReplicaSet(&cluster, replicas);
+  EXPECT_FALSE(report.consistent());
+  EXPECT_EQ(report.divergent, 1u);
+  ASSERT_EQ(report.problems.size(), 1u);
+  EXPECT_NE(report.problems[0].find("cfg@3"), std::string::npos);
+}
+
+TEST(ReplicaConsistencyTest, DetectsCopyCountMismatch) {
+  SimCluster cluster(Options());
+  // Copies loaded only at two of the three declared sites.
+  const ReplicaSet loaded("cfg", {SiteId(1), SiteId(2)});
+  const ReplicaSet declared("cfg", {SiteId(1), SiteId(2), SiteId(3)});
+  LoadReplicated(&cluster, loaded, Value::Int(5));
+  const ReplicaCheckReport report = CheckReplicaSet(&cluster, declared);
+  EXPECT_FALSE(report.consistent());
+  EXPECT_EQ(report.missing, 1u);
+  EXPECT_EQ(report.copies_checked, 3u);
+}
+
+TEST(ReplicaConsistencyTest, SkipsCopiesOnDownSites) {
+  SimCluster cluster(Options());
+  const ReplicaSet replicas("cfg", {SiteId(1), SiteId(2), SiteId(3)});
+  LoadReplicated(&cluster, replicas, Value::Int(5));
+  cluster.CrashSite(2);
+  const ReplicaCheckReport report = CheckReplicaSet(&cluster, replicas);
+  EXPECT_TRUE(report.consistent());
+  EXPECT_EQ(report.copies_checked, 2u);
+  EXPECT_EQ(report.skipped_down, 1u);
+}
+
+TEST(ReplicaConsistencyTest, RepairRoundTrip) {
+  SimCluster cluster(Options());
+  const ReplicaSet replicas("cfg", {SiteId(1), SiteId(2), SiteId(3)});
+  LoadReplicated(&cluster, replicas, Value::Int(5));
+  cluster.site(2).Load(replicas.KeyAt(SiteId(3)), Value::Int(999));
+  ASSERT_FALSE(CheckReplicaSet(&cluster, replicas).consistent());
+
+  VectorTraceSink trace;
+  const size_t repaired = RepairReplicaSet(&cluster, replicas, &trace);
+  EXPECT_EQ(repaired, 1u);
+  EXPECT_TRUE(CheckReplicaSet(&cluster, replicas).consistent());
+  EXPECT_EQ(cluster.site(2)
+                .Peek(replicas.KeyAt(SiteId(3)))
+                .value()
+                .certain_value(),
+            Value::Int(5));
+
+  // The repair announced the restored digest, so a later certain read
+  // of the majority value passes A13 — and a second repair is a no-op.
+  bool announced = false;
+  for (const TraceEvent& e : trace.Snapshot()) {
+    announced = announced || (e.type == TraceEventType::kReplicaRepair &&
+                              e.arg == DigestValue(Value::Int(5)));
+  }
+  EXPECT_TRUE(announced);
+  EXPECT_EQ(RepairReplicaSet(&cluster, replicas, &trace), 0u);
+}
+
+TEST(ReplicaConsistencyTest, RepairLeavesUncertainCopiesAlone) {
+  SimCluster cluster(Options());
+  const ReplicaSet replicas("counter", {SiteId(1), SiteId(2), SiteId(3)});
+  LoadReplicated(&cluster, replicas, Value::Int(10));
+  // Strand an update so the copies hold polyvalues.
+  cluster.Submit(0, replicas.MakeUpdate([](const Value& v) {
+                   return Add(v, Value::Int(1));
+                 }),
+                 [](const TxnResult&) {});
+  cluster.sim().At(0.035, [&cluster] { cluster.CrashSite(0); });
+  cluster.RunFor(0.3);
+  ASSERT_FALSE(cluster.site(1)
+                   .Peek(replicas.KeyAt(SiteId(2)))
+                   .value()
+                   .is_certain());
+  // No certain majority and uncertain copies are out of scope: repair
+  // must not clobber in-doubt state that propagation will resolve.
+  EXPECT_EQ(RepairReplicaSet(&cluster, replicas, nullptr), 0u);
+  EXPECT_FALSE(cluster.site(1)
+                   .Peek(replicas.KeyAt(SiteId(2)))
+                   .value()
+                   .is_certain());
 }
 
 }  // namespace

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""CI gate for the geo-replication bench (bench_georep.cc).
+
+Validates BENCH_georep.json against the expected schema and re-derives
+every gated expectation from the raw numbers, independently of the
+bench's own exit code (a truncated or hand-edited artifact must not
+pass):
+
+  * every strategy: trace audit clean (A1-A13), every replica set
+    consistent, no residual uncertainty, no lockdep reports, and the
+    probe counts add up;
+  * failover strategies (local_failover, primary_failover) serve 100%
+    of probes through the full region outage, and their longest silent
+    gap stays under the config's failover bound — a constant that does
+    NOT scale with the outage length;
+  * the local-read strategy's pre-loss p50 beats the primary-read
+    strategy's by a wide margin (local copies answer at intra-region
+    latency; primaries usually sit across the WAN);
+  * primary_only — the no-failover contrast — visibly loses
+    availability during the outage.
+
+Usage: bench_georep_gate.py BENCH_georep.json
+Exit: 0 iff the artifact is well-formed and every expectation holds.
+"""
+
+import json
+import sys
+
+STRATEGY_FIELDS = {
+    "strategy": str,
+    "prefer_local": bool,
+    "max_attempts": int,
+    "probes": int,
+    "probes_served": int,
+    "reads": int,
+    "served": int,
+    "failed": int,
+    "failovers": int,
+    "local_served": int,
+    "write_commits": int,
+    "write_aborts": int,
+    "pre_loss_p50_ms": (int, float),
+    "pre_loss_p99_ms": (int, float),
+    "outage_availability": (int, float),
+    "overall_availability": (int, float),
+    "max_success_gap_s": (int, float),
+    "audit_clean": bool,
+    "replicas_consistent": bool,
+    "final_uncertain": int,
+    "lockdep_reports": int,
+    "pass": bool,
+}
+
+STRATEGIES = ("local_failover", "primary_failover", "primary_only")
+FAILOVER_STRATEGIES = ("local_failover", "primary_failover")
+# Local reads must be at least this many times faster than primary
+# reads before the loss (intra-region vs WAN round trips).
+LOCAL_SPEEDUP = 5.0
+PRIMARY_ONLY_MAX_AVAILABILITY = 0.9
+
+
+def fail(msg):
+    print(f"bench_georep_gate: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) != 2:
+        return fail(f"usage: {argv[0]} BENCH_georep.json")
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot parse {argv[1]}: {e}")
+
+    errors = []
+    if doc.get("schema_version") != 1:
+        errors.append("schema_version != 1")
+    if doc.get("bench") != "bench_georep":
+        errors.append("bench != bench_georep")
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        errors.append("missing config object")
+        config = {}
+    for field in ("regions", "sites_per_region", "replication_factor",
+                  "region_loss_at_s", "recovery_at_s",
+                  "max_failover_gap_s"):
+        if not isinstance(config.get(field), (int, float)) or isinstance(
+                config.get(field), bool):
+            errors.append(f"config.{field} missing or non-numeric")
+
+    rows = doc.get("strategies")
+    if not isinstance(rows, list) or not rows:
+        for e in errors:
+            print(f"bench_georep_gate: {e}", file=sys.stderr)
+        return fail("missing strategies array")
+
+    table = {}
+    for i, row in enumerate(rows):
+        where = f"strategies[{i}]"
+        for field, ftype in STRATEGY_FIELDS.items():
+            if field not in row:
+                errors.append(f"{where}: missing field '{field}'")
+            elif not isinstance(row[field], ftype) or (
+                    ftype is int and isinstance(row[field], bool)):
+                errors.append(f"{where}: field '{field}' has type "
+                              f"{type(row[field]).__name__}")
+        if errors:
+            continue
+        table[row["strategy"]] = row
+
+    if errors:
+        for e in errors:
+            print(f"bench_georep_gate: {e}", file=sys.stderr)
+        return fail(f"{len(errors)} schema error(s)")
+
+    problems = []
+    for name in STRATEGIES:
+        row = table.get(name)
+        if row is None:
+            problems.append(f"{name}: strategy missing from the artifact")
+            continue
+        if not row["audit_clean"]:
+            problems.append(f"{name}: trace audit reported violations")
+        if not row["replicas_consistent"]:
+            problems.append(f"{name}: inconsistent replica set")
+        if row["final_uncertain"] != 0:
+            problems.append(f"{name}: residual uncertainty")
+        if row["lockdep_reports"] != 0:
+            problems.append(f"{name}: lockdep reports")
+        if row["probes"] == 0:
+            problems.append(f"{name}: no probes recorded")
+        if row["probes_served"] > row["probes"]:
+            problems.append(f"{name}: served more probes than issued")
+        if row["reads"] < row["probes"]:
+            problems.append(f"{name}: fewer routed reads than probes")
+        if row["served"] + row["failed"] != row["reads"]:
+            problems.append(f"{name}: served+failed != reads")
+        if row["write_commits"] == 0:
+            problems.append(f"{name}: no write traffic committed")
+
+    gap_bound = config.get("max_failover_gap_s", 0)
+    outage_len = (config.get("recovery_at_s", 0) -
+                  config.get("region_loss_at_s", 0))
+    if isinstance(gap_bound, (int, float)) and gap_bound >= outage_len:
+        problems.append(
+            f"config: failover gap bound {gap_bound}s does not separate "
+            f"failover from the {outage_len}s outage")
+    for name in FAILOVER_STRATEGIES:
+        row = table.get(name)
+        if row is None:
+            continue
+        if row["outage_availability"] < 1.0:
+            problems.append(
+                f"{name}: outage availability "
+                f"{row['outage_availability']:.4f} < 1.0 — reads did not "
+                f"survive the region loss")
+        if row["max_success_gap_s"] > gap_bound:
+            problems.append(
+                f"{name}: max silent gap {row['max_success_gap_s']:.3f}s "
+                f"above the {gap_bound}s failover bound")
+
+    local = table.get("local_failover")
+    primary = table.get("primary_failover")
+    if local is not None and primary is not None:
+        if (local["pre_loss_p50_ms"] * LOCAL_SPEEDUP >
+                primary["pre_loss_p50_ms"]):
+            problems.append(
+                f"local-read p50 {local['pre_loss_p50_ms']:.3f}ms is not "
+                f"{LOCAL_SPEEDUP:.0f}x faster than primary-read p50 "
+                f"{primary['pre_loss_p50_ms']:.3f}ms")
+
+    only = table.get("primary_only")
+    if only is not None and (only["outage_availability"] >
+                             PRIMARY_ONLY_MAX_AVAILABILITY):
+        problems.append(
+            f"primary_only: outage availability "
+            f"{only['outage_availability']:.4f} shows no contrast — the "
+            f"region loss should darken primary-homed items")
+
+    derived_pass = not problems
+    if doc.get("pass") is not derived_pass:
+        problems.append(
+            f"recorded pass={doc.get('pass')} disagrees with the gate")
+
+    if problems:
+        for p in problems:
+            print(f"FAIL {p}")
+        return fail("at least one expectation regressed")
+    for name in STRATEGIES:
+        row = table[name]
+        print(f"ok   {name}: p50 {row['pre_loss_p50_ms']:.2f}ms, outage "
+              f"availability {100 * row['outage_availability']:.1f}%, "
+              f"max gap {row['max_success_gap_s']:.2f}s")
+    print(f"bench_georep_gate: PASS ({len(rows)} strategies)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -41,7 +41,7 @@ import sys
 import tempfile
 
 DETERMINISTIC_DIRS = ("src/event", "src/sim", "src/txn", "src/condition",
-                      "src/workload", "src/paxos")
+                      "src/workload", "src/paxos", "src/replica")
 # bench/ and tests/ drive the deterministic core under fixed seeds, so
 # ND01's nondeterminism ban and MTX01's annotated-mutex requirement
 # extend to them.

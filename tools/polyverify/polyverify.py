@@ -167,11 +167,13 @@ WAL_EXEMPT = {"fsync", "fdatasync"}
 # exactly like one in src/sim. Every function *defined* in these
 # locations must not reach a blocking primitive.
 # src/workload/ generators and the src/svc/ serving plane run inside
-# SimFrontDoor-driven sims too, so they carry the same obligation.
+# SimFrontDoor-driven sims too, so they carry the same obligation, and
+# so does the src/replica/ partial-replication layer (placement,
+# routing, consistency sweeps all run on the simulator clock).
 DETERMINISTIC_DIRS = ("src/event/", "src/sim/", "src/workload/",
-                      "src/svc/")
+                      "src/svc/", "src/replica/")
 DETERMINISTIC_BASENAMES = ("sim_transport", "bench_cluster",
-                           "bench_availability")
+                           "bench_availability", "bench_georep")
 # Classes that block BY CONTRACT: ThreadFrontDoor is the real-thread
 # adapter (its retry backoff sleeps deliberately) and is never driven
 # from the simulator — SimFrontDoor is the deterministic twin. Its own
@@ -596,17 +598,31 @@ def check_cg01(root, sources):
 
 
 # Each commit-protocol leg owns an engine class whose message handlers
-# must trace every return path. New legs register here.
+# must trace every return path. New legs register here. `handler_prefix`
+# + `param_token` select the protocol-step methods (param_token None =
+# no parameter requirement); `emitters` are the class's base trace
+# helpers.
 ENGINE_SCOPES = (
-    ("src/txn", "TxnEngine"),
-    ("src/paxos", "PaxosEngine"),
+    {"dir": "src/txn", "cls": "TxnEngine", "handler_prefix": "Handle",
+     "param_token": "Message", "emitters": ("Trace", "TraceKey")},
+    {"dir": "src/paxos", "cls": "PaxosEngine", "handler_prefix": "Handle",
+     "param_token": "Message", "emitters": ("Trace", "TraceKey")},
+    # Partial-replication leg: the read router's protocol step is
+    # Attempt() — serve, fail over, or exhaust — tracing through its
+    # Emit() helper (replica_read / replica_failover events).
+    {"dir": "src/replica", "cls": "ReadRouter",
+     "handler_prefix": "Attempt", "param_token": None,
+     "emitters": ("Emit",)},
 )
 
 
 def check_tr01(root, sources):
     violations = []
     srcs_by_path = {s.path: s for s in sources}
-    for scope_dir, engine_cls in ENGINE_SCOPES:
+    for scope in ENGINE_SCOPES:
+        scope_dir = scope["dir"]
+        engine_cls = scope["cls"]
+        base_emitters = set(scope["emitters"])
         scoped = [
             src for src in sources
             if "/" + scope_dir + "/" in src.path.replace(os.sep, "/") or
@@ -623,12 +639,12 @@ def check_tr01(root, sources):
                     engine_methods.append(fn)
 
         # Fixpoint: the set of engine methods that emit on ALL paths.
-        # Base emitters are the Trace helpers themselves.
+        # Base emitters are the class's trace helpers themselves.
         emitting = set()
         changed = True
         while changed:
             changed = False
-            emitters = {"Trace", "TraceKey"} | emitting
+            emitters = base_emitters | emitting
             for fn in engine_methods:
                 if fn.name in emitting:
                     continue
@@ -638,15 +654,17 @@ def check_tr01(root, sources):
 
         handlers = [
             fn for fn in engine_methods
-            if fn.name.startswith("Handle") and "Message" in fn.params
+            if fn.name.startswith(scope["handler_prefix"]) and
+            (scope["param_token"] is None or
+             scope["param_token"] in fn.params)
         ]
         if not handlers:
             violations.append(Violation(
                 "TR01", root, 1,
-                f"found no {engine_cls}::Handle*(... Message ...) handlers "
-                f"under {scope_dir} — frontend drift? (TR01 would be "
-                "vacuous)"))
-        emitters = {"Trace", "TraceKey"} | emitting
+                f"found no {engine_cls}::{scope['handler_prefix']}* "
+                f"handlers under {scope_dir} — frontend drift? (TR01 "
+                "would be vacuous)"))
+        emitters = base_emitters | emitting
         for fn in handlers:
             src = srcs_by_path[fn.file]
             for off in cpplite.uncovered_returns(fn.body, emitters):
@@ -978,7 +996,8 @@ def _wa01_mode_b(root, engine_cls, infos, obligation):
 
 def check_wa01(root, sources):
     violations = []
-    for scope_dir, engine_cls in ENGINE_SCOPES:
+    for scope in ENGINE_SCOPES:
+        engine_cls = scope["cls"]
         infos = _wa01_infos(root, sources, engine_cls)
         if not infos:
             continue

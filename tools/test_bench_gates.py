@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
 """Unit tests for the CI bench gates (wired as ctest `bench_gates_test`).
 
-Feeds tools/bench_cluster_gate.py and tools/bench_availability_gate.py
-synthetic artifacts — a passing grid, a regressed cell, malformed JSON,
-a schema violation, and bad usage — and asserts the documented exit
-codes through the real CLI entry point (subprocess), so the contract CI
-depends on is what's tested.
+Feeds tools/bench_cluster_gate.py, tools/bench_availability_gate.py and
+tools/bench_georep_gate.py synthetic artifacts — a passing grid, a
+regressed cell, malformed JSON, a schema violation, and bad usage — and
+asserts the documented exit codes through the real CLI entry point
+(subprocess), so the contract CI depends on is what's tested.
 """
 
 import json
@@ -18,6 +18,7 @@ import unittest
 TOOLS = os.path.dirname(os.path.abspath(__file__))
 CLUSTER_GATE = os.path.join(TOOLS, "bench_cluster_gate.py")
 AVAIL_GATE = os.path.join(TOOLS, "bench_availability_gate.py")
+GEOREP_GATE = os.path.join(TOOLS, "bench_georep_gate.py")
 
 WORKLOADS = ("transfer", "readmost", "increment", "mixed")
 CHAOS = ("none", "crash", "partition")
@@ -92,6 +93,46 @@ def avail_doc():
         "cells": [avail_cell(p, o)
                   for o in (2, 5, 10)
                   for p in ("block", "polyvalue", "paxos_commit")],
+        "pass": True,
+    }
+
+
+def georep_strategy(name):
+    row = {
+        "strategy": name, "prefer_local": name == "local_failover",
+        "max_attempts": 1 if name == "primary_only" else 0,
+        "probes": 240, "probes_served": 240, "reads": 241, "served": 240,
+        "failed": 1, "failovers": 30, "local_served": 150,
+        "write_commits": 39, "write_aborts": 21,
+        "pre_loss_p50_ms": 2.4, "pre_loss_p99_ms": 3.9,
+        "outage_availability": 1.0, "overall_availability": 1.0,
+        "max_success_gap_s": 0.73, "audit_clean": True,
+        "replicas_consistent": True, "final_uncertain": 0,
+        "lockdep_reports": 0, "pass": True,
+    }
+    if name != "local_failover":
+        row["pre_loss_p50_ms"] = 106.7
+        row["pre_loss_p99_ms"] = 153.6
+    if name == "primary_only":
+        row.update({"probes_served": 214, "reads": 293, "served": 214,
+                    "failed": 79, "failovers": 79,
+                    "outage_availability": 0.7,
+                    "overall_availability": 0.89,
+                    "max_success_gap_s": 1.26})
+    return row
+
+
+def georep_doc():
+    return {
+        "schema_version": 1,
+        "bench": "bench_georep",
+        "config": {"regions": 3, "sites_per_region": 3,
+                   "replication_factor": 3, "keys": 64,
+                   "region_loss_at_s": 20.0, "recovery_at_s": 40.0,
+                   "max_failover_gap_s": 2.1},
+        "strategies": [georep_strategy(s) for s in
+                       ("local_failover", "primary_failover",
+                        "primary_only")],
         "pass": True,
     }
 
@@ -224,6 +265,75 @@ class AvailabilityGateTest(GateTestBase):
 
     def test_usage_error_fails(self):
         code, out = self.run_gate("a.json", "b.json")
+        self.assertEqual(code, 1, out)
+        self.assertIn("usage", out)
+
+
+class GeorepGateTest(GateTestBase):
+    gate = GEOREP_GATE
+
+    def test_good_artifact_passes(self):
+        code, out = self.run_on_doc(georep_doc())
+        self.assertEqual(code, 0, out)
+        self.assertIn("PASS", out)
+
+    def test_outage_availability_regression_fails(self):
+        doc = georep_doc()
+        doc["strategies"][0]["outage_availability"] = 0.95
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("survive the region loss", out)
+
+    def test_gap_above_failover_bound_fails(self):
+        doc = georep_doc()
+        # A 19s silence is outage-scale, not failover-scale.
+        doc["strategies"][1]["max_success_gap_s"] = 19.0
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("failover bound", out)
+
+    def test_local_latency_advantage_must_hold(self):
+        doc = georep_doc()
+        doc["strategies"][0]["pre_loss_p50_ms"] = 100.0
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("faster than primary-read", out)
+
+    def test_audit_violation_fails(self):
+        doc = georep_doc()
+        doc["strategies"][2]["audit_clean"] = False
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("trace audit", out)
+
+    def test_missing_strategy_fails(self):
+        doc = georep_doc()
+        doc["strategies"] = doc["strategies"][:2]
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("strategy missing", out)
+
+    def test_recorded_pass_must_match_derivation(self):
+        doc = georep_doc()
+        doc["strategies"][1]["final_uncertain"] = 3
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("residual uncertainty", out)
+
+    def test_malformed_json_fails(self):
+        code, out = self.run_on_doc("{]")
+        self.assertEqual(code, 1, out)
+        self.assertIn("cannot parse", out)
+
+    def test_bool_masquerading_as_int_fails(self):
+        doc = georep_doc()
+        doc["strategies"][0]["failovers"] = True
+        code, out = self.run_on_doc(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("failovers", out)
+
+    def test_usage_error_fails(self):
+        code, out = self.run_gate()
         self.assertEqual(code, 1, out)
         self.assertIn("usage", out)
 
